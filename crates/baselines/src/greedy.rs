@@ -1,0 +1,225 @@
+//! The sequential greedy dominating set algorithm.
+//!
+//! While there are uncovered nodes, pick a node covering the most uncovered
+//! nodes (ties by lowest id) — the `ln Δ` approximation the paper cites as
+//! the best possible for polynomial algorithms [4, 12, 16, 21, 7], and the
+//! algorithm whose distributed emulation is the whole point of the paper
+//! (Section 6: "The algorithm can be seen as a distributed implementation
+//! of the greedy dominating set algorithm").
+//!
+//! Uses a bucket queue over spans with lazy revalidation, so the total cost
+//! is `O(n + m + Δ²)`-ish rather than `O(n²)`.
+
+use kw_graph::{BitSet, CsrGraph, DominatingSet, NodeId, VertexWeights};
+
+/// Computes a greedy dominating set.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::generators;
+/// use kw_baselines::greedy::greedy_mds;
+///
+/// let g = generators::star(9);
+/// let ds = greedy_mds(&g);
+/// assert!(ds.is_dominating(&g));
+/// assert_eq!(ds.len(), 1); // picks the center
+/// ```
+pub fn greedy_mds(g: &CsrGraph) -> DominatingSet {
+    let n = g.len();
+    let mut ds = DominatingSet::new(g);
+    if n == 0 {
+        return ds;
+    }
+    let mut covered = BitSet::new(n);
+    let mut remaining = n;
+    // span[v] = upper bound on fresh coverage by v; buckets indexed by span.
+    let mut span: Vec<usize> = g.node_ids().map(|v| g.degree(v) + 1).collect();
+    let max_span = span.iter().copied().max().unwrap_or(1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_span + 1];
+    for v in 0..n {
+        buckets[span[v]].push(v as u32);
+    }
+    let mut cursor = max_span;
+    while remaining > 0 {
+        // Find the true best via lazy bucket revalidation.
+        let v = loop {
+            while buckets[cursor].is_empty() {
+                cursor -= 1;
+            }
+            let cand = *buckets[cursor].last().expect("bucket non-empty") as usize;
+            if ds.contains(NodeId::new(cand)) {
+                buckets[cursor].pop();
+                continue;
+            }
+            let true_span = g
+                .closed_neighbors(NodeId::new(cand))
+                .filter(|u| !covered.contains(u.index()))
+                .count();
+            if true_span == span[cand] {
+                buckets[cursor].pop();
+                break cand;
+            }
+            // Stale: move to the correct (lower) bucket.
+            buckets[cursor].pop();
+            span[cand] = true_span;
+            buckets[true_span].push(cand as u32);
+        };
+        debug_assert!(span[v] > 0, "picked a useless node");
+        ds.add(NodeId::new(v));
+        for u in g.closed_neighbors(NodeId::new(v)) {
+            if covered.insert(u.index()) {
+                remaining -= 1;
+            }
+        }
+    }
+    ds
+}
+
+/// Weighted greedy: picks the node maximizing fresh-coverage per unit cost
+/// (the classical `H_Δ`-approximate weighted set cover heuristic).
+///
+/// # Panics
+///
+/// Panics if `weights` was built for a different node count.
+pub fn greedy_weighted_mds(g: &CsrGraph, weights: &VertexWeights) -> DominatingSet {
+    assert_eq!(weights.len(), g.len(), "weights length mismatch");
+    let n = g.len();
+    let mut ds = DominatingSet::new(g);
+    let mut covered = BitSet::new(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, span, v)
+        for v in g.node_ids() {
+            if ds.contains(v) {
+                continue;
+            }
+            let span =
+                g.closed_neighbors(v).filter(|u| !covered.contains(u.index())).count();
+            if span == 0 {
+                continue;
+            }
+            let ratio = span as f64 / weights.get(v);
+            let better = match &best {
+                None => true,
+                Some((r, _, _)) => ratio > *r,
+            };
+            if better {
+                best = Some((ratio, span, v.index()));
+            }
+        }
+        let (_, _, v) = best.expect("uncovered node covers itself");
+        ds.add(NodeId::new(v));
+        for u in g.closed_neighbors(NodeId::new(v)) {
+            if covered.insert(u.index()) {
+                remaining -= 1;
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dominates_on_families() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for g in [
+            generators::star(20),
+            generators::cycle(17),
+            generators::grid(6, 7),
+            generators::petersen(),
+            generators::gnp(120, 0.05, &mut rng),
+            generators::barabasi_albert(120, 2, &mut rng),
+            CsrGraph::empty(5),
+            CsrGraph::empty(0),
+        ] {
+            let ds = greedy_mds(&g);
+            assert!(ds.is_dominating(&g), "greedy failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_on_easy_cases() {
+        assert_eq!(greedy_mds(&generators::star(30)).len(), 1);
+        assert_eq!(greedy_mds(&generators::complete(12)).len(), 1);
+        assert_eq!(greedy_mds(&generators::star_of_cliques(4, 6)).len(), 4);
+    }
+
+    #[test]
+    fn matches_ln_delta_bound_against_exact() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let g = generators::gnp(40, 0.1, &mut rng);
+            let ds = greedy_mds(&g);
+            let opt = kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default())
+                .unwrap()
+                .len();
+            let bound = ((g.max_degree() as f64 + 1.0).ln() + 1.0) * opt as f64;
+            assert!(
+                ds.len() as f64 <= bound + 1e-9,
+                "greedy {} vs bound {bound} (opt {opt})",
+                ds.len()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_cover() {
+        // Star where the center is absurdly expensive: weighted greedy
+        // still picks it only if cost-effective; with cost 100 vs 9 leaves
+        // at cost 1, picking all leaves costs 9 < 100.
+        let g = generators::star(10);
+        let mut costs = vec![1.0; 10];
+        costs[0] = 100.0;
+        let w = VertexWeights::from_values(costs).unwrap();
+        let ds = greedy_weighted_mds(&g, &w);
+        assert!(ds.is_dominating(&g));
+        assert!(ds.cost(&w) <= 10.0, "cost {}", ds.cost(&w));
+    }
+
+    #[test]
+    fn weighted_with_uniform_weights_matches_unweighted_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(60, 0.08, &mut rng);
+        let w = VertexWeights::uniform(&g);
+        let a = greedy_mds(&g).len();
+        let b = greedy_weighted_mds(&g, &w).len();
+        // Tie-breaking may differ; sizes should be very close.
+        assert!((a as i64 - b as i64).abs() <= 2, "{a} vs {b}");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+            #[test]
+            fn greedy_always_dominates(n in 0usize..60, p in 0.0f64..1.0, seed in any::<u64>()) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = generators::gnp(n, p, &mut rng);
+                prop_assert!(greedy_mds(&g).is_dominating(&g));
+            }
+
+            #[test]
+            fn weighted_greedy_always_dominates(
+                n in 0usize..40,
+                p in 0.0f64..1.0,
+                seed in any::<u64>(),
+            ) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = generators::gnp(n, p, &mut rng);
+                let w = VertexWeights::from_values(
+                    (0..n).map(|_| 1.0 + rand::Rng::gen::<f64>(&mut rng) * 5.0).collect(),
+                ).unwrap();
+                prop_assert!(greedy_weighted_mds(&g, &w).is_dominating(&g));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline dominating set algorithms the paper compares against.
+//!
+//! * [`greedy`] — the classical sequential greedy algorithm
+//!   (refs [4, 12, 16, 21] of the paper): repeatedly pick the node covering
+//!   the most uncovered nodes; `ln Δ` approximation, the quality yardstick;
+//! * [`jrs`] — the Jia–Rajaraman–Suel LRG algorithm (PODC 2001, the
+//!   paper's ref \[11\]): the only prior sub-diameter algorithm with a
+//!   non-trivial ratio, `O(log Δ)` expected in `O(log n·log Δ)` rounds;
+//! * [`luby_mis`] — a Luby-style randomized maximal independent set; any
+//!   MIS is a dominating set, giving a simple `O(log n)`-round baseline;
+//! * [`trivial`] — the all-nodes dominating set (the `O(Δ)`-trivial bound
+//!   discussed in the paper's related-work section);
+//! * [`cds`] — connected dominating set stitching (the routing-backbone
+//!   variant discussed in the paper's related work, refs [1, 6, 10, 22]):
+//!   turns any dominating set into a connected one at ≤ 3× cost.
+//!
+//! All distributed baselines run on the same [`kw_sim`] engine as the
+//! paper's algorithms, so round and message counts are directly
+//! comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cds;
+pub mod greedy;
+pub mod jrs;
+pub mod luby_mis;
+pub mod trivial;

@@ -1,0 +1,54 @@
+//! The trivial baseline: take every node.
+//!
+//! The paper's related-work section notes that an `O(Δ)` approximation is
+//! trivial "since the set V of all nodes of G forms a dominating set of
+//! size at most (Δ+1) times the size of an optimal one". This module makes
+//! the envelope explicit so experiment tables can show where each
+//! algorithm lands between trivial and optimal.
+
+use kw_graph::{CsrGraph, DominatingSet};
+
+/// The all-nodes dominating set.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::generators;
+/// use kw_baselines::trivial::all_nodes;
+///
+/// let g = generators::cycle(5);
+/// let ds = all_nodes(&g);
+/// assert!(ds.is_dominating(&g));
+/// assert_eq!(ds.len(), 5);
+/// ```
+pub fn all_nodes(g: &CsrGraph) -> DominatingSet {
+    DominatingSet::all(g)
+}
+
+/// The trivial approximation guarantee `|V| ≤ (Δ+1)·|DS_OPT|` as a ratio
+/// bound (`Δ+1`), for table annotations.
+pub fn trivial_ratio_bound(g: &CsrGraph) -> f64 {
+    g.max_degree() as f64 + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+
+    #[test]
+    fn all_nodes_always_dominates() {
+        for g in [generators::path(6), generators::petersen(), CsrGraph::empty(4)] {
+            assert!(all_nodes(&g).is_dominating(&g));
+        }
+        assert!(all_nodes(&CsrGraph::empty(0)).is_dominating(&CsrGraph::empty(0)));
+    }
+
+    #[test]
+    fn ratio_bound_holds_against_packing() {
+        // n/(Δ+1) ≤ OPT, so n ≤ (Δ+1)·OPT: check via the packing bound.
+        let g = generators::grid(5, 5);
+        let lower = kw_lp::bounds::packing_lower_bound(&g);
+        assert!(g.len() as f64 <= trivial_ratio_bound(&g) * lower + 1e-9);
+    }
+}

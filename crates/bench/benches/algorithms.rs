@@ -1,0 +1,98 @@
+//! Wall-clock scaling of the paper's algorithms (T1/T2/T5 runtime
+//! companion): Algorithm 2, Algorithm 3, rounding, and the full pipeline
+//! across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_core::rounding::{run_rounding, RoundingConfig};
+use kw_core::{Pipeline, PipelineConfig};
+use kw_graph::{generators, FractionalAssignment};
+use kw_sim::EngineConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn graphs() -> Vec<(usize, kw_graph::CsrGraph)> {
+    let mut rng = SmallRng::seed_from_u64(1);
+    [200usize, 800, 3200]
+        .into_iter()
+        .map(|n| (n, generators::gnp(n, 8.0 / n as f64, &mut rng)))
+        .collect()
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_k3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_core::alg2::run_alg2(g, 3, EngineConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_k3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_core::alg3::run_alg3(g, 3, EngineConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg3_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_k3_threads4");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        let cfg = EngineConfig { threads: 4, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_core::alg3::run_alg3(g, 3, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounding");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        let x = FractionalAssignment::uniform(&g, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&g, &x), |b, (g, x)| {
+            b.iter(|| {
+                run_rounding(g, x, RoundingConfig::default(), EngineConfig::seeded(3)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_k2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| Pipeline::new(PipelineConfig::default()).run(g, 5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg2,
+    bench_alg3,
+    bench_alg3_parallel,
+    bench_rounding,
+    bench_pipeline
+);
+criterion_main!(benches);

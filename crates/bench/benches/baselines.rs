@@ -1,0 +1,57 @@
+//! Wall-clock scaling of the baselines (T5 runtime companion): greedy,
+//! Luby MIS, and JRS/LRG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn graphs() -> Vec<(usize, kw_graph::CsrGraph)> {
+    let mut rng = SmallRng::seed_from_u64(2);
+    [200usize, 800, 3200]
+        .into_iter()
+        .map(|n| (n, generators::gnp(n, 8.0 / n as f64, &mut rng)))
+        .collect()
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_baselines::greedy::greedy_mds(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_luby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby_mis");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_baselines::luby_mis::run_luby_mis(g, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_jrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jrs_lrg");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_baselines::jrs::run_jrs(g, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_luby, bench_jrs);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Wall-clock scaling of the substrates: the LP solver (T8 companion),
+//! the exact branch-and-bound solver, graph generation, and raw engine
+//! round throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_graph::generators;
+use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::{Ctx, Engine, EngineConfig, Protocol, Status};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp_mds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [32usize, 64, 128] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(n, 16.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_lp::domset::solve_lp_mds(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_branch_and_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [24usize, 36, 48] {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::gnp(n, 0.12, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| kw_lp::exact::solve_mds(g, &kw_lp::exact::ExactOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_n4096");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("gnp", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            generators::gnp(4096, 0.002, &mut rng)
+        })
+    });
+    group.bench_function("unit_disk", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            generators::unit_disk(4096, 0.03, &mut rng)
+        })
+    });
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            generators::barabasi_albert(4096, 3, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+/// A minimal broadcast-heavy protocol to measure raw engine throughput.
+struct Chatter {
+    remaining: u32,
+}
+
+#[derive(Clone)]
+struct Beep(u64);
+
+impl WireEncode for Beep {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.0);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(Beep)
+    }
+}
+
+impl Protocol for Chatter {
+    type Msg = Beep;
+    type Output = ();
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Beep>) -> Status {
+        let sum: u64 = ctx.inbox().iter().map(|(_, m)| m.0).sum();
+        if self.remaining == 0 {
+            return Status::Halted;
+        }
+        self.remaining -= 1;
+        ctx.broadcast(Beep(sum % 1024));
+        Status::Running
+    }
+
+    fn finish(self) {}
+}
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_20_broadcast_rounds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = SmallRng::seed_from_u64(6);
+    for n in [1000usize, 4000] {
+        let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig { threads, ..Default::default() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        Engine::new(g, cfg, |_| Chatter { remaining: 20 }).run().unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_exact, bench_generators, bench_engine_rounds);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ratio denominators for approximation tables.
+//!
+//! The paper proves every bound against `LP_OPT` (or its dual lower
+//! bound), which is also the only denominator computable at scale. On
+//! small graphs we can do better and report the true `|DS_OPT|`. This
+//! module picks the strongest denominator the instance size allows and
+//! labels it, so every table column says what it is relative to.
+
+use kw_graph::CsrGraph;
+use kw_lp::exact::{solve_mds, ExactOptions};
+
+/// Which quantity a ratio is measured against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenominatorKind {
+    /// Exact integral optimum `|DS_OPT|` (branch and bound).
+    Exact,
+    /// Fractional optimum `LP_OPT` (simplex).
+    LpOpt,
+    /// Lemma-1 dual bound `Σ 1/(δ⁽¹⁾+1)`.
+    Lemma1,
+}
+
+impl DenominatorKind {
+    /// Short label for table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            DenominatorKind::Exact => "OPT",
+            DenominatorKind::LpOpt => "LP_OPT",
+            DenominatorKind::Lemma1 => "lemma1",
+        }
+    }
+}
+
+/// A lower bound on `|DS_OPT|` with its provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct Denominator {
+    /// The bound value.
+    pub value: f64,
+    /// How it was obtained.
+    pub kind: DenominatorKind,
+}
+
+/// Computes the strongest denominator affordable for `g`:
+/// exact optimum for `n ≤ exact_limit`, LP optimum for `n ≤ lp_limit`,
+/// Lemma 1 otherwise.
+pub fn best_denominator(g: &CsrGraph, exact_limit: usize, lp_limit: usize) -> Denominator {
+    if g.len() <= exact_limit {
+        if let Ok(opt) = solve_mds(g, &ExactOptions { max_nodes: exact_limit, ..Default::default() })
+        {
+            return Denominator { value: opt.len() as f64, kind: DenominatorKind::Exact };
+        }
+    }
+    if g.len() <= lp_limit {
+        if let Ok(lp) = kw_lp::domset::solve_lp_mds(g) {
+            return Denominator { value: lp.value, kind: DenominatorKind::LpOpt };
+        }
+    }
+    Denominator { value: kw_lp::bounds::lemma1_bound(g), kind: DenominatorKind::Lemma1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+
+    #[test]
+    fn picks_exact_on_small() {
+        let d = best_denominator(&generators::petersen(), 64, 200);
+        assert_eq!(d.kind, DenominatorKind::Exact);
+        assert_eq!(d.value, 3.0);
+    }
+
+    #[test]
+    fn picks_lp_on_medium() {
+        let g = generators::grid(10, 10);
+        let d = best_denominator(&g, 64, 200);
+        assert_eq!(d.kind, DenominatorKind::LpOpt);
+        assert!(d.value > 10.0);
+    }
+
+    #[test]
+    fn picks_lemma1_on_large() {
+        let g = generators::grid(20, 20);
+        let d = best_denominator(&g, 64, 200);
+        assert_eq!(d.kind, DenominatorKind::Lemma1);
+        assert!(d.value > 0.0);
+    }
+
+    #[test]
+    fn denominators_are_ordered() {
+        // exact ≥ lp ≥ lemma1 on the same instance.
+        let g = generators::grid(6, 6);
+        let exact = best_denominator(&g, 64, 200).value;
+        let lp = best_denominator(&g, 0, 200).value;
+        let lemma1 = best_denominator(&g, 0, 0).value;
+        assert!(exact >= lp - 1e-9);
+        assert!(lp >= lemma1 - 1e-9);
+        assert_eq!(DenominatorKind::Exact.label(), "OPT");
+        assert_eq!(DenominatorKind::LpOpt.label(), "LP_OPT");
+        assert_eq!(DenominatorKind::Lemma1.label(), "lemma1");
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness reproducing every quantitative claim of the paper.
+//!
+//! See DESIGN.md §4 for the experiment index (T1–T8, F1, A1–A2). Each
+//! experiment has a binary (`src/bin/exp_*.rs`) that prints a
+//! paper-style table; criterion benches covering wall-clock scaling live
+//! in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod denominators;
+pub mod stats;
+pub mod table;
+pub mod workloads;

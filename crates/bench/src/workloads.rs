@@ -1,0 +1,138 @@
+//! Workload definitions shared by the experiment drivers.
+//!
+//! A [`Workload`] names a graph family and its parameters; experiments
+//! iterate over a standard list so every table sweeps the same topologies
+//! the paper's motivation calls for (ad-hoc/unit-disk networks) plus
+//! families that stress the `Δ`-dependent bounds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use kw_graph::{generators, CsrGraph};
+
+/// A named, parameterized graph family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Unit-disk graph with `n` nodes and the given radius.
+    UnitDisk {
+        /// Node count.
+        n: usize,
+        /// Connection radius in the unit square.
+        radius: f64,
+    },
+    /// Barabási–Albert with `m` attachments per node.
+    BarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Attachments per new node.
+        m: usize,
+    },
+    /// A `side × side` grid.
+    Grid {
+        /// Side length.
+        side: usize,
+    },
+    /// Complete `arity`-ary tree of the given depth.
+    Tree {
+        /// Branching factor.
+        arity: usize,
+        /// Depth.
+        depth: usize,
+    },
+    /// Hub-and-cliques graph (Figure 1's two-scale degree structure).
+    StarOfCliques {
+        /// Number of cliques.
+        cliques: usize,
+        /// Clique size.
+        clique_size: usize,
+    },
+}
+
+impl Workload {
+    /// Instantiates the graph (deterministic in `seed`).
+    pub fn build(&self, seed: u64) -> CsrGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            Workload::Gnp { n, p } => generators::gnp(n, p, &mut rng),
+            Workload::UnitDisk { n, radius } => generators::unit_disk(n, radius, &mut rng),
+            Workload::BarabasiAlbert { n, m } => generators::barabasi_albert(n, m, &mut rng),
+            Workload::Grid { side } => generators::grid(side, side),
+            Workload::Tree { arity, depth } => generators::balanced_tree(arity, depth),
+            Workload::StarOfCliques { cliques, clique_size } => {
+                generators::star_of_cliques(cliques, clique_size)
+            }
+        }
+    }
+
+    /// Short label for table rows.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::Gnp { n, p } => format!("gnp(n={n},p={p})"),
+            Workload::UnitDisk { n, radius } => format!("udg(n={n},r={radius})"),
+            Workload::BarabasiAlbert { n, m } => format!("ba(n={n},m={m})"),
+            Workload::Grid { side } => format!("grid({side}x{side})"),
+            Workload::Tree { arity, depth } => format!("tree(b={arity},d={depth})"),
+            Workload::StarOfCliques { cliques, clique_size } => {
+                format!("cliques({cliques}x{clique_size})")
+            }
+        }
+    }
+}
+
+/// The standard small sweep (LP-solvable sizes, exact ratios).
+pub fn small_suite() -> Vec<Workload> {
+    vec![
+        Workload::Gnp { n: 64, p: 0.1 },
+        Workload::Gnp { n: 128, p: 0.05 },
+        Workload::UnitDisk { n: 100, radius: 0.18 },
+        Workload::BarabasiAlbert { n: 100, m: 2 },
+        Workload::Grid { side: 10 },
+        Workload::Tree { arity: 3, depth: 4 },
+        Workload::StarOfCliques { cliques: 5, clique_size: 8 },
+    ]
+}
+
+/// The large sweep (Lemma-1 denominators, scaling measurements).
+pub fn large_suite() -> Vec<Workload> {
+    vec![
+        Workload::Gnp { n: 1024, p: 0.01 },
+        Workload::Gnp { n: 4096, p: 0.003 },
+        Workload::UnitDisk { n: 2048, radius: 0.05 },
+        Workload::BarabasiAlbert { n: 2048, m: 3 },
+        Workload::Grid { side: 48 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        for w in small_suite() {
+            assert_eq!(w.build(7), w.build(7), "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = small_suite().iter().map(Workload::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn sizes_match_parameters() {
+        assert_eq!(Workload::Grid { side: 10 }.build(0).len(), 100);
+        assert_eq!(Workload::Tree { arity: 3, depth: 4 }.build(0).len(), 121);
+    }
+}

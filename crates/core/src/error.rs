@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use kw_sim::SimError;
+
+/// Errors produced by the Kuhn–Wattenhofer algorithm runners.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration parameter is invalid (e.g. `k = 0`).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An input vector does not match the graph.
+    InputMismatch {
+        /// Expected length (graph size).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The underlying simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::InputMismatch { expected, got } => {
+                write!(f, "input vector has length {got} but the graph has {expected} nodes")
+            }
+            CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig { reason: "k must be positive".into() };
+        assert!(e.to_string().contains("k must be positive"));
+        let e = CoreError::InputMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        let e: CoreError = SimError::MaxRoundsExceeded { limit: 3 }.into();
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

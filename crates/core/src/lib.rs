@@ -1,0 +1,55 @@
+//! The paper's algorithms: constant-time distributed dominating set
+//! approximation (Kuhn & Wattenhofer, PODC 2003).
+//!
+//! This crate implements the paper's entire algorithmic content as node
+//! programs for the [`kw_sim`] LOCAL-model simulator, plus centralized
+//! lockstep reference implementations used as test oracles:
+//!
+//! * [`alg2`] — `LP_MDS` approximation with known `Δ`:
+//!   `k(Δ+1)^{2/k}`-approximation in `2k²` rounds (Theorem 4);
+//! * [`alg3`] — `LP_MDS` approximation with **no global knowledge**:
+//!   `k((Δ+1)^{1/k}+(Δ+1)^{2/k})`-approximation in `4k²+2k` rounds
+//!   (Theorem 5);
+//! * [`rounding`] — distributed randomized rounding with deterministic
+//!   fallback: expected `(1+α·ln(Δ+1))`-factor blowup (Theorem 3), plus
+//!   the remark's alternative multiplier;
+//! * [`weighted`] — the weighted fractional dominating set variant
+//!   (remark after Theorem 4);
+//! * [`pipeline`] — the composed algorithm of Theorem 6: expected
+//!   `O(k·Δ^{2/k}·log Δ)`-approximate dominating sets in `O(k²)` rounds;
+//! * [`composite`] — the same algorithm as a *single* node program on a
+//!   single engine run (`4k² + 2k + 2` rounds), for uninterrupted
+//!   end-to-end metrics;
+//! * [`invariants`] — runtime checkers for the proofs' loop invariants
+//!   (Lemmas 2–7) and the Figure-1 covering cascade;
+//! * [`math`] — the bound formulas, one function per theorem.
+//!
+//! # Example
+//!
+//! ```
+//! use kw_graph::generators;
+//! use kw_core::{math, Pipeline, PipelineConfig};
+//!
+//! let g = generators::star_of_cliques(5, 6);
+//! let outcome = Pipeline::new(PipelineConfig { k: 2, ..Default::default() }).run(&g, 1)?;
+//! assert!(outcome.dominating_set.is_dominating(&g));
+//! // O(k²) rounds: 4k² + 2k for Algorithm 3, plus 2 for the rounding.
+//! assert_eq!(outcome.total_rounds(), math::alg3_rounds(2) + 2);
+//! # Ok::<(), kw_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alg2;
+pub mod alg3;
+pub mod composite;
+mod error;
+pub mod invariants;
+pub mod math;
+pub mod pipeline;
+pub mod rounding;
+pub mod weighted;
+
+pub use error::CoreError;
+pub use pipeline::{FractionalSolver, Pipeline, PipelineConfig, PipelineOutcome};

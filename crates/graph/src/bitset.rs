@@ -1,0 +1,259 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity bit set over dense indices `0..len`.
+///
+/// Used for dominating-set membership, color vectors, and the branch-and-bound
+/// solver's cover bookkeeping. Out-of-range queries return `false`; mutations
+/// panic (the distinction mirrors `slice::get` vs indexing).
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::BitSet;
+///
+/// let mut s = BitSet::new(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates a set containing every index in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Capacity (number of addressable indices).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `i` is in the set (`false` if `i >= len`).
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterates over the contained indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self` and `other` share no elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Ascending iterator over set elements, created by [`BitSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000)); // out of range -> false, no panic
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_at_word_boundary() {
+        let s = BitSet::full(128);
+        assert_eq!(s.count(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [5usize, 1, 99, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 64, 99]);
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let a: BitSet = [1usize, 2].into_iter().collect();
+        let mut b = BitSet::new(3);
+        b.insert(0);
+        assert!(a.is_disjoint(&b));
+        b.union_with(&a);
+        assert_eq!(b.count(), 3);
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", BitSet::new(0)), "{}");
+    }
+
+    #[test]
+    fn extend_grows_content_not_capacity() {
+        let mut s = BitSet::new(10);
+        s.extend([1usize, 3]);
+        assert_eq!(s.count(), 2);
+    }
+}

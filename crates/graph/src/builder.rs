@@ -1,0 +1,202 @@
+use crate::{CsrGraph, GraphError};
+
+/// Incremental, validating constructor for [`CsrGraph`].
+///
+/// Collects undirected edges, rejecting self loops and duplicates eagerly,
+/// then sorts adjacency into CSR form in `build`.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(2, 1)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), kw_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Edges normalized to `(min, max)`.
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph under construction has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Duplicate detection is deferred to [`build`](Self::build) for edges
+    /// added through [`add_edge_unchecked_duplicate`]; this method checks
+    /// nothing beyond range and loops eagerly but catches duplicates in
+    /// `build` as a panic-free error path would complicate the hot loop of
+    /// generators. Instead duplicates are detected here via a sorted probe
+    /// only in debug builds and always at `build` time.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`]; duplicate
+    /// edges are reported by the eager scan as [`GraphError::DuplicateEdge`].
+    ///
+    /// [`add_edge_unchecked_duplicate`]: Self::add_edge_unchecked_duplicate
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.validate_endpoints(u, v)?;
+        let key = Self::normalize(u, v);
+        if self.edges.contains(&key) {
+            return Err(GraphError::DuplicateEdge { a: key.0 as usize, b: key.1 as usize });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds the undirected edge `{u, v}` without scanning for duplicates.
+    ///
+    /// Generators that are duplicate-free by construction (grids, trees,
+    /// G(n,p) upper-triangle sweeps) use this to avoid the `O(m)` probe of
+    /// [`add_edge`](Self::add_edge). `build` deduplicates defensively, so a
+    /// violated promise degrades to a slightly smaller graph, never a corrupt
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge_unchecked_duplicate(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.validate_endpoints(u, v)?;
+        self.edges.push(Self::normalize(u, v));
+        Ok(())
+    }
+
+    fn validate_endpoints(&self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, len: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, len: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn normalize(u: usize, v: usize) -> (u32, u32) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        (a as u32, b as u32)
+    }
+
+    /// Finalizes the builder into an immutable [`CsrGraph`].
+    ///
+    /// Sorts and deduplicates edges, then lays out CSR arrays.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        // Edges are sorted by (a, b); writing b into a's list in this order
+        // keeps a's list sorted. b's list receives a values in sorted order
+        // as well because a is the primary sort key.
+        for &(a, b) in &self.edges {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+        }
+        for &(a, b) in &self.edges {
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // The second pass appends `a`s after `b`s in each list, so lists are
+        // two sorted runs; merge by sorting each list (cheap, lists are
+        // typically short and nearly sorted).
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        CsrGraph::from_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn build_sorts_and_symmetrizes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build();
+        let ns: Vec<_> = g.neighbors(NodeId::new(0)).map(NodeId::index).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+        for v in 1..4 {
+            assert!(g.has_edge(NodeId::new(v), NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn duplicate_rejected_eagerly_in_either_orientation() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.add_edge(1, 0).is_err());
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn unchecked_duplicates_are_deduped_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_unchecked_duplicate(0, 1).unwrap();
+        b.add_edge_unchecked_duplicate(1, 0).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new(0);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn len_reports_node_count() {
+        let b = GraphBuilder::new(5);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+    }
+}

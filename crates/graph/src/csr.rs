@@ -1,0 +1,396 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphBuilder, GraphError, NodeId};
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// This is the representation every algorithm in the workspace runs on:
+/// neighbor lists are stored sorted in one contiguous arena, so neighborhood
+/// scans (the dominant operation of the Kuhn–Wattenhofer algorithms and of
+/// the simulator's delivery phase) are cache-friendly and allocation-free.
+///
+/// Invariants (enforced by [`GraphBuilder`] and the deserialization
+/// validator):
+///
+/// * no self loops, no parallel edges;
+/// * adjacency is symmetric (`u ∈ N(v) ⇔ v ∈ N(u)`);
+/// * each node's neighbor list is sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::{CsrGraph, NodeId};
+///
+/// // A triangle plus a pendant: 0-1, 1-2, 2-0, 2-3.
+/// let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])?;
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(NodeId::new(2)), 3);
+/// assert_eq!(g.max_degree(), 3);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+/// # Ok::<(), kw_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "RawCsr", into = "RawCsr")]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+/// Serde-facing raw form; validated on deserialization.
+#[derive(Serialize, Deserialize)]
+struct RawCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl From<CsrGraph> for RawCsr {
+    fn from(g: CsrGraph) -> Self {
+        RawCsr { offsets: g.offsets, targets: g.targets }
+    }
+}
+
+impl TryFrom<RawCsr> for CsrGraph {
+    type Error = GraphError;
+
+    fn try_from(raw: RawCsr) -> Result<Self, Self::Error> {
+        let n = raw.offsets.len().saturating_sub(1);
+        let mut builder = GraphBuilder::new(n);
+        for v in 0..n {
+            let (lo, hi) = (raw.offsets[v] as usize, raw.offsets[v + 1] as usize);
+            if hi > raw.targets.len() || lo > hi {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    reason: "corrupt CSR offsets".to_string(),
+                });
+            }
+            for &u in &raw.targets[lo..hi] {
+                if v < u as usize {
+                    builder.add_edge(v, u as usize)?;
+                }
+            }
+        }
+        let g = builder.build();
+        // Symmetry of the input is implied only if every arc had its mirror;
+        // rebuilding from the v<u arcs and comparing catches asymmetric input.
+        if g.offsets == raw.offsets && g.targets == raw.targets {
+            Ok(g)
+        } else {
+            Err(GraphError::Parse { line: 0, reason: "asymmetric or unsorted CSR".to_string() })
+        }
+    }
+}
+
+impl CsrGraph {
+    /// Builds a graph from an iterator of undirected edges over `n` nodes.
+    ///
+    /// Edges may be given in either orientation but each undirected edge at
+    /// most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self loops, or
+    /// duplicate edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds a graph with no edges on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree `δ_v` of node `v` (number of open neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Maximum degree `Δ` over all nodes (`0` for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(NodeId::new(v))).max().unwrap_or(0)
+    }
+
+    /// Iterates over the open neighborhood of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let i = v.index();
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        Neighbors { inner: self.targets[lo..hi].iter() }
+    }
+
+    /// Iterates over the closed neighborhood `N_v = {v} ∪ N(v)` of `v`,
+    /// yielding `v` first, then its neighbors ascending.
+    ///
+    /// The paper's constraints and degree quantities (`δ̃`, `a(v)`, coverage
+    /// sums) are all over closed neighborhoods, so this is the iterator the
+    /// algorithms use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn closed_neighbors(&self, v: NodeId) -> ClosedNeighbors<'_> {
+        ClosedNeighbors { me: Some(v), rest: self.neighbors(v) }
+    }
+
+    /// Neighbor list of `v` as a slice of raw `u32` indices.
+    ///
+    /// This is the zero-cost view used by hot loops (simulator delivery,
+    /// greedy bucket updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present (binary search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbor_slice(u).binary_search(&v.raw()).is_ok()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.len() as u32).map(NodeId::from)
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.node_ids().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The maximum degree within the closed neighborhood of `v`:
+    /// `δ⁽¹⁾_v = max_{u ∈ N_v} δ_u` (Section 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn delta1(&self, v: NodeId) -> usize {
+        self.closed_neighbors(v).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// The maximum degree among nodes within distance 2 of `v`:
+    /// `δ⁽²⁾_v = max_{u ∈ N_v} δ⁽¹⁾_u` (Section 3 of the paper).
+    ///
+    /// This is the quantity Algorithm 1 computes in two communication rounds;
+    /// the centralized helper exists for reference implementations and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn delta2(&self, v: NodeId) -> usize {
+        self.closed_neighbors(v).map(|u| self.delta1(u)).max().unwrap_or(0)
+    }
+
+    /// Sum of all degrees (`2|E|`), i.e. the number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrGraph {{ n: {}, m: {} }}", self.len(), self.num_edges())
+    }
+}
+
+/// Iterator over the open neighborhood of a node.
+///
+/// Created by [`CsrGraph::neighbors`].
+#[derive(Clone, Debug)]
+pub struct Neighbors<'a> {
+    inner: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next().map(|&v| NodeId::from(v))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+/// Iterator over the closed neighborhood of a node (the node itself first).
+///
+/// Created by [`CsrGraph::closed_neighbors`].
+#[derive(Clone, Debug)]
+pub struct ClosedNeighbors<'a> {
+    me: Option<NodeId>,
+    rest: Neighbors<'a>,
+}
+
+impl Iterator for ClosedNeighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.me.take().or_else(|| self.rest.next())
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.rest.size_hint();
+        let extra = usize::from(self.me.is_some());
+        (lo + extra, hi.map(|h| h + extra))
+    }
+}
+
+impl ExactSizeIterator for ClosedNeighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(2)), 3);
+        assert_eq!(g.degree(NodeId::new(3)), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        for u in g.node_ids() {
+            let ns: Vec<_> = g.neighbors(u).collect();
+            let mut sorted = ns.clone();
+            sorted.sort();
+            assert_eq!(ns, sorted, "neighbors of {u} not sorted");
+            for v in ns {
+                assert!(g.has_edge(v, u), "edge ({u},{v}) not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_neighbors_includes_self_first() {
+        let g = triangle_plus_pendant();
+        let ns: Vec<_> = g.closed_neighbors(NodeId::new(2)).map(NodeId::index).collect();
+        assert_eq!(ns, vec![2, 0, 1, 3]);
+        assert_eq!(g.closed_neighbors(NodeId::new(2)).len(), 4);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = triangle_plus_pendant();
+        let es: Vec<_> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn delta1_delta2() {
+        // Path 0-1-2-3-4: degrees 1,2,2,2,1.
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.delta1(NodeId::new(0)), 2); // sees node 1 of degree 2
+        assert_eq!(g.delta1(NodeId::new(2)), 2);
+        assert_eq!(g.delta2(NodeId::new(0)), 2);
+        // Star center dominates delta1 of the leaves.
+        let star = crate::generators::star(6);
+        assert_eq!(star.delta1(NodeId::new(1)), 5);
+        assert_eq!(star.delta2(NodeId::new(1)), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.delta1(NodeId::new(0)), 0);
+        let g0 = CsrGraph::empty(0);
+        assert!(g0.is_empty());
+        assert_eq!(g0.max_degree(), 0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            CsrGraph::from_edges(2, [(0, 2)]).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 2, len: 2 }
+        );
+        assert_eq!(CsrGraph::from_edges(2, [(1, 1)]).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            CsrGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge { a: 0, b: 1 }
+        );
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = CsrGraph::empty(0);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

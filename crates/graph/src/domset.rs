@@ -1,0 +1,482 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitSet, CsrGraph, NodeId};
+
+/// Relative tolerance used when checking fractional coverage constraints
+/// `Σ_{j ∈ N_i} x_j ≥ 1`.
+///
+/// The Kuhn–Wattenhofer x-values are sums of terms `(Δ+1)^{-m/k}` computed in
+/// `f64`; a strict `>= 1.0` comparison would spuriously fail on sums that are
+/// exactly 1 analytically but `1 - ε` numerically. Every feasibility check in
+/// the workspace accepts `Σ x_j ≥ 1 − COVERAGE_TOLERANCE` and every coverage
+/// decision inside the algorithms uses the same constant, so simulated and
+/// analytical behaviour agree.
+pub const COVERAGE_TOLERANCE: f64 = 1e-9;
+
+/// A set of nodes intended to dominate a graph.
+///
+/// A dominating set is a subset `S ⊆ V` such that every node is in `S` or has
+/// a neighbor in `S` (coverage is over *closed* neighborhoods).
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::{generators, DominatingSet, NodeId};
+///
+/// let g = generators::star(5); // center = node 4... see generators::star docs
+/// let center = (0..5).max_by_key(|&v| g.degree(NodeId::new(v))).unwrap();
+/// let ds = DominatingSet::from_indices(&g, [center]);
+/// assert!(ds.is_dominating(&g));
+/// assert_eq!(ds.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DominatingSet {
+    members: BitSet,
+}
+
+impl DominatingSet {
+    /// Creates an empty candidate set for `g`.
+    pub fn new(g: &CsrGraph) -> Self {
+        DominatingSet { members: BitSet::new(g.len()) }
+    }
+
+    /// Creates a set from node indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for `g`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(g: &CsrGraph, iter: I) -> Self {
+        let mut s = Self::new(g);
+        for i in iter {
+            s.add(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set from a membership predicate evaluated on every node.
+    pub fn from_fn(g: &CsrGraph, mut member: impl FnMut(NodeId) -> bool) -> Self {
+        let mut s = Self::new(g);
+        for v in g.node_ids() {
+            if member(v) {
+                s.add(v);
+            }
+        }
+        s
+    }
+
+    /// The set of all nodes — the trivial dominating set of size `n` the
+    /// paper uses as its triviality benchmark (`O(Δ)` approximation).
+    pub fn all(g: &CsrGraph) -> Self {
+        DominatingSet { members: BitSet::full(g.len()) }
+    }
+
+    /// Adds `v`; returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn add(&mut self, v: NodeId) -> bool {
+        self.members.insert(v.index())
+    }
+
+    /// Removes `v`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        self.members.remove(v.index())
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.contains(v.index())
+    }
+
+    /// Number of members `|S|`.
+    pub fn len(&self) -> usize {
+        self.members.count()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().map(NodeId::new)
+    }
+
+    /// Whether `v` is dominated: `v ∈ S` or some neighbor of `v` is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `g`.
+    pub fn dominates(&self, g: &CsrGraph, v: NodeId) -> bool {
+        g.closed_neighbors(v).any(|u| self.contains(u))
+    }
+
+    /// Whether every node of `g` is dominated.
+    pub fn is_dominating(&self, g: &CsrGraph) -> bool {
+        g.node_ids().all(|v| self.dominates(g, v))
+    }
+
+    /// All nodes of `g` that are *not* dominated (useful in failure-rate
+    /// ablations and error reporting).
+    pub fn undominated(&self, g: &CsrGraph) -> Vec<NodeId> {
+        g.node_ids().filter(|&v| !self.dominates(g, v)).collect()
+    }
+
+    /// Total cost of the set under vertex weights `w` (uniform weight 1 gives
+    /// the cardinality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` was built for a different node count.
+    pub fn cost(&self, w: &VertexWeights) -> f64 {
+        self.iter().map(|v| w.get(v)).sum()
+    }
+
+    /// View of membership as a `Vec<bool>` indexed by node.
+    pub fn to_bool_vec(&self, g: &CsrGraph) -> Vec<bool> {
+        g.node_ids().map(|v| self.contains(v)).collect()
+    }
+}
+
+impl fmt::Debug for DominatingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.members.iter()).finish()
+    }
+}
+
+/// A fractional assignment `x: V → R≥0`, a candidate solution of LP_MDS.
+///
+/// `LP_MDS`: minimize `Σ x_i` subject to `Σ_{j ∈ N_i} x_j ≥ 1` and `x ≥ 0`
+/// (Section 4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::{generators, FractionalAssignment};
+///
+/// let g = generators::complete(4);
+/// // x = 1/4 everywhere covers every closed neighborhood of a K4 exactly.
+/// let x = FractionalAssignment::uniform(&g, 0.25);
+/// assert!(x.is_feasible(&g));
+/// assert!((x.objective() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalAssignment {
+    values: Vec<f64>,
+}
+
+impl FractionalAssignment {
+    /// The all-zeros assignment for `g`.
+    pub fn zeros(g: &CsrGraph) -> Self {
+        FractionalAssignment { values: vec![0.0; g.len()] }
+    }
+
+    /// A constant assignment `x_i = value` for `g`.
+    pub fn uniform(g: &CsrGraph, value: f64) -> Self {
+        FractionalAssignment { values: vec![value; g.len()] }
+    }
+
+    /// Wraps a raw value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or non-finite.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        for (i, &x) in values.iter().enumerate() {
+            assert!(x.is_finite() && x >= 0.0, "x[{i}] = {x} is not a finite non-negative value");
+        }
+        FractionalAssignment { values }
+    }
+
+    /// Number of variables (nodes).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the assignment has zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value `x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Sets `x_v = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `value` is negative/non-finite.
+    pub fn set(&mut self, v: NodeId, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "x[{v}] = {value} is invalid");
+        self.values[v.index()] = value;
+    }
+
+    /// The LP objective `Σ_i x_i`.
+    pub fn objective(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Coverage of `v`: `Σ_{j ∈ N_v} x_j` over the closed neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `g` or lengths mismatch.
+    pub fn coverage(&self, g: &CsrGraph, v: NodeId) -> f64 {
+        assert_eq!(self.len(), g.len(), "assignment/graph size mismatch");
+        g.closed_neighbors(v).map(|u| self.values[u.index()]).sum()
+    }
+
+    /// Whether all coverage constraints hold within [`COVERAGE_TOLERANCE`].
+    pub fn is_feasible(&self, g: &CsrGraph) -> bool {
+        g.node_ids().all(|v| self.coverage(g, v) >= 1.0 - COVERAGE_TOLERANCE)
+    }
+
+    /// The nodes whose coverage constraint is violated (beyond tolerance).
+    pub fn violated(&self, g: &CsrGraph) -> Vec<NodeId> {
+        g.node_ids().filter(|&v| self.coverage(g, v) < 1.0 - COVERAGE_TOLERANCE).collect()
+    }
+
+    /// Weighted objective `Σ_i c_i·x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` has a different length.
+    pub fn weighted_objective(&self, w: &VertexWeights) -> f64 {
+        assert_eq!(self.len(), w.len(), "assignment/weights size mismatch");
+        self.values.iter().zip(w.iter()).map(|(x, c)| x * c).sum()
+    }
+
+    /// Read-only view of the underlying values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the assignment, returning the underlying values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl fmt::Debug for FractionalAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FractionalAssignment(n={}, Σx={:.4})", self.len(), self.objective())
+    }
+}
+
+/// Positive vertex costs `c: V → [1, c_max]` for the weighted dominating set
+/// variant (remark after Theorem 4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::VertexWeights;
+///
+/// let w = VertexWeights::from_values(vec![1.0, 2.0, 4.0])?;
+/// assert_eq!(w.c_max(), 4.0);
+/// # Ok::<(), kw_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexWeights {
+    values: Vec<f64>,
+    c_max: f64,
+}
+
+impl VertexWeights {
+    /// Uniform cost 1 for every node of `g` (the unweighted problem).
+    pub fn uniform(g: &CsrGraph) -> Self {
+        VertexWeights { values: vec![1.0; g.len()], c_max: 1.0 }
+    }
+
+    /// Wraps a cost vector, validating the paper's normalization
+    /// `1 ≤ c_i ≤ c_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Parse`](crate::GraphError) if any cost is below
+    /// 1 or non-finite.
+    pub fn from_values(values: Vec<f64>) -> Result<Self, crate::GraphError> {
+        let mut c_max = 1.0f64;
+        for (i, &c) in values.iter().enumerate() {
+            if !c.is_finite() || c < 1.0 {
+                return Err(crate::GraphError::Parse {
+                    line: i + 1,
+                    reason: format!("vertex cost {c} outside [1, ∞)"),
+                });
+            }
+            c_max = c_max.max(c);
+        }
+        Ok(VertexWeights { values, c_max })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Cost of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// The maximum cost `c_max` (at least 1).
+    pub fn c_max(&self) -> f64 {
+        self.c_max
+    }
+
+    /// Iterates over costs in node order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl fmt::Debug for VertexWeights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VertexWeights(n={}, c_max={})", self.len(), self.c_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn star_center_dominates() {
+        let g = generators::star(8);
+        let center = g.node_ids().max_by_key(|&v| g.degree(v)).unwrap();
+        let ds = DominatingSet::from_indices(&g, [center.index()]);
+        assert!(ds.is_dominating(&g));
+        assert!(ds.undominated(&g).is_empty());
+    }
+
+    #[test]
+    fn leaf_does_not_dominate_star() {
+        let g = generators::star(8);
+        let center = g.node_ids().max_by_key(|&v| g.degree(v)).unwrap();
+        let leaf = g.node_ids().find(|&v| v != center).unwrap();
+        let ds = DominatingSet::from_indices(&g, [leaf.index()]);
+        assert!(!ds.is_dominating(&g));
+        assert_eq!(ds.undominated(&g).len(), 8 - 2); // all leaves except itself
+    }
+
+    #[test]
+    fn empty_set_dominates_empty_graph_only() {
+        let g0 = CsrGraph::empty(0);
+        assert!(DominatingSet::new(&g0).is_dominating(&g0));
+        let g1 = CsrGraph::empty(1);
+        assert!(!DominatingSet::new(&g1).is_dominating(&g1));
+        assert!(DominatingSet::all(&g1).is_dominating(&g1));
+    }
+
+    #[test]
+    fn isolated_nodes_must_be_members() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]).unwrap();
+        let ds = DominatingSet::from_indices(&g, [0]);
+        assert!(!ds.is_dominating(&g));
+        let ds = DominatingSet::from_indices(&g, [0, 2]);
+        assert!(ds.is_dominating(&g));
+    }
+
+    #[test]
+    fn add_remove_iter() {
+        let g = generators::cycle(5);
+        let mut ds = DominatingSet::new(&g);
+        assert!(ds.add(NodeId::new(1)));
+        assert!(!ds.add(NodeId::new(1)));
+        assert!(ds.add(NodeId::new(4)));
+        assert_eq!(ds.iter().map(NodeId::index).collect::<Vec<_>>(), vec![1, 4]);
+        assert!(ds.remove(NodeId::new(1)));
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn from_fn_selects_predicate() {
+        let g = generators::cycle(6);
+        let ds = DominatingSet::from_fn(&g, |v| v.index() % 3 == 0);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.is_dominating(&g));
+    }
+
+    #[test]
+    fn cost_with_weights() {
+        let g = generators::cycle(3);
+        let w = VertexWeights::from_values(vec![1.0, 2.0, 5.0]).unwrap();
+        let ds = DominatingSet::from_indices(&g, [0, 2]);
+        assert_eq!(ds.cost(&w), 6.0);
+        assert_eq!(ds.cost(&VertexWeights::uniform(&g)), 2.0);
+    }
+
+    #[test]
+    fn fractional_feasibility_cycle() {
+        let g = generators::cycle(6);
+        // Closed neighborhoods have size 3, so x = 1/3 is exactly feasible.
+        let x = FractionalAssignment::uniform(&g, 1.0 / 3.0);
+        assert!(x.is_feasible(&g));
+        assert!(x.violated(&g).is_empty());
+        let bad = FractionalAssignment::uniform(&g, 0.2);
+        assert!(!bad.is_feasible(&g));
+        assert_eq!(bad.violated(&g).len(), 6);
+    }
+
+    #[test]
+    fn tolerance_accepts_near_one_sums() {
+        let g = generators::complete(3);
+        let third = 1.0 / 3.0; // 3*(1/3) = 0.999.. in floating point
+        let x = FractionalAssignment::from_values(vec![third; 3]);
+        assert!(x.is_feasible(&g));
+    }
+
+    #[test]
+    fn weighted_objective() {
+        let g = generators::cycle(3);
+        let w = VertexWeights::from_values(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut x = FractionalAssignment::zeros(&g);
+        x.set(NodeId::new(1), 0.5);
+        x.set(NodeId::new(2), 1.0);
+        assert!((x.weighted_objective(&w) - 4.0).abs() < 1e-12);
+        assert_eq!(w.c_max(), 3.0);
+    }
+
+    #[test]
+    fn weights_reject_below_one() {
+        assert!(VertexWeights::from_values(vec![0.5]).is_err());
+        assert!(VertexWeights::from_values(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite non-negative")]
+    fn fractional_rejects_negative() {
+        FractionalAssignment::from_values(vec![-0.1]);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let g = generators::cycle(3);
+        assert!(!format!("{:?}", DominatingSet::new(&g)).is_empty());
+        assert!(format!("{:?}", FractionalAssignment::zeros(&g)).contains("n=3"));
+        assert!(format!("{:?}", VertexWeights::uniform(&g)).contains("c_max=1"));
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        len: usize,
+    },
+    /// A self loop `(v, v)` was supplied; the dominating-set formulation uses
+    /// closed neighborhoods, so self loops are redundant and rejected.
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied more than once.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        a: usize,
+        /// Larger endpoint.
+        b: usize,
+    },
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::DuplicateEdge { a, b } => write!(f, "duplicate edge ({a}, {b})"),
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, len: 4 };
+        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+        let e = GraphError::SelfLoop { node: 2 };
+        assert_eq!(e.to_string(), "self loop at node 2");
+        let e = GraphError::DuplicateEdge { a: 1, b: 3 };
+        assert_eq!(e.to_string(), "duplicate edge (1, 3)");
+        let e = GraphError::Parse { line: 7, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

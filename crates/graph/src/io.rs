@@ -1,0 +1,150 @@
+//! Plain-text graph serialization.
+//!
+//! The format is a minimal edge list:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! n <num_nodes>
+//! <u> <v>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! [`CsrGraph`] also implements Serde's `Serialize`/`Deserialize` (with
+//! validation on deserialize) for structured formats.
+//!
+//! # Example
+//!
+//! ```
+//! use kw_graph::{generators, io};
+//!
+//! let g = generators::cycle(4);
+//! let text = io::to_edge_list(&g);
+//! let back = io::parse_edge_list(&text)?;
+//! assert_eq!(g, back);
+//! # Ok::<(), kw_graph::GraphError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{CsrGraph, GraphBuilder, GraphError};
+
+/// Serializes a graph to the edge-list text format.
+pub fn to_edge_list(g: &CsrGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.len());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+/// Parses the edge-list text format produced by [`to_edge_list`].
+///
+/// Blank lines and lines starting with `#` are ignored. The `n <count>`
+/// header must appear before any edge.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and the usual
+/// construction errors on invalid edges.
+pub fn parse_edge_list(text: &str) -> Result<CsrGraph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("n ") {
+            if builder.is_some() {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: "duplicate node-count header".to_string(),
+                });
+            }
+            let n: usize = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid node count {rest:?}"),
+            })?;
+            builder = Some(GraphBuilder::new(n));
+            continue;
+        }
+        let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            reason: "edge before 'n <count>' header".to_string(),
+        })?;
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("expected 'u v', got {line:?}"),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<usize, GraphError> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid node id {s:?}"),
+            })
+        };
+        b.add_edge(parse(u)?, parse(v)?)?;
+    }
+    Ok(builder.ok_or(GraphError::Parse { line: 0, reason: "missing 'n <count>' header".to_string() })?.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_petersen() {
+        let g = generators::petersen();
+        let text = to_edge_list(&g);
+        assert_eq!(parse_edge_list(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_edge_list("# header\n\nn 3\n# edge below\n0 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_edge_list("0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_edge_list("").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let err = parse_edge_list("n 2\nn 3\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn malformed_edges_rejected() {
+        assert!(parse_edge_list("n 2\n0\n").is_err());
+        assert!(parse_edge_list("n 2\n0 1 2\n").is_err());
+        assert!(parse_edge_list("n 2\na b\n").is_err());
+        assert!(parse_edge_list("n 2\n0 5\n").is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_adjacency_of_random_graph() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let g = generators::gnp(40, 0.15, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+}

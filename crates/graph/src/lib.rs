@@ -1,0 +1,53 @@
+//! Static undirected graphs and network-topology generators.
+//!
+//! This crate is the graph substrate of the `kw-domset` workspace, which
+//! reproduces Kuhn & Wattenhofer, *Constant-time distributed dominating set
+//! approximation* (PODC 2003). The paper operates on an arbitrary network
+//! graph `G = (V, E)`; this crate provides:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row adjacency structure,
+//!   the representation every algorithm and the simulator run on;
+//! * [`GraphBuilder`] — edge-list accumulation with validation (no self
+//!   loops, no parallel edges);
+//! * [`generators`] — the topology families used by the reproduction
+//!   experiments (G(n,p), unit-disk graphs, Barabási–Albert, grids, trees,
+//!   and several fixed fixtures);
+//! * [`DominatingSet`] / [`FractionalAssignment`] — solution containers with
+//!   verification (`is_dominating`, LP feasibility at a documented
+//!   tolerance);
+//! * [`props`] — connectivity, BFS, degree statistics used by workloads and
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use kw_graph::{generators, DominatingSet};
+//!
+//! let g = generators::cycle(5);
+//! assert_eq!(g.len(), 5);
+//! assert_eq!(g.max_degree(), 2);
+//!
+//! // Two opposite-ish nodes dominate a 5-cycle.
+//! let ds = DominatingSet::from_indices(&g, [0usize, 2]);
+//! assert!(ds.is_dominating(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod builder;
+mod csr;
+mod domset;
+mod error;
+pub mod generators;
+pub mod io;
+mod node;
+pub mod props;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use csr::{ClosedNeighbors, CsrGraph, Neighbors};
+pub use domset::{DominatingSet, FractionalAssignment, VertexWeights, COVERAGE_TOLERANCE};
+pub use error::GraphError;
+pub use node::NodeId;

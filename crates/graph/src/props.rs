@@ -1,0 +1,246 @@
+//! Structural graph properties: connectivity, BFS, degree statistics.
+//!
+//! These helpers support workload construction (e.g. extracting the giant
+//! component of a unit-disk graph) and test oracles; none of them are used
+//! by the distributed algorithms themselves, which only ever see local
+//! state.
+
+use std::collections::VecDeque;
+
+use crate::{CsrGraph, NodeId};
+
+/// Assigns each node a component id in `0..num_components`, in order of
+/// first discovery.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::{props, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (2, 3)])?;
+/// let comp = props::connected_components(&g);
+/// assert_eq!(comp, vec![0, 0, 1, 1]);
+/// # Ok::<(), kw_graph::GraphError>(())
+/// ```
+pub fn connected_components(g: &CsrGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for u in g.neighbors(NodeId::new(v)) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = next;
+                    queue.push_back(u.index());
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components (0 for the empty graph).
+pub fn num_components(g: &CsrGraph) -> usize {
+    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Whether the graph is connected. The empty graph is considered connected.
+pub fn is_connected(g: &CsrGraph) -> bool {
+    num_components(g) <= 1
+}
+
+/// BFS hop distances from `src`; unreachable nodes are `None`.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs_distances(g: &CsrGraph, src: NodeId) -> Vec<Option<u32>> {
+    let n = g.len();
+    assert!(src.index() < n, "source {src} out of range");
+    let mut dist = vec![None; n];
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have distances");
+        for u in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact diameter via all-pairs BFS (`O(n·m)`, for test-scale graphs).
+///
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter(g: &CsrGraph) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.node_ids() {
+        let d = bfs_distances(g, v);
+        for e in d {
+            best = best.max(e?);
+        }
+    }
+    Some(best as usize)
+}
+
+/// Histogram `h` with `h[d]` = number of nodes of degree `d`
+/// (`h.len() == Δ + 1`, empty for the empty graph).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    if g.is_empty() {
+        return Vec::new();
+    }
+    let mut h = vec![0usize; g.max_degree() + 1];
+    for v in g.node_ids() {
+        h[g.degree(v)] += 1;
+    }
+    h
+}
+
+/// Mean degree `2m/n` (0 for the empty graph).
+pub fn average_degree(g: &CsrGraph) -> f64 {
+    if g.is_empty() {
+        0.0
+    } else {
+        g.num_arcs() as f64 / g.len() as f64
+    }
+}
+
+/// The subgraph induced by `nodes`, plus the mapping from new ids to the
+/// original ids (`mapping[new] = old`).
+///
+/// # Panics
+///
+/// Panics if `nodes` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut old_to_new = vec![usize::MAX; g.len()];
+    for (new, &v) in nodes.iter().enumerate() {
+        assert!(v.index() < g.len(), "node {v} out of range");
+        assert!(old_to_new[v.index()] == usize::MAX, "duplicate node {v}");
+        old_to_new[v.index()] = new;
+    }
+    let mut b = crate::GraphBuilder::new(nodes.len());
+    for (new_u, &u) in nodes.iter().enumerate() {
+        for v in g.neighbors(u) {
+            let new_v = old_to_new[v.index()];
+            if new_v != usize::MAX && new_u < new_v {
+                b.add_edge_unchecked_duplicate(new_u, new_v).expect("induced edge in range");
+            }
+        }
+    }
+    (b.build(), nodes.to_vec())
+}
+
+/// The largest connected component as a standalone graph, plus the mapping
+/// from new ids to original ids. Ties broken by lowest component id.
+///
+/// Returns an empty graph for the empty graph.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
+    let comp = connected_components(g);
+    let k = comp.iter().copied().max().map_or(0, |m| m + 1);
+    if k == 0 {
+        return (CsrGraph::empty(0), Vec::new());
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let big = (0..k).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).expect("k > 0");
+    let nodes: Vec<NodeId> =
+        g.node_ids().filter(|v| comp[v.index()] == big).collect();
+    induced_subgraph(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 1, 1, 2]);
+        assert_eq!(num_components(&g), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(num_components(&g), 0);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert!(degree_histogram(&g).is_empty());
+        assert_eq!(average_degree(&g), 0.0);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+        assert_eq!(diameter(&generators::petersen()), Some(2));
+        let disconnected = CsrGraph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(diameter(&disconnected), None);
+    }
+
+    #[test]
+    fn histogram_and_average() {
+        let g = generators::star(5);
+        assert_eq!(degree_histogram(&g), vec![0, 4, 0, 0, 1]);
+        assert!((average_degree(&g) - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = generators::complete(5);
+        let nodes: Vec<NodeId> = [0usize, 2, 4].into_iter().map(NodeId::new).collect();
+        let (sub, map) = induced_subgraph(&g, &nodes);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = CsrGraph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (5, 6)]).unwrap();
+        let (big, map) = largest_component(&g);
+        assert_eq!(big.len(), 3);
+        assert_eq!(big.num_edges(), 3);
+        assert_eq!(map.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_rejects_duplicates() {
+        let g = generators::path(3);
+        let nodes = vec![NodeId::new(0), NodeId::new(0)];
+        let _ = induced_subgraph(&g, &nodes);
+    }
+}

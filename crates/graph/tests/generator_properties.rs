@@ -1,0 +1,141 @@
+//! Property-based validation of every generator: structural invariants
+//! the rest of the workspace silently relies on.
+
+use kw_graph::{generators, props, CsrGraph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Invariants every graph in the workspace must satisfy: symmetry, sorted
+/// neighbor lists, no loops, no duplicates, consistent counts.
+fn assert_well_formed(g: &CsrGraph) {
+    let mut arcs = 0usize;
+    for v in g.node_ids() {
+        let ns: Vec<NodeId> = g.neighbors(v).collect();
+        arcs += ns.len();
+        let mut sorted = ns.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ns, sorted, "neighbors of {v} not sorted/deduped");
+        assert!(!ns.contains(&v), "self loop at {v}");
+        for u in ns {
+            assert!(g.has_edge(u, v), "asymmetric edge ({v},{u})");
+        }
+    }
+    assert_eq!(arcs, g.num_arcs());
+    assert_eq!(arcs, 2 * g.num_edges());
+    assert_eq!(g.edges().count(), g.num_edges());
+}
+
+#[test]
+fn fixed_generators_well_formed() {
+    assert_well_formed(&generators::empty(7));
+    assert_well_formed(&generators::path(9));
+    assert_well_formed(&generators::cycle(9));
+    assert_well_formed(&generators::star(9));
+    assert_well_formed(&generators::complete(9));
+    assert_well_formed(&generators::complete_bipartite(4, 5));
+    assert_well_formed(&generators::grid(4, 6));
+    assert_well_formed(&generators::torus(4, 6));
+    assert_well_formed(&generators::balanced_tree(3, 3));
+    assert_well_formed(&generators::caterpillar(5, 3));
+    assert_well_formed(&generators::petersen());
+    assert_well_formed(&generators::star_of_cliques(4, 5));
+}
+
+#[test]
+fn known_structure_facts() {
+    // Grid diameter = (r-1)+(c-1).
+    assert_eq!(props::diameter(&generators::grid(4, 7)), Some(9));
+    // Torus cuts it roughly in half.
+    assert_eq!(props::diameter(&generators::torus(4, 4)), Some(4));
+    // Balanced binary tree of depth d has diameter 2d.
+    assert_eq!(props::diameter(&generators::balanced_tree(2, 4)), Some(8));
+    // Caterpillar spine + two legs.
+    assert_eq!(props::diameter(&generators::caterpillar(5, 2)), Some(6));
+    // Complete bipartite diameter 2.
+    assert_eq!(props::diameter(&generators::complete_bipartite(3, 4)), Some(2));
+}
+
+#[test]
+fn unit_disk_monotone_in_radius() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let pts: Vec<(f64, f64)> = (0..120)
+        .map(|_| (rand::Rng::gen::<f64>(&mut rng), rand::Rng::gen::<f64>(&mut rng)))
+        .collect();
+    let small = generators::unit_disk_from_points(&pts, 0.1);
+    let large = generators::unit_disk_from_points(&pts, 0.2);
+    assert!(small.num_edges() <= large.num_edges());
+    for (u, v) in small.edges() {
+        assert!(large.has_edge(u, v), "edge ({u},{v}) lost when radius grew");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn gnp_well_formed(n in 0usize..80, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert_well_formed(&generators::gnp(n, p, &mut rng));
+    }
+
+    #[test]
+    fn gnm_well_formed_and_exact(n in 2usize..40, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let max_m = n * (n - 1) / 2;
+        let m = (frac * max_m as f64) as usize;
+        let g = generators::gnm(n, m, &mut rng);
+        assert_well_formed(&g);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn unit_disk_well_formed(n in 0usize..60, r in 0.0f64..1.5, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert_well_formed(&generators::unit_disk(n, r, &mut rng));
+    }
+
+    #[test]
+    fn barabasi_albert_well_formed(n in 6usize..80, m in 1usize..5, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, m, &mut rng);
+        assert_well_formed(&g);
+        // Connected by construction (every new node attaches to the core).
+        prop_assert!(props::is_connected(&g));
+        // Minimum degree ≥ m.
+        prop_assert!(g.node_ids().all(|v| g.degree(v) >= m));
+    }
+
+    #[test]
+    fn grids_and_tori(r in 1usize..8, c in 1usize..8) {
+        let g = generators::grid(r, c);
+        assert_well_formed(&g);
+        prop_assert_eq!(g.len(), r * c);
+        prop_assert!(props::is_connected(&g));
+        let t = generators::torus(r, c);
+        assert_well_formed(&t);
+        // A torus has at least as many edges as its grid.
+        prop_assert!(t.num_edges() >= g.num_edges());
+    }
+
+    #[test]
+    fn trees_have_n_minus_one_edges(arity in 1usize..4, depth in 0usize..5) {
+        let g = generators::balanced_tree(arity, depth);
+        assert_well_formed(&g);
+        prop_assert_eq!(g.num_edges() + 1, g.len());
+        prop_assert!(props::is_connected(&g));
+        prop_assert_eq!(props::num_components(&g), 1);
+    }
+
+    #[test]
+    fn delta1_delta2_are_monotone_views(n in 1usize..40, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        for v in g.node_ids() {
+            let d = g.degree(v);
+            let d1 = g.delta1(v);
+            let d2 = g.delta2(v);
+            prop_assert!(d <= d1 && d1 <= d2 && d2 <= g.max_degree());
+        }
+    }
+}

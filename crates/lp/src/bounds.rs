@@ -1,0 +1,112 @@
+//! Closed-form lower bounds on the dominating set optimum.
+//!
+//! Lemma 1 of the paper: assigning `y_i = 1/(δ⁽¹⁾_i + 1)` is feasible for
+//! `DLP_MDS`, so by weak duality
+//!
+//! ```text
+//! Σ_i 1/(δ⁽¹⁾_i + 1)  ≤  LP_OPT  ≤  |DS_OPT|.
+//! ```
+//!
+//! These bounds cost `O(n + m)` and therefore serve as the ratio
+//! denominator on graphs too large for the simplex or the exact solver —
+//! exactly the role the dual plays in the paper's own proofs.
+
+use kw_graph::{CsrGraph, VertexWeights};
+
+use crate::domset::lemma1_dual;
+
+/// Lemma 1: `Σ_i 1/(δ⁽¹⁾_i + 1) ≤ |DS_OPT|`.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::generators;
+/// use kw_lp::bounds::lemma1_bound;
+///
+/// // Star: center has δ⁽¹⁾ = n−1 everywhere, so the bound is n/n = 1,
+/// // matching the true optimum exactly.
+/// let g = generators::star(10);
+/// assert!((lemma1_bound(&g) - 1.0).abs() < 1e-12);
+/// ```
+pub fn lemma1_bound(g: &CsrGraph) -> f64 {
+    g.node_ids().map(|i| 1.0 / (g.delta1(i) as f64 + 1.0)).sum()
+}
+
+/// Weighted generalization of Lemma 1:
+/// `Σ_i min_{j ∈ N_i} c_j / (δ⁽¹⁾_i + 1)` lower-bounds the weighted
+/// dominating set optimum (the vector is dual feasible because for
+/// `j ∈ N_i` both `min_{l ∈ N_j} c_l ≤ c_i` and `δ⁽¹⁾_j ≥ δ_i`).
+///
+/// # Panics
+///
+/// Panics if `weights` was built for a different node count.
+pub fn weighted_lemma1_bound(g: &CsrGraph, weights: &VertexWeights) -> f64 {
+    assert_eq!(weights.len(), g.len(), "weights length mismatch");
+    lemma1_dual(g, weights).iter().sum()
+}
+
+/// The trivial size upper bound used throughout the paper's introduction:
+/// any graph's optimum is at least `n/(Δ+1)` (each dominator covers at most
+/// `Δ+1` nodes).
+pub fn packing_lower_bound(g: &CsrGraph) -> f64 {
+    if g.is_empty() {
+        0.0
+    } else {
+        g.len() as f64 / (g.max_degree() as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+
+    #[test]
+    fn lemma1_on_regular_graphs_matches_lp() {
+        // On a d-regular graph δ⁽¹⁾ = d so the bound is n/(d+1) = LP_OPT.
+        let g = generators::cycle(12);
+        assert!((lemma1_bound(&g) - 4.0).abs() < 1e-12);
+        let p = generators::petersen();
+        assert!((lemma1_bound(&p) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_never_exceeds_exact_optimum() {
+        use crate::exact::{solve_mds, ExactOptions};
+        for g in [
+            generators::path(7),
+            generators::star(9),
+            generators::grid(3, 3),
+            generators::caterpillar(4, 2),
+            generators::star_of_cliques(3, 3),
+        ] {
+            let opt = solve_mds(&g, &ExactOptions::default()).unwrap().len() as f64;
+            let lb = lemma1_bound(&g);
+            assert!(lb <= opt + 1e-9, "lemma1 {lb} > opt {opt} on {g:?}");
+        }
+    }
+
+    #[test]
+    fn packing_bound_is_weaker_or_equal_on_stars() {
+        let g = generators::star(10);
+        assert!((packing_lower_bound(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(packing_lower_bound(&CsrGraph::empty(0)), 0.0);
+    }
+
+    #[test]
+    fn weighted_bound_reduces_to_unweighted() {
+        let g = generators::grid(3, 4);
+        let w = VertexWeights::uniform(&g);
+        assert!((weighted_lemma1_bound(&g, &w) - lemma1_bound(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_bound_scales_with_cheap_nodes() {
+        let g = generators::star(4);
+        // Cheap center: bound should stay ≤ weighted optimum (center alone
+        // dominates at cost 1).
+        let w = VertexWeights::from_values(vec![1.0, 8.0, 8.0, 8.0]).unwrap();
+        let b = weighted_lemma1_bound(&g, &w);
+        assert!(b <= 1.0 + 1e-12, "bound {b} exceeds cost of optimal set");
+    }
+}

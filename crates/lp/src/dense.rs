@@ -1,0 +1,186 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+///
+/// Sized for the simplex tableaux of this workspace (hundreds of rows);
+/// deliberately minimal — no BLAS, no views — because the solver only needs
+/// row operations and element access.
+///
+/// # Example
+///
+/// ```
+/// use kw_lp::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m[(0, 1)] = 4.0;
+/// assert_eq!(m[(0, 1)], 4.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a nested array of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = DenseMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "row {i} has length {} but expected {c}", row.len());
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read-only view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of range {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of range {}", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable views of two distinct rows at once (for pivot operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(a != b, "rows must be distinct");
+        assert!(a < self.rows && b < self.rows, "row out of range");
+        let c = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * c);
+            (&mut lo[a * c..(a + 1) * c], &mut hi[..c])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * c);
+            let (bl, _) = (&mut lo[b * c..(b + 1) * c], ());
+            (&mut hi[..c], bl)
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length {} != cols {}", x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn mul_vec() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, -1.0]]);
+        assert_eq!(m.mul_vec(&[3.0, 4.0]), vec![11.0, -4.0]);
+    }
+
+    #[test]
+    fn two_rows_mut_either_order() {
+        let mut m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        {
+            let (a, b) = m.two_rows_mut(0, 2);
+            std::mem::swap(&mut a[0], &mut b[0]);
+        }
+        assert_eq!(m[(0, 0)], 3.0);
+        {
+            let (a, b) = m.two_rows_mut(2, 1);
+            a[0] += b[0];
+        }
+        assert_eq!(m[(2, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 2 has length")]
+    fn ragged_rows_rejected() {
+        DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn debug_output_bounded() {
+        let m = DenseMatrix::zeros(20, 2);
+        let s = format!("{m:?}");
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,294 @@
+//! Constructing and solving the dominating-set linear programs.
+//!
+//! `LP_MDS`: `min Σx_i` s.t. `N·x ≥ 1`, `x ≥ 0`, with `N` the closed
+//! neighborhood matrix (adjacency + identity). Its dual `DLP_MDS`:
+//! `max Σy_i` s.t. `N·y ≤ 1`, `y ≥ 0` (Section 4 of the paper).
+//!
+//! The solver works on `DLP_MDS`, which is already in `max/≤` standard form
+//! with `b = 1 ≥ 0` (no phase 1 needed); by strong duality its optimum
+//! equals `LP_MDS`'s, and the dual multipliers it returns *are* the optimal
+//! fractional dominating set `x*` (the matrix `N` is symmetric).
+
+use kw_graph::{CsrGraph, FractionalAssignment, VertexWeights, COVERAGE_TOLERANCE};
+
+use crate::simplex::{solve, LpSolution, SimplexOptions, StandardLp};
+use crate::{DenseMatrix, LpError};
+
+/// The closed neighborhood matrix `N` (adjacency plus identity) of `g`.
+///
+/// This is the constraint matrix of both `LP_MDS` and `DLP_MDS`.
+pub fn neighborhood_matrix(g: &CsrGraph) -> DenseMatrix {
+    let n = g.len();
+    let mut m = DenseMatrix::zeros(n, n);
+    for v in g.node_ids() {
+        for u in g.closed_neighbors(v) {
+            m[(v.index(), u.index())] = 1.0;
+        }
+    }
+    m
+}
+
+/// `DLP_MDS` for `g` in solver standard form: `max Σy, N·y ≤ c, y ≥ 0`.
+///
+/// With uniform weights (`c = 1`) this is the paper's `DLP_MDS`; general
+/// weights give the dual of the weighted fractional dominating set LP.
+pub fn dual_lp(g: &CsrGraph, weights: &VertexWeights) -> StandardLp {
+    StandardLp {
+        objective: vec![1.0; g.len()],
+        constraints: neighborhood_matrix(g),
+        rhs: weights.iter().collect(),
+    }
+}
+
+/// A solved fractional dominating set LP.
+#[derive(Clone, Debug)]
+pub struct LpMdsSolution {
+    /// Optimal objective value (`Σx* = Σy*` by strong duality).
+    pub value: f64,
+    /// Optimal fractional dominating set (feasible for `LP_MDS`).
+    pub x: FractionalAssignment,
+    /// Optimal dual packing (feasible for `DLP_MDS`).
+    pub y: Vec<f64>,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `LP_MDS` exactly for `g` (uniform weights).
+///
+/// Dense simplex: intended for graphs up to a few hundred nodes — the
+/// experiment harness falls back to [`crate::bounds::lemma1_bound`] beyond
+/// that.
+///
+/// # Errors
+///
+/// Propagates solver errors; `LP_MDS` is always feasible and bounded, so an
+/// error indicates a configuration problem (e.g. iteration limits).
+pub fn solve_lp_mds(g: &CsrGraph) -> Result<LpMdsSolution, LpError> {
+    solve_weighted_lp_mds(g, &VertexWeights::uniform(g))
+}
+
+/// Solves the weighted fractional dominating set LP
+/// `min Σc_i·x_i` s.t. `N·x ≥ 1`, `x ≥ 0`.
+///
+/// # Errors
+///
+/// Propagates solver errors (see [`solve_lp_mds`]).
+pub fn solve_weighted_lp_mds(
+    g: &CsrGraph,
+    weights: &VertexWeights,
+) -> Result<LpMdsSolution, LpError> {
+    if g.is_empty() {
+        return Ok(LpMdsSolution {
+            value: 0.0,
+            x: FractionalAssignment::zeros(g),
+            y: vec![],
+            iterations: 0,
+        });
+    }
+    let lp = dual_lp(g, weights);
+    let LpSolution { value, x: y, duals: x, iterations } = solve(&lp, &SimplexOptions::default())?;
+    debug_assert!(
+        {
+            let xa = FractionalAssignment::from_values(x.clone());
+            xa.is_feasible(g)
+        },
+        "recovered primal is infeasible"
+    );
+    Ok(LpMdsSolution { value, x: FractionalAssignment::from_values(x), y, iterations })
+}
+
+/// Whether `y` is feasible for the weighted `DLP_MDS`:
+/// `Σ_{j ∈ N_i} y_j ≤ c_i` for every node, `y ≥ 0`
+/// (within [`COVERAGE_TOLERANCE`]).
+///
+/// # Panics
+///
+/// Panics if lengths disagree with `g`.
+pub fn is_dual_feasible(g: &CsrGraph, y: &[f64], weights: &VertexWeights) -> bool {
+    assert_eq!(y.len(), g.len(), "dual vector length mismatch");
+    assert_eq!(weights.len(), g.len(), "weights length mismatch");
+    if y.iter().any(|&v| v < -COVERAGE_TOLERANCE) {
+        return false;
+    }
+    g.node_ids().all(|i| {
+        let sum: f64 = g.closed_neighbors(i).map(|j| y[j.index()]).sum();
+        sum <= weights.get(i) + COVERAGE_TOLERANCE
+    })
+}
+
+/// The weak-duality gap certificate for a primal/dual pair: returns
+/// `Σ c_i x_i − Σ y_i`, which is non-negative whenever `x` is primal
+/// feasible and `y` dual feasible (Lemma 1's proof relies on exactly this).
+///
+/// # Panics
+///
+/// Panics if lengths disagree with `g`.
+pub fn duality_gap(
+    g: &CsrGraph,
+    x: &FractionalAssignment,
+    y: &[f64],
+    weights: &VertexWeights,
+) -> f64 {
+    assert_eq!(x.len(), g.len(), "primal vector length mismatch");
+    assert_eq!(y.len(), g.len(), "dual vector length mismatch");
+    x.weighted_objective(weights) - y.iter().sum::<f64>()
+}
+
+/// The dual-feasible vector used in the proof of Lemma 1:
+/// `y_i = min_{j ∈ N_i} c_j / (δ⁽¹⁾_i + 1)` (uniform weights give
+/// `1/(δ⁽¹⁾_i + 1)`).
+pub fn lemma1_dual(g: &CsrGraph, weights: &VertexWeights) -> Vec<f64> {
+    g.node_ids()
+        .map(|i| {
+            let min_c = g
+                .closed_neighbors(i)
+                .map(|j| weights.get(j))
+                .fold(f64::INFINITY, f64::min);
+            let min_c = if min_c.is_finite() { min_c } else { weights.get(i) };
+            min_c / (g.delta1(i) as f64 + 1.0)
+        })
+        .collect()
+}
+
+/// Convenience: `δ⁽²⁾` for every node (what Algorithm 1 computes in two
+/// rounds), exposed here for reference implementations.
+pub fn delta2_vector(g: &CsrGraph) -> Vec<usize> {
+    g.node_ids().map(|v| g.delta2(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+
+    #[test]
+    fn neighborhood_matrix_structure() {
+        let g = generators::path(3);
+        let n = neighborhood_matrix(&g);
+        // Row 1 (middle) is all ones; rows 0 and 2 have two ones.
+        assert_eq!(n.row(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(n.row(0), &[1.0, 1.0, 0.0]);
+        for i in 0..3 {
+            assert_eq!(n[(i, i)], 1.0, "diagonal must be 1");
+        }
+    }
+
+    #[test]
+    fn lp_mds_on_star_is_one() {
+        let g = generators::star(8);
+        let sol = solve_lp_mds(&g).unwrap();
+        assert!((sol.value - 1.0).abs() < 1e-9, "star LP optimum is 1, got {}", sol.value);
+        assert!(sol.x.is_feasible(&g));
+        assert!(is_dual_feasible(&g, &sol.y, &VertexWeights::uniform(&g)));
+    }
+
+    #[test]
+    fn lp_mds_on_complete_graph() {
+        // K_n: every closed neighborhood is V, optimum is 1 (uniform 1/n).
+        let g = generators::complete(5);
+        let sol = solve_lp_mds(&g).unwrap();
+        assert!((sol.value - 1.0).abs() < 1e-9);
+        assert!(sol.x.is_feasible(&g));
+    }
+
+    #[test]
+    fn lp_mds_on_cycle_is_n_over_three() {
+        // C_n: closed neighborhoods have size 3; x = 1/3 is optimal by the
+        // matching dual y = 1/3.
+        let g = generators::cycle(9);
+        let sol = solve_lp_mds(&g).unwrap();
+        assert!((sol.value - 3.0).abs() < 1e-9, "C9 LP optimum is 3, got {}", sol.value);
+    }
+
+    #[test]
+    fn lp_mds_on_petersen() {
+        // 3-regular vertex-transitive: LP optimum n/(Δ+1) = 10/4.
+        let sol = solve_lp_mds(&generators::petersen()).unwrap();
+        assert!((sol.value - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::empty(0);
+        let sol = solve_lp_mds(&g).unwrap();
+        assert_eq!(sol.value, 0.0);
+        // Isolated nodes force x_i = 1 each.
+        let g = CsrGraph::empty(3);
+        let sol = solve_lp_mds(&g).unwrap();
+        assert!((sol.value - 3.0).abs() < 1e-9);
+        assert!(sol.x.is_feasible(&g));
+    }
+
+    #[test]
+    fn strong_duality_holds() {
+        let g = generators::grid(3, 4);
+        let sol = solve_lp_mds(&g).unwrap();
+        let w = VertexWeights::uniform(&g);
+        assert!(sol.x.is_feasible(&g), "primal feasible");
+        assert!(is_dual_feasible(&g, &sol.y, &w), "dual feasible");
+        let gap = duality_gap(&g, &sol.x, &sol.y, &w);
+        assert!(gap.abs() < 1e-7, "strong duality gap {gap}");
+    }
+
+    #[test]
+    fn weighted_lp_prefers_cheap_dominators() {
+        // Star where the center costs 100 and leaves cost 1: covering the
+        // center's constraint costs min(100·x_c , cheap leaf coverage).
+        let g = generators::star(4);
+        let w = VertexWeights::from_values(vec![100.0, 1.0, 1.0, 1.0]).unwrap();
+        let sol = solve_weighted_lp_mds(&g, &w).unwrap();
+        // Each leaf must be covered by itself or the center; center is
+        // expensive, so x_leaf = 1 each (cost 3) beats x_center = 1 (100).
+        assert!(sol.value <= 4.0 + 1e-9);
+        assert!(sol.x.is_feasible(&g));
+        assert!(is_dual_feasible(&g, &sol.y, &w));
+    }
+
+    #[test]
+    fn lemma1_dual_is_feasible_weighted_and_unweighted() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(60, 0.1, &mut rng);
+        let uniform = VertexWeights::uniform(&g);
+        let y = lemma1_dual(&g, &uniform);
+        assert!(is_dual_feasible(&g, &y, &uniform));
+        let costs: Vec<f64> = (0..60).map(|_| 1.0 + rng.gen::<f64>() * 9.0).collect();
+        let w = VertexWeights::from_values(costs).unwrap();
+        let yw = lemma1_dual(&g, &w);
+        assert!(is_dual_feasible(&g, &yw, &w));
+    }
+
+    #[test]
+    fn delta2_vector_matches_graph_method() {
+        let g = generators::star_of_cliques(3, 4);
+        let v = delta2_vector(&g);
+        for u in g.node_ids() {
+            assert_eq!(v[u.index()], g.delta2(u));
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// LP optimum is sandwiched: lemma1 ≤ LP_OPT ≤ n, and the
+            /// returned pair certifies optimality by strong duality.
+            #[test]
+            fn lp_mds_certificates(n in 1usize..24, p in 0.0f64..1.0, seed in any::<u64>()) {
+                use rand::{rngs::SmallRng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = generators::gnp(n, p, &mut rng);
+                let w = VertexWeights::uniform(&g);
+                let sol = solve_lp_mds(&g).unwrap();
+                prop_assert!(sol.x.is_feasible(&g));
+                prop_assert!(is_dual_feasible(&g, &sol.y, &w));
+                prop_assert!(duality_gap(&g, &sol.x, &sol.y, &w).abs() < 1e-6);
+                let lemma1: f64 = lemma1_dual(&g, &w).iter().sum();
+                prop_assert!(lemma1 <= sol.value + 1e-6);
+                prop_assert!(sol.value <= n as f64 + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP and exact solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The linear program has no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// Matrix/vector dimensions disagree.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// The simplex iteration budget was exhausted (indicates an extreme
+    /// degeneracy case; the Bland fallback makes this unreachable for
+    /// well-posed inputs).
+    IterationLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// The exact solver's search-node budget was exhausted.
+    SearchBudgetExceeded {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// The instance exceeds a configured size guard.
+    TooLarge {
+        /// Instance size (e.g. node count).
+        size: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded {limit} iterations")
+            }
+            LpError::SearchBudgetExceeded { limit } => {
+                write!(f, "exact search exceeded {limit} nodes")
+            }
+            LpError::TooLarge { size, limit } => {
+                write!(f, "instance size {size} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert!(LpError::IterationLimit { limit: 5 }.to_string().contains('5'));
+        assert!(LpError::SearchBudgetExceeded { limit: 9 }.to_string().contains('9'));
+        assert!(LpError::TooLarge { size: 10, limit: 4 }.to_string().contains("10"));
+        assert!(LpError::DimensionMismatch { what: "b".into() }.to_string().contains('b'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

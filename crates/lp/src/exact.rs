@@ -1,0 +1,369 @@
+//! Exact minimum dominating set via branch and bound.
+//!
+//! MDS is NP-hard ([Garey & Johnson], cited as the paper's refs [9, 13]),
+//! but the ratio experiments on small graphs want the *true* optimum as the
+//! denominator. This solver handles graphs of up to ~80 nodes comfortably:
+//!
+//! * **branching**: pick the uncovered node with the fewest allowed
+//!   dominators and branch over who covers it, banning earlier candidates
+//!   in later branches so no state is explored twice;
+//! * **bounding**: a greedy disjoint-closed-neighborhood packing of the
+//!   uncovered nodes lower-bounds the remaining need; an initial greedy
+//!   dominating set gives the incumbent;
+//! * **budget**: the search aborts with an error after a configurable
+//!   number of explored nodes, so callers degrade gracefully to LP bounds.
+
+use kw_graph::{BitSet, CsrGraph, DominatingSet, NodeId};
+
+use crate::LpError;
+
+/// Tuning knobs for [`solve_mds`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Refuse instances with more nodes than this.
+    pub max_nodes: usize,
+    /// Abort after exploring this many search-tree nodes.
+    pub search_budget: u64,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions { max_nodes: 96, search_budget: 20_000_000 }
+    }
+}
+
+/// Computes a minimum dominating set of `g`.
+///
+/// # Errors
+///
+/// [`LpError::TooLarge`] if `g` exceeds `opts.max_nodes`;
+/// [`LpError::SearchBudgetExceeded`] if the branch-and-bound tree outgrows
+/// `opts.search_budget`.
+///
+/// # Example
+///
+/// ```
+/// use kw_graph::generators;
+/// use kw_lp::exact::{solve_mds, ExactOptions};
+///
+/// let opt = solve_mds(&generators::petersen(), &ExactOptions::default())?;
+/// assert_eq!(opt.len(), 3); // γ(Petersen) = 3
+/// # Ok::<(), kw_lp::LpError>(())
+/// ```
+pub fn solve_mds(g: &CsrGraph, opts: &ExactOptions) -> Result<DominatingSet, LpError> {
+    let n = g.len();
+    if n > opts.max_nodes {
+        return Err(LpError::TooLarge { size: n, limit: opts.max_nodes });
+    }
+    if n == 0 {
+        return Ok(DominatingSet::new(g));
+    }
+    let incumbent = greedy_upper_bound(g);
+    let mut search = Search {
+        g,
+        best: incumbent.iter().map(|v| v.index()).collect(),
+        chosen: Vec::new(),
+        covered: BitSet::new(n),
+        banned: BitSet::new(n),
+        explored: 0,
+        budget: opts.search_budget,
+    };
+    search.recurse()?;
+    Ok(DominatingSet::from_indices(g, search.best))
+}
+
+/// A compact greedy dominating set (the classic `ln Δ` heuristic), used as
+/// the initial incumbent. The full-featured instrumented greedy lives in
+/// `kw-baselines`; this one is internal on purpose to keep the dependency
+/// graph acyclic.
+fn greedy_upper_bound(g: &CsrGraph) -> DominatingSet {
+    let n = g.len();
+    let mut covered = BitSet::new(n);
+    let mut ds = DominatingSet::new(g);
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best = None;
+        let mut best_gain = 0usize;
+        for v in g.node_ids() {
+            if ds.contains(v) {
+                continue;
+            }
+            let gain = g.closed_neighbors(v).filter(|u| !covered.contains(u.index())).count();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(v);
+            }
+        }
+        let v = best.expect("uncovered nodes always have a coverer (themselves)");
+        ds.add(v);
+        for u in g.closed_neighbors(v) {
+            if covered.insert(u.index()) {
+                remaining -= 1;
+            }
+        }
+    }
+    ds
+}
+
+struct Search<'g> {
+    g: &'g CsrGraph,
+    best: Vec<usize>,
+    chosen: Vec<usize>,
+    covered: BitSet,
+    banned: BitSet,
+    explored: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self) -> Result<(), LpError> {
+        self.explored += 1;
+        if self.explored > self.budget {
+            return Err(LpError::SearchBudgetExceeded { limit: self.budget });
+        }
+        if self.chosen.len() >= self.best.len() {
+            return Ok(()); // cannot improve
+        }
+        let Some(target) = self.most_constrained_uncovered() else {
+            // Everything covered: new incumbent.
+            self.best = self.chosen.clone();
+            return Ok(());
+        };
+        let candidates = match target {
+            Branch::Candidates(c) => c,
+            Branch::Infeasible => return Ok(()),
+        };
+        // Bound: chosen + disjoint-packing LB on uncovered must beat best.
+        if self.chosen.len() + self.packing_bound() >= self.best.len() {
+            return Ok(());
+        }
+        let mut newly_banned = Vec::new();
+        for &v in &candidates {
+            let vid = NodeId::new(v);
+            let newly_covered: Vec<usize> = self
+                .g
+                .closed_neighbors(vid)
+                .map(NodeId::index)
+                .filter(|&u| !self.covered.contains(u))
+                .collect();
+            self.chosen.push(v);
+            for &u in &newly_covered {
+                self.covered.insert(u);
+            }
+            self.recurse()?;
+            for &u in &newly_covered {
+                self.covered.remove(u);
+            }
+            self.chosen.pop();
+            // Later branches must not reuse this candidate.
+            if self.banned.insert(v) {
+                newly_banned.push(v);
+            }
+        }
+        for v in newly_banned {
+            self.banned.remove(v);
+        }
+        Ok(())
+    }
+
+    /// Picks the uncovered node with the fewest allowed dominators and
+    /// returns those dominators (ordered by descending fresh coverage).
+    fn most_constrained_uncovered(&self) -> Option<Branch> {
+        let mut best: Option<(usize, Vec<usize>)> = None;
+        for v in self.g.node_ids() {
+            if self.covered.contains(v.index()) {
+                continue;
+            }
+            let cands: Vec<usize> = self
+                .g
+                .closed_neighbors(v)
+                .map(NodeId::index)
+                .filter(|&u| !self.banned.contains(u))
+                .collect();
+            if cands.is_empty() {
+                return Some(Branch::Infeasible);
+            }
+            let better = best.as_ref().is_none_or(|(n, _)| cands.len() < *n);
+            if better {
+                let len = cands.len();
+                best = Some((len, cands));
+                if len == 1 {
+                    break; // cannot be more constrained
+                }
+            }
+        }
+        best.map(|(_, mut cands)| {
+            cands.sort_by_key(|&u| {
+                std::cmp::Reverse(
+                    self.g
+                        .closed_neighbors(NodeId::new(u))
+                        .filter(|w| !self.covered.contains(w.index()))
+                        .count(),
+                )
+            });
+            Branch::Candidates(cands)
+        })
+    }
+
+    /// Greedy disjoint-closed-neighborhood packing over uncovered nodes:
+    /// any dominating set needs at least one distinct vertex per packed
+    /// neighborhood.
+    fn packing_bound(&self) -> usize {
+        let mut claimed = BitSet::new(self.g.len());
+        let mut count = 0usize;
+        for v in self.g.node_ids() {
+            if self.covered.contains(v.index()) {
+                continue;
+            }
+            if self.g.closed_neighbors(v).all(|u| !claimed.contains(u.index())) {
+                for u in self.g.closed_neighbors(v) {
+                    claimed.insert(u.index());
+                }
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+enum Branch {
+    Candidates(Vec<usize>),
+    Infeasible,
+}
+
+/// Brute-force MDS by subset enumeration — the oracle the branch-and-bound
+/// solver is tested against.
+///
+/// # Errors
+///
+/// [`LpError::TooLarge`] for graphs with more than 20 nodes (2²⁰ subsets).
+pub fn brute_force_mds(g: &CsrGraph) -> Result<DominatingSet, LpError> {
+    let n = g.len();
+    if n > 20 {
+        return Err(LpError::TooLarge { size: n, limit: 20 });
+    }
+    let mut best: Option<DominatingSet> = None;
+    for mask in 0u32..(1 << n) {
+        if let Some(b) = &best {
+            if mask.count_ones() as usize >= b.len() {
+                continue;
+            }
+        }
+        let ds = DominatingSet::from_fn(g, |v| mask >> v.index() & 1 == 1);
+        if ds.is_dominating(g) {
+            best = Some(ds);
+        }
+    }
+    Ok(best.unwrap_or_else(|| DominatingSet::all(g)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_graph::generators;
+
+    fn opt_size(g: &CsrGraph) -> usize {
+        solve_mds(g, &ExactOptions::default()).unwrap().len()
+    }
+
+    #[test]
+    fn known_domination_numbers() {
+        assert_eq!(opt_size(&generators::star(9)), 1);
+        assert_eq!(opt_size(&generators::complete(7)), 1);
+        assert_eq!(opt_size(&generators::path(3)), 1);
+        assert_eq!(opt_size(&generators::path(7)), 3); // ⌈7/3⌉
+        assert_eq!(opt_size(&generators::cycle(9)), 3); // ⌈9/3⌉
+        assert_eq!(opt_size(&generators::cycle(10)), 4); // ⌈10/3⌉
+        assert_eq!(opt_size(&generators::petersen()), 3);
+        assert_eq!(opt_size(&generators::grid(3, 3)), 3);
+        assert_eq!(opt_size(&generators::complete_bipartite(3, 3)), 2);
+    }
+
+    #[test]
+    fn solution_is_dominating() {
+        let g = generators::star_of_cliques(3, 4);
+        let ds = solve_mds(&g, &ExactOptions::default()).unwrap();
+        assert!(ds.is_dominating(&g));
+        // One gateway per clique... or interior + hub; γ = 3 (one per clique).
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g0 = CsrGraph::empty(0);
+        assert_eq!(opt_size(&g0), 0);
+        let g = CsrGraph::empty(4);
+        assert_eq!(opt_size(&g), 4); // isolated nodes dominate only themselves
+    }
+
+    #[test]
+    fn size_guard() {
+        let g = CsrGraph::empty(10);
+        let err = solve_mds(&g, &ExactOptions { max_nodes: 5, ..Default::default() }).unwrap_err();
+        assert_eq!(err, LpError::TooLarge { size: 10, limit: 5 });
+    }
+
+    #[test]
+    fn budget_guard() {
+        let g = generators::grid(4, 4);
+        let err =
+            solve_mds(&g, &ExactOptions { search_budget: 1, ..Default::default() }).unwrap_err();
+        assert_eq!(err, LpError::SearchBudgetExceeded { limit: 1 });
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_fixtures() {
+        for g in [
+            generators::path(9),
+            generators::cycle(11),
+            generators::grid(3, 4),
+            generators::caterpillar(4, 2),
+            generators::balanced_tree(2, 3),
+            generators::complete_bipartite(2, 5),
+        ] {
+            let bb = opt_size(&g);
+            let bf = brute_force_mds(&g).unwrap().len();
+            assert_eq!(bb, bf, "mismatch on {g:?}");
+        }
+    }
+
+    #[test]
+    fn brute_force_size_guard() {
+        let g = CsrGraph::empty(21);
+        assert!(matches!(brute_force_mds(&g), Err(LpError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn moderate_instances_solve_within_default_budget() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = generators::gnp(48, 0.08, &mut rng);
+        let ds = solve_mds(&g, &ExactOptions::default()).unwrap();
+        assert!(ds.is_dominating(&g));
+        let greedy = greedy_upper_bound(&g);
+        assert!(ds.len() <= greedy.len());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn branch_and_bound_matches_brute_force(
+                n in 1usize..11,
+                p in 0.0f64..1.0,
+                seed in any::<u64>(),
+            ) {
+                use rand::{rngs::SmallRng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = generators::gnp(n, p, &mut rng);
+                let bb = solve_mds(&g, &ExactOptions::default()).unwrap();
+                let bf = brute_force_mds(&g).unwrap();
+                prop_assert!(bb.is_dominating(&g));
+                prop_assert_eq!(bb.len(), bf.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Linear-programming substrate for the dominating set reproduction.
+//!
+//! Section 4 of Kuhn & Wattenhofer derives the MDS integer program
+//! `IP_MDS`, its LP relaxation `LP_MDS` (minimize `Σ x_i` subject to
+//! `N·x ≥ 1`, `x ≥ 0`, where `N` is the adjacency matrix with unit
+//! diagonal) and the dual `DLP_MDS` (maximize `Σ y_i` subject to
+//! `N·y ≤ 1`, `y ≥ 0`). Every approximation guarantee in the paper is
+//! proven against these programs, so reproducing the paper's ratios needs
+//! exact optima for them. This crate provides:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver with a Bland
+//!   anti-cycling fallback, for `max cᵀx, Ax ≤ b, x ≥ 0` standard form;
+//! * [`domset`] — constructing and solving `LP_MDS` / `DLP_MDS` (and the
+//!   weighted variant) for a graph, recovering both the fractional
+//!   dominating set `x*` and the dual packing `y*`;
+//! * [`bounds`] — the closed-form dual-feasible lower bound of Lemma 1,
+//!   `Σ_i 1/(δ⁽¹⁾_i + 1) ≤ |DS_OPT|`, and its weighted generalization;
+//! * [`exact`] — an exact branch-and-bound MDS solver (with a brute-force
+//!   cross-check) so that small-graph experiments can report true
+//!   approximation ratios rather than LP-relative ones;
+//! * [`approx`] — a self-certifying `(1+ε)` multiplicative-weights solver
+//!   for the covering LP (the sequential core of the positive-LP
+//!   machinery the paper cites as \[17\] and \[2\]), for `LP_OPT`
+//!   denominators far beyond the dense simplex's reach.
+//!
+//! # Example
+//!
+//! ```
+//! use kw_graph::generators;
+//! use kw_lp::{bounds, domset, exact};
+//!
+//! let g = generators::cycle(9);
+//! let lp = domset::solve_lp_mds(&g)?;
+//! let opt = exact::solve_mds(&g, &exact::ExactOptions::default())?;
+//! let lemma1 = bounds::lemma1_bound(&g);
+//! // lemma1 ≤ LP_OPT ≤ |DS_OPT| (here: 3 ≤ 3 ≤ 3 on C9).
+//! assert!(lemma1 <= lp.value + 1e-9);
+//! assert!(lp.value <= opt.len() as f64 + 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod bounds;
+mod dense;
+pub mod domset;
+mod error;
+pub mod exact;
+pub mod simplex;
+
+pub use dense::DenseMatrix;
+pub use error::LpError;

@@ -1,0 +1,574 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves linear programs in the standard inequality form
+//!
+//! ```text
+//! maximize    cᵀx
+//! subject to  A·x ≤ b
+//!             x ≥ 0
+//! ```
+//!
+//! The solver runs phase 1 (artificial variables) only when some `b_i < 0`;
+//! the dominating-set programs always have `b ≥ 0`, so they start directly
+//! from the slack basis. Entering columns follow Dantzig's rule with an
+//! automatic switch to Bland's rule after a configurable number of
+//! iterations, which guarantees termination under degeneracy.
+//!
+//! At optimality the solution carries a *certificate*: the primal point, the
+//! dual multipliers (reduced costs of the slack columns), and equal primal
+//! and dual objectives — tests verify these rather than trusting the solver.
+//!
+//! # Example
+//!
+//! ```
+//! use kw_lp::simplex::{solve, SimplexOptions, StandardLp};
+//! use kw_lp::DenseMatrix;
+//!
+//! // max x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6  →  optimum at (8/5, 6/5).
+//! let lp = StandardLp {
+//!     objective: vec![1.0, 1.0],
+//!     constraints: DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]),
+//!     rhs: vec![4.0, 6.0],
+//! };
+//! let sol = solve(&lp, &SimplexOptions::default())?;
+//! assert!((sol.value - 14.0 / 5.0).abs() < 1e-9);
+//! # Ok::<(), kw_lp::LpError>(())
+//! ```
+
+use crate::{DenseMatrix, LpError};
+
+/// A linear program `max cᵀx, A·x ≤ b, x ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct StandardLp {
+    /// Objective coefficients `c` (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Constraint matrix `A` (`rows × variables`).
+    pub constraints: DenseMatrix,
+    /// Right-hand side `b` (length = rows; may be negative, triggering
+    /// phase 1).
+    pub rhs: Vec<f64>,
+}
+
+impl StandardLp {
+    /// Validates dimensional consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::DimensionMismatch`] when shapes disagree.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.constraints.cols() != self.objective.len() {
+            return Err(LpError::DimensionMismatch {
+                what: format!(
+                    "A has {} columns but c has {} entries",
+                    self.constraints.cols(),
+                    self.objective.len()
+                ),
+            });
+        }
+        if self.constraints.rows() != self.rhs.len() {
+            return Err(LpError::DimensionMismatch {
+                what: format!(
+                    "A has {} rows but b has {} entries",
+                    self.constraints.rows(),
+                    self.rhs.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Solver tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplexOptions {
+    /// Hard iteration cap across both phases.
+    pub max_iterations: usize,
+    /// Switch from Dantzig's to Bland's entering rule after this many
+    /// iterations (anti-cycling).
+    pub bland_after: usize,
+    /// Numerical tolerance for zero tests.
+    pub eps: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions { max_iterations: 200_000, bland_after: 20_000, eps: 1e-9 }
+    }
+}
+
+/// An optimal solution with its dual certificate.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value `cᵀx`.
+    pub value: f64,
+    /// Optimal primal point.
+    pub x: Vec<f64>,
+    /// Dual multipliers, one per constraint row (`≥ 0`; `yᵀb` equals
+    /// `value` by strong duality).
+    pub duals: Vec<f64>,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// Solves the linear program.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`],
+/// [`LpError::DimensionMismatch`], or [`LpError::IterationLimit`].
+pub fn solve(lp: &StandardLp, opts: &SimplexOptions) -> Result<LpSolution, LpError> {
+    lp.validate()?;
+    let n = lp.objective.len();
+    let m = lp.rhs.len();
+    if m == 0 {
+        // No constraints: optimum is 0 at x = 0 unless some c_j > 0.
+        if lp.objective.iter().any(|&c| c > opts.eps) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(LpSolution { value: 0.0, x: vec![0.0; n], duals: vec![], iterations: 0 });
+    }
+    let mut t = Tableau::new(lp, opts);
+    let mut iterations = 0usize;
+    if t.needs_phase1 {
+        t.phase1(&mut iterations)?;
+    }
+    t.phase2(&mut iterations)?;
+    Ok(t.extract(iterations))
+}
+
+/// Working tableau: `m` constraint rows over columns
+/// `[structural | slack | artificial | rhs]`, plus an explicit reduced-cost
+/// row `z`.
+struct Tableau<'a> {
+    lp: &'a StandardLp,
+    opts: SimplexOptions,
+    n: usize,
+    m: usize,
+    art: usize,
+    rows: DenseMatrix,
+    /// `z[j] = c_B B⁻¹ A_j − c_j`; `z[total]` holds the objective value.
+    z: Vec<f64>,
+    basis: Vec<usize>,
+    needs_phase1: bool,
+    /// Rows dropped as redundant after phase 1 (their duals are 0).
+    dropped_rows: Vec<usize>,
+    /// Original row index of each current tableau row.
+    row_origin: Vec<usize>,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(lp: &'a StandardLp, opts: &SimplexOptions) -> Self {
+        let n = lp.objective.len();
+        let m = lp.rhs.len();
+        let negate: Vec<bool> = lp.rhs.iter().map(|&b| b < 0.0).collect();
+        let art = negate.iter().filter(|&&x| x).count();
+        let total = n + m + art;
+        let mut rows = DenseMatrix::zeros(m, total + 1);
+        let mut basis = vec![0usize; m];
+        let mut art_idx = 0usize;
+        for i in 0..m {
+            let sign = if negate[i] { -1.0 } else { 1.0 };
+            for j in 0..n {
+                rows[(i, j)] = sign * lp.constraints[(i, j)];
+            }
+            rows[(i, n + i)] = sign; // slack
+            rows[(i, total)] = sign * lp.rhs[i];
+            if negate[i] {
+                rows[(i, n + m + art_idx)] = 1.0;
+                basis[i] = n + m + art_idx;
+                art_idx += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+        Tableau {
+            lp,
+            opts: *opts,
+            n,
+            m,
+            art,
+            rows,
+            z: vec![0.0; total + 1],
+            basis,
+            needs_phase1: art > 0,
+            dropped_rows: Vec::new(),
+            row_origin: (0..m).collect(),
+        }
+    }
+
+    fn total_cols(&self) -> usize {
+        self.n + self.m + self.art
+    }
+
+    /// Rebuilds the z-row for objective `c_ext` (indexed over all columns).
+    fn rebuild_z(&mut self, c_ext: &[f64]) {
+        let total = self.total_cols();
+        for j in 0..=total {
+            let mut acc = 0.0;
+            for (i, &bcol) in self.basis.iter().enumerate() {
+                let cb = c_ext[bcol];
+                if cb != 0.0 {
+                    acc += cb * self.rows[(i, j)];
+                }
+            }
+            self.z[j] = if j < total { acc - c_ext[j] } else { acc };
+        }
+    }
+
+    fn phase1(&mut self, iterations: &mut usize) -> Result<(), LpError> {
+        let total = self.total_cols();
+        let mut c1 = vec![0.0; total];
+        for cost in c1.iter_mut().skip(self.n + self.m) {
+            *cost = -1.0;
+        }
+        self.rebuild_z(&c1);
+        self.iterate(iterations, true)?;
+        if self.z[total] < -self.opts.eps {
+            return Err(LpError::Infeasible);
+        }
+        self.evict_artificials();
+        Ok(())
+    }
+
+    /// Pivots basic artificials out of the basis, dropping redundant rows.
+    fn evict_artificials(&mut self) {
+        let art_start = self.n + self.m;
+        let mut redundant = Vec::new();
+        for i in 0..self.rows.rows() {
+            if self.basis[i] < art_start {
+                continue;
+            }
+            // Find any non-artificial column to pivot on.
+            let col = (0..art_start).find(|&j| self.rows[(i, j)].abs() > self.opts.eps);
+            match col {
+                Some(j) => self.pivot(i, j),
+                None => redundant.push(i),
+            }
+        }
+        if redundant.is_empty() {
+            return;
+        }
+        // Rebuild the tableau without the redundant rows.
+        let keep: Vec<usize> =
+            (0..self.rows.rows()).filter(|i| !redundant.contains(i)).collect();
+        let total = self.total_cols();
+        let mut rows = DenseMatrix::zeros(keep.len(), total + 1);
+        let mut basis = Vec::with_capacity(keep.len());
+        let mut origin = Vec::with_capacity(keep.len());
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            rows.row_mut(new_i).copy_from_slice(self.rows.row(old_i));
+            basis.push(self.basis[old_i]);
+            origin.push(self.row_origin[old_i]);
+        }
+        for &r in &redundant {
+            self.dropped_rows.push(self.row_origin[r]);
+        }
+        self.rows = rows;
+        self.basis = basis;
+        self.row_origin = origin;
+    }
+
+    fn phase2(&mut self, iterations: &mut usize) -> Result<(), LpError> {
+        let total = self.total_cols();
+        let mut c2 = vec![0.0; total];
+        c2[..self.n].copy_from_slice(&self.lp.objective);
+        self.rebuild_z(&c2);
+        self.iterate(iterations, false)
+    }
+
+    /// Runs simplex pivots until optimality for the current z-row.
+    fn iterate(&mut self, iterations: &mut usize, allow_artificial: bool) -> Result<(), LpError> {
+        let eps = self.opts.eps;
+        let enter_limit = if allow_artificial { self.total_cols() } else { self.n + self.m };
+        loop {
+            if *iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit { limit: self.opts.max_iterations });
+            }
+            let bland = *iterations >= self.opts.bland_after;
+            // Entering column: most negative reduced cost (Dantzig) or the
+            // first negative one (Bland).
+            let mut entering: Option<usize> = None;
+            let mut best = -eps;
+            for j in 0..enter_limit {
+                let zj = self.z[j];
+                if zj < -eps {
+                    if bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if zj < best {
+                        best = zj;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else { return Ok(()) };
+            // Ratio test; ties broken by smallest basis column (Bland).
+            let total = self.total_cols();
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows.rows() {
+                let a = self.rows[(i, col)];
+                if a > eps {
+                    let ratio = self.rows[(i, total)] / a;
+                    let better = ratio < best_ratio - eps
+                        || (ratio < best_ratio + eps
+                            && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(i);
+                    }
+                }
+            }
+            let Some(row) = leaving else { return Err(LpError::Unbounded) };
+            self.pivot(row, col);
+            *iterations += 1;
+        }
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`, updating the z-row too.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let total = self.total_cols();
+        let pivot = self.rows[(row, col)];
+        debug_assert!(pivot.abs() > 0.0, "pivot on a zero element");
+        let inv = 1.0 / pivot;
+        for j in 0..=total {
+            self.rows[(row, j)] *= inv;
+        }
+        for i in 0..self.rows.rows() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[(i, col)];
+            if factor.abs() <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let (pivot_row, target) = self.rows.two_rows_mut(row, i);
+            for j in 0..=total {
+                target[j] -= factor * pivot_row[j];
+            }
+            self.rows[(i, col)] = 0.0;
+        }
+        let zfactor = self.z[col];
+        if zfactor != 0.0 {
+            for j in 0..=total {
+                self.z[j] -= zfactor * self.rows[(row, j)];
+            }
+            self.z[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    fn extract(&self, iterations: usize) -> LpSolution {
+        let total = self.total_cols();
+        let mut x = vec![0.0; self.n];
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            if bcol < self.n {
+                x[bcol] = self.rows[(i, total)];
+            }
+        }
+        // Clamp tiny negative noise on degenerate vertices.
+        for v in &mut x {
+            if *v < 0.0 && *v > -self.opts.eps {
+                *v = 0.0;
+            }
+        }
+        // Dual multipliers are the reduced costs of the slack columns; the
+        // sign works out identically for rows negated in phase 1 (both the
+        // multiplier and the slack coefficient flip).
+        let mut duals = vec![0.0; self.m];
+        for &orig in &self.row_origin {
+            duals[orig] = self.z[self.n + orig].max(0.0);
+        }
+        for &orig in &self.dropped_rows {
+            duals[orig] = 0.0;
+        }
+        LpSolution { value: self.z[total], x, duals, iterations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(c: Vec<f64>, a: &[Vec<f64>], b: Vec<f64>) -> StandardLp {
+        StandardLp { objective: c, constraints: DenseMatrix::from_rows(a), rhs: b }
+    }
+
+    /// Verifies the optimality certificate: primal feasibility, dual
+    /// feasibility (y ≥ 0, yᵀA ≥ c componentwise), and strong duality.
+    fn assert_certificate(problem: &StandardLp, sol: &LpSolution) {
+        let eps = 1e-6;
+        for &xi in &sol.x {
+            assert!(xi >= -eps, "negative primal value {xi}");
+        }
+        let ax = problem.constraints.mul_vec(&sol.x);
+        for (i, (&lhs, &rhs)) in ax.iter().zip(&problem.rhs).enumerate() {
+            assert!(lhs <= rhs + eps, "constraint {i} violated: {lhs} > {rhs}");
+        }
+        for &yi in &sol.duals {
+            assert!(yi >= -eps, "negative dual {yi}");
+        }
+        // yᵀA ≥ c (dual feasibility for max/≤/x≥0).
+        for j in 0..problem.objective.len() {
+            let lhs: f64 =
+                (0..problem.rhs.len()).map(|i| sol.duals[i] * problem.constraints[(i, j)]).sum();
+            assert!(lhs >= problem.objective[j] - eps, "dual constraint {j}: {lhs}");
+        }
+        let primal: f64 = problem.objective.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+        let dual: f64 = sol.duals.iter().zip(&problem.rhs).map(|(y, b)| y * b).sum();
+        assert!((primal - sol.value).abs() < eps, "reported value {} != cᵀx {primal}", sol.value);
+        assert!((primal - dual).abs() < eps, "duality gap: {primal} vs {dual}");
+    }
+
+    #[test]
+    fn textbook_two_by_two() {
+        let p = lp(vec![1.0, 1.0], &[vec![1.0, 2.0], vec![3.0, 1.0]], vec![4.0, 6.0]);
+        let sol = solve(&p, &SimplexOptions::default()).unwrap();
+        assert!((sol.value - 2.8).abs() < 1e-9);
+        assert!((sol.x[0] - 1.6).abs() < 1e-9);
+        assert!((sol.x[1] - 1.2).abs() < 1e-9);
+        assert_certificate(&p, &sol);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = lp(vec![1.0, 0.0], &[vec![-1.0, 1.0]], vec![1.0]);
+        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ -1 with x ≥ 0 is infeasible.
+        let p = lp(vec![1.0], &[vec![1.0]], vec![-1.0]);
+        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn phase1_negative_rhs_feasible() {
+        // max -x1 - x2 s.t. -x1 - x2 ≤ -2 (i.e. x1 + x2 ≥ 2), x ≤ 5 each.
+        let p = lp(
+            vec![-1.0, -1.0],
+            &[vec![-1.0, -1.0], vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![-2.0, 5.0, 5.0],
+        );
+        let sol = solve(&p, &SimplexOptions::default()).unwrap();
+        assert!((sol.value + 2.0).abs() < 1e-9, "minimum of x1+x2 at 2, got {}", sol.value);
+        assert_certificate(&p, &sol);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple constraints active at the origin.
+        let p = lp(
+            vec![0.75, -150.0, 0.02, -6.0],
+            &[
+                vec![0.25, -60.0, -0.04, 9.0],
+                vec![0.5, -90.0, -0.02, 3.0],
+                vec![0.0, 0.0, 1.0, 0.0],
+            ],
+            vec![0.0, 0.0, 1.0],
+        );
+        // Beale's cycling example: must terminate thanks to Bland fallback.
+        let opts = SimplexOptions { bland_after: 0, ..Default::default() };
+        let sol = solve(&p, &opts).unwrap();
+        assert!((sol.value - 0.05).abs() < 1e-9);
+        assert_certificate(&p, &sol);
+    }
+
+    #[test]
+    fn zero_constraint_matrix() {
+        let p = lp(vec![-1.0, -2.0], &[vec![0.0, 0.0]], vec![1.0]);
+        let sol = solve(&p, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.value, 0.0);
+        assert_certificate(&p, &sol);
+    }
+
+    #[test]
+    fn no_constraints() {
+        let p = StandardLp {
+            objective: vec![-1.0],
+            constraints: DenseMatrix::zeros(0, 1),
+            rhs: vec![],
+        };
+        let sol = solve(&p, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.value, 0.0);
+        let p = StandardLp {
+            objective: vec![1.0],
+            constraints: DenseMatrix::zeros(0, 1),
+            rhs: vec![],
+        };
+        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let p = lp(vec![1.0], &[vec![1.0, 2.0]], vec![1.0]);
+        assert!(matches!(
+            solve(&p, &SimplexOptions::default()).unwrap_err(),
+            LpError::DimensionMismatch { .. }
+        ));
+        let p = StandardLp {
+            objective: vec![1.0],
+            constraints: DenseMatrix::from_rows(&[vec![1.0]]),
+            rhs: vec![1.0, 2.0],
+        };
+        assert!(matches!(
+            solve(&p, &SimplexOptions::default()).unwrap_err(),
+            LpError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn iteration_limit_enforced() {
+        let p = lp(vec![1.0, 1.0], &[vec![1.0, 2.0], vec![3.0, 1.0]], vec![4.0, 6.0]);
+        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        assert_eq!(
+            solve(&p, &opts).unwrap_err(),
+            LpError::IterationLimit { limit: 0 }
+        );
+    }
+
+    #[test]
+    fn redundant_equality_like_rows() {
+        // Two copies of the same binding constraint plus its negation pair:
+        // x1 + x2 ≤ 1, -x1 - x2 ≤ -1 (forces equality), maximize x1.
+        let p = lp(vec![1.0, 0.0], &[vec![1.0, 1.0], vec![-1.0, -1.0]], vec![1.0, -1.0]);
+        let sol = solve(&p, &SimplexOptions::default()).unwrap();
+        assert!((sol.value - 1.0).abs() < 1e-9);
+        assert_certificate(&p, &sol);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// With b ≥ 0 the origin is feasible, so the LP is either
+            /// optimal or unbounded; optimal claims must carry a valid
+            /// certificate.
+            #[test]
+            fn certificates_hold_on_random_feasible_lps(
+                n in 1usize..5,
+                m in 1usize..5,
+                seed in any::<u64>(),
+            ) {
+                use rand::{rngs::SmallRng, Rng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let a: Vec<Vec<f64>> = (0..m)
+                    .map(|_| (0..n).map(|_| (rng.gen::<f64>() * 8.0 - 4.0).round() / 2.0).collect())
+                    .collect();
+                let b: Vec<f64> = (0..m).map(|_| (rng.gen::<f64>() * 8.0).round() / 2.0).collect();
+                let c: Vec<f64> =
+                    (0..n).map(|_| (rng.gen::<f64>() * 8.0 - 4.0).round() / 2.0).collect();
+                let p = lp(c, &a, b);
+                match solve(&p, &SimplexOptions::default()) {
+                    Ok(sol) => assert_certificate(&p, &sol),
+                    Err(LpError::Unbounded) => {}
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-solver consistency: the simplex, the MWU approximation, the
+//! exact branch-and-bound, and the closed-form bounds must tell one
+//! coherent story on the same instances.
+
+use kw_graph::{generators, VertexWeights};
+use kw_lp::approx::solve_covering;
+use kw_lp::exact::{brute_force_mds, solve_mds, ExactOptions};
+use kw_lp::{bounds, domset};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn all_solvers_agree_on_vertex_transitive_graphs() {
+    // On vertex-transitive graphs LP_OPT = n/(Δ+1) exactly.
+    for (g, expect_lp) in [
+        (generators::cycle(12), 4.0),
+        (generators::complete(8), 1.0),
+        (generators::petersen(), 2.5),
+        (generators::torus(4, 4), 16.0 / 5.0),
+    ] {
+        let lp = domset::solve_lp_mds(&g).unwrap().value;
+        assert!((lp - expect_lp).abs() < 1e-7, "simplex {lp} vs expected {expect_lp} on {g:?}");
+        let lemma1 = bounds::lemma1_bound(&g);
+        assert!((lemma1 - expect_lp).abs() < 1e-9, "lemma1 is tight on regular graphs");
+        let approx = solve_covering(&g, &VertexWeights::uniform(&g), 0.05).unwrap();
+        assert!(approx.dual_lower_bound <= lp + 1e-7);
+        assert!(approx.primal_value >= lp - 1e-7);
+    }
+}
+
+#[test]
+fn exact_is_sandwiched_by_lp_and_greedyish_bound() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..6 {
+        let g = generators::gnp(42, 0.1, &mut rng);
+        let lp = domset::solve_lp_mds(&g).unwrap().value;
+        let ip = solve_mds(&g, &ExactOptions::default()).unwrap().len() as f64;
+        assert!(lp <= ip + 1e-9);
+        // ln-Δ integrality upper bound for domination LPs.
+        let cap = (1.0 + (g.max_degree() as f64 + 1.0).ln()) * lp;
+        assert!(ip <= cap + 1e-9, "integrality gap {ip}/{lp} beyond ln Δ");
+    }
+}
+
+#[test]
+fn weighted_consistency_across_solvers() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = generators::gnp(40, 0.12, &mut rng);
+    let w = VertexWeights::from_values((0..40).map(|_| 1.0 + rng.gen::<f64>() * 4.0).collect())
+        .unwrap();
+    let exact_lp = domset::solve_weighted_lp_mds(&g, &w).unwrap().value;
+    let approx = solve_covering(&g, &w, 0.05).unwrap();
+    let lemma1 = bounds::weighted_lemma1_bound(&g, &w);
+    assert!(lemma1 <= exact_lp + 1e-7);
+    assert!(approx.dual_lower_bound <= exact_lp + 1e-7);
+    assert!(approx.primal_value >= exact_lp - 1e-7);
+    assert!(approx.gap() <= 1.1);
+}
+
+#[test]
+fn simplex_primal_really_is_optimal_not_just_feasible() {
+    // Compare against brute-force MDS on instances where LP = IP
+    // (trees have integral domination polytopes... not in general, so
+    // instead check LP ≤ brute-force IP and the dual certificate).
+    let mut rng = SmallRng::seed_from_u64(6);
+    for _ in 0..8 {
+        let g = generators::gnp(12, 0.25, &mut rng);
+        let sol = domset::solve_lp_mds(&g).unwrap();
+        let ip = brute_force_mds(&g).unwrap().len() as f64;
+        assert!(sol.value <= ip + 1e-9);
+        // Certificate: Σy equals Σx (strong duality) and y feasible.
+        let w = VertexWeights::uniform(&g);
+        assert!(domset::is_dual_feasible(&g, &sol.y, &w));
+        let dual_sum: f64 = sol.y.iter().sum();
+        assert!((dual_sum - sol.value).abs() < 1e-7);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn bound_chain_on_random_instances(n in 1usize..26, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        let lemma1 = bounds::lemma1_bound(&g);
+        let packing = bounds::packing_lower_bound(&g);
+        let lp = domset::solve_lp_mds(&g).unwrap().value;
+        let ip = solve_mds(&g, &ExactOptions::default()).unwrap().len() as f64;
+        prop_assert!(packing <= lp + 1e-7, "packing {packing} > lp {lp}");
+        prop_assert!(lemma1 <= lp + 1e-7, "lemma1 {lemma1} > lp {lp}");
+        prop_assert!(lp <= ip + 1e-7, "lp {lp} > ip {ip}");
+        prop_assert!(ip <= n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn approx_always_brackets_simplex(n in 1usize..24, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        let lp = domset::solve_lp_mds(&g).unwrap().value;
+        let sol = solve_covering(&g, &VertexWeights::uniform(&g), 0.1).unwrap();
+        prop_assert!(sol.x.is_feasible(&g));
+        prop_assert!(sol.dual_lower_bound <= lp + 1e-6);
+        prop_assert!(sol.primal_value >= lp - 1e-6);
+    }
+}

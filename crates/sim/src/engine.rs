@@ -1,0 +1,672 @@
+//! The synchronous round-driving engine.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use kw_graph::{CsrGraph, NodeId};
+
+use crate::faults::FaultPlan;
+use crate::mailbox::{Ctx, Outbound};
+use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::rng::node_seed;
+use crate::wire::{BitReader, BitWriter, WireEncode};
+use crate::{Protocol, SimError, Status};
+
+/// Static facts about a node, passed to the protocol factory.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeInfo {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// The node's degree (number of incident edges / ports).
+    pub degree: usize,
+    /// Deterministic per-node RNG seed derived from the run seed.
+    pub seed: u64,
+}
+
+/// Engine tuning knobs.
+///
+/// The defaults run sequentially with a generous round budget; experiments
+/// enable `threads` for large graphs and `record_per_round` when they need
+/// round-resolved traffic curves.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Abort with [`SimError::MaxRoundsExceeded`] after this many rounds.
+    pub max_rounds: usize,
+    /// Run seed; per-node seeds are derived from it.
+    pub seed: u64,
+    /// Worker threads for the compute and delivery phases (`<= 1` means
+    /// sequential). Results are identical for any thread count.
+    pub threads: usize,
+    /// Record per-round [`RoundMetrics`] in the final [`RunMetrics`].
+    pub record_per_round: bool,
+    /// Verify that every sent message decodes from its own wire encoding
+    /// (cheap safety net; enabled by default in tests, not benches).
+    pub check_wire: bool,
+    /// Message-loss model applied at delivery (defaults to reliable).
+    pub faults: FaultPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 1_000_000,
+            seed: 0,
+            threads: 1,
+            record_per_round: false,
+            check_wire: false,
+            faults: FaultPlan::reliable(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with a specific run seed, other fields default.
+    pub fn seeded(seed: u64) -> Self {
+        EngineConfig { seed, ..Self::default() }
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Aggregated communication metrics.
+    pub metrics: RunMetrics,
+    /// Total messages sent by each node (validates the paper's `O(k²Δ)`
+    /// per-node bound).
+    pub node_messages: Vec<u64>,
+}
+
+/// Hook invoked after every round with read access to all node states.
+///
+/// Observers power the invariant checkers (Lemmas 2–7) and the Figure-1
+/// cascade trace in `kw-core` without widening the `Protocol` interface.
+pub trait Observer<P: Protocol> {
+    /// Called after round `round`'s compute phase, before delivery.
+    fn after_round(&mut self, round: usize, nodes: &[P]);
+}
+
+impl<P: Protocol, F: FnMut(usize, &[P])> Observer<P> for F {
+    fn after_round(&mut self, round: usize, nodes: &[P]) {
+        self(round, nodes)
+    }
+}
+
+/// No-op observer used by [`Engine::run`].
+#[derive(Clone, Copy, Debug, Default)]
+struct NullObserver;
+
+impl<P: Protocol> Observer<P> for NullObserver {
+    fn after_round(&mut self, _round: usize, _nodes: &[P]) {}
+}
+
+/// Drives one protocol instance per node of a graph through synchronous
+/// rounds until every node halts.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct Engine<'g, P: Protocol> {
+    graph: &'g CsrGraph,
+    config: EngineConfig,
+    nodes: Vec<P>,
+    rngs: Vec<SmallRng>,
+    halted: Vec<bool>,
+    /// `rev_ports[v][q]` = the port on neighbor `adj[v][q]` that points back
+    /// to `v`; used to match unicast messages during receiver-driven
+    /// delivery.
+    rev_ports: Vec<Vec<u32>>,
+    inboxes: Vec<Vec<(u32, P::Msg)>>,
+    next_inboxes: Vec<Vec<(u32, P::Msg)>>,
+    outboxes: Vec<Vec<Outbound<P::Msg>>>,
+    node_messages: Vec<u64>,
+}
+
+impl<'g, P: Protocol> Engine<'g, P> {
+    /// Builds an engine, constructing one protocol instance per node via
+    /// `factory`.
+    pub fn new(
+        graph: &'g CsrGraph,
+        config: EngineConfig,
+        mut factory: impl FnMut(NodeInfo) -> P,
+    ) -> Self {
+        let n = graph.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        for v in 0..n {
+            let seed = node_seed(config.seed, v as u32);
+            let info = NodeInfo { id: NodeId::new(v), degree: graph.degree(NodeId::new(v)), seed };
+            nodes.push(factory(info));
+            rngs.push(SmallRng::seed_from_u64(seed));
+        }
+        let rev_ports = (0..n)
+            .map(|v| {
+                graph
+                    .neighbors(NodeId::new(v))
+                    .map(|u| {
+                        graph
+                            .neighbor_slice(u)
+                            .binary_search(&(v as u32))
+                            .expect("graph adjacency is symmetric") as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        Engine {
+            graph,
+            config,
+            nodes,
+            rngs,
+            halted: vec![false; n],
+            rev_ports,
+            inboxes: vec![Vec::new(); n],
+            next_inboxes: vec![Vec::new(); n],
+            outboxes: vec![Vec::new(); n],
+            node_messages: vec![0; n],
+        }
+    }
+
+    /// Runs to completion without observation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MaxRoundsExceeded`] if any node is still running at the
+    /// configured limit; [`SimError::WireMismatch`] if wire checking is on
+    /// and a message fails to decode.
+    pub fn run(self) -> Result<RunReport<P::Output>, SimError> {
+        self.run_with_observer(&mut NullObserver)
+    }
+
+    /// Runs to completion, invoking `observer` after every round.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_observer(
+        mut self,
+        observer: &mut dyn Observer<P>,
+    ) -> Result<RunReport<P::Output>, SimError> {
+        let mut metrics = RunMetrics::default();
+        let mut round = 0usize;
+        loop {
+            if round >= self.config.max_rounds {
+                return Err(SimError::MaxRoundsExceeded { limit: self.config.max_rounds });
+            }
+            self.compute_phase(round);
+            metrics.rounds = round + 1;
+            observer.after_round(round, &self.nodes);
+            let round_stats = self.account_messages(round, &mut metrics)?;
+            if self.config.record_per_round {
+                metrics.per_round.push(round_stats);
+            }
+            if self.halted.iter().all(|&h| h) {
+                break;
+            }
+            self.delivery_phase(round);
+            round += 1;
+        }
+        metrics.max_node_messages = self.node_messages.iter().copied().max().unwrap_or(0);
+        let outputs = self.nodes.into_iter().map(P::finish).collect();
+        Ok(RunReport { outputs, metrics, node_messages: self.node_messages })
+    }
+
+    /// Calls `on_round` on every running node, filling outboxes.
+    fn compute_phase(&mut self, round: usize) {
+        let threads = self.effective_threads();
+        let graph = self.graph;
+        let inboxes = &self.inboxes;
+        let n = self.nodes.len();
+        if threads <= 1 || n < 2 * threads {
+            Self::compute_range(
+                graph,
+                round,
+                0,
+                &mut self.nodes,
+                &mut self.rngs,
+                &mut self.halted,
+                &mut self.outboxes,
+                inboxes,
+            );
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let nodes = self.nodes.chunks_mut(chunk);
+        let rngs = self.rngs.chunks_mut(chunk);
+        let halted = self.halted.chunks_mut(chunk);
+        let outboxes = self.outboxes.chunks_mut(chunk);
+        crossbeam::thread::scope(|s| {
+            for (i, (((nc, rc), hc), oc)) in
+                nodes.zip(rngs).zip(halted).zip(outboxes).enumerate()
+            {
+                let base = i * chunk;
+                s.spawn(move |_| {
+                    Self::compute_range(graph, round, base, nc, rc, hc, oc, inboxes);
+                });
+            }
+        })
+        .expect("compute phase worker panicked");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_range(
+        graph: &CsrGraph,
+        round: usize,
+        base: usize,
+        nodes: &mut [P],
+        rngs: &mut [SmallRng],
+        halted: &mut [bool],
+        outboxes: &mut [Vec<Outbound<P::Msg>>],
+        inboxes: &[Vec<(u32, P::Msg)>],
+    ) {
+        for (j, node) in nodes.iter_mut().enumerate() {
+            if halted[j] {
+                continue;
+            }
+            let v = base + j;
+            let id = NodeId::new(v);
+            let mut ctx = Ctx {
+                node: id,
+                degree: graph.degree(id) as u32,
+                round,
+                inbox: &inboxes[v],
+                outbox: &mut outboxes[j],
+                rng: &mut rngs[j],
+            };
+            if node.on_round(&mut ctx) == Status::Halted {
+                halted[j] = true;
+            }
+        }
+    }
+
+    /// Charges every queued message to the metrics (sender side).
+    fn account_messages(
+        &mut self,
+        round: usize,
+        metrics: &mut RunMetrics,
+    ) -> Result<RoundMetrics, SimError> {
+        let mut stats = RoundMetrics::default();
+        for (v, outbox) in self.outboxes.iter().enumerate() {
+            let degree = self.graph.degree(NodeId::new(v)) as u64;
+            for out in outbox {
+                let (msg, copies) = match out {
+                    Outbound::Broadcast(m) => (m, degree),
+                    Outbound::Unicast { msg, .. } => (msg, 1),
+                };
+                let bits = msg.encoded_bits();
+                if self.config.check_wire {
+                    let mut w = BitWriter::new();
+                    msg.encode(&mut w);
+                    let bytes = w.into_bytes();
+                    if P::Msg::decode(&mut BitReader::new(&bytes)).is_none() {
+                        return Err(SimError::WireMismatch { round });
+                    }
+                }
+                stats.messages += copies;
+                stats.bits += bits as u64 * copies;
+                metrics.max_message_bits = metrics.max_message_bits.max(bits);
+                self.node_messages[v] += copies;
+            }
+        }
+        metrics.messages += stats.messages;
+        metrics.bits += stats.bits;
+        Ok(stats)
+    }
+
+    /// Receiver-driven delivery: moves outbox contents into next-round
+    /// inboxes, then swaps the buffers.
+    fn delivery_phase(&mut self, round: usize) {
+        let threads = self.effective_threads();
+        let graph = self.graph;
+        let outboxes = &self.outboxes;
+        let rev_ports = &self.rev_ports;
+        let halted = &self.halted;
+        let faults = self.config.faults;
+        let n = self.nodes.len();
+        if threads <= 1 || n < 2 * threads {
+            Self::deliver_range(
+                graph,
+                0,
+                &mut self.next_inboxes,
+                outboxes,
+                rev_ports,
+                halted,
+                faults,
+                round,
+            );
+        } else {
+            let chunk = n.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (i, inbox_chunk) in self.next_inboxes.chunks_mut(chunk).enumerate() {
+                    let base = i * chunk;
+                    s.spawn(move |_| {
+                        Self::deliver_range(
+                            graph, base, inbox_chunk, outboxes, rev_ports, halted, faults, round,
+                        );
+                    });
+                }
+            })
+            .expect("delivery phase worker panicked");
+        }
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        for outbox in &mut self.outboxes {
+            outbox.clear();
+        }
+        for inbox in &mut self.next_inboxes {
+            inbox.clear();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_range(
+        graph: &CsrGraph,
+        base: usize,
+        inboxes: &mut [Vec<(u32, P::Msg)>],
+        outboxes: &[Vec<Outbound<P::Msg>>],
+        rev_ports: &[Vec<u32>],
+        halted: &[bool],
+        faults: FaultPlan,
+        round: usize,
+    ) {
+        for (j, inbox) in inboxes.iter_mut().enumerate() {
+            let v = base + j;
+            if halted[v] {
+                continue; // a halted node never reads again
+            }
+            for (q, u) in graph.neighbors(NodeId::new(v)).enumerate() {
+                let back_port = rev_ports[v][q];
+                for (slot, out) in outboxes[u.index()].iter().enumerate() {
+                    let delivered = match out {
+                        Outbound::Broadcast(m) => Some(m),
+                        Outbound::Unicast { port, msg } if *port == back_port => Some(msg),
+                        Outbound::Unicast { .. } => None,
+                    };
+                    let Some(msg) = delivered else { continue };
+                    if faults.drops(round, u.raw(), v as u32, slot as u32) {
+                        continue;
+                    }
+                    inbox.push((q as u32, msg.clone()));
+                }
+            }
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BitReader, BitWriter};
+    use kw_graph::generators;
+
+    /// Each node floods the maximum id it has seen for `rounds` rounds.
+    struct MaxFlood {
+        best: u64,
+        rounds_left: usize,
+    }
+
+    impl Protocol for MaxFlood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            for (_, &m) in ctx.inbox().iter() {
+                self.best = self.best.max(m);
+            }
+            if self.rounds_left == 0 {
+                return Status::Halted;
+            }
+            self.rounds_left -= 1;
+            ctx.broadcast(self.best);
+            Status::Running
+        }
+
+        fn finish(self) -> u64 {
+            self.best
+        }
+    }
+
+    fn flood_report(
+        g: &CsrGraph,
+        rounds: usize,
+        config: EngineConfig,
+    ) -> RunReport<u64> {
+        Engine::new(g, config, |info| MaxFlood { best: info.id.raw() as u64, rounds_left: rounds })
+            .run()
+            .expect("flood terminates")
+    }
+
+    #[test]
+    fn flooding_converges_on_path_within_diameter_rounds() {
+        let g = generators::path(6);
+        let report = flood_report(&g, 5, EngineConfig::default());
+        assert!(report.outputs.iter().all(|&b| b == 5));
+        assert_eq!(report.metrics.rounds, 6);
+    }
+
+    #[test]
+    fn flooding_does_not_converge_before_diameter() {
+        let g = generators::path(6);
+        let report = flood_report(&g, 2, EngineConfig::default());
+        // Node 0 is 5 hops from node 5; after 2 rounds it cannot know 5.
+        assert!(report.outputs[0] < 5);
+    }
+
+    #[test]
+    fn message_counts_match_model() {
+        // Star with center 0 of degree 4: one broadcast round.
+        let g = generators::star(5);
+        let report = flood_report(&g, 1, EngineConfig::default());
+        // Every node broadcasts once: center sends 4, each leaf sends 1.
+        assert_eq!(report.metrics.messages, 8);
+        assert_eq!(report.node_messages, vec![4, 1, 1, 1, 1]);
+        assert_eq!(report.metrics.max_node_messages, 4);
+        assert!(report.metrics.bits > 0);
+        assert!(report.metrics.max_message_bits > 0);
+    }
+
+    #[test]
+    fn per_round_metrics_recorded_when_enabled() {
+        let g = generators::cycle(4);
+        let config = EngineConfig { record_per_round: true, ..Default::default() };
+        let report = flood_report(&g, 2, config);
+        assert_eq!(report.metrics.per_round.len(), report.metrics.rounds);
+        assert_eq!(
+            report.metrics.per_round.iter().map(|r| r.messages).sum::<u64>(),
+            report.metrics.messages
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(77);
+        let g = generators::gnp(120, 0.06, &mut rng);
+        let seq = flood_report(&g, 8, EngineConfig { threads: 1, ..Default::default() });
+        let par = flood_report(&g, 8, EngineConfig { threads: 4, ..Default::default() });
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.metrics, par.metrics);
+        assert_eq!(seq.node_messages, par.node_messages);
+    }
+
+    #[test]
+    fn max_rounds_enforced() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = bool;
+            type Output = ();
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, bool>) -> Status {
+                Status::Running
+            }
+            fn finish(self) {}
+        }
+        let g = generators::path(2);
+        let err = Engine::new(&g, EngineConfig { max_rounds: 10, ..Default::default() }, |_| Forever)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn unicast_reaches_only_target() {
+        /// Round 0: node 0 unicasts its id to port 0 only; everyone else
+        /// silent. Round 1: output = received count.
+        struct OnePing {
+            me: u32,
+            received: u64,
+        }
+        impl Protocol for OnePing {
+            type Msg = u64;
+            type Output = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                match ctx.round() {
+                    0 => {
+                        if self.me == 0 {
+                            ctx.send(0, 42);
+                        }
+                        Status::Running
+                    }
+                    _ => {
+                        self.received = ctx.inbox().len() as u64;
+                        Status::Halted
+                    }
+                }
+            }
+            fn finish(self) -> u64 {
+                self.received
+            }
+        }
+        // Triangle: node 0's port 0 is its smallest neighbor, node 1.
+        let g = generators::complete(3);
+        let report = Engine::new(&g, EngineConfig::default(), |info| OnePing {
+            me: info.id.raw(),
+            received: 0,
+        })
+        .run()
+        .unwrap();
+        assert_eq!(report.outputs, vec![0, 1, 0]);
+        assert_eq!(report.metrics.messages, 1);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let g = generators::cycle(5);
+        let mut seen = Vec::new();
+        let mut obs = |round: usize, nodes: &[MaxFlood]| {
+            seen.push((round, nodes.len()));
+        };
+        Engine::new(&g, EngineConfig::default(), |info| MaxFlood {
+            best: info.id.raw() as u64,
+            rounds_left: 3,
+        })
+        .run_with_observer(&mut obs)
+        .unwrap();
+        assert_eq!(seen, vec![(0, 5), (1, 5), (2, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn wire_check_catches_broken_encoding() {
+        #[derive(Clone)]
+        struct Broken;
+        impl crate::wire::WireEncode for Broken {
+            fn encode(&self, _w: &mut BitWriter) {}
+            fn decode(_r: &mut BitReader<'_>) -> Option<Self> {
+                None
+            }
+        }
+        struct Sender;
+        impl Protocol for Sender {
+            type Msg = Broken;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Broken>) -> Status {
+                ctx.broadcast(Broken);
+                Status::Halted
+            }
+            fn finish(self) {}
+        }
+        let g = generators::path(2);
+        let err = Engine::new(&g, EngineConfig { check_wire: true, ..Default::default() }, |_| Sender)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::WireMismatch { round: 0 });
+    }
+
+    #[test]
+    fn isolated_nodes_run_and_halt() {
+        let g = CsrGraph::empty(3);
+        let report = flood_report(&g, 2, EngineConfig::default());
+        assert_eq!(report.outputs, vec![0, 1, 2]);
+        assert_eq!(report.metrics.messages, 0);
+    }
+
+    #[test]
+    fn fault_plan_drops_deliveries_but_not_accounting() {
+        use crate::faults::FaultPlan;
+        // Star, one broadcast round from every node; with heavy loss the
+        // center receives fewer than its 4 messages, but sender-side
+        // metrics still count every copy.
+        let g = generators::star(5);
+        let lossy = EngineConfig {
+            faults: FaultPlan::drop_with_probability(0.8, 7),
+            ..Default::default()
+        };
+        let lossless = flood_report(&g, 1, EngineConfig::default());
+        let report = flood_report(&g, 1, lossy);
+        assert_eq!(report.metrics.messages, lossless.metrics.messages);
+        // Leaves learn the center's id only if its broadcast survived;
+        // with p=0.8 over 4+4 deliveries, some leaf should miss out for
+        // this seed. At minimum the run completes and stays deterministic.
+        let again = flood_report(&g, 1, lossy);
+        assert_eq!(report.outputs, again.outputs);
+    }
+
+    #[test]
+    fn fault_determinism_across_thread_counts() {
+        use crate::faults::FaultPlan;
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
+        let g = generators::gnp(150, 0.05, &mut rng);
+        let base = EngineConfig {
+            faults: FaultPlan::drop_with_probability(0.3, 11),
+            ..Default::default()
+        };
+        let seq = flood_report(&g, 6, EngineConfig { threads: 1, ..base });
+        let par = flood_report(&g, 6, EngineConfig { threads: 4, ..base });
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.metrics, par.metrics);
+    }
+
+    #[test]
+    fn deterministic_rng_streams() {
+        use rand::Rng;
+        struct Roll;
+        impl Protocol for Roll {
+            type Msg = bool;
+            type Output = u64;
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, bool>) -> Status {
+                Status::Halted
+            }
+            fn finish(self) -> u64 {
+                0
+            }
+        }
+        // Two engines with the same seed must hand nodes identical seeds.
+        let g = generators::path(4);
+        let mut seeds1 = Vec::new();
+        let _ = Engine::new(&g, EngineConfig::seeded(9), |info| {
+            seeds1.push(info.seed);
+            Roll
+        });
+        let mut seeds2 = Vec::new();
+        let _ = Engine::new(&g, EngineConfig::seeded(9), |info| {
+            seeds2.push(info.seed);
+            Roll
+        });
+        assert_eq!(seeds1, seeds2);
+        let mut rng = SmallRng::seed_from_u64(seeds1[0]);
+        let _: u64 = rng.gen();
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The protocol did not halt within the configured round budget.
+    ///
+    /// Every algorithm in this workspace has a known closed-form round
+    /// count, so hitting this indicates a protocol bug rather than a slow
+    /// run.
+    MaxRoundsExceeded {
+        /// The configured limit that was reached.
+        limit: usize,
+    },
+    /// A message failed to round-trip through its wire encoding (detected
+    /// when wire checking is enabled).
+    WireMismatch {
+        /// Round in which the corrupt message was sent.
+        round: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "protocol did not halt within {limit} rounds")
+            }
+            SimError::WireMismatch { round } => {
+                write!(f, "message wire encoding did not round-trip in round {round}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SimError::MaxRoundsExceeded { limit: 10 }.to_string(),
+            "protocol did not halt within 10 rounds"
+        );
+        assert!(SimError::WireMismatch { round: 3 }.to_string().contains("round 3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

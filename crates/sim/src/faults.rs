@@ -1,0 +1,120 @@
+//! Message-loss fault injection.
+//!
+//! The paper's synchronous model assumes reliable links; real ad-hoc
+//! networks do not. [`FaultPlan`] lets experiments measure how gracefully
+//! the algorithms degrade when each delivered message is independently
+//! dropped with a fixed probability (deterministically derived from the
+//! fault seed, so lossy runs are exactly reproducible).
+//!
+//! Losses are applied at *delivery* (receiver side): a broadcast may reach
+//! some neighbors and not others, matching radio-interference semantics.
+//! Metrics still charge the sender for every transmitted copy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::split_mix64;
+
+/// A deterministic message-loss model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that any individual delivered message copy is lost.
+    drop_probability: f64,
+    /// Seed of the loss process (independent of protocol randomness).
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// A reliable network (drops nothing).
+    pub fn reliable() -> Self {
+        FaultPlan { drop_probability: 0.0, seed: 0 }
+    }
+
+    /// Drops each delivered message copy independently with probability
+    /// `drop_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is not in `[0, 1)`.
+    pub fn drop_with_probability(drop_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_probability),
+            "drop probability {drop_probability} outside [0, 1)"
+        );
+        FaultPlan { drop_probability, seed }
+    }
+
+    /// The configured drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Whether this plan can drop messages at all.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_probability == 0.0
+    }
+
+    /// Decides the fate of one delivery, identified by `(round, sender,
+    /// receiver, slot)`. Deterministic in the plan seed and independent of
+    /// evaluation order, so results do not depend on thread count.
+    pub fn drops(&self, round: usize, sender: u32, receiver: u32, slot: u32) -> bool {
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        let key = split_mix64(
+            self.seed
+                ^ split_mix64((round as u64) << 32 | u64::from(slot))
+                ^ split_mix64(u64::from(sender) << 32 | u64::from(receiver)),
+        );
+        // Map the top 53 bits to [0, 1).
+        let unit = (key >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.drop_probability
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_never_drops() {
+        let p = FaultPlan::reliable();
+        assert!(p.is_reliable());
+        for r in 0..100 {
+            assert!(!p.drops(r, 0, 1, 0));
+        }
+    }
+
+    #[test]
+    fn drop_rate_close_to_nominal() {
+        let p = FaultPlan::drop_with_probability(0.3, 42);
+        let trials = 100_000;
+        let dropped = (0..trials)
+            .filter(|&i| p.drops(i % 97, (i % 13) as u32, (i % 31) as u32, (i / 97) as u32))
+            .count();
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = FaultPlan::drop_with_probability(0.5, 1);
+        let b = FaultPlan::drop_with_probability(0.5, 2);
+        let fate_a: Vec<bool> = (0..64).map(|i| a.drops(i, 1, 2, 0)).collect();
+        let fate_a2: Vec<bool> = (0..64).map(|i| a.drops(i, 1, 2, 0)).collect();
+        let fate_b: Vec<bool> = (0..64).map(|i| b.drops(i, 1, 2, 0)).collect();
+        assert_eq!(fate_a, fate_a2);
+        assert_ne!(fate_a, fate_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn validates_probability() {
+        FaultPlan::drop_with_probability(1.0, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-node message I/O surface.
+
+use rand::rngs::SmallRng;
+
+use kw_graph::NodeId;
+
+/// Outbound message queued by a node during a round.
+#[derive(Clone, Debug)]
+pub(crate) enum Outbound<M> {
+    /// Same payload to every neighbor (still counted as `degree` messages,
+    /// matching the paper's per-edge accounting).
+    Broadcast(M),
+    /// Payload to the neighbor on one port.
+    Unicast { port: u32, msg: M },
+}
+
+/// Messages received by a node this round, tagged with the receiving port.
+///
+/// Port `p` of node `v` identifies `v`'s `p`-th neighbor (in ascending id
+/// order, though protocols must not rely on the order meaning anything —
+/// the LOCAL model only guarantees stable port numbering).
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    pub(crate) items: &'a [(u32, M)],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Number of messages received.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no messages arrived.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(port, message)` pairs.
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter { inner: self.items.iter() }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (u32, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        InboxIter { inner: self.items.iter() }
+    }
+}
+
+/// Iterator over `(port, message)` pairs, created by [`Inbox::iter`].
+#[derive(Debug)]
+pub struct InboxIter<'a, M> {
+    inner: std::slice::Iter<'a, (u32, M)>,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (u32, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(p, m)| (*p, m))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+/// Everything a node may see and do during one round: its identity and
+/// degree, the inbox, the outbox, and a private RNG.
+///
+/// This is the *entire* interface between a [`Protocol`](crate::Protocol)
+/// and the world; node programs cannot observe the graph.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) degree: u32,
+    pub(crate) round: usize,
+    pub(crate) inbox: &'a [(u32, M)],
+    pub(crate) outbox: &'a mut Vec<Outbound<M>>,
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// This node's identifier.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's degree; valid ports are `0..degree`.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The current round index (0-based; round 0 has an empty inbox).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Messages delivered this round.
+    pub fn inbox(&self) -> Inbox<'_, M> {
+        Inbox { items: self.inbox }
+    }
+
+    /// The raw inbox slice, borrowed for the whole round rather than for
+    /// this call — lets protocols that embed other protocols keep reading
+    /// messages while queueing sends.
+    pub fn inbox_slice(&self) -> &'a [(u32, M)] {
+        self.inbox
+    }
+
+    /// Queues `msg` for delivery to every neighbor next round.
+    ///
+    /// Counts as `degree` individual messages in the run metrics, matching
+    /// the paper's model in which a node "sends a message to each of its
+    /// direct neighbors".
+    pub fn broadcast(&mut self, msg: M) {
+        if self.degree > 0 {
+            self.outbox.push(Outbound::Broadcast(msg));
+        }
+    }
+
+    /// Queues `msg` for delivery to the neighbor on `port` next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
+    pub fn send(&mut self, port: u32, msg: M) {
+        assert!(port < self.degree, "port {port} out of range for degree {}", self.degree);
+        self.outbox.push(Outbound::Unicast { port, msg });
+    }
+
+    /// Private per-node RNG, deterministically seeded from the run seed and
+    /// the node id.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx<'a>(
+        inbox: &'a [(u32, u64)],
+        outbox: &'a mut Vec<Outbound<u64>>,
+        rng: &'a mut SmallRng,
+    ) -> Ctx<'a, u64> {
+        Ctx { node: NodeId::new(0), degree: 2, round: 3, inbox, outbox, rng }
+    }
+
+    #[test]
+    fn accessors() {
+        let inbox = vec![(0u32, 7u64), (1, 9)];
+        let mut outbox = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let c = ctx(&inbox, &mut outbox, &mut rng);
+        assert_eq!(c.node(), NodeId::new(0));
+        assert_eq!(c.degree(), 2);
+        assert_eq!(c.round(), 3);
+        assert_eq!(c.inbox().len(), 2);
+        assert!(!c.inbox().is_empty());
+        let got: Vec<u64> = c.inbox().iter().map(|(_, &m)| m).collect();
+        assert_eq!(got, vec![7, 9]);
+    }
+
+    #[test]
+    fn send_and_broadcast_queue() {
+        let inbox = vec![];
+        let mut outbox = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut c = ctx(&inbox, &mut outbox, &mut rng);
+        c.broadcast(1);
+        c.send(1, 2);
+        assert_eq!(outbox.len(), 2);
+        assert!(matches!(outbox[0], Outbound::Broadcast(1)));
+        assert!(matches!(outbox[1], Outbound::Unicast { port: 1, msg: 2 }));
+    }
+
+    #[test]
+    fn broadcast_on_isolated_node_is_dropped() {
+        let inbox = vec![];
+        let mut outbox: Vec<Outbound<u64>> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut c = Ctx { node: NodeId::new(1), degree: 0, round: 0, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        c.broadcast(5);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_validates_port() {
+        let inbox = vec![];
+        let mut outbox = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        ctx(&inbox, &mut outbox, &mut rng).send(2, 0);
+    }
+}

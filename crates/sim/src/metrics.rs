@@ -1,0 +1,81 @@
+//! Run-level communication accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Communication counters for a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Point-to-point messages sent this round (a broadcast by a node of
+    /// degree `d` counts as `d` messages).
+    pub messages: u64,
+    /// Total encoded payload bits sent this round.
+    pub bits: u64,
+}
+
+/// Aggregated communication metrics for a completed run.
+///
+/// These validate the paper's complexity claims:
+/// `rounds` against Theorem 4 (`2k²`) / Theorem 5 (`4k² + O(k)`),
+/// `max_node_messages` against the `O(k²Δ)` per-node message bound, and
+/// `max_message_bits` against the `O(log Δ)` message-size bound.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of synchronous rounds executed (compute steps).
+    pub rounds: usize,
+    /// Total messages delivered over the run.
+    pub messages: u64,
+    /// Total payload bits over the run.
+    pub bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Maximum over nodes of the total number of messages that node sent.
+    pub max_node_messages: u64,
+    /// Per-round breakdown (empty unless trace recording was enabled).
+    pub per_round: Vec<RoundMetrics>,
+}
+
+impl RunMetrics {
+    /// Mean messages per round (0 if no rounds ran).
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean bits per message (0 if no messages were sent).
+    pub fn bits_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bits as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = RunMetrics {
+            rounds: 4,
+            messages: 8,
+            bits: 64,
+            max_message_bits: 16,
+            max_node_messages: 5,
+            per_round: vec![],
+        };
+        assert_eq!(m.messages_per_round(), 2.0);
+        assert_eq!(m.bits_per_message(), 8.0);
+    }
+
+    #[test]
+    fn zero_run_has_zero_rates() {
+        let m = RunMetrics::default();
+        assert_eq!(m.messages_per_round(), 0.0);
+        assert_eq!(m.bits_per_message(), 0.0);
+    }
+}

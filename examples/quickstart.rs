@@ -1,0 +1,67 @@
+//! Quickstart: run the Kuhn–Wattenhofer pipeline on a random network and
+//! compare it against the classical baselines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use kw_domset::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A sparse random network of 500 nodes.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = kw_graph::generators::gnp(500, 0.012, &mut rng);
+    println!("graph: n = {}, m = {}, Δ = {}", g.len(), g.num_edges(), g.max_degree());
+
+    // The paper's algorithm: Algorithm 3 (no global knowledge) followed by
+    // randomized rounding, k = 3.
+    let k = 3;
+    let outcome = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, 7)?;
+    assert!(outcome.dominating_set.is_dominating(&g));
+
+    // Baselines.
+    let greedy = kw_baselines::greedy::greedy_mds(&g);
+    let mis = kw_baselines::luby_mis::run_luby_mis(&g, 7)?;
+    let jrs = kw_baselines::jrs::run_jrs(&g, 7)?;
+    let lower = kw_lp::bounds::lemma1_bound(&g);
+
+    println!("\n{:<28} {:>8} {:>9} {:>12}", "algorithm", "|DS|", "rounds", "msgs");
+    println!("{:-<60}", "");
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        format!("Kuhn-Wattenhofer (k={k})"),
+        outcome.dominating_set.len(),
+        outcome.total_rounds(),
+        outcome.total_messages()
+    );
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        "JRS / LRG [11]",
+        jrs.set.len(),
+        jrs.metrics.rounds,
+        jrs.metrics.messages
+    );
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        "Luby MIS",
+        mis.set.len(),
+        mis.metrics.rounds,
+        mis.metrics.messages
+    );
+    println!("{:<28} {:>8} {:>9} {:>12}", "sequential greedy", greedy.len(), "-", "-");
+    println!("{:<28} {:>8} {:>9} {:>12}", "trivial (all nodes)", g.len(), 0, 0);
+    println!("\nLemma 1 lower bound on OPT: {lower:.1}");
+    println!(
+        "KW ratio vs lower bound: {:.2} (Theorem 6 bound: {:.1})",
+        outcome.dominating_set.len() as f64 / lower,
+        kw_core::math::theorem6_bound(k, g.max_degree())
+    );
+    println!(
+        "largest message: {} bits (O(log Δ) = O(log {}) claim)",
+        outcome.max_message_bits(),
+        g.max_degree()
+    );
+    Ok(())
+}

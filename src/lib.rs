@@ -1,0 +1,61 @@
+//! # kw-domset
+//!
+//! A full reproduction of **Kuhn & Wattenhofer, "Constant-time distributed
+//! dominating set approximation"** (PODC 2003; journal version *Distributed
+//! Computing* 17:303–310, 2005).
+//!
+//! The paper gives the first distributed algorithm that computes a
+//! non-trivial approximation of a minimum dominating set in a **constant**
+//! number of communication rounds: for any parameter `k`, an expected
+//! `O(k·Δ^{2/k}·log Δ)` approximation in `O(k²)` rounds, with messages of
+//! `O(log Δ)` bits.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] ([`kw_graph`]) — CSR graphs, topology generators,
+//!   dominating-set verification;
+//! * [`sim`] ([`kw_sim`]) — the synchronous LOCAL-model simulator;
+//! * [`lp`] ([`kw_lp`]) — simplex, `LP_MDS`/`DLP_MDS`, exact MDS, Lemma-1
+//!   bounds;
+//! * [`core`] ([`kw_core`]) — the paper's Algorithms 1–3, the weighted
+//!   variant, the end-to-end pipeline, and invariant instrumentation;
+//! * [`baselines`] ([`kw_baselines`]) — greedy, Jia–Rajaraman–Suel LRG,
+//!   Luby-style MIS, and trivial baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kw_domset::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // A random ad-hoc-style network.
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let g = kw_graph::generators::unit_disk(150, 0.15, &mut rng);
+//!
+//! // Run the paper's pipeline (Algorithm 3 + Algorithm 1) with k = 2.
+//! let outcome = Pipeline::new(PipelineConfig { k: 2, ..Default::default() }).run(&g, 42)?;
+//! assert!(outcome.dominating_set.is_dominating(&g));
+//!
+//! // Compare against the Lemma-1 lower bound.
+//! let lower = kw_lp::bounds::lemma1_bound(&g);
+//! assert!(outcome.dominating_set.len() as f64 >= lower - 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kw_baselines as baselines;
+pub use kw_core as core;
+pub use kw_graph as graph;
+pub use kw_lp as lp;
+pub use kw_sim as sim;
+
+/// The most common imports, for `use kw_domset::prelude::*`.
+pub mod prelude {
+    pub use kw_core::{Pipeline, PipelineConfig, PipelineOutcome};
+    pub use kw_graph::{
+        CsrGraph, DominatingSet, FractionalAssignment, GraphBuilder, NodeId, VertexWeights,
+    };
+    pub use kw_sim::{Engine, EngineConfig, RunMetrics};
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: the full pipeline against exact optima, LP
+//! optima, and baselines, across graph families.
+
+use kw_domset::prelude::*;
+use kw_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn families() -> Vec<(&'static str, kw_graph::CsrGraph)> {
+    let mut rng = SmallRng::seed_from_u64(1000);
+    vec![
+        ("gnp", generators::gnp(60, 0.1, &mut rng)),
+        ("udg", generators::unit_disk(60, 0.22, &mut rng)),
+        ("ba", generators::barabasi_albert(60, 2, &mut rng)),
+        ("grid", generators::grid(8, 8)),
+        ("tree", generators::balanced_tree(3, 3)),
+        ("cliques", generators::star_of_cliques(4, 7)),
+        ("star", generators::star(50)),
+        ("cycle", generators::cycle(48)),
+    ]
+}
+
+#[test]
+fn pipeline_dominates_every_family_and_k() {
+    for (name, g) in families() {
+        for k in 1..=4u32 {
+            for solver in
+                [kw_core::FractionalSolver::Alg2DeltaKnown, kw_core::FractionalSolver::Alg3]
+            {
+                let cfg = PipelineConfig { k, solver, ..Default::default() };
+                let out = kw_core::Pipeline::new(cfg).run(&g, 11).unwrap();
+                assert!(
+                    out.dominating_set.is_dominating(&g),
+                    "{name} k={k} solver={solver:?} not dominating"
+                );
+                assert!(out.fractional.is_feasible(&g), "{name} k={k} infeasible fractional");
+            }
+        }
+    }
+}
+
+#[test]
+fn fractional_stage_beats_its_paper_bound_against_exact_lp() {
+    for (name, g) in families() {
+        let lp = kw_lp::domset::solve_lp_mds(&g).unwrap();
+        for k in 1..=4u32 {
+            let a2 = kw_core::alg2::reference_alg2(&g, k).unwrap().objective();
+            let a3 = kw_core::alg3::reference_alg3(&g, k).unwrap().objective();
+            let b2 = kw_core::math::alg2_lp_bound(k, g.max_degree());
+            let b3 = kw_core::math::alg3_lp_bound(k, g.max_degree());
+            assert!(a2 <= b2 * lp.value + 1e-6, "{name}: alg2 k={k}: {a2} > {b2}·{}", lp.value);
+            assert!(a3 <= b3 * lp.value + 1e-6, "{name}: alg3 k={k}: {a3} > {b3}·{}", lp.value);
+        }
+    }
+}
+
+#[test]
+fn sandwich_inequalities_hold() {
+    // lemma1 ≤ LP_OPT ≤ IP_OPT ≤ greedy ≤ n, on exactly solvable sizes.
+    for (name, g) in families() {
+        if g.len() > 80 {
+            continue;
+        }
+        let lemma1 = kw_lp::bounds::lemma1_bound(&g);
+        let lp = kw_lp::domset::solve_lp_mds(&g).unwrap().value;
+        let ip = kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default())
+            .unwrap()
+            .len() as f64;
+        let greedy = kw_baselines::greedy::greedy_mds(&g).len() as f64;
+        assert!(lemma1 <= lp + 1e-6, "{name}: lemma1 {lemma1} > lp {lp}");
+        assert!(lp <= ip + 1e-6, "{name}: lp {lp} > ip {ip}");
+        assert!(ip <= greedy + 1e-6, "{name}: ip {ip} > greedy {greedy}");
+        assert!(greedy <= g.len() as f64);
+    }
+}
+
+#[test]
+fn every_algorithm_output_is_dominating() {
+    let mut rng = SmallRng::seed_from_u64(2000);
+    let g = generators::gnp(64, 0.1, &mut rng);
+    let seed = 3;
+    let outputs: Vec<(&str, DominatingSet)> = vec![
+        ("greedy", kw_baselines::greedy::greedy_mds(&g)),
+        ("luby", kw_baselines::luby_mis::run_luby_mis(&g, seed).unwrap().set),
+        ("jrs", kw_baselines::jrs::run_jrs(&g, seed).unwrap().set),
+        ("trivial", kw_baselines::trivial::all_nodes(&g)),
+        (
+            "kw",
+            kw_core::Pipeline::new(PipelineConfig::default()).run(&g, seed).unwrap().dominating_set,
+        ),
+        (
+            "exact",
+            kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default()).unwrap(),
+        ),
+    ];
+    let exact_size = outputs.last().unwrap().1.len();
+    for (name, ds) in &outputs {
+        assert!(ds.is_dominating(&g), "{name} not dominating");
+        assert!(ds.len() >= exact_size, "{name} beat the exact optimum?!");
+    }
+}
+
+#[test]
+fn lp_rounding_composition_matches_theorem3_shape() {
+    // Round the *exact* LP solution (α = 1): expect mean size within
+    // (1 + ln(Δ+1))·LP_OPT with slack.
+    let g = generators::grid(7, 7);
+    let lp = kw_lp::domset::solve_lp_mds(&g).unwrap();
+    let trials = 80;
+    let mut total = 0usize;
+    for seed in 0..trials {
+        let run = kw_core::rounding::run_rounding(
+            &g,
+            &lp.x,
+            kw_core::rounding::RoundingConfig::default(),
+            EngineConfig::seeded(seed),
+        )
+        .unwrap();
+        assert!(run.set.is_dominating(&g));
+        total += run.set.len();
+    }
+    let mean = total as f64 / trials as f64;
+    let bound = kw_core::math::rounding_bound(1.0, g.max_degree()) * lp.value;
+    assert!(mean <= bound * 1.1, "mean {mean} vs Theorem-3 bound {bound}");
+}
+
+#[test]
+fn weighted_pipeline_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(3000);
+    let g = generators::unit_disk(50, 0.25, &mut rng);
+    let costs: Vec<f64> = (0..50).map(|i| 1.0 + (i % 7) as f64).collect();
+    let w = VertexWeights::from_values(costs).unwrap();
+    let frac = kw_core::weighted::run_weighted_alg2(&g, &w, 3, EngineConfig::seeded(4)).unwrap();
+    assert!(frac.x.is_feasible(&g));
+    let lower = kw_lp::bounds::weighted_lemma1_bound(&g, &w);
+    assert!(frac.cost >= lower - 1e-9, "weighted objective below the dual bound");
+    let rounded = kw_core::rounding::run_rounding(
+        &g,
+        &frac.x,
+        kw_core::rounding::RoundingConfig::default(),
+        EngineConfig::seeded(5),
+    )
+    .unwrap();
+    assert!(rounded.set.is_dominating(&g));
+}
+
+#[test]
+fn readme_quickstart_snippet_works() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = kw_graph::generators::unit_disk(150, 0.15, &mut rng);
+    let outcome = Pipeline::new(PipelineConfig { k: 2, ..Default::default() })
+        .run(&g, 42)
+        .expect("pipeline runs");
+    assert!(outcome.dominating_set.is_dominating(&g));
+    let lower = kw_lp::bounds::lemma1_bound(&g);
+    assert!(outcome.dominating_set.len() as f64 >= lower - 1e-9);
+}
