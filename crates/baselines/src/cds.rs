@@ -95,8 +95,9 @@ pub fn connect(g: &CsrGraph, ds: &DominatingSet) -> DominatingSet {
     // Process each component independently.
     let num_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
     for c in 0..num_comp {
-        let Some(root) =
-            g.node_ids().find(|v| comp[v.index()] == c && out.contains(*v))
+        let Some(root) = g
+            .node_ids()
+            .find(|v| comp[v.index()] == c && out.contains(*v))
         else {
             continue; // component without members (empty component impossible: ds dominates)
         };
@@ -164,7 +165,12 @@ mod tests {
             assert!(cds.contains(v), "stitch must be a superset");
         }
         // Component-wise 3x bound implies the global one.
-        assert!(cds.len() <= 3 * ds.len().max(1), "{} > 3·{}", cds.len(), ds.len());
+        assert!(
+            cds.len() <= 3 * ds.len().max(1),
+            "{} > 3·{}",
+            cds.len(),
+            ds.len()
+        );
     }
 
     #[test]
@@ -181,8 +187,7 @@ mod tests {
     #[test]
     fn handles_disconnected_graphs() {
         // Two separate paths.
-        let g = CsrGraph::from_edges(10, [(0, 1), (1, 2), (2, 3), (5, 6), (6, 7), (7, 8)])
-            .unwrap();
+        let g = CsrGraph::from_edges(10, [(0, 1), (1, 2), (2, 3), (5, 6), (6, 7), (7, 8)]).unwrap();
         check(&g);
         // Isolated nodes only.
         check(&CsrGraph::empty(5));

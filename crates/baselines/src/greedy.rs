@@ -94,8 +94,10 @@ pub fn greedy_weighted_mds(g: &CsrGraph, weights: &VertexWeights) -> DominatingS
             if ds.contains(v) {
                 continue;
             }
-            let span =
-                g.closed_neighbors(v).filter(|u| !covered.contains(u.index())).count();
+            let span = g
+                .closed_neighbors(v)
+                .filter(|u| !covered.contains(u.index()))
+                .count();
             if span == 0 {
                 continue;
             }

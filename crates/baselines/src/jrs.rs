@@ -126,8 +126,7 @@ impl JrsProtocol {
     }
 
     fn span(&self) -> u64 {
-        u64::from(!self.covered)
-            + self.covered_ports.iter().filter(|&&c| !c).count() as u64
+        u64::from(!self.covered) + self.covered_ports.iter().filter(|&&c| !c).count() as u64
     }
 }
 
@@ -270,8 +269,11 @@ pub struct JrsRun {
 /// ```
 pub fn run_jrs(g: &CsrGraph, seed: u64) -> Result<JrsRun, kw_sim::SimError> {
     let logn = (g.len().max(2)).ilog2() as usize + 1;
-    let config =
-        EngineConfig { seed, max_rounds: 6 * 200 * logn * logn, ..Default::default() };
+    let config = EngineConfig {
+        seed,
+        max_rounds: 6 * 200 * logn * logn,
+        ..Default::default()
+    };
     let report = Engine::new(g, config, |info| JrsProtocol::new(info.degree)).run()?;
     let mut set = DominatingSet::new(g);
     for (i, &joined) in report.outputs.iter().enumerate() {
@@ -279,7 +281,10 @@ pub fn run_jrs(g: &CsrGraph, seed: u64) -> Result<JrsRun, kw_sim::SimError> {
             set.add(NodeId::new(i));
         }
     }
-    Ok(JrsRun { set, metrics: report.metrics })
+    Ok(JrsRun {
+        set,
+        metrics: report.metrics,
+    })
 }
 
 #[cfg(test)]
@@ -337,15 +342,20 @@ mod tests {
         // find a tiny set (center, possibly plus the odd leaf).
         let g = generators::star(40);
         let run = run_jrs(&g, 1).unwrap();
-        assert!(run.set.len() <= 3, "LRG picked {} nodes on a star", run.set.len());
+        assert!(
+            run.set.len() <= 3,
+            "LRG picked {} nodes on a star",
+            run.set.len()
+        );
     }
 
     #[test]
     fn quality_close_to_log_delta_on_random_graphs() {
         let mut rng = SmallRng::seed_from_u64(5);
         let g = generators::gnp(80, 0.08, &mut rng);
-        let opt =
-            kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default()).unwrap().len();
+        let opt = kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default())
+            .unwrap()
+            .len();
         let mut total = 0usize;
         let trials = 10;
         for seed in 0..trials {
@@ -366,7 +376,11 @@ mod tests {
         let run = run_jrs(&g, 2).unwrap();
         assert!(run.set.is_dominating(&g));
         // log2(400) ≈ 8.6, log2(Δ) small; generous polylog budget.
-        assert!(run.metrics.rounds <= 6 * 120, "{} rounds", run.metrics.rounds);
+        assert!(
+            run.metrics.rounds <= 6 * 120,
+            "{} rounds",
+            run.metrics.rounds
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!
 //! All distributed baselines run on the same [`kw_sim`] engine as the
 //! paper's algorithms, so round and message counts are directly
-//! comparable.
+//! comparable — and every baseline is also exposed through the unified
+//! [`kw_core::solver::DsSolver`] trait via [`solvers`], whose
+//! [`solvers::registry`] is the full default solver registry
+//! (paper pipeline + all baselines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +28,7 @@ pub mod cds;
 pub mod greedy;
 pub mod jrs;
 pub mod luby_mis;
+pub mod solvers;
 pub mod trivial;
+
+pub use solvers::{register_baselines, registry};

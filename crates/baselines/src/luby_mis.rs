@@ -69,7 +69,11 @@ pub struct LubyProtocol {
 impl LubyProtocol {
     /// Creates the program for one node.
     pub fn new(id: NodeId) -> Self {
-        LubyProtocol { id: id.raw(), in_mis: false, ticket: 0 }
+        LubyProtocol {
+            id: id.raw(),
+            in_mis: false,
+            ticket: 0,
+        }
     }
 }
 
@@ -84,7 +88,10 @@ impl Protocol for LubyProtocol {
                 return Status::Halted;
             }
             self.ticket = ctx.rng().gen();
-            ctx.broadcast(MisMsg::Ticket { value: self.ticket, id: self.id });
+            ctx.broadcast(MisMsg::Ticket {
+                value: self.ticket,
+                id: self.id,
+            });
             Status::Running
         } else {
             let smallest = ctx.inbox().iter().all(|(_, m)| match m {
@@ -135,7 +142,11 @@ pub struct MisRun {
 /// ```
 pub fn run_luby_mis(g: &CsrGraph, seed: u64) -> Result<MisRun, kw_sim::SimError> {
     let budget = 128 * ((g.len().max(2)).ilog2() as usize + 1);
-    let config = EngineConfig { seed, max_rounds: budget, ..Default::default() };
+    let config = EngineConfig {
+        seed,
+        max_rounds: budget,
+        ..Default::default()
+    };
     let report = Engine::new(g, config, |info| LubyProtocol::new(info.id)).run()?;
     let mut set = DominatingSet::new(g);
     for (i, &in_mis) in report.outputs.iter().enumerate() {
@@ -143,7 +154,10 @@ pub fn run_luby_mis(g: &CsrGraph, seed: u64) -> Result<MisRun, kw_sim::SimError>
             set.add(NodeId::new(i));
         }
     }
-    Ok(MisRun { set, metrics: report.metrics })
+    Ok(MisRun {
+        set,
+        metrics: report.metrics,
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +181,13 @@ mod tests {
 
     #[test]
     fn message_roundtrip() {
-        for m in [MisMsg::Ticket { value: u64::MAX, id: 3 }, MisMsg::Joined] {
+        for m in [
+            MisMsg::Ticket {
+                value: u64::MAX,
+                id: 3,
+            },
+            MisMsg::Joined,
+        ] {
             assert_eq!(roundtrip(&m), Some(m.clone()));
         }
     }

@@ -38,7 +38,11 @@ mod tests {
 
     #[test]
     fn all_nodes_always_dominates() {
-        for g in [generators::path(6), generators::petersen(), CsrGraph::empty(4)] {
+        for g in [
+            generators::path(6),
+            generators::petersen(),
+            CsrGraph::empty(4),
+        ] {
             assert!(all_nodes(&g).is_dominating(&g));
         }
         assert!(all_nodes(&CsrGraph::empty(0)).is_dominating(&CsrGraph::empty(0)));

@@ -1,10 +1,14 @@
 //! Wall-clock scaling of the paper's algorithms (T1/T2/T5 runtime
-//! companion): Algorithm 2, Algorithm 3, rounding, and the full pipeline
-//! across graph sizes.
+//! companion): the `alg2` and `kw` solvers, the rounding stage, and the
+//! full default pipeline across graph sizes.
+//!
+//! Solvers are constructed once from the registry and driven through the
+//! `DsSolver` trait; certificates are disabled so the timings measure the
+//! algorithms, not verification.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kw_core::rounding::{run_rounding, RoundingConfig};
-use kw_core::{Pipeline, PipelineConfig};
+use kw_core::solver::{DsSolver, SolveContext, SolverRegistry};
 use kw_graph::{generators, FractionalAssignment};
 use kw_sim::EngineConfig;
 use rand::rngs::SmallRng;
@@ -18,44 +22,43 @@ fn graphs() -> Vec<(usize, kw_graph::CsrGraph)> {
         .collect()
 }
 
-fn bench_alg2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg2_k3");
+fn bench_ctx() -> SolveContext {
+    SolveContext {
+        check_certificates: false,
+        ..SolveContext::seeded(5)
+    }
+}
+
+fn bench_solver(c: &mut Criterion, group_name: &str, spec: &str, ctx: SolveContext) {
+    let solver = SolverRegistry::with_core_solvers()
+        .build(spec)
+        .expect("spec registered");
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for (n, g) in graphs() {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_core::alg2::run_alg2(g, 3, EngineConfig::default()).unwrap())
+            b.iter(|| solver.solve(g, &ctx).unwrap())
         });
     }
     group.finish();
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    bench_solver(c, "solver_alg2_k3", "alg2:k=3", bench_ctx());
 }
 
 fn bench_alg3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg3_k3");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, g) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_core::alg3::run_alg3(g, 3, EngineConfig::default()).unwrap())
-        });
-    }
-    group.finish();
+    bench_solver(c, "solver_kw_k3", "kw:k=3", bench_ctx());
 }
 
 fn bench_alg3_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg3_k3_threads4");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, g) in graphs() {
-        let cfg = EngineConfig { threads: 4, ..Default::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_core::alg3::run_alg3(g, 3, cfg).unwrap())
-        });
-    }
-    group.finish();
+    let ctx = SolveContext {
+        threads: 4,
+        ..bench_ctx()
+    };
+    bench_solver(c, "solver_kw_k3_threads4", "kw:k=3", ctx);
 }
 
 fn bench_rounding(c: &mut Criterion) {
@@ -75,16 +78,7 @@ fn bench_rounding(c: &mut Criterion) {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_k2");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, g) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| Pipeline::new(PipelineConfig::default()).run(g, 5).unwrap())
-        });
-    }
-    group.finish();
+    bench_solver(c, "solver_kw_k2", "kw:k=2", bench_ctx());
 }
 
 criterion_group!(

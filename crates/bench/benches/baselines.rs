@@ -1,7 +1,8 @@
 //! Wall-clock scaling of the baselines (T5 runtime companion): greedy,
-//! Luby MIS, and JRS/LRG.
+//! Luby MIS, and JRS/LRG, each driven through the `DsSolver` trait.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_core::solver::{DsSolver, SolveContext};
 use kw_graph::generators;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -14,43 +15,36 @@ fn graphs() -> Vec<(usize, kw_graph::CsrGraph)> {
         .collect()
 }
 
-fn bench_greedy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy");
+fn bench_baseline(c: &mut Criterion, group_name: &str, spec: &str) {
+    let solver = kw_baselines::registry()
+        .build(spec)
+        .expect("spec registered");
+    let ctx = SolveContext {
+        check_certificates: false,
+        ..SolveContext::seeded(7)
+    };
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for (n, g) in graphs() {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_baselines::greedy::greedy_mds(g))
+            b.iter(|| solver.solve(g, &ctx).unwrap())
         });
     }
     group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    bench_baseline(c, "greedy", "greedy");
 }
 
 fn bench_luby(c: &mut Criterion) {
-    let mut group = c.benchmark_group("luby_mis");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, g) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_baselines::luby_mis::run_luby_mis(g, 7).unwrap())
-        });
-    }
-    group.finish();
+    bench_baseline(c, "luby_mis", "luby-mis");
 }
 
 fn bench_jrs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jrs_lrg");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, g) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| kw_baselines::jrs::run_jrs(g, 7).unwrap())
-        });
-    }
-    group.finish();
+    bench_baseline(c, "jrs_lrg", "jrs");
 }
 
 criterion_group!(benches, bench_greedy, bench_luby, bench_jrs);

@@ -109,13 +109,18 @@ fn bench_engine_rounds(c: &mut Criterion) {
     for n in [1000usize, 4000] {
         let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
         for threads in [1usize, 4] {
-            let cfg = EngineConfig { threads, ..Default::default() };
+            let cfg = EngineConfig {
+                threads,
+                ..Default::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("threads{threads}"), n),
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        Engine::new(g, cfg, |_| Chatter { remaining: 20 }).run().unwrap()
+                        Engine::new(g, cfg, |_| Chatter { remaining: 20 })
+                            .run()
+                            .unwrap()
                     })
                 },
             );
@@ -124,5 +129,11 @@ fn bench_engine_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_exact, bench_generators, bench_engine_rounds);
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_exact,
+    bench_generators,
+    bench_engine_rounds
+);
 criterion_main!(benches);

@@ -17,12 +17,20 @@ fn main() {
     println!("A1 — rounding without the fallback (lines 5–6): coverage failures\n");
     let trials = 200u64;
     let mut table = Table::new([
-        "workload", "E[uncovered]", "bound Σ1/(δ¹+1)", "P(any uncovered)", "E|DS| no-fb", "E|DS| with-fb",
+        "workload",
+        "E[uncovered]",
+        "bound Σ1/(δ¹+1)",
+        "P(any uncovered)",
+        "E|DS| no-fb",
+        "E|DS| with-fb",
     ]);
     for w in small_suite() {
         let g = w.build(1);
         let lp = kw_lp::domset::solve_lp_mds(&g).expect("LP solvable");
-        let no_fb = RoundingConfig { skip_fallback: true, ..Default::default() };
+        let no_fb = RoundingConfig {
+            skip_fallback: true,
+            ..Default::default()
+        };
         let with_fb = RoundingConfig::default();
         let mut uncovered = Vec::new();
         let mut failures = 0u64;

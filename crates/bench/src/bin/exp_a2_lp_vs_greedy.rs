@@ -8,63 +8,74 @@
 //! compares set sizes: as n grows, JRS's round bill grows while KW's
 //! fixed-k quality is unchanged — the crossover the paper's motivation
 //! predicts for large, fast-changing networks.
+//!
+//! Both contenders run through the `DsSolver` trait.
 
 use kw_bench::denominators::best_denominator;
-use kw_bench::stats;
 use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
-use kw_core::{math, Pipeline, PipelineConfig};
+use kw_core::math;
+use kw_core::solver::{ExperimentRunner, SolverRegistry};
 
 fn main() {
     println!("A2 — LP-relaxation (KW) vs greedy parallelization (JRS) at equal rounds\n");
+    let registry = {
+        let mut r = SolverRegistry::with_core_solvers();
+        kw_baselines::register_baselines(&mut r);
+        r
+    };
     let suite = [
         Workload::Gnp { n: 128, p: 0.06 },
         Workload::Gnp { n: 512, p: 0.02 },
         Workload::Gnp { n: 2048, p: 0.006 },
         Workload::Gnp { n: 8192, p: 0.0017 },
-        Workload::UnitDisk { n: 1024, radius: 0.05 },
+        Workload::UnitDisk {
+            n: 1024,
+            radius: 0.05,
+        },
     ];
     let seeds = 6u64;
+    let runner = ExperimentRunner::new();
     let mut table = Table::new([
-        "workload", "n", "JRS rounds", "JRS E|DS|", "k fitting budget", "KW rounds", "KW E|DS|",
-        "KW/JRS size", "denom kind",
+        "workload",
+        "n",
+        "JRS rounds",
+        "JRS E|DS|",
+        "k fitting budget",
+        "KW rounds",
+        "KW E|DS|",
+        "KW/JRS size",
+        "denom kind",
     ]);
     for w in suite {
         let g = w.build(9);
         let denom = best_denominator(&g, 0, 256);
-        let mut jrs_sizes = Vec::new();
-        let mut jrs_rounds = Vec::new();
-        for seed in 0..seeds {
-            let run = kw_baselines::jrs::run_jrs(&g, seed).expect("jrs runs");
-            assert!(run.set.is_dominating(&g));
-            jrs_sizes.push(run.set.len() as f64);
-            jrs_rounds.push(run.metrics.rounds as f64);
-        }
-        let budget = stats::mean(&jrs_rounds) as usize;
+        let workloads = vec![(w.label(), g)];
+        let jrs = registry.build("jrs").expect("jrs registered");
+        let jrs_cell = &runner
+            .run_matrix(std::slice::from_ref(&jrs), &workloads, 0..seeds)
+            .expect("jrs sweep")[0];
+        assert_eq!(jrs_cell.failures, 0);
+        let budget = jrs_cell.rounds.mean as usize;
         // Largest k whose pipeline (4k² + 2k + 2 rounds) fits the budget.
         let k = (1u32..=32)
             .take_while(|&k| math::alg3_rounds(k) + 2 <= budget)
             .last()
             .unwrap_or(1);
-        let mut kw_sizes = Vec::new();
-        let mut kw_rounds = 0usize;
-        for seed in 0..seeds {
-            let out = Pipeline::new(PipelineConfig { k, ..Default::default() })
-                .run(&g, seed)
-                .expect("pipeline runs");
-            assert!(out.dominating_set.is_dominating(&g));
-            kw_sizes.push(out.dominating_set.len() as f64);
-            kw_rounds = out.total_rounds();
-        }
+        let kw = registry.build(&format!("kw:k={k}")).expect("kw registered");
+        let kw_cell = &runner
+            .run_matrix(std::slice::from_ref(&kw), &workloads, 0..seeds)
+            .expect("kw sweep")[0];
+        assert_eq!(kw_cell.failures, 0);
         table.row([
             w.label(),
-            g.len().to_string(),
+            kw_cell.n.to_string(),
             format!("{budget}"),
-            format!("{:.1}", stats::mean(&jrs_sizes)),
+            format!("{:.1}", jrs_cell.size.mean),
             k.to_string(),
-            kw_rounds.to_string(),
-            format!("{:.1}", stats::mean(&kw_sizes)),
-            format!("{:.2}", stats::mean(&kw_sizes) / stats::mean(&jrs_sizes)),
+            format!("{:.0}", kw_cell.rounds.max),
+            format!("{:.1}", kw_cell.size.mean),
+            format!("{:.2}", kw_cell.size.mean / jrs_cell.size.mean),
             denom.kind.label().to_string(),
         ]);
     }

@@ -11,10 +11,14 @@
 //! only needs the final membership exchanges to decide locally.
 //! Domination can only fail if a node misses *every* membership
 //! announcement while some neighbor joined — measured below.
+//!
+//! The fault model rides in through `SolveContext::faults`, so the run
+//! goes through the same `DsSolver` trait as every reliable experiment;
+//! the certificate reports whether domination survived.
 
 use kw_bench::stats;
 use kw_bench::table::Table;
-use kw_core::{Pipeline, PipelineConfig};
+use kw_core::solver::{SolveContext, SolverRegistry};
 use kw_graph::generators;
 use kw_sim::FaultPlan;
 use rand::rngs::SmallRng;
@@ -25,10 +29,22 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(30);
     let g = generators::unit_disk(300, 0.1, &mut rng);
     let lower = kw_lp::bounds::lemma1_bound(&g);
-    println!("graph: n = {}, Δ = {}, Lemma-1 bound {lower:.1}\n", g.len(), g.max_degree());
+    println!(
+        "graph: n = {}, Δ = {}, Lemma-1 bound {lower:.1}\n",
+        g.len(),
+        g.max_degree()
+    );
+    let solver = SolverRegistry::with_core_solvers()
+        .build("kw:k=3")
+        .expect("kw registered");
     let seeds = 20u64;
     let mut table = Table::new([
-        "drop p", "E|DS|", "E|DS|/lemma1", "frac Σx", "P(dominating)", "E[uncovered]",
+        "drop p",
+        "E|DS|",
+        "E|DS|/lemma1",
+        "frac Σx",
+        "P(dominating)",
+        "E[uncovered]",
     ]);
     for drop in [0.0f64, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let mut sizes = Vec::new();
@@ -36,17 +52,25 @@ fn main() {
         let mut dominating = 0u64;
         let mut uncovered = Vec::new();
         for seed in 0..seeds {
-            let mut config = PipelineConfig { k: 3, ..Default::default() };
-            config.threads = 1;
-            let pipeline = Pipeline::new(config);
-            let out = pipeline
-                .run_with_faults(&g, seed, FaultPlan::drop_with_probability(drop, seed ^ 0xfa))
-                .expect("pipeline runs");
-            sizes.push(out.dominating_set.len() as f64);
-            fracs.push(out.fractional.objective());
-            let miss = out.dominating_set.undominated(&g).len();
+            let ctx = SolveContext {
+                seed,
+                faults: FaultPlan::drop_with_probability(drop, seed ^ 0xfa),
+                ..SolveContext::default()
+            };
+            let report = solver.solve(&g, &ctx).expect("pipeline runs");
+            sizes.push(report.size() as f64);
+            fracs.push(
+                report
+                    .fractional
+                    .as_ref()
+                    .expect("fractional stage")
+                    .objective(),
+            );
+            let miss = report.dominating_set.undominated(&g).len();
             uncovered.push(miss as f64);
-            dominating += u64::from(miss == 0);
+            let cert = report.certificate.expect("certificates default on");
+            assert_eq!(cert.dominates, miss == 0);
+            dominating += u64::from(cert.dominates);
         }
         table.row([
             format!("{drop:.2}"),

@@ -16,17 +16,26 @@ fn main() {
     let k = 4;
     println!("F1 — Figure 1: the covering cascade at k = {k}\n");
     for (name, w) in [
-        ("two-scale hub graph", Workload::StarOfCliques { cliques: 6, clique_size: 24 }),
+        (
+            "two-scale hub graph",
+            Workload::StarOfCliques {
+                cliques: 6,
+                clique_size: 24,
+            },
+        ),
         ("random G(n,p)", Workload::Gnp { n: 256, p: 0.06 }),
     ] {
         let g = w.build(4);
         println!("== {name}: {} (Δ = {}) ==\n", w.label(), g.max_degree());
-        let (run, report) =
-            run_alg2_checked(&g, k, EngineConfig::default()).expect("alg2 runs");
+        let (run, report) = run_alg2_checked(&g, k, EngineConfig::default()).expect("alg2 runs");
         assert!(run.x.is_feasible(&g));
         println!("Algorithm 2 cascade:");
         println!("{}", report.cascade);
-        assert!(report.is_clean(), "invariants violated: {:?}", report.violations);
+        assert!(
+            report.is_clean(),
+            "invariants violated: {:?}",
+            report.violations
+        );
         for step in &report.cascade.steps {
             assert!(
                 step.max_a as f64 <= step.a_bound + 1e-6,
@@ -35,12 +44,17 @@ fn main() {
                 step.m
             );
         }
-        let (run3, report3) =
-            run_alg3_checked(&g, k, EngineConfig::default()).expect("alg3 runs");
+        let (run3, report3) = run_alg3_checked(&g, k, EngineConfig::default()).expect("alg3 runs");
         assert!(run3.x.is_feasible(&g));
         println!("Algorithm 3 cascade:");
         println!("{}", report3.cascade);
-        assert!(report3.is_clean(), "invariants violated: {:?}", report3.violations);
+        assert!(
+            report3.is_clean(),
+            "invariants violated: {:?}",
+            report3.violations
+        );
     }
-    println!("PASS: max a(v) ≤ (Δ+1)^((m+1)/k) at every step (Lemmas 3/6) — the Figure-1 staircase.");
+    println!(
+        "PASS: max a(v) ≤ (Δ+1)^((m+1)/k) at every step (Lemmas 3/6) — the Figure-1 staircase."
+    );
 }

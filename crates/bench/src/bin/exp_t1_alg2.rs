@@ -5,25 +5,46 @@
 //! exactly `2k²` rounds. Columns: measured ratio vs the bound (the ratio
 //! must be ≤ bound everywhere; the *shape* — improving with k, degrading
 //! with Δ — is the reproduction target).
+//!
+//! Runs through the `DsSolver` trait: the `alg2:k=K` solver's report
+//! carries the fractional stage's solution and metrics.
 
 use kw_bench::table::Table;
 use kw_bench::workloads::small_suite;
-use kw_core::alg2::run_alg2;
 use kw_core::math;
-use kw_sim::EngineConfig;
+use kw_core::solver::{SolveContext, SolverRegistry};
 
 fn main() {
     println!("T1 — Theorem 4: Algorithm 2 (Δ known), LP approximation ratio & rounds\n");
+    let registry = SolverRegistry::with_core_solvers();
     let mut table = Table::new([
-        "workload", "n", "Δ", "LP_OPT", "k", "Σx", "ratio", "bound k(Δ+1)^2/k", "rounds", "2k²",
+        "workload",
+        "n",
+        "Δ",
+        "LP_OPT",
+        "k",
+        "Σx",
+        "ratio",
+        "bound k(Δ+1)^2/k",
+        "rounds",
+        "2k²",
     ]);
     for w in small_suite() {
         let g = w.build(1);
         let lp = kw_lp::domset::solve_lp_mds(&g).expect("LP solvable at suite sizes");
         for k in [1u32, 2, 3, 4, 6, 8] {
-            let run = run_alg2(&g, k, EngineConfig::default()).expect("alg2 runs");
-            assert!(run.x.is_feasible(&g), "infeasible output");
-            let val = run.x.objective();
+            let solver = registry
+                .build(&format!("alg2:k={k}"))
+                .expect("alg2 registered");
+            let report = solver
+                .solve(&g, &SolveContext::seeded(0))
+                .expect("alg2 runs");
+            let x = report
+                .fractional
+                .as_ref()
+                .expect("pipeline exposes the fractional stage");
+            assert!(x.is_feasible(&g), "infeasible output");
+            let val = x.objective();
             let ratio = val / lp.value;
             let bound = math::alg2_lp_bound(k, g.max_degree());
             assert!(ratio <= bound + 1e-6, "bound violated: {ratio} > {bound}");
@@ -36,7 +57,7 @@ fn main() {
                 format!("{val:.2}"),
                 format!("{ratio:.3}"),
                 format!("{bound:.1}"),
-                run.metrics.rounds.to_string(),
+                report.stages[0].metrics.rounds.to_string(),
                 math::alg2_rounds(k).to_string(),
             ]);
         }

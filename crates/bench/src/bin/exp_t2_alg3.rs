@@ -1,15 +1,19 @@
 //! Experiment T2 (Theorem 5): Algorithm 3's (Δ unknown) LP approximation
 //! ratio and round count, plus the price of not knowing Δ (column
 //! `vs alg2` = Σx_alg3 / Σx_alg2).
+//!
+//! Runs through the `DsSolver` trait: the `kw:k=K` solver's report
+//! carries Algorithm 3's fractional solution and stage metrics; the
+//! `vs alg2` column uses the centralized Algorithm 2 reference oracle.
 
 use kw_bench::table::Table;
 use kw_bench::workloads::small_suite;
-use kw_core::alg3::run_alg3;
+use kw_core::solver::{SolveContext, SolverRegistry};
 use kw_core::{alg2, math};
-use kw_sim::EngineConfig;
 
 fn main() {
     println!("T2 — Theorem 5: Algorithm 3 (Δ unknown), LP approximation ratio & rounds\n");
+    let registry = SolverRegistry::with_core_solvers();
     let mut table = Table::new([
         "workload", "Δ", "k", "Σx", "ratio", "bound", "vs alg2", "rounds", "4k²+2k",
     ]);
@@ -17,9 +21,16 @@ fn main() {
         let g = w.build(1);
         let lp = kw_lp::domset::solve_lp_mds(&g).expect("LP solvable at suite sizes");
         for k in [1u32, 2, 3, 4, 6, 8] {
-            let run = run_alg3(&g, k, EngineConfig::default()).expect("alg3 runs");
-            assert!(run.x.is_feasible(&g), "infeasible output");
-            let val = run.x.objective();
+            let solver = registry.build(&format!("kw:k={k}")).expect("kw registered");
+            let report = solver
+                .solve(&g, &SolveContext::seeded(0))
+                .expect("alg3 runs");
+            let x = report
+                .fractional
+                .as_ref()
+                .expect("pipeline exposes the fractional stage");
+            assert!(x.is_feasible(&g), "infeasible output");
+            let val = x.objective();
             let a2 = alg2::reference_alg2_value(&g, k).expect("alg2 reference");
             let ratio = val / lp.value;
             let bound = math::alg3_lp_bound(k, g.max_degree());
@@ -32,7 +43,7 @@ fn main() {
                 format!("{ratio:.3}"),
                 format!("{bound:.1}"),
                 format!("{:.2}", val / a2),
-                run.metrics.rounds.to_string(),
+                report.stages[0].metrics.rounds.to_string(),
                 math::alg3_rounds(k).to_string(),
             ]);
         }

@@ -4,42 +4,58 @@
 //! Claims: each node sends `O(k²Δ)` messages of size `O(log Δ)` bits.
 //! Columns `msgs/node/(k²Δ)` and `maxbits/log₂Δ` should be bounded by a
 //! small constant across the sweep — that constancy *is* the reproduction.
+//!
+//! Runs the `kw:k=K` solver through the `DsSolver` trait and reads the
+//! fractional (Algorithm 3) stage's metrics from its report.
 
 use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
-use kw_core::alg3::run_alg3;
-use kw_sim::EngineConfig;
+use kw_core::solver::{SolveContext, SolverRegistry};
 
 fn main() {
     println!("T3 — Theorem 6: per-node message count O(k²Δ), message size O(log Δ)\n");
+    let registry = SolverRegistry::with_core_solvers();
     let sweeps = [
         Workload::Gnp { n: 256, p: 0.02 },
         Workload::Gnp { n: 256, p: 0.08 },
         Workload::Gnp { n: 256, p: 0.3 },
         Workload::BarabasiAlbert { n: 256, m: 4 },
-        Workload::UnitDisk { n: 256, radius: 0.12 },
+        Workload::UnitDisk {
+            n: 256,
+            radius: 0.12,
+        },
     ];
     let mut table = Table::new([
-        "workload", "Δ", "k", "rounds", "max msgs/node", "msgs/node/(k²Δ)", "max bits",
+        "workload",
+        "Δ",
+        "k",
+        "rounds",
+        "max msgs/node",
+        "msgs/node/(k²Δ)",
+        "max bits",
         "bits/log₂(Δ+1)",
     ]);
     for w in sweeps {
         let g = w.build(3);
         let delta = g.max_degree();
         for k in [1u32, 2, 4, 8] {
-            let run = run_alg3(&g, k, EngineConfig::default()).expect("alg3 runs");
-            let max_node = run.metrics.max_node_messages as f64;
+            let solver = registry.build(&format!("kw:k={k}")).expect("kw registered");
+            let report = solver
+                .solve(&g, &SolveContext::seeded(0))
+                .expect("alg3 runs");
+            let frac = &report.stages[0].metrics;
+            let max_node = frac.max_node_messages as f64;
             let norm = max_node / ((k * k) as f64 * delta as f64);
             let log_delta = ((delta + 1) as f64).log2();
             table.row([
                 w.label(),
                 delta.to_string(),
                 k.to_string(),
-                run.metrics.rounds.to_string(),
+                frac.rounds.to_string(),
                 format!("{max_node:.0}"),
                 format!("{norm:.2}"),
-                run.metrics.max_message_bits.to_string(),
-                format!("{:.2}", run.metrics.max_message_bits as f64 / log_delta),
+                frac.max_message_bits.to_string(),
+                format!("{:.2}", frac.max_message_bits as f64 / log_delta),
             ]);
         }
     }

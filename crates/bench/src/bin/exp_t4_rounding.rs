@@ -17,16 +17,24 @@ fn main() {
     println!("T4 — Theorem 3: rounding the exact LP optimum (α = 1), 200 seeds\n");
     let trials = 200u64;
     let mut table = Table::new([
-        "workload", "Δ", "denom", "mult", "E|DS|", "E|DS|/denom", "bound", "fallback%",
+        "workload",
+        "Δ",
+        "denom",
+        "mult",
+        "E|DS|",
+        "E|DS|/denom",
+        "bound",
+        "fallback%",
     ]);
     for w in small_suite() {
         let g = w.build(1);
         let lp = kw_lp::domset::solve_lp_mds(&g).expect("LP solvable at suite sizes");
         let denom = best_denominator(&g, 72, 400);
-        for (mult, name) in
-            [(Multiplier::Ln, "ln"), (Multiplier::LnMinusLnLn, "ln-lnln")]
-        {
-            let config = RoundingConfig { multiplier: mult, ..Default::default() };
+        for (mult, name) in [(Multiplier::Ln, "ln"), (Multiplier::LnMinusLnLn, "ln-lnln")] {
+            let config = RoundingConfig {
+                multiplier: mult,
+                ..Default::default()
+            };
             let mut sizes = Vec::new();
             let mut fallbacks = 0u64;
             for seed in 0..trials {
@@ -49,7 +57,10 @@ fn main() {
                 format!("{mean:.1}"),
                 format!("{:.2}", mean / denom.value),
                 format!("{bound:.2}"),
-                format!("{:.1}", 100.0 * fallbacks as f64 / (trials as f64 * g.len() as f64)),
+                format!(
+                    "{:.1}",
+                    100.0 * fallbacks as f64 / (trials as f64 * g.len() as f64)
+                ),
             ]);
         }
     }

@@ -5,12 +5,17 @@
 //! algorithm whose round count is **independent of n**; its set size lands
 //! between greedy/JRS (better quality, more rounds as n grows) and the
 //! trivial baseline, within the Theorem-6 factor of the lower bound.
+//!
+//! Every algorithm is driven through the unified `DsSolver` trait: the
+//! whole comparison is one `ExperimentRunner` matrix over registry specs.
 
-use kw_bench::denominators::best_denominator;
-use kw_bench::stats;
+use std::collections::HashMap;
+
+use kw_bench::denominators::{best_denominator, Denominator};
 use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
-use kw_core::{Pipeline, PipelineConfig};
+use kw_core::solver::ExperimentRunner;
+use kw_graph::CsrGraph;
 
 fn main() {
     println!("T5 — Theorem 6: end-to-end comparison (10 seeds per randomized algorithm)\n");
@@ -18,69 +23,62 @@ fn main() {
         Workload::Gnp { n: 128, p: 0.05 },
         Workload::Gnp { n: 512, p: 0.015 },
         Workload::Gnp { n: 2048, p: 0.004 },
-        Workload::UnitDisk { n: 512, radius: 0.07 },
+        Workload::UnitDisk {
+            n: 512,
+            radius: 0.07,
+        },
         Workload::BarabasiAlbert { n: 512, m: 3 },
         Workload::Grid { side: 23 },
     ];
-    let seeds = 10u64;
+    let workloads: Vec<(String, CsrGraph)> =
+        suite.iter().map(|w| (w.label(), w.build(2))).collect();
+    let denoms: HashMap<String, Denominator> = workloads
+        .iter()
+        .map(|(label, g)| (label.clone(), best_denominator(g, 64, 300)))
+        .collect();
+
+    let registry = kw_baselines::registry();
+    let solvers = registry
+        .build_all([
+            "kw:k=2", "kw:k=3", "kw:k=4", "jrs", "luby-mis", "greedy", "trivial",
+        ])
+        .expect("all specs registered");
+    let cells = ExperimentRunner::new()
+        .workers(0) // one worker per core; results are scheduling-independent
+        .run_matrix(&solvers, &workloads, 0..10)
+        .expect("matrix runs");
+
     let mut table = Table::new([
-        "workload", "n", "Δ", "denom", "algorithm", "E|DS|", "ratio", "rounds",
+        "workload",
+        "n",
+        "Δ",
+        "denom",
+        "algorithm",
+        "E|DS|",
+        "ratio",
+        "rounds",
     ]);
-    for w in suite {
-        let g = w.build(2);
-        let denom = best_denominator(&g, 64, 300);
-        let mut add = |alg: &str, size: f64, rounds: String| {
+    // Group rows by workload (cells arrive solver-major).
+    for (label, _) in &workloads {
+        for cell in cells.iter().filter(|c| &c.workload == label) {
+            assert_eq!(cell.failures, 0, "reliable network never fails to dominate");
+            let denom = &denoms[label];
+            let rounds = if cell.rounds.max == 0.0 {
+                "-".to_string() // centralized solvers: no synchronous rounds
+            } else {
+                format!("{:.0}", cell.rounds.mean)
+            };
             table.row([
-                w.label(),
-                g.len().to_string(),
-                g.max_degree().to_string(),
+                label.clone(),
+                cell.n.to_string(),
+                cell.max_degree.to_string(),
                 denom.kind.label().to_string(),
-                alg.to_string(),
-                format!("{size:.1}"),
-                format!("{:.2}", size / denom.value),
+                cell.solver.clone(),
+                format!("{:.1}", cell.size.mean),
+                format!("{:.2}", cell.size.mean / denom.value),
                 rounds,
             ]);
-        };
-        for k in [2u32, 3, 4] {
-            let mut sizes = Vec::new();
-            let mut rounds = 0usize;
-            for seed in 0..seeds {
-                let out = Pipeline::new(PipelineConfig { k, ..Default::default() })
-                    .run(&g, seed)
-                    .expect("pipeline runs");
-                assert!(out.dominating_set.is_dominating(&g));
-                sizes.push(out.dominating_set.len() as f64);
-                rounds = out.total_rounds();
-            }
-            add(&format!("KW k={k}"), stats::mean(&sizes), rounds.to_string());
         }
-        let mut jrs_sizes = Vec::new();
-        let mut jrs_rounds = Vec::new();
-        for seed in 0..seeds {
-            let run = kw_baselines::jrs::run_jrs(&g, seed).expect("jrs runs");
-            assert!(run.set.is_dominating(&g));
-            jrs_sizes.push(run.set.len() as f64);
-            jrs_rounds.push(run.metrics.rounds as f64);
-        }
-        add(
-            "JRS/LRG [11]",
-            stats::mean(&jrs_sizes),
-            format!("{:.0}", stats::mean(&jrs_rounds)),
-        );
-        let mut mis_sizes = Vec::new();
-        let mut mis_rounds = Vec::new();
-        for seed in 0..seeds {
-            let run = kw_baselines::luby_mis::run_luby_mis(&g, seed).expect("mis runs");
-            mis_sizes.push(run.set.len() as f64);
-            mis_rounds.push(run.metrics.rounds as f64);
-        }
-        add(
-            "Luby MIS",
-            stats::mean(&mis_sizes),
-            format!("{:.0}", stats::mean(&mis_rounds)),
-        );
-        add("greedy (seq)", kw_baselines::greedy::greedy_mds(&g).len() as f64, "-".into());
-        add("trivial", g.len() as f64, "0".into());
     }
     println!("{table}");
     println!("Shape checks: KW rounds are constant per k while JRS/MIS rounds grow with n;");

@@ -4,18 +4,28 @@
 //! Sweeps Δ via star-of-cliques size (Δ doubles per row) with
 //! `k = ⌈ln(Δ+2)⌉` and reports ratio / log²Δ and rounds / log²Δ — both
 //! must stay bounded by constants for the remark to hold.
+//!
+//! Runs the pipeline through the `DsSolver` trait (`kw:k=K` specs) with
+//! an `ExperimentRunner` sweep over seeds.
 
 use kw_bench::denominators::best_denominator;
-use kw_bench::stats;
 use kw_bench::table::Table;
-use kw_core::{math, Pipeline, PipelineConfig};
+use kw_core::math;
+use kw_core::solver::{ExperimentRunner, SolverRegistry};
 use kw_graph::generators;
 
 fn main() {
     println!("T7 — k = Θ(log Δ): O(log²Δ) ratio in O(log²Δ) rounds\n");
-    let seeds = 8u64;
+    let registry = SolverRegistry::with_core_solvers();
     let mut table = Table::new([
-        "Δ", "n", "k=⌈lnΔ⌉", "rounds", "rounds/log²Δ", "E|DS|", "ratio", "ratio/log²Δ",
+        "Δ",
+        "n",
+        "k=⌈lnΔ⌉",
+        "rounds",
+        "rounds/log²Δ",
+        "E|DS|",
+        "ratio",
+        "ratio/log²Δ",
     ]);
     for exp in 3..9u32 {
         let clique = 1usize << exp;
@@ -23,26 +33,23 @@ fn main() {
         let delta = g.max_degree();
         let k = math::log_delta_k(delta);
         let denom = best_denominator(&g, 0, 0); // Lemma 1 at scale
-        let mut sizes = Vec::new();
-        let mut rounds = 0usize;
-        for seed in 0..seeds {
-            let out = Pipeline::new(PipelineConfig { k, ..Default::default() })
-                .run(&g, seed)
-                .expect("pipeline runs");
-            assert!(out.dominating_set.is_dominating(&g));
-            sizes.push(out.dominating_set.len() as f64);
-            rounds = out.total_rounds();
-        }
-        let mean = stats::mean(&sizes);
+        let solver = registry.build(&format!("kw:k={k}")).expect("kw registered");
+        let workloads = vec![(format!("cliques(6x{clique})"), g.clone())];
+        let cells = ExperimentRunner::new()
+            .run_matrix(std::slice::from_ref(&solver), &workloads, 0..8)
+            .expect("sweep runs");
+        let cell = &cells[0];
+        assert_eq!(cell.failures, 0);
         let log2d = ((delta + 1) as f64).ln().powi(2);
-        let ratio = mean / denom.value;
+        let rounds = cell.rounds.max as usize;
+        let ratio = cell.size.mean / denom.value;
         table.row([
             delta.to_string(),
             g.len().to_string(),
             k.to_string(),
             rounds.to_string(),
             format!("{:.2}", rounds as f64 / log2d),
-            format!("{mean:.1}"),
+            format!("{:.1}", cell.size.mean),
             format!("{ratio:.2}"),
             format!("{:.3}", ratio / log2d),
         ]);

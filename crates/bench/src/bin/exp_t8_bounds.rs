@@ -15,7 +15,14 @@ use kw_lp::{bounds, domset};
 fn main() {
     println!("T8 — Lemma 1: lemma1 ≤ LP_OPT ≤ |DS_OPT| and the integrality gap\n");
     let mut table = Table::new([
-        "workload", "n", "Δ", "lemma1", "LP_OPT", "|DS_OPT|", "lemma1/LP", "gap IP/LP",
+        "workload",
+        "n",
+        "Δ",
+        "lemma1",
+        "LP_OPT",
+        "|DS_OPT|",
+        "lemma1/LP",
+        "gap IP/LP",
     ]);
     for w in small_suite() {
         let g = w.build(1);
@@ -26,9 +33,15 @@ fn main() {
         let lp = domset::solve_lp_mds(&g).expect("LP solvable").value;
         // Exact search can be expensive on high-girth instances; degrade
         // to LP-only rows rather than stalling the table.
-        let ip = solve_mds(&g, &ExactOptions { max_nodes: 128, search_budget: 30_000_000 })
-            .ok()
-            .map(|ds| ds.len() as f64);
+        let ip = solve_mds(
+            &g,
+            &ExactOptions {
+                max_nodes: 128,
+                search_budget: 30_000_000,
+            },
+        )
+        .ok()
+        .map(|ds| ds.len() as f64);
         assert!(lemma1 <= lp + 1e-6, "Lemma 1 violated: {lemma1} > {lp}");
         if let Some(ip) = ip {
             assert!(lp <= ip + 1e-6, "weak duality violated: {lp} > {ip}");

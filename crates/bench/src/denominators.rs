@@ -45,17 +45,31 @@ pub struct Denominator {
 /// Lemma 1 otherwise.
 pub fn best_denominator(g: &CsrGraph, exact_limit: usize, lp_limit: usize) -> Denominator {
     if g.len() <= exact_limit {
-        if let Ok(opt) = solve_mds(g, &ExactOptions { max_nodes: exact_limit, ..Default::default() })
-        {
-            return Denominator { value: opt.len() as f64, kind: DenominatorKind::Exact };
+        if let Ok(opt) = solve_mds(
+            g,
+            &ExactOptions {
+                max_nodes: exact_limit,
+                ..Default::default()
+            },
+        ) {
+            return Denominator {
+                value: opt.len() as f64,
+                kind: DenominatorKind::Exact,
+            };
         }
     }
     if g.len() <= lp_limit {
         if let Ok(lp) = kw_lp::domset::solve_lp_mds(g) {
-            return Denominator { value: lp.value, kind: DenominatorKind::LpOpt };
+            return Denominator {
+                value: lp.value,
+                kind: DenominatorKind::LpOpt,
+            };
         }
     }
-    Denominator { value: kw_lp::bounds::lemma1_bound(g), kind: DenominatorKind::Lemma1 }
+    Denominator {
+        value: kw_lp::bounds::lemma1_bound(g),
+        kind: DenominatorKind::Lemma1,
+    }
 }
 
 #[cfg(test)]

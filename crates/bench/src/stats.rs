@@ -1,45 +1,36 @@
 //! Small statistics helpers for experiment tables.
+//!
+//! Thin wrappers over [`kw_core::solver::SummaryStats`] — the same
+//! aggregation the `ExperimentRunner` reports — kept as free functions
+//! because table-building code reads better with `stats::mean(&xs)` than
+//! with a five-field struct.
+
+use kw_core::solver::SummaryStats;
 
 /// Mean of a sample (0 for an empty sample).
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
+    SummaryStats::from_samples(xs).mean
 }
 
 /// Unbiased sample standard deviation (0 for fewer than 2 points).
 pub fn std_dev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
+    let n = xs.len();
+    if n < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+    // SummaryStats reports the population deviation; rescale to the
+    // unbiased sample estimator the tables have always shown.
+    SummaryStats::from_samples(xs).std_dev * (n as f64 / (n - 1) as f64).sqrt()
 }
 
 /// Minimum (0 for an empty sample).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+    SummaryStats::from_samples(xs).min
 }
 
 /// Maximum (0 for an empty sample).
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
-}
-
-trait PipeFinite {
-    fn pipe_finite(self) -> f64;
-}
-
-impl PipeFinite for f64 {
-    fn pipe_finite(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
-        }
-    }
+    SummaryStats::from_samples(xs).max
 }
 
 #[cfg(test)]

@@ -65,9 +65,10 @@ impl Workload {
             Workload::BarabasiAlbert { n, m } => generators::barabasi_albert(n, m, &mut rng),
             Workload::Grid { side } => generators::grid(side, side),
             Workload::Tree { arity, depth } => generators::balanced_tree(arity, depth),
-            Workload::StarOfCliques { cliques, clique_size } => {
-                generators::star_of_cliques(cliques, clique_size)
-            }
+            Workload::StarOfCliques {
+                cliques,
+                clique_size,
+            } => generators::star_of_cliques(cliques, clique_size),
         }
     }
 
@@ -79,7 +80,10 @@ impl Workload {
             Workload::BarabasiAlbert { n, m } => format!("ba(n={n},m={m})"),
             Workload::Grid { side } => format!("grid({side}x{side})"),
             Workload::Tree { arity, depth } => format!("tree(b={arity},d={depth})"),
-            Workload::StarOfCliques { cliques, clique_size } => {
+            Workload::StarOfCliques {
+                cliques,
+                clique_size,
+            } => {
                 format!("cliques({cliques}x{clique_size})")
             }
         }
@@ -91,11 +95,17 @@ pub fn small_suite() -> Vec<Workload> {
     vec![
         Workload::Gnp { n: 64, p: 0.1 },
         Workload::Gnp { n: 128, p: 0.05 },
-        Workload::UnitDisk { n: 100, radius: 0.18 },
+        Workload::UnitDisk {
+            n: 100,
+            radius: 0.18,
+        },
         Workload::BarabasiAlbert { n: 100, m: 2 },
         Workload::Grid { side: 10 },
         Workload::Tree { arity: 3, depth: 4 },
-        Workload::StarOfCliques { cliques: 5, clique_size: 8 },
+        Workload::StarOfCliques {
+            cliques: 5,
+            clique_size: 8,
+        },
     ]
 }
 
@@ -104,7 +114,10 @@ pub fn large_suite() -> Vec<Workload> {
     vec![
         Workload::Gnp { n: 1024, p: 0.01 },
         Workload::Gnp { n: 4096, p: 0.003 },
-        Workload::UnitDisk { n: 2048, radius: 0.05 },
+        Workload::UnitDisk {
+            n: 2048,
+            radius: 0.05,
+        },
         Workload::BarabasiAlbert { n: 2048, m: 3 },
         Workload::Grid { side: 48 },
     ]

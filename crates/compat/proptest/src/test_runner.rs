@@ -1,0 +1,95 @@
+//! Test-case driving: configuration, failure type, deterministic seeding.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property-test case (carried by `prop_assert!`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test RNG: seeded from the test's full path (FNV-1a),
+/// optionally perturbed by `PROPTEST_RNG_SEED` to explore other streams.
+pub fn rng_for_test(name: &str) -> SmallRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(v) = extra.trim().parse::<u64>() {
+            hash ^= v.rotate_left(32);
+        }
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f64..2.0, s in any::<u64>()) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            let _ = s;
+        }
+
+        #[test]
+        fn trailing_comma_form(a in 0u32..5,) {
+            prop_assert_eq!(a.min(4), a);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::RngCore;
+        let a = super::rng_for_test("x::y").next_u64();
+        let b = super::rng_for_test("x::y").next_u64();
+        let c = super::rng_for_test("x::z").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

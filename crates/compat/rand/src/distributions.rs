@@ -1,0 +1,126 @@
+//! Distributions: the `Standard` distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// Types that can produce values of type `T` from raw randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for primitives: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use core::ops::{Range, RangeInclusive};
+
+    use crate::RngCore;
+
+    /// Marker for types `gen_range` can sample.
+    pub trait SampleUniform: PartialOrd + Copy {}
+
+    /// Range forms accepted by `gen_range`.
+    pub trait SampleRange<T: SampleUniform> {
+        /// Samples one value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiplies a raw draw into `[0, span)` without division
+    /// (Lemire's widening-multiply reduction; the O(2^-64) bias is
+    /// irrelevant at simulation scale).
+    fn reduce(raw: u64, span: u64) -> u64 {
+        ((raw as u128 * span as u128) >> 64) as u64
+    }
+
+    // Spans are computed in the unsigned counterpart type before
+    // widening: a direct `as u64` on a signed span would sign-extend
+    // whenever the true span exceeds the signed type's max (e.g. any
+    // i8 range wider than 127) and produce out-of-range samples.
+    macro_rules! uniform_int {
+        ($($t:ty => $ut:ty),*) => {$(
+            impl SampleUniform for $t {}
+
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = self.end.wrapping_sub(self.start) as $ut as u64;
+                    self.start.wrapping_add(reduce(rng.next_u64(), span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = hi.wrapping_sub(lo) as $ut as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(reduce(rng.next_u64(), span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {}
+
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let x = self.start + unit * (self.end - self.start);
+                    // Floating-point rounding can land exactly on `end`.
+                    if x >= self.end { self.start } else { x }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+}

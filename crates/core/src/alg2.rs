@@ -214,7 +214,10 @@ impl Protocol for Alg2Protocol {
     }
 
     fn finish(self) -> Alg2Output {
-        Alg2Output { x: self.x, is_gray: self.is_gray }
+        Alg2Output {
+            x: self.x,
+            is_gray: self.is_gray,
+        }
     }
 }
 
@@ -262,7 +265,9 @@ pub fn run_alg2(g: &CsrGraph, k: u32, engine: EngineConfig) -> Result<Alg2Run, C
 
 pub(crate) fn validate_k(k: u32) -> Result<(), CoreError> {
     if k == 0 {
-        Err(CoreError::InvalidConfig { reason: "k must be at least 1".to_string() })
+        Err(CoreError::InvalidConfig {
+            reason: "k must be at least 1".to_string(),
+        })
     } else {
         Ok(())
     }
@@ -284,14 +289,12 @@ pub fn reference_alg2(g: &CsrGraph, k: u32) -> Result<FractionalAssignment, Core
     let d1 = g.max_degree() as f64 + 1.0;
     let mut x = vec![0.0f64; n];
     let mut gray = vec![false; n];
-    let mut delta_tilde: Vec<usize> =
-        g.node_ids().map(|v| g.degree(v) + 1).collect();
+    let mut delta_tilde: Vec<usize> = g.node_ids().map(|v| g.degree(v) + 1).collect();
     for l in (0..k).rev() {
         for m in (0..k).rev() {
             let threshold = frac_pow(d1, i64::from(l), k);
             // Activity check + x raise (step 0).
-            let active: Vec<bool> =
-                (0..n).map(|i| delta_tilde[i] as f64 >= threshold).collect();
+            let active: Vec<bool> = (0..n).map(|i| delta_tilde[i] as f64 >= threshold).collect();
             for i in 0..n {
                 if active[i] {
                     x[i] = x[i].max(frac_pow(d1, -i64::from(m), k));
@@ -314,8 +317,7 @@ pub fn reference_alg2(g: &CsrGraph, k: u32) -> Result<FractionalAssignment, Core
             }
             // δ̃ update from fresh colors (start of next step 0).
             for v in g.node_ids() {
-                delta_tilde[v.index()] =
-                    g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
+                delta_tilde[v.index()] = g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
             }
         }
     }
@@ -344,7 +346,11 @@ mod tests {
         let run = run_alg2(g, k, EngineConfig::default()).unwrap();
         assert!(run.x.is_feasible(g), "infeasible x for k={k} on {g:?}");
         assert!(run.gray.iter().all(|&c| c), "all nodes must end gray");
-        assert_eq!(run.metrics.rounds, crate::math::alg2_rounds(k), "round count (Theorem 4)");
+        assert_eq!(
+            run.metrics.rounds,
+            crate::math::alg2_rounds(k),
+            "round count (Theorem 4)"
+        );
         run
     }
 
@@ -417,7 +423,11 @@ mod tests {
             ] {
                 let dist = run_alg2(&g, k, EngineConfig::default()).unwrap();
                 let reference = reference_alg2(&g, k).unwrap();
-                assert_eq!(dist.x.values(), reference.values(), "k={k} mismatch on {g:?}");
+                assert_eq!(
+                    dist.x.values(),
+                    reference.values(),
+                    "k={k} mismatch on {g:?}"
+                );
             }
         }
     }
@@ -475,8 +485,24 @@ mod tests {
     #[test]
     fn parallel_engine_identical() {
         let g = generators::gnp(80, 0.1, &mut SmallRng::seed_from_u64(8));
-        let seq = run_alg2(&g, 3, EngineConfig { threads: 1, ..Default::default() }).unwrap();
-        let par = run_alg2(&g, 3, EngineConfig { threads: 4, ..Default::default() }).unwrap();
+        let seq = run_alg2(
+            &g,
+            3,
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = run_alg2(
+            &g,
+            3,
+            EngineConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(seq.x.values(), par.x.values());
         assert_eq!(seq.metrics, par.metrics);
     }

@@ -292,8 +292,11 @@ impl Alg3Protocol {
             }
             Phase::SendDelta1 => {
                 self.delta1 = Self::max_uint(inbox, self.degree);
-                self.phase =
-                    Phase::IterStep0 { l: self.k - 1, m: self.k - 1, entering: Entering::FromSetup };
+                self.phase = Phase::IterStep0 {
+                    l: self.k - 1,
+                    m: self.k - 1,
+                    entering: Entering::FromSetup,
+                };
                 (Status::Running, Some(Alg3Msg::Uint(self.delta1)))
             }
             Phase::IterStep0 { l, m, entering } => {
@@ -314,8 +317,7 @@ impl Alg3Protocol {
                 // white closed neighbor must not activate — the paper
                 // implicitly assumes this (a gray active node needs a white
                 // neighbor for its weight to be distributable).
-                self.active =
-                    self.delta_tilde >= 1 && self.delta_tilde as f64 >= self.threshold(l);
+                self.active = self.delta_tilde >= 1 && self.delta_tilde as f64 >= self.threshold(l);
                 self.phase = Phase::IterStep1 { l, m };
                 (Status::Running, self.active.then_some(Alg3Msg::Active))
             }
@@ -335,7 +337,10 @@ impl Alg3Protocol {
                 self.a1 = Self::max_uint(inbox, self.a_count);
                 if self.active {
                     debug_assert!(self.a1 >= 1, "active node must see a¹ ≥ 1");
-                    let code = XCode { a: self.a1.max(1), m };
+                    let code = XCode {
+                        a: self.a1.max(1),
+                        m,
+                    };
                     let candidate = code.value();
                     if candidate > self.x {
                         self.x = candidate;
@@ -361,7 +366,11 @@ impl Alg3Protocol {
                     return (Status::Halted, None);
                 }
                 self.phase = if m > 0 {
-                    Phase::IterStep0 { l, m: m - 1, entering: Entering::FromColor }
+                    Phase::IterStep0 {
+                        l,
+                        m: m - 1,
+                        entering: Entering::FromColor,
+                    }
                 } else {
                     Phase::OuterA { l }
                 };
@@ -370,12 +379,18 @@ impl Alg3Protocol {
             Phase::OuterA { l } => {
                 self.delta_tilde = self.count_white(inbox);
                 self.phase = Phase::OuterB { l };
-                (Status::Running, Some(Alg3Msg::Uint(self.delta_tilde as u64)))
+                (
+                    Status::Running,
+                    Some(Alg3Msg::Uint(self.delta_tilde as u64)),
+                )
             }
             Phase::OuterB { l } => {
                 self.gamma1 = Self::max_uint(inbox, self.delta_tilde as u64);
-                self.phase =
-                    Phase::IterStep0 { l: l - 1, m: self.k - 1, entering: Entering::FromGamma1 };
+                self.phase = Phase::IterStep0 {
+                    l: l - 1,
+                    m: self.k - 1,
+                    entering: Entering::FromGamma1,
+                };
                 (Status::Running, Some(Alg3Msg::Uint(self.gamma1)))
             }
             Phase::Done => (Status::Halted, None),
@@ -397,7 +412,11 @@ impl Protocol for Alg3Protocol {
     }
 
     fn finish(self) -> Alg3Output {
-        Alg3Output { x: self.x, is_gray: self.is_gray, delta2: self.delta2 }
+        Alg3Output {
+            x: self.x,
+            is_gray: self.is_gray,
+            delta2: self.delta2,
+        }
     }
 }
 
@@ -466,8 +485,7 @@ pub fn reference_alg3(g: &CsrGraph, k: u32) -> Result<FractionalAssignment, Core
                 .node_ids()
                 .map(|v| {
                     let i = v.index();
-                    let thr =
-                        (gamma2[i] as f64).powf(l as f64 / (l as f64 + 1.0));
+                    let thr = (gamma2[i] as f64).powf(l as f64 / (l as f64 + 1.0));
                     delta_tilde[i] >= 1 && delta_tilde[i] as f64 >= thr
                 })
                 .collect();
@@ -483,7 +501,12 @@ pub fn reference_alg3(g: &CsrGraph, k: u32) -> Result<FractionalAssignment, Core
                 .collect();
             let a1: Vec<u64> = g
                 .node_ids()
-                .map(|v| g.closed_neighbors(v).map(|u| a[u.index()]).max().unwrap_or(0))
+                .map(|v| {
+                    g.closed_neighbors(v)
+                        .map(|u| a[u.index()])
+                        .max()
+                        .unwrap_or(0)
+                })
                 .collect();
             for v in g.node_ids() {
                 let i = v.index();
@@ -510,20 +533,25 @@ pub fn reference_alg3(g: &CsrGraph, k: u32) -> Result<FractionalAssignment, Core
                 gray[i] = true;
             }
             for v in g.node_ids() {
-                delta_tilde[v.index()] =
-                    g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
+                delta_tilde[v.index()] = g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
             }
         }
         if l > 0 {
             let gamma1: Vec<u64> = g
                 .node_ids()
                 .map(|v| {
-                    g.closed_neighbors(v).map(|u| delta_tilde[u.index()] as u64).max().unwrap_or(0)
+                    g.closed_neighbors(v)
+                        .map(|u| delta_tilde[u.index()] as u64)
+                        .max()
+                        .unwrap_or(0)
                 })
                 .collect();
             for v in g.node_ids() {
-                gamma2[v.index()] =
-                    g.closed_neighbors(v).map(|u| gamma1[u.index()]).max().unwrap_or(0);
+                gamma2[v.index()] = g
+                    .closed_neighbors(v)
+                    .map(|u| gamma1[u.index()])
+                    .max()
+                    .unwrap_or(0);
             }
         }
     }
@@ -543,7 +571,11 @@ mod tests {
         let run = run_alg3(g, k, EngineConfig::default()).unwrap();
         assert!(run.x.is_feasible(g), "infeasible x for k={k} on {g:?}");
         assert!(run.gray.iter().all(|&c| c), "all nodes must end gray");
-        assert_eq!(run.metrics.rounds, math::alg3_rounds(k), "round count (Theorem 5)");
+        assert_eq!(
+            run.metrics.rounds,
+            math::alg3_rounds(k),
+            "round count (Theorem 5)"
+        );
         run
     }
 
@@ -588,7 +620,10 @@ mod tests {
         let run = check_graph(&g, 2);
         assert!(run.x.values().iter().all(|&x| (x - 1.0).abs() < 1e-12));
         let g0 = CsrGraph::empty(0);
-        assert_eq!(run_alg3(&g0, 1, EngineConfig::default()).unwrap().x.len(), 0);
+        assert_eq!(
+            run_alg3(&g0, 1, EngineConfig::default()).unwrap().x.len(),
+            0
+        );
     }
 
     #[test]
@@ -611,7 +646,11 @@ mod tests {
             ] {
                 let dist = run_alg3(&g, k, EngineConfig::default()).unwrap();
                 let reference = reference_alg3(&g, k).unwrap();
-                assert_eq!(dist.x.values(), reference.values(), "k={k} mismatch on {g:?}");
+                assert_eq!(
+                    dist.x.values(),
+                    reference.values(),
+                    "k={k} mismatch on {g:?}"
+                );
             }
         }
     }
@@ -661,8 +700,24 @@ mod tests {
     #[test]
     fn parallel_engine_identical() {
         let g = generators::gnp(70, 0.1, &mut SmallRng::seed_from_u64(18));
-        let seq = run_alg3(&g, 2, EngineConfig { threads: 1, ..Default::default() }).unwrap();
-        let par = run_alg3(&g, 2, EngineConfig { threads: 4, ..Default::default() }).unwrap();
+        let seq = run_alg3(
+            &g,
+            2,
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = run_alg3(
+            &g,
+            2,
+            EngineConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(seq.x.values(), par.x.values());
         assert_eq!(seq.metrics, par.metrics);
     }

@@ -186,9 +186,11 @@ pub fn run_composite(
     engine: EngineConfig,
 ) -> Result<CompositeRun, CoreError> {
     validate_k(k)?;
-    let report = Engine::new(g, engine, |info| CompositeProtocol::new(k, rounding, info.degree))
-        .run()
-        .map_err(CoreError::Sim)?;
+    let report = Engine::new(g, engine, |info| {
+        CompositeProtocol::new(k, rounding, info.degree)
+    })
+    .run()
+    .map_err(CoreError::Sim)?;
     let mut set = DominatingSet::new(g);
     let mut xs = Vec::with_capacity(g.len());
     for (i, out) in report.outputs.iter().enumerate() {
@@ -243,9 +245,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(50);
         for seed in 0..6u64 {
             let g = generators::gnp(60, 0.1, &mut rng);
-            let run =
-                run_composite(&g, 2, RoundingConfig::default(), EngineConfig::seeded(seed))
-                    .unwrap();
+            let run = run_composite(&g, 2, RoundingConfig::default(), EngineConfig::seeded(seed))
+                .unwrap();
             assert!(run.set.is_dominating(&g), "seed {seed}");
         }
     }
@@ -294,16 +295,14 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = kw_graph::CsrGraph::empty(0);
-        let run =
-            run_composite(&g, 2, RoundingConfig::default(), EngineConfig::default()).unwrap();
+        let run = run_composite(&g, 2, RoundingConfig::default(), EngineConfig::default()).unwrap();
         assert!(run.set.is_empty());
     }
 
     #[test]
     fn isolated_nodes_join_via_fallback() {
         let g = kw_graph::CsrGraph::empty(4);
-        let run =
-            run_composite(&g, 2, RoundingConfig::default(), EngineConfig::seeded(3)).unwrap();
+        let run = run_composite(&g, 2, RoundingConfig::default(), EngineConfig::seeded(3)).unwrap();
         assert_eq!(run.set.len(), 4);
         assert!(run.set.is_dominating(&g));
     }

@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::InputMismatch { expected, got } => {
-                write!(f, "input vector has length {got} but the graph has {expected} nodes")
+                write!(
+                    f,
+                    "input vector has length {got} but the graph has {expected} nodes"
+                )
             }
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
@@ -56,9 +59,14 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::InvalidConfig { reason: "k must be positive".into() };
+        let e = CoreError::InvalidConfig {
+            reason: "k must be positive".into(),
+        };
         assert!(e.to_string().contains("k must be positive"));
-        let e = CoreError::InputMismatch { expected: 4, got: 2 };
+        let e = CoreError::InputMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('2'));
         let e: CoreError = SimError::MaxRoundsExceeded { limit: 3 }.into();
         assert!(e.to_string().contains("simulation failed"));

@@ -66,12 +66,22 @@ pub struct CascadeTrace {
 
 impl fmt::Display for CascadeTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "  ℓ  m   a-bound    max a(v)  active   white  newly-gray      Σx")?;
+        writeln!(
+            f,
+            "  ℓ  m   a-bound    max a(v)  active   white  newly-gray      Σx"
+        )?;
         for s in &self.steps {
             writeln!(
                 f,
                 "{:>3} {:>2} {:>9.2} {:>11} {:>7} {:>7} {:>11} {:>7.3}",
-                s.l, s.m, s.a_bound, s.max_a, s.active_nodes, s.white_nodes, s.newly_gray, s.x_total
+                s.l,
+                s.m,
+                s.a_bound,
+                s.max_a,
+                s.active_nodes,
+                s.white_nodes,
+                s.newly_gray,
+                s.x_total
             )?;
         }
         Ok(())

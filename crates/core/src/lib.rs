@@ -22,7 +22,10 @@
 //!   end-to-end metrics;
 //! * [`invariants`] — runtime checkers for the proofs' loop invariants
 //!   (Lemmas 2–7) and the Figure-1 covering cascade;
-//! * [`math`] — the bound formulas, one function per theorem.
+//! * [`math`] — the bound formulas, one function per theorem;
+//! * [`solver`] — the unified [`DsSolver`], [`SolverRegistry`], and
+//!   [`ExperimentRunner`] every algorithm (and every baseline in
+//!   `kw_baselines`) is reachable through.
 //!
 //! # Example
 //!
@@ -49,7 +52,11 @@ pub mod invariants;
 pub mod math;
 pub mod pipeline;
 pub mod rounding;
+pub mod solver;
 pub mod weighted;
 
 pub use error::CoreError;
 pub use pipeline::{FractionalSolver, Pipeline, PipelineConfig, PipelineOutcome};
+pub use solver::{
+    DsSolver, ExperimentRunner, SolveContext, SolveError, SolveReport, SolverRegistry,
+};

@@ -15,7 +15,10 @@
 ///
 /// Panics if `e_den == 0`.
 pub fn frac_pow(base: f64, e_num: i64, e_den: u32) -> f64 {
-    assert!(e_den > 0, "fractional exponent denominator must be positive");
+    assert!(
+        e_den > 0,
+        "fractional exponent denominator must be positive"
+    );
     base.powf(e_num as f64 / e_den as f64)
 }
 

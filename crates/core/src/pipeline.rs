@@ -96,7 +96,9 @@ impl PipelineOutcome {
 
     /// Largest message observed in either stage, in bits.
     pub fn max_message_bits(&self) -> usize {
-        self.fractional_metrics.max_message_bits.max(self.rounding_metrics.max_message_bits)
+        self.fractional_metrics
+            .max_message_bits
+            .max(self.rounding_metrics.max_message_bits)
     }
 }
 
@@ -195,7 +197,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(30);
         for seed in 0..10u64 {
             let g = generators::gnp(60, 0.08, &mut rng);
-            let out = Pipeline::new(PipelineConfig::default()).run(&g, seed).unwrap();
+            let out = Pipeline::new(PipelineConfig::default())
+                .run(&g, seed)
+                .unwrap();
             assert!(out.dominating_set.is_dominating(&g), "seed {seed}");
             assert!(out.fractional.is_feasible(&g));
         }
@@ -205,7 +209,12 @@ mod tests {
     fn round_counts_match_theorems() {
         let g = generators::grid(6, 6);
         let k = 3;
-        let out = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, 1).unwrap();
+        let out = Pipeline::new(PipelineConfig {
+            k,
+            ..Default::default()
+        })
+        .run(&g, 1)
+        .unwrap();
         // Alg 3 rounds + 2 rounding rounds (δ² reused from setup).
         assert_eq!(out.total_rounds(), math::alg3_rounds(k) + 2);
         let out2 = Pipeline::new(PipelineConfig {
@@ -240,8 +249,12 @@ mod tests {
         let trials = 60;
         let mut total = 0usize;
         for seed in 0..trials {
-            let out =
-                Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, seed).unwrap();
+            let out = Pipeline::new(PipelineConfig {
+                k,
+                ..Default::default()
+            })
+            .run(&g, seed)
+            .unwrap();
             assert!(out.dominating_set.is_dominating(&g));
             total += out.dominating_set.len();
         }
@@ -265,6 +278,11 @@ mod tests {
     #[test]
     fn invalid_k_rejected() {
         let g = generators::path(4);
-        assert!(Pipeline::new(PipelineConfig { k: 0, ..Default::default() }).run(&g, 0).is_err());
+        assert!(Pipeline::new(PipelineConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .run(&g, 0)
+        .is_err());
     }
 }

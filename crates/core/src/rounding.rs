@@ -211,9 +211,10 @@ impl Protocol for Alg1Protocol {
                 Status::Running
             }
             _ => {
-                let neighbor_in_set = ctx.inbox().iter().any(|(_, msg)| {
-                    matches!(msg, RoundingMsg::InSet(true))
-                });
+                let neighbor_in_set = ctx
+                    .inbox()
+                    .iter()
+                    .any(|(_, msg)| matches!(msg, RoundingMsg::InSet(true)));
                 if !self.in_set && !neighbor_in_set && !self.config.skip_fallback {
                     self.in_set = true;
                     self.via_fallback = true;
@@ -261,7 +262,10 @@ pub fn run_rounding(
     engine: EngineConfig,
 ) -> Result<RoundingRun, CoreError> {
     if x.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: x.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: x.len(),
+        });
     }
     let report = Engine::new(g, engine, |info| {
         Alg1Protocol::new(config, x.get(info.id), info.degree)
@@ -285,13 +289,24 @@ pub fn run_rounding_with_delta2(
     engine: EngineConfig,
 ) -> Result<RoundingRun, CoreError> {
     if x.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: x.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: x.len(),
+        });
     }
     if delta2.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: delta2.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: delta2.len(),
+        });
     }
     let report = Engine::new(g, engine, |info| {
-        Alg1Protocol::with_known_delta2(config, x.get(info.id), info.degree, delta2[info.id.index()])
+        Alg1Protocol::with_known_delta2(
+            config,
+            x.get(info.id),
+            info.degree,
+            delta2[info.id.index()],
+        )
     })
     .run()
     .map_err(CoreError::Sim)?;
@@ -309,7 +324,12 @@ fn collect(g: &CsrGraph, report: kw_sim::RunReport<RoundingOutput>) -> RoundingR
         fallback_members.push(out.via_fallback);
         probabilities.push(out.probability);
     }
-    RoundingRun { set, fallback_members, probabilities, metrics: report.metrics }
+    RoundingRun {
+        set,
+        fallback_members,
+        probabilities,
+        metrics: report.metrics,
+    }
 }
 
 /// Centralized reference implementation, reproducing the distributed run
@@ -326,7 +346,10 @@ pub fn reference_rounding(
     seed: u64,
 ) -> Result<DominatingSet, CoreError> {
     if x.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: x.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: x.len(),
+        });
     }
     let mut set = DominatingSet::new(g);
     for v in g.node_ids() {
@@ -387,8 +410,13 @@ mod tests {
             // Even the all-zeros "solution" (infeasible!) must produce a
             // dominating set thanks to the fallback.
             let x = FractionalAssignment::zeros(&g);
-            let run =
-                run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(seed)).unwrap();
+            let run = run_rounding(
+                &g,
+                &x,
+                RoundingConfig::default(),
+                EngineConfig::seeded(seed),
+            )
+            .unwrap();
             assert!(run.set.is_dominating(&g));
             assert_eq!(run.metrics.rounds, 4);
         }
@@ -398,13 +426,9 @@ mod tests {
     fn zero_input_uses_only_fallback() {
         let g = generators::cycle(9);
         let x = FractionalAssignment::zeros(&g);
-        let run =
-            run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(3)).unwrap();
+        let run = run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(3)).unwrap();
         assert!(run.probabilities.iter().all(|&p| p == 0.0));
-        assert!(run
-            .set
-            .iter()
-            .all(|v| run.fallback_members[v.index()]));
+        assert!(run.set.iter().all(|v| run.fallback_members[v.index()]));
     }
 
     #[test]
@@ -412,7 +436,10 @@ mod tests {
         // With x = 0 and no fallback, nothing is selected.
         let g = generators::cycle(6);
         let x = FractionalAssignment::zeros(&g);
-        let config = RoundingConfig { skip_fallback: true, ..Default::default() };
+        let config = RoundingConfig {
+            skip_fallback: true,
+            ..Default::default()
+        };
         let run = run_rounding(&g, &x, config, EngineConfig::seeded(1)).unwrap();
         assert!(run.set.is_empty());
         assert!(!run.set.is_dominating(&g));
@@ -424,7 +451,10 @@ mod tests {
         let x = FractionalAssignment::from_values(vec![0.5; 2]);
         assert!(matches!(
             run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::default()),
-            Err(CoreError::InputMismatch { expected: 3, got: 2 })
+            Err(CoreError::InputMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(reference_rounding(&g, &x, RoundingConfig::default(), 0).is_err());
     }
@@ -435,8 +465,13 @@ mod tests {
         let g = generators::gnp(50, 0.12, &mut rng);
         let x = FractionalAssignment::uniform(&g, 0.3);
         for seed in [0u64, 7, 123] {
-            let dist = run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(seed))
-                .unwrap();
+            let dist = run_rounding(
+                &g,
+                &x,
+                RoundingConfig::default(),
+                EngineConfig::seeded(seed),
+            )
+            .unwrap();
             let refr = reference_rounding(&g, &x, RoundingConfig::default(), seed).unwrap();
             let dist_vec: Vec<bool> = g.node_ids().map(|v| dist.set.contains(v)).collect();
             let ref_vec: Vec<bool> = g.node_ids().map(|v| refr.contains(v)).collect();
@@ -448,8 +483,7 @@ mod tests {
     fn probability_saturates_at_one() {
         let g = generators::star(50);
         let x = FractionalAssignment::uniform(&g, 1.0);
-        let run =
-            run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(9)).unwrap();
+        let run = run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(9)).unwrap();
         assert!(run.probabilities.iter().all(|&p| p == 1.0));
         // Everyone joins deterministically.
         assert_eq!(run.set.len(), 50);
@@ -471,15 +505,17 @@ mod tests {
         let mean = total as f64 / trials as f64;
         let bound = crate::math::rounding_bound(1.0, g.max_degree()) * 4.0;
         // Allow 3σ-ish statistical slack; the mean is typically well below.
-        assert!(mean <= bound * 1.15, "mean {mean} exceeds Theorem 3 bound {bound}");
+        assert!(
+            mean <= bound * 1.15,
+            "mean {mean} exceeds Theorem 3 bound {bound}"
+        );
     }
 
     #[test]
     fn isolated_nodes_join_via_fallback() {
         let g = CsrGraph::empty(3);
         let x = FractionalAssignment::uniform(&g, 0.0);
-        let run =
-            run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(2)).unwrap();
+        let run = run_rounding(&g, &x, RoundingConfig::default(), EngineConfig::seeded(2)).unwrap();
         assert_eq!(run.set.len(), 3);
         assert!(run.set.is_dominating(&g));
     }

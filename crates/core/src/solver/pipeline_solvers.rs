@@ -1,0 +1,234 @@
+//! [`DsSolver`] implementations for the paper's own algorithms.
+
+use kw_graph::CsrGraph;
+use kw_sim::EngineConfig;
+
+use crate::composite::run_composite;
+use crate::pipeline::{FractionalSolver, Pipeline, PipelineConfig};
+use crate::rounding::{Multiplier, RoundingConfig};
+use crate::solver::{DsSolver, ReportBuilder, SolveContext, SolveError, SolveReport, SolverSpec};
+
+fn multiplier_name(m: Multiplier) -> &'static str {
+    match m {
+        Multiplier::Ln => "ln",
+        Multiplier::LnMinusLnLn => "ln-lnln",
+    }
+}
+
+fn parse_multiplier(spec: &SolverSpec) -> Result<Multiplier, SolveError> {
+    match spec.params.get("multiplier").map(String::as_str) {
+        None | Some("ln") => Ok(Multiplier::Ln),
+        Some("ln-lnln") => Ok(Multiplier::LnMinusLnLn),
+        Some(other) => Err(SolveError::InvalidSpec {
+            spec: spec.to_string(),
+            reason: format!("multiplier must be \"ln\" or \"ln-lnln\", got {other:?}"),
+        }),
+    }
+}
+
+/// The paper's two-stage pipeline (Theorem 6) as a solver: a fractional
+/// stage (Algorithm 3, or Algorithm 2 under the known-`Δ` assumption)
+/// followed by Algorithm 1 randomized rounding.
+///
+/// Registry names: `"kw"` (Algorithm 3, the headline configuration) and
+/// `"alg2"` (Algorithm 2). Parameters: `k=<u32 ≥ 1>` (default 2) and
+/// `multiplier=ln|ln-lnln` (default `ln`).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineSolver {
+    k: u32,
+    fractional: FractionalSolver,
+    multiplier: Multiplier,
+}
+
+impl PipelineSolver {
+    /// A pipeline solver with the given trade-off parameter and
+    /// fractional stage.
+    pub fn new(k: u32, fractional: FractionalSolver) -> Self {
+        PipelineSolver {
+            k,
+            fractional,
+            multiplier: Multiplier::default(),
+        }
+    }
+
+    /// Builds from a parsed registry spec (`kw` or `alg2`).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] on unknown or unparseable parameters.
+    pub fn from_spec(spec: &SolverSpec, fractional: FractionalSolver) -> Result<Self, SolveError> {
+        spec.expect_params(&["k", "multiplier"])?;
+        Ok(PipelineSolver {
+            k: spec.param("k", 2u32)?,
+            fractional,
+            multiplier: parse_multiplier(spec)?,
+        })
+    }
+
+    fn config(&self, ctx: &SolveContext) -> PipelineConfig {
+        PipelineConfig {
+            k: self.k,
+            solver: self.fractional,
+            rounding: RoundingConfig {
+                multiplier: self.multiplier,
+                skip_fallback: false,
+            },
+            threads: ctx.threads,
+        }
+    }
+}
+
+impl DsSolver for PipelineSolver {
+    fn spec(&self) -> String {
+        let name = match self.fractional {
+            FractionalSolver::Alg3 => "kw",
+            FractionalSolver::Alg2DeltaKnown => "alg2",
+        };
+        match self.multiplier {
+            Multiplier::Ln => format!("{name}:k={}", self.k),
+            m => format!("{name}:k={},multiplier={}", self.k, multiplier_name(m)),
+        }
+    }
+
+    fn solve(&self, g: &CsrGraph, ctx: &SolveContext) -> Result<SolveReport, SolveError> {
+        let outcome = Pipeline::new(self.config(ctx)).run_with_faults(g, ctx.seed, ctx.faults)?;
+        Ok(
+            ReportBuilder::new(self.spec(), outcome.dominating_set.clone())
+                .fractional(outcome.fractional.clone())
+                .stage("fractional", outcome.fractional_metrics)
+                .stage("rounding", outcome.rounding_metrics)
+                .finish(g, ctx),
+        )
+    }
+}
+
+/// The same Theorem-6 algorithm fused into a single node program on a
+/// single engine run (`4k² + 2k + 2` rounds), for uninterrupted metrics.
+///
+/// Registry name: `"composite"`. Parameters: `k=<u32 ≥ 1>` (default 2)
+/// and `multiplier=ln|ln-lnln`.
+#[derive(Clone, Copy, Debug)]
+pub struct CompositeSolver {
+    k: u32,
+    multiplier: Multiplier,
+}
+
+impl CompositeSolver {
+    /// A composite solver with the given trade-off parameter.
+    pub fn new(k: u32) -> Self {
+        CompositeSolver {
+            k,
+            multiplier: Multiplier::default(),
+        }
+    }
+
+    /// Builds from a parsed registry spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] on unknown or unparseable parameters.
+    pub fn from_spec(spec: &SolverSpec) -> Result<Self, SolveError> {
+        spec.expect_params(&["k", "multiplier"])?;
+        Ok(CompositeSolver {
+            k: spec.param("k", 2u32)?,
+            multiplier: parse_multiplier(spec)?,
+        })
+    }
+}
+
+impl DsSolver for CompositeSolver {
+    fn spec(&self) -> String {
+        match self.multiplier {
+            Multiplier::Ln => format!("composite:k={}", self.k),
+            m => format!("composite:k={},multiplier={}", self.k, multiplier_name(m)),
+        }
+    }
+
+    fn solve(&self, g: &CsrGraph, ctx: &SolveContext) -> Result<SolveReport, SolveError> {
+        let engine = EngineConfig {
+            seed: ctx.seed,
+            threads: ctx.threads,
+            faults: ctx.faults,
+            ..EngineConfig::default()
+        };
+        let rounding = RoundingConfig {
+            multiplier: self.multiplier,
+            skip_fallback: false,
+        };
+        let run = run_composite(g, self.k, rounding, engine)?;
+        Ok(ReportBuilder::new(self.spec(), run.set.clone())
+            .fractional(run.fractional.clone())
+            .stage("composite", run.metrics)
+            .finish(g, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math;
+    use kw_graph::generators;
+
+    #[test]
+    fn kw_solver_matches_pipeline_round_structure() {
+        let g = generators::grid(6, 6);
+        let solver = PipelineSolver::new(3, FractionalSolver::Alg3);
+        let report = solver.solve(&g, &SolveContext::seeded(1)).unwrap();
+        assert_eq!(report.rounds(), math::alg3_rounds(3) + 2);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.certificate.unwrap().dominates);
+        assert!(report.fractional.unwrap().is_feasible(&g));
+    }
+
+    #[test]
+    fn alg2_solver_uses_delta_known_rounds() {
+        let g = generators::grid(5, 5);
+        let solver = PipelineSolver::new(2, FractionalSolver::Alg2DeltaKnown);
+        let report = solver.solve(&g, &SolveContext::seeded(1)).unwrap();
+        assert_eq!(report.rounds(), math::alg2_rounds(2) + 4);
+        assert_eq!(report.solver, "alg2:k=2");
+    }
+
+    #[test]
+    fn composite_solver_round_count() {
+        let g = generators::petersen();
+        let k = 2;
+        let report = CompositeSolver::new(k)
+            .solve(&g, &SolveContext::seeded(4))
+            .unwrap();
+        assert_eq!(report.rounds(), math::alg3_rounds(k) + 2);
+        assert!(report.certificate.unwrap().dominates);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec = SolverSpec::parse("kw:k=4,multiplier=ln-lnln").unwrap();
+        let solver = PipelineSolver::from_spec(&spec, FractionalSolver::Alg3).unwrap();
+        assert_eq!(solver.spec(), "kw:k=4,multiplier=ln-lnln");
+        let spec = SolverSpec::parse("composite:k=3").unwrap();
+        assert_eq!(
+            CompositeSolver::from_spec(&spec).unwrap().spec(),
+            "composite:k=3"
+        );
+    }
+
+    #[test]
+    fn invalid_k_surfaces_as_core_error() {
+        let g = generators::path(3);
+        let solver = PipelineSolver::new(0, FractionalSolver::Alg3);
+        assert!(matches!(
+            solver.solve(&g, &SolveContext::default()),
+            Err(SolveError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let spec = SolverSpec::parse("kw:k=0x2").unwrap();
+        assert!(PipelineSolver::from_spec(&spec, FractionalSolver::Alg3).is_err());
+        let spec = SolverSpec::parse("kw:multiplier=log").unwrap();
+        assert!(PipelineSolver::from_spec(&spec, FractionalSolver::Alg3).is_err());
+        let spec = SolverSpec::parse("kw:threads=2").unwrap();
+        assert!(PipelineSolver::from_spec(&spec, FractionalSolver::Alg3).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Batched experiment execution over a solver × workload × seed matrix.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use kw_graph::CsrGraph;
+
+use crate::solver::{DsSolver, SolveContext, SolveError};
+
+/// Five-number summary of a sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Summarizes `samples`.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        SummaryStats {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Aggregated results of one (solver, workload) cell across seeds.
+#[derive(Clone, Debug)]
+pub struct CellSummary {
+    /// Canonical spec of the solver.
+    pub solver: String,
+    /// Workload label.
+    pub workload: String,
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Maximum degree `Δ` of the workload graph.
+    pub max_degree: usize,
+    /// Number of seeds run.
+    pub runs: usize,
+    /// Runs whose output failed to dominate (possible only under message
+    /// loss; always 0 on reliable networks).
+    pub failures: usize,
+    /// Dominating-set sizes.
+    pub size: SummaryStats,
+    /// Synchronous round counts (identical across seeds for the paper's
+    /// constant-round algorithms).
+    pub rounds: SummaryStats,
+    /// Total message counts.
+    pub messages: SummaryStats,
+    /// Ratio of set size to the Lemma-1 lower bound.
+    pub ratio_vs_lemma1: SummaryStats,
+}
+
+/// Runs solver × workload × seed matrices, optionally spreading cells
+/// over worker threads.
+///
+/// Results are deterministic and thread-count-independent: each cell's
+/// seeds run in order, and cells are returned in solver-major order
+/// (`solvers[0]` over all workloads first) regardless of scheduling.
+///
+/// # Example
+///
+/// ```
+/// use kw_core::solver::{ExperimentRunner, SolveContext, SolverRegistry};
+/// use kw_graph::generators;
+///
+/// let registry = SolverRegistry::with_core_solvers();
+/// let solvers = registry.build_all(["kw:k=2", "alg2:k=2"])?;
+/// let workloads = vec![("grid5".to_string(), generators::grid(5, 5))];
+/// let cells = ExperimentRunner::new()
+///     .run_matrix(&solvers, &workloads, 0..4)?;
+/// assert_eq!(cells.len(), 2);
+/// assert_eq!(cells[0].runs, 4);
+/// assert_eq!(cells[0].failures, 0);
+/// # Ok::<(), kw_core::solver::SolveError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentRunner {
+    base: SolveContext,
+    workers: usize,
+}
+
+impl ExperimentRunner {
+    /// A sequential runner with the default context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the base context (per-run seeds override its `seed`).
+    pub fn context(mut self, ctx: SolveContext) -> Self {
+        self.base = ctx;
+        self
+    }
+
+    /// Sets the number of worker threads over cells (`<= 1` sequential,
+    /// `0` = all available cores). Does not affect results.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Runs every solver on every workload for every seed, aggregating
+    /// each (solver, workload) cell.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SolveError`] aborts the sweep. Outputs that fail to
+    /// dominate are *not* errors; they are counted per cell in
+    /// [`CellSummary::failures`] (and excluded from the quality stats).
+    pub fn run_matrix<S: DsSolver>(
+        &self,
+        solvers: &[S],
+        workloads: &[(String, CsrGraph)],
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<CellSummary>, SolveError> {
+        let seeds: Vec<u64> = seeds.into_iter().collect();
+        let cells: Vec<(usize, usize)> = (0..solvers.len())
+            .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
+            .collect();
+        let results = Mutex::new(vec![None; cells.len()]);
+        let first_error = Mutex::new(None::<SolveError>);
+        let next = AtomicUsize::new(0);
+        let workers = match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            w => w,
+        }
+        .min(cells.len().max(1));
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= cells.len() || first_error.lock().unwrap().is_some() {
+                break;
+            }
+            let (s, w) = cells[i];
+            let (label, graph) = &workloads[w];
+            match self.run_cell(&solvers[s], label, graph, &seeds) {
+                Ok(summary) => results.lock().unwrap()[i] = Some(summary),
+                Err(e) => {
+                    first_error.lock().unwrap().get_or_insert(e);
+                    break;
+                }
+            }
+        };
+        if workers <= 1 {
+            work(0);
+        } else {
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    scope.spawn(move || work(worker));
+                }
+            });
+        }
+        if let Some(e) = first_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok(results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|c| c.expect("all cells completed"))
+            .collect())
+    }
+
+    fn run_cell<S: DsSolver>(
+        &self,
+        solver: &S,
+        label: &str,
+        graph: &CsrGraph,
+        seeds: &[u64],
+    ) -> Result<CellSummary, SolveError> {
+        // Certificates drive the ratio column and failure detection; the
+        // sweep needs them regardless of the base context's preference.
+        let ctx = SolveContext {
+            check_certificates: true,
+            ..self.base
+        };
+        let mut sizes = Vec::new();
+        let mut rounds = Vec::new();
+        let mut messages = Vec::new();
+        let mut ratios = Vec::new();
+        let mut runs = 0usize;
+        let mut failures = 0usize;
+        for &seed in seeds {
+            let report = solver.solve(graph, &ctx.with_seed(seed))?;
+            runs += 1;
+            let cert = report.certificate.as_ref().expect("certificates forced on");
+            if !cert.dominates {
+                failures += 1;
+                continue;
+            }
+            sizes.push(report.size() as f64);
+            rounds.push(report.rounds() as f64);
+            messages.push(report.messages() as f64);
+            ratios.push(cert.ratio_vs_lemma1);
+        }
+        Ok(CellSummary {
+            solver: solver.spec(),
+            workload: label.to_string(),
+            n: graph.len(),
+            max_degree: graph.max_degree(),
+            runs,
+            failures,
+            size: SummaryStats::from_samples(&sizes),
+            rounds: SummaryStats::from_samples(&rounds),
+            messages: SummaryStats::from_samples(&messages),
+            ratio_vs_lemma1: SummaryStats::from_samples(&ratios),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverRegistry;
+    use kw_graph::generators;
+
+    fn workloads() -> Vec<(String, CsrGraph)> {
+        vec![
+            ("grid4".to_string(), generators::grid(4, 4)),
+            ("petersen".to_string(), generators::petersen()),
+        ]
+    }
+
+    #[test]
+    fn summary_stats_basics() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert_eq!(SummaryStats::from_samples(&[]), SummaryStats::default());
+    }
+
+    #[test]
+    fn matrix_covers_all_cells_in_solver_major_order() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2", "composite:k=2"]).unwrap();
+        let cells = ExperimentRunner::new()
+            .run_matrix(&solvers, &workloads(), 0..3)
+            .unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.solver.as_str(), c.workload.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("kw:k=2", "grid4"),
+                ("kw:k=2", "petersen"),
+                ("composite:k=2", "grid4"),
+                ("composite:k=2", "petersen"),
+            ]
+        );
+        for cell in &cells {
+            assert_eq!(cell.runs, 3);
+            assert_eq!(cell.failures, 0);
+            assert_eq!(cell.size.count, 3);
+            assert!(cell.size.mean >= 1.0);
+            assert!(cell.ratio_vs_lemma1.mean >= 1.0 - 1e-9);
+            // Constant-round algorithms: identical rounds across seeds.
+            assert_eq!(cell.rounds.min, cell.rounds.max);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry
+            .build_all(["kw:k=2", "alg2:k=2", "composite:k=3"])
+            .unwrap();
+        let seq = ExperimentRunner::new()
+            .run_matrix(&solvers, &workloads(), 0..2)
+            .unwrap();
+        let par = ExperimentRunner::new()
+            .workers(4)
+            .run_matrix(&solvers, &workloads(), 0..2)
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                (a.solver.as_str(), a.workload.as_str()),
+                (b.solver.as_str(), b.workload.as_str())
+            );
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+
+    #[test]
+    fn solve_errors_abort_the_sweep() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=0"]).unwrap();
+        let err = ExperimentRunner::new().run_matrix(&solvers, &workloads(), 0..2);
+        assert!(matches!(err, Err(SolveError::Core(_))));
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw"]).unwrap();
+        let cells = ExperimentRunner::new()
+            .run_matrix(&solvers, &[], 0..2)
+            .unwrap();
+        assert!(cells.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Solver spec strings: the registry's configuration grammar.
+//!
+//! ```text
+//! spec     := name                     e.g. "greedy"
+//!           | name ":" params         e.g. "kw:k=2,multiplier=ln"
+//!           | name "(" spec ")"       e.g. "connected(kw:k=2)"
+//! params   := key "=" value ("," key "=" value)*
+//! ```
+//!
+//! Names and keys are lowercase identifiers (letters, digits, `-`, `_`).
+//! Wrapper solvers (the `connected` CDS combinator) take their inner
+//! solver as a parenthesized spec and may not also take `:` params.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::SolveError;
+
+/// A parsed solver spec: a name, flat `key=value` parameters, and an
+/// optional inner spec for combinators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolverSpec {
+    /// The registry key.
+    pub name: String,
+    /// `key=value` parameters, sorted by key.
+    pub params: BTreeMap<String, String>,
+    /// The wrapped spec for combinator solvers (`name(inner)` form).
+    pub inner: Option<Box<SolverSpec>>,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+}
+
+impl SolverSpec {
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] on grammar violations (empty name,
+    /// unbalanced parentheses, malformed `key=value` pairs).
+    pub fn parse(text: &str) -> Result<Self, SolveError> {
+        let bad = |reason: &str| SolveError::InvalidSpec {
+            spec: text.to_string(),
+            reason: reason.to_string(),
+        };
+        let trimmed = text.trim();
+        if let Some(open) = trimmed.find('(') {
+            let name = &trimmed[..open];
+            if !valid_name(name) {
+                return Err(bad("combinator name must be a lowercase identifier"));
+            }
+            let Some(rest) = trimmed[open + 1..].strip_suffix(')') else {
+                return Err(bad("expected closing ')'"));
+            };
+            let inner = SolverSpec::parse(rest)?;
+            return Ok(SolverSpec {
+                name: name.to_string(),
+                params: BTreeMap::new(),
+                inner: Some(Box::new(inner)),
+            });
+        }
+        let (name, params_text) = match trimmed.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (trimmed, None),
+        };
+        if !valid_name(name) {
+            return Err(bad("solver name must be a nonempty lowercase identifier"));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(params_text) = params_text {
+            for pair in params_text.split(',') {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(bad("parameters must be comma-separated key=value pairs"));
+                };
+                let (k, v) = (k.trim(), v.trim());
+                if !valid_name(k) || v.is_empty() {
+                    return Err(bad(
+                        "parameter keys must be identifiers with nonempty values",
+                    ));
+                }
+                if params.insert(k.to_string(), v.to_string()).is_some() {
+                    return Err(bad("duplicate parameter key"));
+                }
+            }
+        }
+        Ok(SolverSpec {
+            name: name.to_string(),
+            params,
+            inner: None,
+        })
+    }
+
+    /// Fetches a parameter parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] when present but unparseable.
+    pub fn param<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, SolveError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| SolveError::InvalidSpec {
+                spec: self.to_string(),
+                reason: format!("parameter {key}={raw} is not a valid value"),
+            }),
+        }
+    }
+
+    /// Rejects parameters outside `allowed` (catches typos like `kk=2`).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] naming the first unknown key.
+    pub fn expect_params(&self, allowed: &[&str]) -> Result<(), SolveError> {
+        for key in self.params.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SolveError::InvalidSpec {
+                    spec: self.to_string(),
+                    reason: format!(
+                        "unknown parameter {key:?}; allowed: {}",
+                        if allowed.is_empty() {
+                            "(none)".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The inner spec of a combinator.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidSpec`] when the spec has no `(inner)` part.
+    pub fn require_inner(&self) -> Result<&SolverSpec, SolveError> {
+        self.inner
+            .as_deref()
+            .ok_or_else(|| SolveError::InvalidSpec {
+                spec: self.to_string(),
+                reason: format!(
+                    "{} requires an inner solver, e.g. {}(greedy)",
+                    self.name, self.name
+                ),
+            })
+    }
+}
+
+impl fmt::Display for SolverSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(inner) = &self.inner {
+            return write!(f, "({inner})");
+        }
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_name() {
+        let s = SolverSpec::parse("greedy").unwrap();
+        assert_eq!(s.name, "greedy");
+        assert!(s.params.is_empty() && s.inner.is_none());
+    }
+
+    #[test]
+    fn parses_params() {
+        let s = SolverSpec::parse("kw:k=3,multiplier=ln").unwrap();
+        assert_eq!(s.name, "kw");
+        assert_eq!(s.params["k"], "3");
+        assert_eq!(s.params["multiplier"], "ln");
+        assert_eq!(s.to_string(), "kw:k=3,multiplier=ln");
+    }
+
+    #[test]
+    fn parses_nested_combinators() {
+        let s = SolverSpec::parse("connected(kw:k=2)").unwrap();
+        assert_eq!(s.name, "connected");
+        let inner = s.require_inner().unwrap();
+        assert_eq!(inner.name, "kw");
+        assert_eq!(s.to_string(), "connected(kw:k=2)");
+        let deep = SolverSpec::parse("connected(connected(trivial))").unwrap();
+        assert_eq!(
+            deep.require_inner().unwrap().require_inner().unwrap().name,
+            "trivial"
+        );
+    }
+
+    #[test]
+    fn typed_param_access() {
+        let s = SolverSpec::parse("kw:k=4").unwrap();
+        assert_eq!(s.param("k", 2u32).unwrap(), 4);
+        assert_eq!(s.param("missing", 9usize).unwrap(), 9);
+        assert!(SolverSpec::parse("kw:k=banana")
+            .unwrap()
+            .param("k", 2u32)
+            .is_err());
+    }
+
+    #[test]
+    fn expect_params_catches_typos() {
+        let s = SolverSpec::parse("kw:kk=2").unwrap();
+        assert!(s.expect_params(&["k"]).is_err());
+        assert!(s.expect_params(&["k", "kk"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            ":",
+            "kw:",
+            "kw:k",
+            "kw:k=",
+            "KW",
+            "connected(",
+            "connected)",
+            "connected()",
+            "kw:k=1,k=2",
+            "wrap(a)(b)",
+            "na me",
+        ] {
+            assert!(SolverSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for text in [
+            "greedy",
+            "kw:k=2",
+            "connected(kw:k=3)",
+            "alg2:k=5,multiplier=ln-lnln",
+        ] {
+            let s = SolverSpec::parse(text).unwrap();
+            assert_eq!(SolverSpec::parse(&s.to_string()).unwrap(), s);
+        }
+    }
+}

@@ -53,7 +53,10 @@ impl WeightedAlg2Protocol {
     /// centrally by [`run_weighted_alg2`]).
     pub fn new(k: u32, delta: usize, degree: usize, cost: f64, c_max: f64) -> Self {
         assert!(k >= 1, "k must be positive");
-        assert!((1.0..=c_max).contains(&cost), "cost {cost} outside [1, c_max={c_max}]");
+        assert!(
+            (1.0..=c_max).contains(&cost),
+            "cost {cost} outside [1, c_max={c_max}]"
+        );
         WeightedAlg2Protocol {
             k,
             delta_plus_1: delta as f64 + 1.0,
@@ -97,8 +100,7 @@ impl Protocol for WeightedAlg2Protocol {
             let m = self.k - 1 - t % self.k;
             // γ̃ = (c_max/c)·δ̃ against [c_max(Δ+1)]^{ℓ/k}.
             let gamma_tilde = self.c_max / self.cost * self.delta_tilde as f64;
-            let threshold =
-                (self.c_max * self.delta_plus_1).powf(l as f64 / self.k as f64);
+            let threshold = (self.c_max * self.delta_plus_1).powf(l as f64 / self.k as f64);
             if gamma_tilde >= threshold && self.m_best.is_none_or(|mb| m < mb) {
                 self.m_best = Some(m);
                 self.x = self.decode_x(Some(m));
@@ -125,7 +127,10 @@ impl Protocol for WeightedAlg2Protocol {
     }
 
     fn finish(self) -> WeightedOutput {
-        WeightedOutput { x: self.x, is_gray: self.is_gray }
+        WeightedOutput {
+            x: self.x,
+            is_gray: self.is_gray,
+        }
     }
 }
 
@@ -154,7 +159,10 @@ pub fn run_weighted_alg2(
 ) -> Result<WeightedRun, CoreError> {
     validate_k(k)?;
     if weights.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: weights.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: weights.len(),
+        });
     }
     let delta = g.max_degree();
     let c_max = weights.c_max();
@@ -166,7 +174,11 @@ pub fn run_weighted_alg2(
     let xs: Vec<f64> = report.outputs.iter().map(|o| o.x).collect();
     let x = FractionalAssignment::from_values(xs);
     let cost = x.weighted_objective(weights);
-    Ok(WeightedRun { x, cost, metrics: report.metrics })
+    Ok(WeightedRun {
+        x,
+        cost,
+        metrics: report.metrics,
+    })
 }
 
 /// Centralized lockstep reference implementation of the weighted variant.
@@ -181,7 +193,10 @@ pub fn reference_weighted_alg2(
 ) -> Result<FractionalAssignment, CoreError> {
     validate_k(k)?;
     if weights.len() != g.len() {
-        return Err(CoreError::InputMismatch { expected: g.len(), got: weights.len() });
+        return Err(CoreError::InputMismatch {
+            expected: g.len(),
+            got: weights.len(),
+        });
     }
     let n = g.len();
     let d1 = g.max_degree() as f64 + 1.0;
@@ -213,8 +228,7 @@ pub fn reference_weighted_alg2(
                 gray[i] = true;
             }
             for v in g.node_ids() {
-                delta_tilde[v.index()] =
-                    g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
+                delta_tilde[v.index()] = g.closed_neighbors(v).filter(|u| !gray[u.index()]).count();
             }
         }
     }
@@ -231,7 +245,9 @@ mod tests {
     fn random_weights(n: usize, c_max: f64, seed: u64) -> VertexWeights {
         let mut rng = SmallRng::seed_from_u64(seed);
         VertexWeights::from_values(
-            (0..n).map(|_| 1.0 + rng.gen::<f64>() * (c_max - 1.0)).collect(),
+            (0..n)
+                .map(|_| 1.0 + rng.gen::<f64>() * (c_max - 1.0))
+                .collect(),
         )
         .unwrap()
     }

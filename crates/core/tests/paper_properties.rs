@@ -21,8 +21,7 @@ fn alg2_values_come_from_the_exponent_lattice() {
     for k in [1u32, 2, 3, 5] {
         let g = generators::gnp(50, 0.1, &mut rng);
         let d1 = g.max_degree() as f64 + 1.0;
-        let lattice: Vec<f64> =
-            (0..k).map(|m| frac_pow(d1, -i64::from(m), k)).collect();
+        let lattice: Vec<f64> = (0..k).map(|m| frac_pow(d1, -i64::from(m), k)).collect();
         let x = reference_alg2(&g, k).unwrap();
         for (i, &v) in x.values().iter().enumerate() {
             assert!(
@@ -71,10 +70,18 @@ fn fractional_algorithms_are_deterministic() {
     let g = generators::unit_disk(80, 0.2, &mut rng);
     let a = run_alg3(&g, 3, EngineConfig::seeded(1)).unwrap();
     let b = run_alg3(&g, 3, EngineConfig::seeded(999)).unwrap();
-    assert_eq!(a.x.values(), b.x.values(), "alg3 must not consume randomness");
+    assert_eq!(
+        a.x.values(),
+        b.x.values(),
+        "alg3 must not consume randomness"
+    );
     let a2 = run_alg2(&g, 3, EngineConfig::seeded(1)).unwrap();
     let b2 = run_alg2(&g, 3, EngineConfig::seeded(999)).unwrap();
-    assert_eq!(a2.x.values(), b2.x.values(), "alg2 must not consume randomness");
+    assert_eq!(
+        a2.x.values(),
+        b2.x.values(),
+        "alg2 must not consume randomness"
+    );
 }
 
 /// On a disjoint union, each component's solution must equal the solution
@@ -84,8 +91,7 @@ fn solutions_are_component_local() {
     let g1 = generators::cycle(9);
     let g2 = generators::star(7);
     // Union: nodes 0..9 the cycle, 9..16 the star.
-    let mut edges: Vec<(usize, usize)> =
-        g1.edges().map(|(u, v)| (u.index(), v.index())).collect();
+    let mut edges: Vec<(usize, usize)> = g1.edges().map(|(u, v)| (u.index(), v.index())).collect();
     edges.extend(g2.edges().map(|(u, v)| (u.index() + 9, v.index() + 9)));
     let union = CsrGraph::from_edges(16, edges).unwrap();
     let k = 3;
@@ -104,8 +110,7 @@ fn solutions_are_component_local() {
 #[test]
 fn alg2_is_delta_global() {
     let g1 = generators::cycle(9);
-    let mut edges: Vec<(usize, usize)> =
-        g1.edges().map(|(u, v)| (u.index(), v.index())).collect();
+    let mut edges: Vec<(usize, usize)> = g1.edges().map(|(u, v)| (u.index(), v.index())).collect();
     // Attach a star of 30 leaves on separate nodes.
     for leaf in 10..40 {
         edges.push((9, leaf));

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-capacity bit set over dense indices `0..len`.
 ///
 /// Used for dominating-set membership, color vectors, and the branch-and-bound
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.count(), 2);
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     len: usize,
     words: Vec<u64>,
@@ -29,7 +27,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with capacity for indices `0..len`.
     pub fn new(len: usize) -> Self {
-        BitSet { len, words: vec![0; len.div_ceil(64)] }
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Creates a set containing every index in `0..len`.
@@ -106,7 +107,11 @@ impl BitSet {
 
     /// Iterates over the contained indices in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// In-place union with `other`.

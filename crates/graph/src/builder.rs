@@ -27,7 +27,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes of the graph under construction.
@@ -64,7 +67,10 @@ impl GraphBuilder {
         self.validate_endpoints(u, v)?;
         let key = Self::normalize(u, v);
         if self.edges.contains(&key) {
-            return Err(GraphError::DuplicateEdge { a: key.0 as usize, b: key.1 as usize });
+            return Err(GraphError::DuplicateEdge {
+                a: key.0 as usize,
+                b: key.1 as usize,
+            });
         }
         self.edges.push(key);
         Ok(())
@@ -89,10 +95,16 @@ impl GraphBuilder {
 
     fn validate_endpoints(&self, u: usize, v: usize) -> Result<(), GraphError> {
         if u >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: u, len: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                len: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: v, len: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                len: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });

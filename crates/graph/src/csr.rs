@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{GraphBuilder, GraphError, NodeId};
 
 /// An immutable undirected graph in compressed-sparse-row form.
@@ -33,55 +31,10 @@ use crate::{GraphBuilder, GraphError, NodeId};
 /// assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
 /// # Ok::<(), kw_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "RawCsr", into = "RawCsr")]
+#[derive(Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<u32>,
     targets: Vec<u32>,
-}
-
-/// Serde-facing raw form; validated on deserialization.
-#[derive(Serialize, Deserialize)]
-struct RawCsr {
-    offsets: Vec<u32>,
-    targets: Vec<u32>,
-}
-
-impl From<CsrGraph> for RawCsr {
-    fn from(g: CsrGraph) -> Self {
-        RawCsr { offsets: g.offsets, targets: g.targets }
-    }
-}
-
-impl TryFrom<RawCsr> for CsrGraph {
-    type Error = GraphError;
-
-    fn try_from(raw: RawCsr) -> Result<Self, Self::Error> {
-        let n = raw.offsets.len().saturating_sub(1);
-        let mut builder = GraphBuilder::new(n);
-        for v in 0..n {
-            let (lo, hi) = (raw.offsets[v] as usize, raw.offsets[v + 1] as usize);
-            if hi > raw.targets.len() || lo > hi {
-                return Err(GraphError::Parse {
-                    line: 0,
-                    reason: "corrupt CSR offsets".to_string(),
-                });
-            }
-            for &u in &raw.targets[lo..hi] {
-                if v < u as usize {
-                    builder.add_edge(v, u as usize)?;
-                }
-            }
-        }
-        let g = builder.build();
-        // Symmetry of the input is implied only if every arc had its mirror;
-        // rebuilding from the v<u arcs and comparing catches asymmetric input.
-        if g.offsets == raw.offsets && g.targets == raw.targets {
-            Ok(g)
-        } else {
-            Err(GraphError::Parse { line: 0, reason: "asymmetric or unsorted CSR".to_string() })
-        }
-    }
 }
 
 impl CsrGraph {
@@ -146,7 +99,10 @@ impl CsrGraph {
 
     /// Maximum degree `Δ` over all nodes (`0` for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.degree(NodeId::new(v))).max().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.degree(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over the open neighborhood of `v` in ascending order.
@@ -158,7 +114,9 @@ impl CsrGraph {
     pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
         let i = v.index();
         let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
-        Neighbors { inner: self.targets[lo..hi].iter() }
+        Neighbors {
+            inner: self.targets[lo..hi].iter(),
+        }
     }
 
     /// Iterates over the closed neighborhood `N_v = {v} ∪ N(v)` of `v`,
@@ -173,7 +131,10 @@ impl CsrGraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn closed_neighbors(&self, v: NodeId) -> ClosedNeighbors<'_> {
-        ClosedNeighbors { me: Some(v), rest: self.neighbors(v) }
+        ClosedNeighbors {
+            me: Some(v),
+            rest: self.neighbors(v),
+        }
     }
 
     /// Neighbor list of `v` as a slice of raw `u32` indices.
@@ -220,7 +181,10 @@ impl CsrGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn delta1(&self, v: NodeId) -> usize {
-        self.closed_neighbors(v).map(|u| self.degree(u)).max().unwrap_or(0)
+        self.closed_neighbors(v)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The maximum degree among nodes within distance 2 of `v`:
@@ -233,7 +197,10 @@ impl CsrGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn delta2(&self, v: NodeId) -> usize {
-        self.closed_neighbors(v).map(|u| self.delta1(u)).max().unwrap_or(0)
+        self.closed_neighbors(v)
+            .map(|u| self.delta1(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of all degrees (`2|E|`), i.e. the number of directed arcs.
@@ -245,7 +212,12 @@ impl CsrGraph {
 
 impl fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrGraph {{ n: {}, m: {} }}", self.len(), self.num_edges())
+        write!(
+            f,
+            "CsrGraph {{ n: {}, m: {} }}",
+            self.len(),
+            self.num_edges()
+        )
     }
 }
 
@@ -338,7 +310,10 @@ mod tests {
     #[test]
     fn closed_neighbors_includes_self_first() {
         let g = triangle_plus_pendant();
-        let ns: Vec<_> = g.closed_neighbors(NodeId::new(2)).map(NodeId::index).collect();
+        let ns: Vec<_> = g
+            .closed_neighbors(NodeId::new(2))
+            .map(NodeId::index)
+            .collect();
         assert_eq!(ns, vec![2, 0, 1, 3]);
         assert_eq!(g.closed_neighbors(NodeId::new(2)).len(), 4);
     }
@@ -381,7 +356,10 @@ mod tests {
             CsrGraph::from_edges(2, [(0, 2)]).unwrap_err(),
             GraphError::NodeOutOfRange { node: 2, len: 2 }
         );
-        assert_eq!(CsrGraph::from_edges(2, [(1, 1)]).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            CsrGraph::from_edges(2, [(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
         assert_eq!(
             CsrGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap_err(),
             GraphError::DuplicateEdge { a: 0, b: 1 }

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BitSet, CsrGraph, NodeId};
 
 /// Relative tolerance used when checking fractional coverage constraints
@@ -31,7 +29,7 @@ pub const COVERAGE_TOLERANCE: f64 = 1e-9;
 /// assert!(ds.is_dominating(&g));
 /// assert_eq!(ds.len(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct DominatingSet {
     members: BitSet,
 }
@@ -39,7 +37,9 @@ pub struct DominatingSet {
 impl DominatingSet {
     /// Creates an empty candidate set for `g`.
     pub fn new(g: &CsrGraph) -> Self {
-        DominatingSet { members: BitSet::new(g.len()) }
+        DominatingSet {
+            members: BitSet::new(g.len()),
+        }
     }
 
     /// Creates a set from node indices.
@@ -69,7 +69,9 @@ impl DominatingSet {
     /// The set of all nodes — the trivial dominating set of size `n` the
     /// paper uses as its triviality benchmark (`O(Δ)` approximation).
     pub fn all(g: &CsrGraph) -> Self {
-        DominatingSet { members: BitSet::full(g.len()) }
+        DominatingSet {
+            members: BitSet::full(g.len()),
+        }
     }
 
     /// Adds `v`; returns whether it was newly added.
@@ -168,7 +170,7 @@ impl fmt::Debug for DominatingSet {
 /// assert!(x.is_feasible(&g));
 /// assert!((x.objective() - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct FractionalAssignment {
     values: Vec<f64>,
 }
@@ -176,12 +178,16 @@ pub struct FractionalAssignment {
 impl FractionalAssignment {
     /// The all-zeros assignment for `g`.
     pub fn zeros(g: &CsrGraph) -> Self {
-        FractionalAssignment { values: vec![0.0; g.len()] }
+        FractionalAssignment {
+            values: vec![0.0; g.len()],
+        }
     }
 
     /// A constant assignment `x_i = value` for `g`.
     pub fn uniform(g: &CsrGraph, value: f64) -> Self {
-        FractionalAssignment { values: vec![value; g.len()] }
+        FractionalAssignment {
+            values: vec![value; g.len()],
+        }
     }
 
     /// Wraps a raw value vector.
@@ -191,7 +197,10 @@ impl FractionalAssignment {
     /// Panics if any value is negative or non-finite.
     pub fn from_values(values: Vec<f64>) -> Self {
         for (i, &x) in values.iter().enumerate() {
-            assert!(x.is_finite() && x >= 0.0, "x[{i}] = {x} is not a finite non-negative value");
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "x[{i}] = {x} is not a finite non-negative value"
+            );
         }
         FractionalAssignment { values }
     }
@@ -221,7 +230,10 @@ impl FractionalAssignment {
     ///
     /// Panics if `v` is out of range or `value` is negative/non-finite.
     pub fn set(&mut self, v: NodeId, value: f64) {
-        assert!(value.is_finite() && value >= 0.0, "x[{v}] = {value} is invalid");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "x[{v}] = {value} is invalid"
+        );
         self.values[v.index()] = value;
     }
 
@@ -242,12 +254,15 @@ impl FractionalAssignment {
 
     /// Whether all coverage constraints hold within [`COVERAGE_TOLERANCE`].
     pub fn is_feasible(&self, g: &CsrGraph) -> bool {
-        g.node_ids().all(|v| self.coverage(g, v) >= 1.0 - COVERAGE_TOLERANCE)
+        g.node_ids()
+            .all(|v| self.coverage(g, v) >= 1.0 - COVERAGE_TOLERANCE)
     }
 
     /// The nodes whose coverage constraint is violated (beyond tolerance).
     pub fn violated(&self, g: &CsrGraph) -> Vec<NodeId> {
-        g.node_ids().filter(|&v| self.coverage(g, v) < 1.0 - COVERAGE_TOLERANCE).collect()
+        g.node_ids()
+            .filter(|&v| self.coverage(g, v) < 1.0 - COVERAGE_TOLERANCE)
+            .collect()
     }
 
     /// Weighted objective `Σ_i c_i·x_i`.
@@ -273,7 +288,12 @@ impl FractionalAssignment {
 
 impl fmt::Debug for FractionalAssignment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FractionalAssignment(n={}, Σx={:.4})", self.len(), self.objective())
+        write!(
+            f,
+            "FractionalAssignment(n={}, Σx={:.4})",
+            self.len(),
+            self.objective()
+        )
     }
 }
 
@@ -289,7 +309,7 @@ impl fmt::Debug for FractionalAssignment {
 /// assert_eq!(w.c_max(), 4.0);
 /// # Ok::<(), kw_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct VertexWeights {
     values: Vec<f64>,
     c_max: f64,
@@ -298,7 +318,10 @@ pub struct VertexWeights {
 impl VertexWeights {
     /// Uniform cost 1 for every node of `g` (the unweighted problem).
     pub fn uniform(g: &CsrGraph) -> Self {
-        VertexWeights { values: vec![1.0; g.len()], c_max: 1.0 }
+        VertexWeights {
+            values: vec![1.0; g.len()],
+            c_max: 1.0,
+        }
     }
 
     /// Wraps a cost vector, validating the paper's normalization

@@ -38,7 +38,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, len } => {
-                write!(f, "node index {node} out of range for graph with {len} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {len} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
             GraphError::DuplicateEdge { a, b } => write!(f, "duplicate edge ({a}, {b})"),
@@ -58,12 +61,18 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::NodeOutOfRange { node: 9, len: 4 };
-        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node index 9 out of range for graph with 4 nodes"
+        );
         let e = GraphError::SelfLoop { node: 2 };
         assert_eq!(e.to_string(), "self loop at node 2");
         let e = GraphError::DuplicateEdge { a: 1, b: 3 };
         assert_eq!(e.to_string(), "duplicate edge (1, 3)");
-        let e = GraphError::Parse { line: 7, reason: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            reason: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

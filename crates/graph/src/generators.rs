@@ -33,7 +33,8 @@ pub fn empty(n: usize) -> CsrGraph {
 pub fn path(n: usize) -> CsrGraph {
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge_unchecked_duplicate(v - 1, v).expect("path edges are in range");
+        b.add_edge_unchecked_duplicate(v - 1, v)
+            .expect("path edges are in range");
     }
     b.build()
 }
@@ -47,9 +48,11 @@ pub fn cycle(n: usize) -> CsrGraph {
     assert!(n >= 3, "cycle requires n >= 3, got {n}");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge_unchecked_duplicate(v - 1, v).expect("cycle edges are in range");
+        b.add_edge_unchecked_duplicate(v - 1, v)
+            .expect("cycle edges are in range");
     }
-    b.add_edge_unchecked_duplicate(n - 1, 0).expect("cycle closing edge");
+    b.add_edge_unchecked_duplicate(n - 1, 0)
+        .expect("cycle closing edge");
     b.build()
 }
 
@@ -62,7 +65,8 @@ pub fn star(n: usize) -> CsrGraph {
     assert!(n >= 1, "star requires at least the center node");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge_unchecked_duplicate(0, v).expect("star edges are in range");
+        b.add_edge_unchecked_duplicate(0, v)
+            .expect("star edges are in range");
     }
     b.build()
 }
@@ -72,7 +76,8 @@ pub fn complete(n: usize) -> CsrGraph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge_unchecked_duplicate(u, v).expect("complete edges are in range");
+            b.add_edge_unchecked_duplicate(u, v)
+                .expect("complete edges are in range");
         }
     }
     b.build()
@@ -83,7 +88,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a {
         for v in a..(a + b) {
-            builder.add_edge_unchecked_duplicate(u, v).expect("bipartite edges are in range");
+            builder
+                .add_edge_unchecked_duplicate(u, v)
+                .expect("bipartite edges are in range");
         }
     }
     builder.build()
@@ -96,10 +103,12 @@ pub fn grid(rows: usize, cols: usize) -> CsrGraph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, c + 1)).expect("grid edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, c + 1))
+                    .expect("grid edge");
             }
             if r + 1 < rows {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(r + 1, c)).expect("grid edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(r + 1, c))
+                    .expect("grid edge");
             }
         }
     }
@@ -117,14 +126,18 @@ pub fn torus(rows: usize, cols: usize) -> CsrGraph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, c + 1)).expect("torus edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, c + 1))
+                    .expect("torus edge");
             } else if cols >= 3 {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, 0)).expect("torus wrap edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(r, 0))
+                    .expect("torus wrap edge");
             }
             if r + 1 < rows {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(r + 1, c)).expect("torus edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(r + 1, c))
+                    .expect("torus edge");
             } else if rows >= 3 {
-                b.add_edge_unchecked_duplicate(idx(r, c), idx(0, c)).expect("torus wrap edge");
+                b.add_edge_unchecked_duplicate(idx(r, c), idx(0, c))
+                    .expect("torus wrap edge");
             }
         }
     }
@@ -173,7 +186,8 @@ pub fn caterpillar(spine: usize, legs: usize) -> CsrGraph {
     let n = spine + spine * legs;
     let mut b = GraphBuilder::new(n);
     for v in 1..spine {
-        b.add_edge_unchecked_duplicate(v - 1, v).expect("spine edge");
+        b.add_edge_unchecked_duplicate(v - 1, v)
+            .expect("spine edge");
     }
     let mut leaf = spine;
     for s in 0..spine {
@@ -226,7 +240,8 @@ pub fn star_of_cliques(cliques: usize, clique_size: usize) -> CsrGraph {
         let base = 1 + c * clique_size;
         for i in 0..clique_size {
             for j in (i + 1)..clique_size {
-                b.add_edge_unchecked_duplicate(base + i, base + j).expect("clique edge");
+                b.add_edge_unchecked_duplicate(base + i, base + j)
+                    .expect("clique edge");
             }
         }
         b.add_edge_unchecked_duplicate(0, base).expect("spoke edge");
@@ -251,7 +266,8 @@ pub fn hypercube(d: u32) -> CsrGraph {
         for bit in 0..d {
             let u = v ^ (1 << bit);
             if v < u {
-                b.add_edge_unchecked_duplicate(v, u).expect("hypercube edge");
+                b.add_edge_unchecked_duplicate(v, u)
+                    .expect("hypercube edge");
             }
         }
     }
@@ -267,7 +283,10 @@ pub fn hypercube(d: u32) -> CsrGraph {
 /// exists), or if pairing repeatedly fails (astronomically unlikely for
 /// `d ≪ n`).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> CsrGraph {
-    assert!((n * d).is_multiple_of(2), "n·d must be even for a {d}-regular graph on {n} nodes");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a {d}-regular graph on {n} nodes"
+    );
     assert!(d < n, "degree {d} must be below n = {n}");
     if d == 0 {
         return CsrGraph::empty(n);
@@ -294,7 +313,8 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> CsrGr
         }
         let mut b = GraphBuilder::new(n);
         for (u, v) in edges {
-            b.add_edge_unchecked_duplicate(u, v).expect("regular edge in range");
+            b.add_edge_unchecked_duplicate(u, v)
+                .expect("regular edge in range");
         }
         return b.build();
     }
@@ -311,7 +331,10 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> CsrGr
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&p), "edge probability {p} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability {p} outside [0, 1]"
+    );
     if p <= 0.0 || n < 2 {
         return CsrGraph::empty(n);
     }
@@ -332,7 +355,8 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
             v += 1;
         }
         if v < n {
-            b.add_edge_unchecked_duplicate(w as usize, v).expect("gnp edge in range");
+            b.add_edge_unchecked_duplicate(w as usize, v)
+                .expect("gnp edge in range");
         }
     }
     b.build()
@@ -345,7 +369,10 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
 /// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
 pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_m, "requested {m} edges but only {max_m} are possible");
+    assert!(
+        m <= max_m,
+        "requested {m} edges but only {max_m} are possible"
+    );
     let mut b = GraphBuilder::new(n);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     while chosen.len() < m {
@@ -356,7 +383,8 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
         }
         let key = if u < v { (u, v) } else { (v, u) };
         if chosen.insert(key) {
-            b.add_edge_unchecked_duplicate(key.0, key.1).expect("gnm edge in range");
+            b.add_edge_unchecked_duplicate(key.0, key.1)
+                .expect("gnm edge in range");
         }
     }
     b.build()
@@ -374,8 +402,13 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
 ///
 /// Panics if `radius` is negative or non-finite.
 pub fn unit_disk<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> CsrGraph {
-    assert!(radius.is_finite() && radius >= 0.0, "radius {radius} must be finite and non-negative");
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius {radius} must be finite and non-negative"
+    );
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     unit_disk_from_points(&pts, radius)
 }
 
@@ -386,7 +419,10 @@ pub fn unit_disk<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> CsrGrap
 ///
 /// Panics if `radius` is negative or non-finite.
 pub fn unit_disk_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
-    assert!(radius.is_finite() && radius >= 0.0, "radius {radius} must be finite and non-negative");
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius {radius} must be finite and non-negative"
+    );
     let n = pts.len();
     let mut b = GraphBuilder::new(n);
     if radius == 0.0 || n < 2 {
@@ -409,7 +445,9 @@ pub fn unit_disk_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
     for (&(cx, cy), members) in &buckets {
         for dx in -1..=1i64 {
             for dy in -1..=1i64 {
-                let Some(other) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                let Some(other) = buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
                 for &i in members {
                     for &j in other {
                         if i < j {
@@ -417,7 +455,8 @@ pub fn unit_disk_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
                             let (xj, yj) = pts[j];
                             let d2 = (xi - xj).powi(2) + (yi - yj).powi(2);
                             if d2 <= r2 {
-                                b.add_edge_unchecked_duplicate(i, j).expect("udg edge in range");
+                                b.add_edge_unchecked_duplicate(i, j)
+                                    .expect("udg edge in range");
                             }
                         }
                     }
@@ -440,14 +479,19 @@ pub fn unit_disk_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
 /// Panics if `m_attach == 0` or `n < m_attach + 1`.
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> CsrGraph {
     assert!(m_attach >= 1, "attachment count must be positive");
-    assert!(n > m_attach, "need at least m_attach + 1 = {} nodes", m_attach + 1);
+    assert!(
+        n > m_attach,
+        "need at least m_attach + 1 = {} nodes",
+        m_attach + 1
+    );
     let mut b = GraphBuilder::new(n);
     // Repeated-endpoint list: sampling an index uniformly is preferential
     // attachment by degree.
     let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n * m_attach);
     for u in 0..=m_attach {
         for v in (u + 1)..=m_attach {
-            b.add_edge_unchecked_duplicate(u, v).expect("seed clique edge");
+            b.add_edge_unchecked_duplicate(u, v)
+                .expect("seed clique edge");
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -464,7 +508,8 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) 
             }
         }
         for &t in &targets {
-            b.add_edge_unchecked_duplicate(t, v).expect("ba edge in range");
+            b.add_edge_unchecked_duplicate(t, v)
+                .expect("ba edge in range");
             endpoints.push(t);
             endpoints.push(v);
         }

@@ -10,8 +10,6 @@
 //! ...
 //! ```
 //!
-//! [`CsrGraph`] also implements Serde's `Serialize`/`Deserialize` (with
-//! validation on deserialize) for structured formats.
 //!
 //! # Example
 //!
@@ -92,7 +90,12 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph, GraphError> {
         };
         b.add_edge(parse(u)?, parse(v)?)?;
     }
-    Ok(builder.ok_or(GraphError::Parse { line: 0, reason: "missing 'n <count>' header".to_string() })?.build())
+    Ok(builder
+        .ok_or(GraphError::Parse {
+            line: 0,
+            reason: "missing 'n <count>' header".to_string(),
+        })?
+        .build())
 }
 
 #[cfg(test)]

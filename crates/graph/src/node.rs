@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node in a [`CsrGraph`](crate::CsrGraph).
 ///
 /// Node ids are dense indices `0..n`. The paper labels nodes `v_1..v_n` and
@@ -15,8 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 3);
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -48,7 +48,11 @@ pub fn connected_components(g: &CsrGraph) -> Vec<usize> {
 
 /// Number of connected components (0 for the empty graph).
 pub fn num_components(g: &CsrGraph) -> usize {
-    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+    connected_components(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 /// Whether the graph is connected. The empty graph is considered connected.
@@ -136,7 +140,8 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId
         for v in g.neighbors(u) {
             let new_v = old_to_new[v.index()];
             if new_v != usize::MAX && new_u < new_v {
-                b.add_edge_unchecked_duplicate(new_u, new_v).expect("induced edge in range");
+                b.add_edge_unchecked_duplicate(new_u, new_v)
+                    .expect("induced edge in range");
             }
         }
     }
@@ -157,9 +162,10 @@ pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
     for &c in &comp {
         sizes[c] += 1;
     }
-    let big = (0..k).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).expect("k > 0");
-    let nodes: Vec<NodeId> =
-        g.node_ids().filter(|v| comp[v.index()] == big).collect();
+    let big = (0..k)
+        .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        .expect("k > 0");
+    let nodes: Vec<NodeId> = g.node_ids().filter(|v| comp[v.index()] == big).collect();
     induced_subgraph(g, &nodes)
 }
 
@@ -233,7 +239,10 @@ mod tests {
         let (big, map) = largest_component(&g);
         assert_eq!(big.len(), 3);
         assert_eq!(big.num_edges(), 3);
-        assert_eq!(map.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            map.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

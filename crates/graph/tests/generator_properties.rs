@@ -54,14 +54,22 @@ fn known_structure_facts() {
     // Caterpillar spine + two legs.
     assert_eq!(props::diameter(&generators::caterpillar(5, 2)), Some(6));
     // Complete bipartite diameter 2.
-    assert_eq!(props::diameter(&generators::complete_bipartite(3, 4)), Some(2));
+    assert_eq!(
+        props::diameter(&generators::complete_bipartite(3, 4)),
+        Some(2)
+    );
 }
 
 #[test]
 fn unit_disk_monotone_in_radius() {
     let mut rng = SmallRng::seed_from_u64(5);
     let pts: Vec<(f64, f64)> = (0..120)
-        .map(|_| (rand::Rng::gen::<f64>(&mut rng), rand::Rng::gen::<f64>(&mut rng)))
+        .map(|_| {
+            (
+                rand::Rng::gen::<f64>(&mut rng),
+                rand::Rng::gen::<f64>(&mut rng),
+            )
+        })
         .collect();
     let small = generators::unit_disk_from_points(&pts, 0.1);
     let large = generators::unit_disk_from_points(&pts, 0.2);

@@ -79,7 +79,11 @@ pub fn solve_covering(
 ) -> Result<ApproxLpSolution, LpError> {
     if weights.len() != g.len() {
         return Err(LpError::DimensionMismatch {
-            what: format!("graph has {} nodes but weights has {}", g.len(), weights.len()),
+            what: format!(
+                "graph has {} nodes but weights has {}",
+                g.len(),
+                weights.len()
+            ),
         });
     }
     assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
@@ -96,8 +100,10 @@ pub fn solve_covering(
     // constraint i gains a unit of coverage.
     let mut y = vec![1.0f64; n];
     // score[j] = Σ_{i ∈ N[j]} y_i — the covering power of column j.
-    let mut score: Vec<f64> =
-        g.node_ids().map(|j| g.closed_neighbors(j).len() as f64).collect();
+    let mut score: Vec<f64> = g
+        .node_ids()
+        .map(|j| g.closed_neighbors(j).len() as f64)
+        .collect();
     let mut raw_x = vec![0.0f64; n];
     let mut coverage = vec![0.0f64; n];
     // Backstop target: coverage ≥ ln(n)/ε² everywhere yields the classic
@@ -108,14 +114,15 @@ pub fn solve_covering(
     let check_every = n.max(64);
     let mut iterations = 0usize;
     let mut best_dual = dual_value(g, weights, &y);
-    let raw_cost = |raw: &[f64]| -> f64 {
-        raw.iter().zip(weights.iter()).map(|(x, c)| x * c).sum()
-    };
+    let raw_cost =
+        |raw: &[f64]| -> f64 { raw.iter().zip(weights.iter()).map(|(x, c)| x * c).sum() };
     let mut min_cov;
     loop {
         iterations += 1;
         if iterations > max_iterations {
-            return Err(LpError::IterationLimit { limit: max_iterations });
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
         }
         // Most cost-effective column.
         let j = g
@@ -172,7 +179,12 @@ pub fn solve_covering(
     let x = FractionalAssignment::from_values(raw_x.iter().map(|&v| v * scale).collect());
     debug_assert!(x.is_feasible(g));
     let primal_value = x.weighted_objective(weights);
-    Ok(ApproxLpSolution { x, primal_value, dual_lower_bound: best_dual, iterations })
+    Ok(ApproxLpSolution {
+        x,
+        primal_value,
+        dual_lower_bound: best_dual,
+        iterations,
+    })
 }
 
 /// Normalizes raw weights into a feasible dual and returns its value:
@@ -240,7 +252,12 @@ mod tests {
         let g = generators::grid(8, 8);
         let loose = solve_covering(&g, &VertexWeights::uniform(&g), 0.3).unwrap();
         let tight = solve_covering(&g, &VertexWeights::uniform(&g), 0.05).unwrap();
-        assert!(tight.gap() <= loose.gap() + 0.05, "{} vs {}", tight.gap(), loose.gap());
+        assert!(
+            tight.gap() <= loose.gap() + 0.05,
+            "{} vs {}",
+            tight.gap(),
+            loose.gap()
+        );
         assert!(tight.iterations > loose.iterations);
     }
 
@@ -248,10 +265,8 @@ mod tests {
     fn weighted_instances() {
         let mut rng = SmallRng::seed_from_u64(2);
         let g = generators::gnp(50, 0.1, &mut rng);
-        let w = VertexWeights::from_values(
-            (0..50).map(|_| 1.0 + rng.gen::<f64>() * 9.0).collect(),
-        )
-        .unwrap();
+        let w = VertexWeights::from_values((0..50).map(|_| 1.0 + rng.gen::<f64>() * 9.0).collect())
+            .unwrap();
         let exact = crate::domset::solve_weighted_lp_mds(&g, &w).unwrap().value;
         let sol = solve_covering(&g, &w, 0.05).unwrap();
         assert!(sol.x.is_feasible(&g));

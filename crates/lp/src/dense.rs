@@ -28,7 +28,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a nested array of rows.
@@ -41,7 +45,12 @@ impl DenseMatrix {
         let c = rows.first().map_or(0, Vec::len);
         let mut m = DenseMatrix::zeros(r, c);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), c, "row {i} has length {} but expected {c}", row.len());
+            assert_eq!(
+                row.len(),
+                c,
+                "row {i} has length {} but expected {c}",
+                row.len()
+            );
             m.data[i * c..(i + 1) * c].copy_from_slice(row);
         }
         m
@@ -102,7 +111,13 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "vector length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "vector length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         (0..self.rows)
             .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
             .collect()
@@ -113,14 +128,20 @@ impl Index<(usize, usize)> for DenseMatrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for DenseMatrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -86,7 +86,12 @@ pub fn solve_weighted_lp_mds(
         });
     }
     let lp = dual_lp(g, weights);
-    let LpSolution { value, x: y, duals: x, iterations } = solve(&lp, &SimplexOptions::default())?;
+    let LpSolution {
+        value,
+        x: y,
+        duals: x,
+        iterations,
+    } = solve(&lp, &SimplexOptions::default())?;
     debug_assert!(
         {
             let xa = FractionalAssignment::from_values(x.clone());
@@ -94,7 +99,12 @@ pub fn solve_weighted_lp_mds(
         },
         "recovered primal is infeasible"
     );
-    Ok(LpMdsSolution { value, x: FractionalAssignment::from_values(x), y, iterations })
+    Ok(LpMdsSolution {
+        value,
+        x: FractionalAssignment::from_values(x),
+        y,
+        iterations,
+    })
 }
 
 /// Whether `y` is feasible for the weighted `DLP_MDS`:
@@ -144,7 +154,11 @@ pub fn lemma1_dual(g: &CsrGraph, weights: &VertexWeights) -> Vec<f64> {
                 .closed_neighbors(i)
                 .map(|j| weights.get(j))
                 .fold(f64::INFINITY, f64::min);
-            let min_c = if min_c.is_finite() { min_c } else { weights.get(i) };
+            let min_c = if min_c.is_finite() {
+                min_c
+            } else {
+                weights.get(i)
+            };
             min_c / (g.delta1(i) as f64 + 1.0)
         })
         .collect()
@@ -177,7 +191,11 @@ mod tests {
     fn lp_mds_on_star_is_one() {
         let g = generators::star(8);
         let sol = solve_lp_mds(&g).unwrap();
-        assert!((sol.value - 1.0).abs() < 1e-9, "star LP optimum is 1, got {}", sol.value);
+        assert!(
+            (sol.value - 1.0).abs() < 1e-9,
+            "star LP optimum is 1, got {}",
+            sol.value
+        );
         assert!(sol.x.is_feasible(&g));
         assert!(is_dual_feasible(&g, &sol.y, &VertexWeights::uniform(&g)));
     }
@@ -197,7 +215,11 @@ mod tests {
         // matching dual y = 1/3.
         let g = generators::cycle(9);
         let sol = solve_lp_mds(&g).unwrap();
-        assert!((sol.value - 3.0).abs() < 1e-9, "C9 LP optimum is 3, got {}", sol.value);
+        assert!(
+            (sol.value - 3.0).abs() < 1e-9,
+            "C9 LP optimum is 3, got {}",
+            sol.value
+        );
     }
 
     #[test]

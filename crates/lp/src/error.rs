@@ -62,12 +62,26 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
-        assert!(LpError::IterationLimit { limit: 5 }.to_string().contains('5'));
-        assert!(LpError::SearchBudgetExceeded { limit: 9 }.to_string().contains('9'));
-        assert!(LpError::TooLarge { size: 10, limit: 4 }.to_string().contains("10"));
-        assert!(LpError::DimensionMismatch { what: "b".into() }.to_string().contains('b'));
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
+        assert!(LpError::IterationLimit { limit: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(LpError::SearchBudgetExceeded { limit: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(LpError::TooLarge { size: 10, limit: 4 }
+            .to_string()
+            .contains("10"));
+        assert!(LpError::DimensionMismatch { what: "b".into() }
+            .to_string()
+            .contains('b'));
     }
 
     #[test]

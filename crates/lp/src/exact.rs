@@ -28,7 +28,10 @@ pub struct ExactOptions {
 
 impl Default for ExactOptions {
     fn default() -> Self {
-        ExactOptions { max_nodes: 96, search_budget: 20_000_000 }
+        ExactOptions {
+            max_nodes: 96,
+            search_budget: 20_000_000,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ impl Default for ExactOptions {
 pub fn solve_mds(g: &CsrGraph, opts: &ExactOptions) -> Result<DominatingSet, LpError> {
     let n = g.len();
     if n > opts.max_nodes {
-        return Err(LpError::TooLarge { size: n, limit: opts.max_nodes });
+        return Err(LpError::TooLarge {
+            size: n,
+            limit: opts.max_nodes,
+        });
     }
     if n == 0 {
         return Ok(DominatingSet::new(g));
@@ -88,7 +94,10 @@ fn greedy_upper_bound(g: &CsrGraph) -> DominatingSet {
             if ds.contains(v) {
                 continue;
             }
-            let gain = g.closed_neighbors(v).filter(|u| !covered.contains(u.index())).count();
+            let gain = g
+                .closed_neighbors(v)
+                .filter(|u| !covered.contains(u.index()))
+                .count();
             if gain > best_gain {
                 best_gain = gain;
                 best = Some(v);
@@ -215,7 +224,11 @@ impl Search<'_> {
             if self.covered.contains(v.index()) {
                 continue;
             }
-            if self.g.closed_neighbors(v).all(|u| !claimed.contains(u.index())) {
+            if self
+                .g
+                .closed_neighbors(v)
+                .all(|u| !claimed.contains(u.index()))
+            {
                 for u in self.g.closed_neighbors(v) {
                     claimed.insert(u.index());
                 }
@@ -299,15 +312,28 @@ mod tests {
     #[test]
     fn size_guard() {
         let g = CsrGraph::empty(10);
-        let err = solve_mds(&g, &ExactOptions { max_nodes: 5, ..Default::default() }).unwrap_err();
+        let err = solve_mds(
+            &g,
+            &ExactOptions {
+                max_nodes: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, LpError::TooLarge { size: 10, limit: 5 });
     }
 
     #[test]
     fn budget_guard() {
         let g = generators::grid(4, 4);
-        let err =
-            solve_mds(&g, &ExactOptions { search_budget: 1, ..Default::default() }).unwrap_err();
+        let err = solve_mds(
+            &g,
+            &ExactOptions {
+                search_budget: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, LpError::SearchBudgetExceeded { limit: 1 });
     }
 

@@ -92,7 +92,11 @@ pub struct SimplexOptions {
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        SimplexOptions { max_iterations: 200_000, bland_after: 20_000, eps: 1e-9 }
+        SimplexOptions {
+            max_iterations: 200_000,
+            bland_after: 20_000,
+            eps: 1e-9,
+        }
     }
 }
 
@@ -125,7 +129,12 @@ pub fn solve(lp: &StandardLp, opts: &SimplexOptions) -> Result<LpSolution, LpErr
         if lp.objective.iter().any(|&c| c > opts.eps) {
             return Err(LpError::Unbounded);
         }
-        return Ok(LpSolution { value: 0.0, x: vec![0.0; n], duals: vec![], iterations: 0 });
+        return Ok(LpSolution {
+            value: 0.0,
+            x: vec![0.0; n],
+            duals: vec![],
+            iterations: 0,
+        });
     }
     let mut t = Tableau::new(lp, opts);
     let mut iterations = 0usize;
@@ -249,8 +258,9 @@ impl<'a> Tableau<'a> {
             return;
         }
         // Rebuild the tableau without the redundant rows.
-        let keep: Vec<usize> =
-            (0..self.rows.rows()).filter(|i| !redundant.contains(i)).collect();
+        let keep: Vec<usize> = (0..self.rows.rows())
+            .filter(|i| !redundant.contains(i))
+            .collect();
         let total = self.total_cols();
         let mut rows = DenseMatrix::zeros(keep.len(), total + 1);
         let mut basis = Vec::with_capacity(keep.len());
@@ -279,10 +289,16 @@ impl<'a> Tableau<'a> {
     /// Runs simplex pivots until optimality for the current z-row.
     fn iterate(&mut self, iterations: &mut usize, allow_artificial: bool) -> Result<(), LpError> {
         let eps = self.opts.eps;
-        let enter_limit = if allow_artificial { self.total_cols() } else { self.n + self.m };
+        let enter_limit = if allow_artificial {
+            self.total_cols()
+        } else {
+            self.n + self.m
+        };
         loop {
             if *iterations >= self.opts.max_iterations {
-                return Err(LpError::IterationLimit { limit: self.opts.max_iterations });
+                return Err(LpError::IterationLimit {
+                    limit: self.opts.max_iterations,
+                });
             }
             let bland = *iterations >= self.opts.bland_after;
             // Entering column: most negative reduced cost (Dantzig) or the
@@ -320,7 +336,9 @@ impl<'a> Tableau<'a> {
                     }
                 }
             }
-            let Some(row) = leaving else { return Err(LpError::Unbounded) };
+            let Some(row) = leaving else {
+                return Err(LpError::Unbounded);
+            };
             self.pivot(row, col);
             *iterations += 1;
         }
@@ -383,7 +401,12 @@ impl<'a> Tableau<'a> {
         for &orig in &self.dropped_rows {
             duals[orig] = 0.0;
         }
-        LpSolution { value: self.z[total], x, duals, iterations }
+        LpSolution {
+            value: self.z[total],
+            x,
+            duals,
+            iterations,
+        }
     }
 }
 
@@ -392,7 +415,11 @@ mod tests {
     use super::*;
 
     fn lp(c: Vec<f64>, a: &[Vec<f64>], b: Vec<f64>) -> StandardLp {
-        StandardLp { objective: c, constraints: DenseMatrix::from_rows(a), rhs: b }
+        StandardLp {
+            objective: c,
+            constraints: DenseMatrix::from_rows(a),
+            rhs: b,
+        }
     }
 
     /// Verifies the optimality certificate: primal feasibility, dual
@@ -411,19 +438,39 @@ mod tests {
         }
         // yᵀA ≥ c (dual feasibility for max/≤/x≥0).
         for j in 0..problem.objective.len() {
-            let lhs: f64 =
-                (0..problem.rhs.len()).map(|i| sol.duals[i] * problem.constraints[(i, j)]).sum();
-            assert!(lhs >= problem.objective[j] - eps, "dual constraint {j}: {lhs}");
+            let lhs: f64 = (0..problem.rhs.len())
+                .map(|i| sol.duals[i] * problem.constraints[(i, j)])
+                .sum();
+            assert!(
+                lhs >= problem.objective[j] - eps,
+                "dual constraint {j}: {lhs}"
+            );
         }
-        let primal: f64 = problem.objective.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+        let primal: f64 = problem
+            .objective
+            .iter()
+            .zip(&sol.x)
+            .map(|(c, x)| c * x)
+            .sum();
         let dual: f64 = sol.duals.iter().zip(&problem.rhs).map(|(y, b)| y * b).sum();
-        assert!((primal - sol.value).abs() < eps, "reported value {} != cᵀx {primal}", sol.value);
-        assert!((primal - dual).abs() < eps, "duality gap: {primal} vs {dual}");
+        assert!(
+            (primal - sol.value).abs() < eps,
+            "reported value {} != cᵀx {primal}",
+            sol.value
+        );
+        assert!(
+            (primal - dual).abs() < eps,
+            "duality gap: {primal} vs {dual}"
+        );
     }
 
     #[test]
     fn textbook_two_by_two() {
-        let p = lp(vec![1.0, 1.0], &[vec![1.0, 2.0], vec![3.0, 1.0]], vec![4.0, 6.0]);
+        let p = lp(
+            vec![1.0, 1.0],
+            &[vec![1.0, 2.0], vec![3.0, 1.0]],
+            vec![4.0, 6.0],
+        );
         let sol = solve(&p, &SimplexOptions::default()).unwrap();
         assert!((sol.value - 2.8).abs() < 1e-9);
         assert!((sol.x[0] - 1.6).abs() < 1e-9);
@@ -434,14 +481,20 @@ mod tests {
     #[test]
     fn unbounded_detected() {
         let p = lp(vec![1.0, 0.0], &[vec![-1.0, 1.0]], vec![1.0]);
-        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Unbounded);
+        assert_eq!(
+            solve(&p, &SimplexOptions::default()).unwrap_err(),
+            LpError::Unbounded
+        );
     }
 
     #[test]
     fn infeasible_detected() {
         // x ≤ -1 with x ≥ 0 is infeasible.
         let p = lp(vec![1.0], &[vec![1.0]], vec![-1.0]);
-        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            solve(&p, &SimplexOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     #[test]
@@ -453,7 +506,11 @@ mod tests {
             vec![-2.0, 5.0, 5.0],
         );
         let sol = solve(&p, &SimplexOptions::default()).unwrap();
-        assert!((sol.value + 2.0).abs() < 1e-9, "minimum of x1+x2 at 2, got {}", sol.value);
+        assert!(
+            (sol.value + 2.0).abs() < 1e-9,
+            "minimum of x1+x2 at 2, got {}",
+            sol.value
+        );
         assert_certificate(&p, &sol);
     }
 
@@ -470,7 +527,10 @@ mod tests {
             vec![0.0, 0.0, 1.0],
         );
         // Beale's cycling example: must terminate thanks to Bland fallback.
-        let opts = SimplexOptions { bland_after: 0, ..Default::default() };
+        let opts = SimplexOptions {
+            bland_after: 0,
+            ..Default::default()
+        };
         let sol = solve(&p, &opts).unwrap();
         assert!((sol.value - 0.05).abs() < 1e-9);
         assert_certificate(&p, &sol);
@@ -498,7 +558,10 @@ mod tests {
             constraints: DenseMatrix::zeros(0, 1),
             rhs: vec![],
         };
-        assert_eq!(solve(&p, &SimplexOptions::default()).unwrap_err(), LpError::Unbounded);
+        assert_eq!(
+            solve(&p, &SimplexOptions::default()).unwrap_err(),
+            LpError::Unbounded
+        );
     }
 
     #[test]
@@ -521,8 +584,15 @@ mod tests {
 
     #[test]
     fn iteration_limit_enforced() {
-        let p = lp(vec![1.0, 1.0], &[vec![1.0, 2.0], vec![3.0, 1.0]], vec![4.0, 6.0]);
-        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        let p = lp(
+            vec![1.0, 1.0],
+            &[vec![1.0, 2.0], vec![3.0, 1.0]],
+            vec![4.0, 6.0],
+        );
+        let opts = SimplexOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
         assert_eq!(
             solve(&p, &opts).unwrap_err(),
             LpError::IterationLimit { limit: 0 }
@@ -533,7 +603,11 @@ mod tests {
     fn redundant_equality_like_rows() {
         // Two copies of the same binding constraint plus its negation pair:
         // x1 + x2 ≤ 1, -x1 - x2 ≤ -1 (forces equality), maximize x1.
-        let p = lp(vec![1.0, 0.0], &[vec![1.0, 1.0], vec![-1.0, -1.0]], vec![1.0, -1.0]);
+        let p = lp(
+            vec![1.0, 0.0],
+            &[vec![1.0, 1.0], vec![-1.0, -1.0]],
+            vec![1.0, -1.0],
+        );
         let sol = solve(&p, &SimplexOptions::default()).unwrap();
         assert!((sol.value - 1.0).abs() < 1e-9);
         assert_certificate(&p, &sol);

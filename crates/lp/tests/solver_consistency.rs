@@ -20,9 +20,15 @@ fn all_solvers_agree_on_vertex_transitive_graphs() {
         (generators::torus(4, 4), 16.0 / 5.0),
     ] {
         let lp = domset::solve_lp_mds(&g).unwrap().value;
-        assert!((lp - expect_lp).abs() < 1e-7, "simplex {lp} vs expected {expect_lp} on {g:?}");
+        assert!(
+            (lp - expect_lp).abs() < 1e-7,
+            "simplex {lp} vs expected {expect_lp} on {g:?}"
+        );
         let lemma1 = bounds::lemma1_bound(&g);
-        assert!((lemma1 - expect_lp).abs() < 1e-9, "lemma1 is tight on regular graphs");
+        assert!(
+            (lemma1 - expect_lp).abs() < 1e-9,
+            "lemma1 is tight on regular graphs"
+        );
         let approx = solve_covering(&g, &VertexWeights::uniform(&g), 0.05).unwrap();
         assert!(approx.dual_lower_bound <= lp + 1e-7);
         assert!(approx.primal_value >= lp - 1e-7);

@@ -62,7 +62,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Config with a specific run seed, other fields default.
     pub fn seeded(seed: u64) -> Self {
-        EngineConfig { seed, ..Self::default() }
+        EngineConfig {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -134,7 +137,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let mut rngs = Vec::with_capacity(n);
         for v in 0..n {
             let seed = node_seed(config.seed, v as u32);
-            let info = NodeInfo { id: NodeId::new(v), degree: graph.degree(NodeId::new(v)), seed };
+            let info = NodeInfo {
+                id: NodeId::new(v),
+                degree: graph.degree(NodeId::new(v)),
+                seed,
+            };
             nodes.push(factory(info));
             rngs.push(SmallRng::seed_from_u64(seed));
         }
@@ -189,7 +196,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let mut round = 0usize;
         loop {
             if round >= self.config.max_rounds {
-                return Err(SimError::MaxRoundsExceeded { limit: self.config.max_rounds });
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: self.config.max_rounds,
+                });
             }
             self.compute_phase(round);
             metrics.rounds = round + 1;
@@ -206,7 +215,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
         metrics.max_node_messages = self.node_messages.iter().copied().max().unwrap_or(0);
         let outputs = self.nodes.into_iter().map(P::finish).collect();
-        Ok(RunReport { outputs, metrics, node_messages: self.node_messages })
+        Ok(RunReport {
+            outputs,
+            metrics,
+            node_messages: self.node_messages,
+        })
     }
 
     /// Calls `on_round` on every running node, filling outboxes.
@@ -233,17 +246,14 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let rngs = self.rngs.chunks_mut(chunk);
         let halted = self.halted.chunks_mut(chunk);
         let outboxes = self.outboxes.chunks_mut(chunk);
-        crossbeam::thread::scope(|s| {
-            for (i, (((nc, rc), hc), oc)) in
-                nodes.zip(rngs).zip(halted).zip(outboxes).enumerate()
-            {
+        std::thread::scope(|s| {
+            for (i, (((nc, rc), hc), oc)) in nodes.zip(rngs).zip(halted).zip(outboxes).enumerate() {
                 let base = i * chunk;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     Self::compute_range(graph, round, base, nc, rc, hc, oc, inboxes);
                 });
             }
-        })
-        .expect("compute phase worker panicked");
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -334,17 +344,23 @@ impl<'g, P: Protocol> Engine<'g, P> {
             );
         } else {
             let chunk = n.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (i, inbox_chunk) in self.next_inboxes.chunks_mut(chunk).enumerate() {
                     let base = i * chunk;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         Self::deliver_range(
-                            graph, base, inbox_chunk, outboxes, rev_ports, halted, faults, round,
+                            graph,
+                            base,
+                            inbox_chunk,
+                            outboxes,
+                            rev_ports,
+                            halted,
+                            faults,
+                            round,
                         );
                     });
                 }
-            })
-            .expect("delivery phase worker panicked");
+            });
         }
         std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
         for outbox in &mut self.outboxes {
@@ -391,7 +407,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
 
     fn effective_threads(&self) -> usize {
         if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         }
@@ -431,14 +449,13 @@ mod tests {
         }
     }
 
-    fn flood_report(
-        g: &CsrGraph,
-        rounds: usize,
-        config: EngineConfig,
-    ) -> RunReport<u64> {
-        Engine::new(g, config, |info| MaxFlood { best: info.id.raw() as u64, rounds_left: rounds })
-            .run()
-            .expect("flood terminates")
+    fn flood_report(g: &CsrGraph, rounds: usize, config: EngineConfig) -> RunReport<u64> {
+        Engine::new(g, config, |info| MaxFlood {
+            best: info.id.raw() as u64,
+            rounds_left: rounds,
+        })
+        .run()
+        .expect("flood terminates")
     }
 
     #[test]
@@ -473,11 +490,19 @@ mod tests {
     #[test]
     fn per_round_metrics_recorded_when_enabled() {
         let g = generators::cycle(4);
-        let config = EngineConfig { record_per_round: true, ..Default::default() };
+        let config = EngineConfig {
+            record_per_round: true,
+            ..Default::default()
+        };
         let report = flood_report(&g, 2, config);
         assert_eq!(report.metrics.per_round.len(), report.metrics.rounds);
         assert_eq!(
-            report.metrics.per_round.iter().map(|r| r.messages).sum::<u64>(),
+            report
+                .metrics
+                .per_round
+                .iter()
+                .map(|r| r.messages)
+                .sum::<u64>(),
             report.metrics.messages
         );
     }
@@ -486,8 +511,22 @@ mod tests {
     fn parallel_matches_sequential() {
         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(77);
         let g = generators::gnp(120, 0.06, &mut rng);
-        let seq = flood_report(&g, 8, EngineConfig { threads: 1, ..Default::default() });
-        let par = flood_report(&g, 8, EngineConfig { threads: 4, ..Default::default() });
+        let seq = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
         assert_eq!(seq.node_messages, par.node_messages);
@@ -505,9 +544,16 @@ mod tests {
             fn finish(self) {}
         }
         let g = generators::path(2);
-        let err = Engine::new(&g, EngineConfig { max_rounds: 10, ..Default::default() }, |_| Forever)
-            .run()
-            .unwrap_err();
+        let err = Engine::new(
+            &g,
+            EngineConfig {
+                max_rounds: 10,
+                ..Default::default()
+            },
+            |_| Forever,
+        )
+        .run()
+        .unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
     }
 
@@ -589,9 +635,16 @@ mod tests {
             fn finish(self) {}
         }
         let g = generators::path(2);
-        let err = Engine::new(&g, EngineConfig { check_wire: true, ..Default::default() }, |_| Sender)
-            .run()
-            .unwrap_err();
+        let err = Engine::new(
+            &g,
+            EngineConfig {
+                check_wire: true,
+                ..Default::default()
+            },
+            |_| Sender,
+        )
+        .run()
+        .unwrap_err();
         assert_eq!(err, SimError::WireMismatch { round: 0 });
     }
 

@@ -29,7 +29,10 @@ impl fmt::Display for SimError {
                 write!(f, "protocol did not halt within {limit} rounds")
             }
             SimError::WireMismatch { round } => {
-                write!(f, "message wire encoding did not round-trip in round {round}")
+                write!(
+                    f,
+                    "message wire encoding did not round-trip in round {round}"
+                )
             }
         }
     }
@@ -47,7 +50,9 @@ mod tests {
             SimError::MaxRoundsExceeded { limit: 10 }.to_string(),
             "protocol did not halt within 10 rounds"
         );
-        assert!(SimError::WireMismatch { round: 3 }.to_string().contains("round 3"));
+        assert!(SimError::WireMismatch { round: 3 }
+            .to_string()
+            .contains("round 3"));
     }
 
     #[test]

@@ -10,12 +10,10 @@
 //! some neighbors and not others, matching radio-interference semantics.
 //! Metrics still charge the sender for every transmitted copy.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::split_mix64;
 
 /// A deterministic message-loss model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Probability that any individual delivered message copy is lost.
     drop_probability: f64,
@@ -26,7 +24,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A reliable network (drops nothing).
     pub fn reliable() -> Self {
-        FaultPlan { drop_probability: 0.0, seed: 0 }
+        FaultPlan {
+            drop_probability: 0.0,
+            seed: 0,
+        }
     }
 
     /// Drops each delivered message copy independently with probability
@@ -40,7 +41,10 @@ impl FaultPlan {
             (0.0..1.0).contains(&drop_probability),
             "drop probability {drop_probability} outside [0, 1)"
         );
-        FaultPlan { drop_probability, seed }
+        FaultPlan {
+            drop_probability,
+            seed,
+        }
     }
 
     /// The configured drop probability.

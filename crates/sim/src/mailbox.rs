@@ -37,7 +37,9 @@ impl<'a, M> Inbox<'a, M> {
 
     /// Iterates over `(port, message)` pairs.
     pub fn iter(&self) -> InboxIter<'a, M> {
-        InboxIter { inner: self.items.iter() }
+        InboxIter {
+            inner: self.items.iter(),
+        }
     }
 }
 
@@ -46,7 +48,9 @@ impl<'a, M> IntoIterator for Inbox<'a, M> {
     type IntoIter = InboxIter<'a, M>;
 
     fn into_iter(self) -> Self::IntoIter {
-        InboxIter { inner: self.items.iter() }
+        InboxIter {
+            inner: self.items.iter(),
+        }
     }
 }
 
@@ -130,7 +134,11 @@ impl<'a, M> Ctx<'a, M> {
     ///
     /// Panics if `port >= degree`.
     pub fn send(&mut self, port: u32, msg: M) {
-        assert!(port < self.degree, "port {port} out of range for degree {}", self.degree);
+        assert!(
+            port < self.degree,
+            "port {port} out of range for degree {}",
+            self.degree
+        );
         self.outbox.push(Outbound::Unicast { port, msg });
     }
 
@@ -151,7 +159,14 @@ mod tests {
         outbox: &'a mut Vec<Outbound<u64>>,
         rng: &'a mut SmallRng,
     ) -> Ctx<'a, u64> {
-        Ctx { node: NodeId::new(0), degree: 2, round: 3, inbox, outbox, rng }
+        Ctx {
+            node: NodeId::new(0),
+            degree: 2,
+            round: 3,
+            inbox,
+            outbox,
+            rng,
+        }
     }
 
     #[test]
@@ -187,7 +202,14 @@ mod tests {
         let inbox = vec![];
         let mut outbox: Vec<Outbound<u64>> = Vec::new();
         let mut rng = SmallRng::seed_from_u64(0);
-        let mut c = Ctx { node: NodeId::new(1), degree: 0, round: 0, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        let mut c = Ctx {
+            node: NodeId::new(1),
+            degree: 0,
+            round: 0,
+            inbox: &inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
         c.broadcast(5);
         assert!(outbox.is_empty());
     }

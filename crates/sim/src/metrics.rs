@@ -1,9 +1,7 @@
 //! Run-level communication accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Communication counters for a single round.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundMetrics {
     /// Point-to-point messages sent this round (a broadcast by a node of
     /// degree `d` counts as `d` messages).
@@ -18,7 +16,7 @@ pub struct RoundMetrics {
 /// `rounds` against Theorem 4 (`2k²`) / Theorem 5 (`4k² + O(k)`),
 /// `max_node_messages` against the `O(k²Δ)` per-node message bound, and
 /// `max_message_bits` against the `O(log Δ)` message-size bound.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Number of synchronous rounds executed (compute steps).
     pub rounds: usize,
@@ -52,6 +50,22 @@ impl RunMetrics {
             self.bits as f64 / self.messages as f64
         }
     }
+
+    /// Combines the metrics of two consecutive stages of a composed
+    /// algorithm: counters add, maxima take the max, and per-round traces
+    /// concatenate in stage order.
+    pub fn merged(&self, later: &RunMetrics) -> RunMetrics {
+        let mut per_round = self.per_round.clone();
+        per_round.extend(later.per_round.iter().copied());
+        RunMetrics {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            bits: self.bits + later.bits,
+            max_message_bits: self.max_message_bits.max(later.max_message_bits),
+            max_node_messages: self.max_node_messages.max(later.max_node_messages),
+            per_round,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +91,39 @@ mod tests {
         let m = RunMetrics::default();
         assert_eq!(m.messages_per_round(), 0.0);
         assert_eq!(m.bits_per_message(), 0.0);
+    }
+
+    #[test]
+    fn merged_adds_counters_and_maxes_peaks() {
+        let a = RunMetrics {
+            rounds: 4,
+            messages: 8,
+            bits: 64,
+            max_message_bits: 16,
+            max_node_messages: 5,
+            per_round: vec![RoundMetrics {
+                messages: 8,
+                bits: 64,
+            }],
+        };
+        let b = RunMetrics {
+            rounds: 2,
+            messages: 3,
+            bits: 9,
+            max_message_bits: 7,
+            max_node_messages: 11,
+            per_round: vec![RoundMetrics {
+                messages: 3,
+                bits: 9,
+            }],
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.rounds, 6);
+        assert_eq!(m.messages, 11);
+        assert_eq!(m.bits, 73);
+        assert_eq!(m.max_message_bits, 16);
+        assert_eq!(m.max_node_messages, 11);
+        assert_eq!(m.per_round.len(), 2);
+        assert_eq!(a.merged(&RunMetrics::default()), a);
     }
 }

@@ -13,8 +13,6 @@
 //!
 //! [`RunMetrics`]: crate::RunMetrics
 
-use bytes::{BufMut, BytesMut};
-
 /// Append-only bit buffer used to encode messages.
 ///
 /// # Example
@@ -37,7 +35,7 @@ use bytes::{BufMut, BytesMut};
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct BitWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     /// Bits used in the final byte (0 means byte-aligned).
     partial_bits: u8,
 }
@@ -60,7 +58,7 @@ impl BitWriter {
     /// Appends a single bit.
     pub fn write_bit(&mut self, bit: bool) {
         if self.partial_bits == 0 {
-            self.buf.put_u8(0);
+            self.buf.push(0);
         }
         if bit {
             let last = self.buf.len() - 1;
@@ -105,7 +103,7 @@ impl BitWriter {
     }
 
     /// Consumes the writer, returning the padded byte buffer.
-    pub fn into_bytes(self) -> BytesMut {
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
@@ -247,7 +245,9 @@ mod tests {
     #[test]
     fn bit_roundtrip() {
         let mut w = BitWriter::new();
-        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        let pattern = [
+            true, false, true, true, false, false, false, true, true, false,
+        ];
         for &b in &pattern {
             w.write_bit(b);
         }
@@ -261,11 +261,22 @@ mod tests {
 
     #[test]
     fn bits_roundtrip_various_widths() {
-        for (v, width) in [(0u64, 1u8), (1, 1), (5, 3), (255, 8), (1 << 20, 21), (u64::MAX, 64)] {
+        for (v, width) in [
+            (0u64, 1u8),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (1 << 20, 21),
+            (u64::MAX, 64),
+        ] {
             let mut w = BitWriter::new();
             w.write_bits(v, width);
             let bytes = w.into_bytes();
-            assert_eq!(BitReader::new(&bytes).read_bits(width), Some(v), "v={v} width={width}");
+            assert_eq!(
+                BitReader::new(&bytes).read_bits(width),
+                Some(v),
+                "v={v} width={width}"
+            );
         }
     }
 

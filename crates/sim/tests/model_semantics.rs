@@ -18,7 +18,10 @@ impl WireEncode for Tagged {
     }
 
     fn decode(r: &mut BitReader<'_>) -> Option<Self> {
-        Some(Tagged { from: u32::try_from(r.read_gamma()?).ok()?, payload: r.read_gamma()? })
+        Some(Tagged {
+            from: u32::try_from(r.read_gamma()?).ok()?,
+            payload: r.read_gamma()?,
+        })
     }
 }
 
@@ -39,7 +42,10 @@ impl Protocol for PortAudit {
     fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged>) -> Status {
         match ctx.round() {
             0 => {
-                ctx.broadcast(Tagged { from: self.me, payload: 0 });
+                ctx.broadcast(Tagged {
+                    from: self.me,
+                    payload: 0,
+                });
                 Status::Running
             }
             1 => {
@@ -56,7 +62,13 @@ impl Protocol for PortAudit {
                 self.ok &= ids == sorted;
                 self.neighbors = ids;
                 for port in 0..ctx.degree() {
-                    ctx.send(port, Tagged { from: self.me, payload: u64::from(port) + 1 });
+                    ctx.send(
+                        port,
+                        Tagged {
+                            from: self.me,
+                            payload: u64::from(port) + 1,
+                        },
+                    );
                 }
                 Status::Running
             }
@@ -79,11 +91,18 @@ impl Protocol for PortAudit {
 }
 
 fn run_audit(g: &CsrGraph, threads: usize) -> Vec<bool> {
-    Engine::new(g, EngineConfig { threads, ..Default::default() }, |info| PortAudit {
-        me: info.id.raw(),
-        neighbors: Vec::new(),
-        ok: true,
-    })
+    Engine::new(
+        g,
+        EngineConfig {
+            threads,
+            ..Default::default()
+        },
+        |info| PortAudit {
+            me: info.id.raw(),
+            neighbors: Vec::new(),
+            ok: true,
+        },
+    )
     .run()
     .expect("audit protocol terminates")
     .outputs
@@ -121,7 +140,10 @@ impl Protocol for StaggeredHalt {
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged>) -> Status {
         self.rounds_seen += 1;
-        ctx.broadcast(Tagged { from: self.me, payload: 1 });
+        ctx.broadcast(Tagged {
+            from: self.me,
+            payload: 1,
+        });
         // Node v halts after v+1 rounds.
         if self.rounds_seen > self.me {
             Status::Halted
@@ -167,7 +189,10 @@ impl Protocol for DeliveryCounter {
             return Status::Halted;
         }
         self.rounds_left -= 1;
-        ctx.broadcast(Tagged { from: 0, payload: 7 });
+        ctx.broadcast(Tagged {
+            from: 0,
+            payload: 7,
+        });
         Status::Running
     }
 
@@ -194,7 +219,10 @@ fn fault_plan_loss_rate_at_engine_level() {
                 },
                 ..Default::default()
             },
-            |_| DeliveryCounter { received: 0, rounds_left: rounds },
+            |_| DeliveryCounter {
+                received: 0,
+                rounds_left: rounds,
+            },
         )
         .run()
         .unwrap()
@@ -206,7 +234,11 @@ fn fault_plan_loss_rate_at_engine_level() {
     let lossy = run(0.25, 1);
     let rate = 1.0 - lossy as f64 / lossless as f64;
     assert!((rate - 0.25).abs() < 0.02, "observed loss rate {rate}");
-    assert_eq!(lossy, run(0.25, 4), "loss pattern must not depend on threads");
+    assert_eq!(
+        lossy,
+        run(0.25, 4),
+        "loss pattern must not depend on threads"
+    );
 }
 
 #[test]
@@ -232,7 +264,10 @@ fn node_info_reports_graph_facts() {
     let mut degrees = Vec::new();
     let _ = Engine::new(&g, EngineConfig::default(), |info| {
         degrees.push((info.id, info.degree));
-        DeliveryCounter { received: 0, rounds_left: 0 }
+        DeliveryCounter {
+            received: 0,
+            rounds_left: 0,
+        }
     });
     assert_eq!(degrees.len(), 6);
     assert_eq!(degrees[0], (NodeId::new(0), 5));

@@ -16,6 +16,22 @@ use kw_graph::generators;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+fn solve(
+    g: &CsrGraph,
+    solver: &dyn DsSolver,
+    seed: u64,
+) -> Result<SolveReport, Box<dyn std::error::Error>> {
+    let report = solver.solve(g, &SolveContext::seeded(seed))?;
+    assert!(
+        report
+            .certificate
+            .as_ref()
+            .expect("certificates on")
+            .dominates
+    );
+    Ok(report)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 400;
     let radio_range = 0.08;
@@ -30,9 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let k = 2;
-    let outcome = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, 5)?;
+    let solver = kw_domset::default_registry().build(&format!("kw:k={k}"))?;
+    let outcome = solve(&g, &solver, 5)?;
     let heads = &outcome.dominating_set;
-    assert!(heads.is_dominating(&g));
 
     // Each device attaches to the first head in its closed neighborhood.
     let mut cluster_sizes = vec![0usize; g.len()];
@@ -43,19 +59,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             attached += 1;
         }
     }
-    let sizes: Vec<usize> =
-        heads.iter().map(|h| cluster_sizes[h.index()]).collect();
+    let sizes: Vec<usize> = heads.iter().map(|h| cluster_sizes[h.index()]).collect();
     let avg = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
     let max = sizes.iter().copied().max().unwrap_or(0);
 
-    println!("\ncluster heads elected: {} ({:.1}% of devices)", heads.len(), 100.0 * heads.len() as f64 / n as f64);
+    println!(
+        "\ncluster heads elected: {} ({:.1}% of devices)",
+        heads.len(),
+        100.0 * heads.len() as f64 / n as f64
+    );
     println!("devices attached:      {attached} / {n}");
     println!("cluster size:          avg {avg:.1}, max {max}");
     println!(
         "election cost:         {} rounds, {} messages, ≤{} bits/message",
-        outcome.total_rounds(),
-        outcome.total_messages(),
-        outcome.max_message_bits()
+        outcome.rounds(),
+        outcome.messages(),
+        outcome.metrics.max_message_bits
     );
 
     // Why constant rounds matter for mobility: re-elect after every device
@@ -69,11 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let g2 = generators::unit_disk_from_points(&moved, radio_range);
-    let outcome2 = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g2, 6)?;
+    let outcome2 = solve(&g2, &solver, 6)?;
     println!(
         "\nafter mobility step:   {} heads, re-elected in the same {} rounds",
-        outcome2.dominating_set.len(),
-        outcome2.total_rounds()
+        outcome2.size(),
+        outcome2.rounds()
     );
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Quickstart: run the Kuhn–Wattenhofer pipeline on a random network and
-//! compare it against the classical baselines.
+//! compare it against the classical baselines — all through the unified
+//! `DsSolver` trait and the solver registry.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -13,55 +14,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A sparse random network of 500 nodes.
     let mut rng = SmallRng::seed_from_u64(42);
     let g = kw_graph::generators::gnp(500, 0.012, &mut rng);
-    println!("graph: n = {}, m = {}, Δ = {}", g.len(), g.num_edges(), g.max_degree());
+    println!(
+        "graph: n = {}, m = {}, Δ = {}",
+        g.len(),
+        g.num_edges(),
+        g.max_degree()
+    );
 
-    // The paper's algorithm: Algorithm 3 (no global knowledge) followed by
-    // randomized rounding, k = 3.
+    // Every algorithm is a registry spec; every run is `solver.solve`.
+    let registry = kw_domset::default_registry();
     let k = 3;
-    let outcome = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, 7)?;
-    assert!(outcome.dominating_set.is_dominating(&g));
+    let specs = [
+        format!("kw:k={k}"),            // the paper's algorithm (Theorem 6)
+        "jrs".to_string(),              // JRS / LRG (PODC 2001)
+        "luby-mis".to_string(),         // MIS-based baseline
+        "greedy".to_string(),           // sequential ln Δ yardstick
+        "trivial".to_string(),          // all nodes
+        format!("connected(kw:k={k})"), // CDS backbone variant
+    ];
+    let ctx = SolveContext::seeded(7);
 
-    // Baselines.
-    let greedy = kw_baselines::greedy::greedy_mds(&g);
-    let mis = kw_baselines::luby_mis::run_luby_mis(&g, 7)?;
-    let jrs = kw_baselines::jrs::run_jrs(&g, 7)?;
-    let lower = kw_lp::bounds::lemma1_bound(&g);
+    println!(
+        "\n{:<28} {:>8} {:>9} {:>12} {:>9}",
+        "solver spec", "|DS|", "rounds", "msgs", "ratio*"
+    );
+    println!("{:-<70}", "");
+    let mut kw_report = None;
+    for spec in &specs {
+        let solver = registry.build(spec)?;
+        let report = solver.solve(&g, &ctx)?;
+        let cert = report
+            .certificate
+            .as_ref()
+            .expect("certificates default on");
+        assert!(cert.dominates, "{spec} failed to dominate");
+        println!(
+            "{:<28} {:>8} {:>9} {:>12} {:>9.2}",
+            spec,
+            report.size(),
+            if report.rounds() > 0 {
+                report.rounds().to_string()
+            } else {
+                "-".into()
+            },
+            if report.messages() > 0 {
+                report.messages().to_string()
+            } else {
+                "-".into()
+            },
+            cert.ratio_vs_lemma1,
+        );
+        if spec.starts_with("kw:") {
+            kw_report = Some(report);
+        }
+    }
+    let kw = kw_report.expect("kw ran");
+    let cert = kw.certificate.as_ref().unwrap();
 
-    println!("\n{:<28} {:>8} {:>9} {:>12}", "algorithm", "|DS|", "rounds", "msgs");
-    println!("{:-<60}", "");
     println!(
-        "{:<28} {:>8} {:>9} {:>12}",
-        format!("Kuhn-Wattenhofer (k={k})"),
-        outcome.dominating_set.len(),
-        outcome.total_rounds(),
-        outcome.total_messages()
+        "\n(*) ratio vs the Lemma-1 lower bound {:.1} on OPT",
+        cert.lemma1_bound
     );
     println!(
-        "{:<28} {:>8} {:>9} {:>12}",
-        "JRS / LRG [11]",
-        jrs.set.len(),
-        jrs.metrics.rounds,
-        jrs.metrics.messages
-    );
-    println!(
-        "{:<28} {:>8} {:>9} {:>12}",
-        "Luby MIS",
-        mis.set.len(),
-        mis.metrics.rounds,
-        mis.metrics.messages
-    );
-    println!("{:<28} {:>8} {:>9} {:>12}", "sequential greedy", greedy.len(), "-", "-");
-    println!("{:<28} {:>8} {:>9} {:>12}", "trivial (all nodes)", g.len(), 0, 0);
-    println!("\nLemma 1 lower bound on OPT: {lower:.1}");
-    println!(
-        "KW ratio vs lower bound: {:.2} (Theorem 6 bound: {:.1})",
-        outcome.dominating_set.len() as f64 / lower,
+        "KW ratio {:.2} vs Theorem 6 bound {:.1}",
+        cert.ratio_vs_lemma1,
         kw_core::math::theorem6_bound(k, g.max_degree())
     );
     println!(
         "largest message: {} bits (O(log Δ) = O(log {}) claim)",
-        outcome.max_message_bits(),
+        kw.metrics.max_message_bits,
         g.max_degree()
+    );
+    println!(
+        "fractional stage: Σx = {:.1}, feasible = {}",
+        cert.fractional_objective.unwrap(),
+        cert.fractional_feasible.unwrap()
     );
     Ok(())
 }

@@ -18,8 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = kw_graph::generators::barabasi_albert(800, 3, &mut rng);
     let delta = g.max_degree();
     let lower = kw_lp::bounds::lemma1_bound(&g);
-    let greedy = kw_baselines::greedy::greedy_mds(&g).len();
-    println!("graph: n = {}, Δ = {delta}; Lemma-1 lower bound {lower:.1}; greedy {greedy}", g.len());
+    let registry = kw_domset::default_registry();
+    let ctx = SolveContext::default();
+    let greedy = registry.build("greedy")?.solve(&g, &ctx)?.size();
+    println!(
+        "graph: n = {}, Δ = {delta}; Lemma-1 lower bound {lower:.1}; greedy {greedy}",
+        g.len()
+    );
     println!(
         "\n{:>12} {:>8} {:>8} {:>8} {:>10} {:>14}",
         "k", "rounds", "|DS|", "ratio*", "Σx", "Thm6 bound"
@@ -33,19 +38,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ks.push(k_log);
     }
     for k in ks {
+        let solver = registry.build(&format!("kw:k={k}"))?;
         let mut sizes = Vec::new();
         let mut rounds = 0;
         let mut frac = 0.0;
         for seed in 0..seeds {
-            let out = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, seed)?;
-            assert!(out.dominating_set.is_dominating(&g));
-            sizes.push(out.dominating_set.len() as f64);
-            rounds = out.total_rounds();
-            frac = out.fractional.objective();
+            let out = solver.solve(&g, &ctx.with_seed(seed))?;
+            assert!(out.certificate.as_ref().expect("certificates on").dominates);
+            sizes.push(out.size() as f64);
+            rounds = out.rounds();
+            frac = out
+                .fractional
+                .as_ref()
+                .expect("fractional stage")
+                .objective();
         }
         let mean = sizes.iter().sum::<f64>() / seeds as f64;
-        let label =
-            if k == k_log { format!("{k} (=⌈lnΔ⌉)") } else { format!("{k}") };
+        let label = if k == k_log {
+            format!("{k} (=⌈lnΔ⌉)")
+        } else {
+            format!("{k}")
+        };
         println!(
             "{:>12} {:>8} {:>8.1} {:>8.2} {:>10.1} {:>14.1}",
             label,

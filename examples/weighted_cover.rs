@@ -9,8 +9,8 @@
 //! cargo run --example weighted_cover
 //! ```
 
+use kw_core::math;
 use kw_core::weighted::run_weighted_alg2;
-use kw_core::{math, Pipeline, PipelineConfig};
 use kw_domset::prelude::*;
 use kw_graph::generators;
 use rand::rngs::SmallRng;
@@ -31,18 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let k = 3;
-    // Weighted fractional solution.
+    let registry = kw_domset::default_registry();
+    // Weighted fractional solution (the weighted variant has no integral
+    // rounding theorem, so it stays a stage-level API rather than a
+    // registered solver).
     let weighted = run_weighted_alg2(&g, &weights, k, EngineConfig::seeded(1))?;
     assert!(weighted.x.is_feasible(&g));
 
-    // Cost-blind fractional solution, evaluated on the same cost vector.
-    let plain = kw_core::alg2::run_alg2(&g, k, EngineConfig::seeded(1))?;
-    let plain_cost = plain.x.weighted_objective(&weights);
+    // Cost-blind fractional solution via the solver API, evaluated on the
+    // same cost vector.
+    let plain_x = registry
+        .build(&format!("alg2:k={k}"))?
+        .solve(&g, &SolveContext::seeded(1))?
+        .fractional
+        .expect("fractional stage");
+    let plain_cost = plain_x.weighted_objective(&weights);
 
     // Both rounded to integral head sets with Algorithm 1.
     let round = kw_core::rounding::RoundingConfig::default();
     let w_set = kw_core::rounding::run_rounding(&g, &weighted.x, round, EngineConfig::seeded(2))?;
-    let p_set = kw_core::rounding::run_rounding(&g, &plain.x, round, EngineConfig::seeded(2))?;
+    let p_set = kw_core::rounding::run_rounding(&g, &plain_x, round, EngineConfig::seeded(2))?;
     assert!(w_set.set.is_dominating(&g) && p_set.set.is_dominating(&g));
 
     let lp = if n <= 400 {
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         0.0
     };
-    println!("\n{:<34} {:>12} {:>12}", "solution", "Σ c·x (frac)", "cost(DS)");
+    println!(
+        "\n{:<34} {:>12} {:>12}",
+        "solution", "Σ c·x (frac)", "cost(DS)"
+    );
     println!("{:-<60}", "");
     println!(
         "{:<34} {:>12.1} {:>12.1}",
@@ -65,7 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_set.set.cost(&weights)
     );
     let wg = kw_baselines::greedy::greedy_weighted_mds(&g, &weights);
-    println!("{:<34} {:>12} {:>12.1}", "weighted greedy (sequential)", "-", wg.cost(&weights));
+    println!(
+        "{:<34} {:>12} {:>12.1}",
+        "weighted greedy (sequential)",
+        "-",
+        wg.cost(&weights)
+    );
     println!("\nweighted Lemma-1 lower bound: {lp:.1}");
     println!(
         "stated ratio bound k(Δ+1)^(1/k)[c_max(Δ+1)]^(1/k) = {:.1}",
@@ -74,10 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: an unweighted pipeline run still covers everything — cost is
     // the only thing at stake.
-    let unweighted = Pipeline::new(PipelineConfig { k, ..Default::default() }).run(&g, 3)?;
+    let unweighted = registry
+        .build(&format!("kw:k={k}"))?
+        .solve(&g, &SolveContext::seeded(3))?;
     println!(
         "\n(unweighted pipeline picks {} heads at cost {:.1})",
-        unweighted.dominating_set.len(),
+        unweighted.size(),
         unweighted.dominating_set.cost(&weights)
     );
     Ok(())

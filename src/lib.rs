@@ -18,11 +18,16 @@
 //! * [`lp`] ([`kw_lp`]) — simplex, `LP_MDS`/`DLP_MDS`, exact MDS, Lemma-1
 //!   bounds;
 //! * [`core`] ([`kw_core`]) — the paper's Algorithms 1–3, the weighted
-//!   variant, the end-to-end pipeline, and invariant instrumentation;
+//!   variant, the end-to-end pipeline, invariant instrumentation, and the
+//!   unified solver API ([`kw_core::solver`]);
 //! * [`baselines`] ([`kw_baselines`]) — greedy, Jia–Rajaraman–Suel LRG,
-//!   Luby-style MIS, and trivial baselines.
+//!   Luby-style MIS, trivial, and CDS baselines.
 //!
-//! # Quickstart
+//! # Quickstart: the solver API
+//!
+//! Every algorithm — the paper's pipeline and all baselines — sits behind
+//! the [`DsSolver`](kw_core::solver::DsSolver) trait and is constructible
+//! by name from [`default_registry`]:
 //!
 //! ```
 //! use kw_domset::prelude::*;
@@ -32,15 +37,63 @@
 //! let mut rng = SmallRng::seed_from_u64(42);
 //! let g = kw_graph::generators::unit_disk(150, 0.15, &mut rng);
 //!
-//! // Run the paper's pipeline (Algorithm 3 + Algorithm 1) with k = 2.
-//! let outcome = Pipeline::new(PipelineConfig { k: 2, ..Default::default() }).run(&g, 42)?;
-//! assert!(outcome.dominating_set.is_dominating(&g));
+//! // The paper's pipeline (Algorithm 3 + Algorithm 1) with k = 2.
+//! let registry = kw_domset::default_registry();
+//! let solver = registry.build("kw:k=2")?;
+//! let report = solver.solve(&g, &SolveContext::seeded(42))?;
+//! assert!(report.dominating_set.is_dominating(&g));
 //!
-//! // Compare against the Lemma-1 lower bound.
-//! let lower = kw_lp::bounds::lemma1_bound(&g);
-//! assert!(outcome.dominating_set.len() as f64 >= lower - 1e-9);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! // The report certifies quality against the Lemma-1 lower bound.
+//! let cert = report.certificate.as_ref().unwrap();
+//! assert!(cert.dominates);
+//! assert!(cert.ratio_vs_lemma1 >= 1.0 - 1e-9);
+//!
+//! // Any other algorithm is one spec string away.
+//! for spec in ["greedy", "jrs", "luby-mis", "trivial", "connected(kw:k=2)"] {
+//!     let report = registry.build(spec)?.solve(&g, &SolveContext::seeded(42))?;
+//!     assert!(report.certificate.as_ref().unwrap().dominates, "{spec}");
+//! }
+//! # Ok::<(), kw_core::solver::SolveError>(())
 //! ```
+//!
+//! # Registered solver names
+//!
+//! | spec | algorithm | parameters |
+//! |------|-----------|------------|
+//! | `kw` | Algorithm 3 + Algorithm 1 rounding (Theorem 6, headline) | `k=<u32≥1>` (default 2), `multiplier=ln\|ln-lnln` |
+//! | `alg2` | Algorithm 2 (known `Δ`) + Algorithm 1 rounding | `k`, `multiplier` as above |
+//! | `composite` | Theorem-6 algorithm fused into one protocol run | `k`, `multiplier` as above |
+//! | `greedy` | sequential greedy (`ln Δ` approximation) | none |
+//! | `jrs` | Jia–Rajaraman–Suel LRG (PODC 2001) | none |
+//! | `luby-mis` | Luby-style maximal independent set | none |
+//! | `trivial` | all nodes (`Δ+1` approximation) | none |
+//! | `connected(inner)` | CDS stitch around any other spec | inner spec |
+//!
+//! Spec grammar: `name`, `name:key=value,key=value`, or `name(inner)` —
+//! see [`kw_core::solver::SolverSpec`].
+//!
+//! # Experiment matrices
+//!
+//! [`ExperimentRunner`](kw_core::solver::ExperimentRunner) fans a
+//! solver × workload × seed matrix into (optionally multi-threaded) runs
+//! with aggregated statistics:
+//!
+//! ```
+//! use kw_domset::prelude::*;
+//! use kw_graph::generators;
+//!
+//! let registry = kw_domset::default_registry();
+//! let solvers = registry.build_all(["kw:k=2", "greedy", "trivial"])?;
+//! let workloads = vec![("grid8".to_string(), generators::grid(8, 8))];
+//! let cells = ExperimentRunner::new().run_matrix(&solvers, &workloads, 0..5)?;
+//! assert_eq!(cells.len(), 3);
+//! assert!(cells.iter().all(|c| c.failures == 0));
+//! # Ok::<(), kw_core::solver::SolveError>(())
+//! ```
+//!
+//! The lower-level per-algorithm entry points (`Pipeline`, `run_alg2`,
+//! `run_rounding`, the invariant checkers, …) remain available from
+//! [`kw_core`] for experiments that dissect a single stage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,11 +104,41 @@ pub use kw_graph as graph;
 pub use kw_lp as lp;
 pub use kw_sim as sim;
 
+/// The full solver registry: the paper's solvers (`kw`, `alg2`,
+/// `composite`) plus all five baselines and the `connected` combinator.
+pub fn default_registry() -> kw_core::solver::SolverRegistry {
+    kw_baselines::registry()
+}
+
 /// The most common imports, for `use kw_domset::prelude::*`.
 pub mod prelude {
+    pub use kw_core::solver::{
+        DsSolver, ExperimentRunner, SolveContext, SolveError, SolveReport, SolverRegistry,
+        SolverSpec,
+    };
     pub use kw_core::{Pipeline, PipelineConfig, PipelineOutcome};
     pub use kw_graph::{
         CsrGraph, DominatingSet, FractionalAssignment, GraphBuilder, NodeId, VertexWeights,
     };
     pub use kw_sim::{Engine, EngineConfig, RunMetrics};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_registry_has_all_documented_names() {
+        let registry = super::default_registry();
+        for name in [
+            "kw",
+            "alg2",
+            "composite",
+            "greedy",
+            "jrs",
+            "luby-mis",
+            "trivial",
+            "connected",
+        ] {
+            assert!(registry.contains(name), "{name} missing");
+        }
+    }
 }

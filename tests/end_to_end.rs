@@ -22,18 +22,23 @@ fn families() -> Vec<(&'static str, kw_graph::CsrGraph)> {
 
 #[test]
 fn pipeline_dominates_every_family_and_k() {
+    let registry = kw_domset::default_registry();
     for (name, g) in families() {
         for k in 1..=4u32 {
-            for solver in
-                [kw_core::FractionalSolver::Alg2DeltaKnown, kw_core::FractionalSolver::Alg3]
-            {
-                let cfg = PipelineConfig { k, solver, ..Default::default() };
-                let out = kw_core::Pipeline::new(cfg).run(&g, 11).unwrap();
-                assert!(
-                    out.dominating_set.is_dominating(&g),
-                    "{name} k={k} solver={solver:?} not dominating"
+            for base in ["alg2", "kw"] {
+                let spec = format!("{base}:k={k}");
+                let report = registry
+                    .build(&spec)
+                    .unwrap()
+                    .solve(&g, &SolveContext::seeded(11))
+                    .unwrap();
+                let cert = report.certificate.as_ref().unwrap();
+                assert!(cert.dominates, "{name} {spec} not dominating");
+                assert_eq!(
+                    cert.fractional_feasible,
+                    Some(true),
+                    "{name} {spec} infeasible fractional"
                 );
-                assert!(out.fractional.is_feasible(&g), "{name} k={k} infeasible fractional");
             }
         }
     }
@@ -48,8 +53,16 @@ fn fractional_stage_beats_its_paper_bound_against_exact_lp() {
             let a3 = kw_core::alg3::reference_alg3(&g, k).unwrap().objective();
             let b2 = kw_core::math::alg2_lp_bound(k, g.max_degree());
             let b3 = kw_core::math::alg3_lp_bound(k, g.max_degree());
-            assert!(a2 <= b2 * lp.value + 1e-6, "{name}: alg2 k={k}: {a2} > {b2}·{}", lp.value);
-            assert!(a3 <= b3 * lp.value + 1e-6, "{name}: alg3 k={k}: {a3} > {b3}·{}", lp.value);
+            assert!(
+                a2 <= b2 * lp.value + 1e-6,
+                "{name}: alg2 k={k}: {a2} > {b2}·{}",
+                lp.value
+            );
+            assert!(
+                a3 <= b3 * lp.value + 1e-6,
+                "{name}: alg3 k={k}: {a3} > {b3}·{}",
+                lp.value
+            );
         }
     }
 }
@@ -66,7 +79,12 @@ fn sandwich_inequalities_hold() {
         let ip = kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default())
             .unwrap()
             .len() as f64;
-        let greedy = kw_baselines::greedy::greedy_mds(&g).len() as f64;
+        let greedy = kw_domset::default_registry()
+            .build("greedy")
+            .unwrap()
+            .solve(&g, &SolveContext::default())
+            .unwrap()
+            .size() as f64;
         assert!(lemma1 <= lp + 1e-6, "{name}: lemma1 {lemma1} > lp {lp}");
         assert!(lp <= ip + 1e-6, "{name}: lp {lp} > ip {ip}");
         assert!(ip <= greedy + 1e-6, "{name}: ip {ip} > greedy {greedy}");
@@ -78,21 +96,25 @@ fn sandwich_inequalities_hold() {
 fn every_algorithm_output_is_dominating() {
     let mut rng = SmallRng::seed_from_u64(2000);
     let g = generators::gnp(64, 0.1, &mut rng);
-    let seed = 3;
-    let outputs: Vec<(&str, DominatingSet)> = vec![
-        ("greedy", kw_baselines::greedy::greedy_mds(&g)),
-        ("luby", kw_baselines::luby_mis::run_luby_mis(&g, seed).unwrap().set),
-        ("jrs", kw_baselines::jrs::run_jrs(&g, seed).unwrap().set),
-        ("trivial", kw_baselines::trivial::all_nodes(&g)),
-        (
-            "kw",
-            kw_core::Pipeline::new(PipelineConfig::default()).run(&g, seed).unwrap().dominating_set,
-        ),
-        (
-            "exact",
-            kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default()).unwrap(),
-        ),
-    ];
+    let registry = kw_domset::default_registry();
+    let ctx = SolveContext::seeded(3);
+    let mut outputs: Vec<(String, DominatingSet)> = registry
+        .build_all([
+            "greedy",
+            "luby-mis",
+            "jrs",
+            "trivial",
+            "kw:k=2",
+            "composite:k=2",
+        ])
+        .unwrap()
+        .iter()
+        .map(|s| (s.spec(), s.solve(&g, &ctx).unwrap().dominating_set))
+        .collect();
+    outputs.push((
+        "exact".to_string(),
+        kw_lp::exact::solve_mds(&g, &kw_lp::exact::ExactOptions::default()).unwrap(),
+    ));
     let exact_size = outputs.last().unwrap().1.len();
     for (name, ds) in &outputs {
         assert!(ds.is_dominating(&g), "{name} not dominating");
@@ -121,7 +143,10 @@ fn lp_rounding_composition_matches_theorem3_shape() {
     }
     let mean = total as f64 / trials as f64;
     let bound = kw_core::math::rounding_bound(1.0, g.max_degree()) * lp.value;
-    assert!(mean <= bound * 1.1, "mean {mean} vs Theorem-3 bound {bound}");
+    assert!(
+        mean <= bound * 1.1,
+        "mean {mean} vs Theorem-3 bound {bound}"
+    );
 }
 
 #[test]
@@ -133,7 +158,10 @@ fn weighted_pipeline_end_to_end() {
     let frac = kw_core::weighted::run_weighted_alg2(&g, &w, 3, EngineConfig::seeded(4)).unwrap();
     assert!(frac.x.is_feasible(&g));
     let lower = kw_lp::bounds::weighted_lemma1_bound(&g, &w);
-    assert!(frac.cost >= lower - 1e-9, "weighted objective below the dual bound");
+    assert!(
+        frac.cost >= lower - 1e-9,
+        "weighted objective below the dual bound"
+    );
     let rounded = kw_core::rounding::run_rounding(
         &g,
         &frac.x,
@@ -148,10 +176,24 @@ fn weighted_pipeline_end_to_end() {
 fn readme_quickstart_snippet_works() {
     let mut rng = SmallRng::seed_from_u64(42);
     let g = kw_graph::generators::unit_disk(150, 0.15, &mut rng);
-    let outcome = Pipeline::new(PipelineConfig { k: 2, ..Default::default() })
-        .run(&g, 42)
+    let registry = kw_domset::default_registry();
+    let report = registry
+        .build("kw:k=2")
+        .expect("registered")
+        .solve(&g, &SolveContext::seeded(42))
         .expect("pipeline runs");
-    assert!(outcome.dominating_set.is_dominating(&g));
-    let lower = kw_lp::bounds::lemma1_bound(&g);
-    assert!(outcome.dominating_set.len() as f64 >= lower - 1e-9);
+    let cert = report
+        .certificate
+        .as_ref()
+        .expect("certificates default on");
+    assert!(cert.dominates);
+    assert!(cert.ratio_vs_lemma1 >= 1.0 - 1e-9);
+    for spec in ["greedy", "jrs", "luby-mis", "trivial", "connected(kw:k=2)"] {
+        let report = registry
+            .build(spec)
+            .unwrap()
+            .solve(&g, &SolveContext::seeded(42))
+            .unwrap();
+        assert!(report.certificate.as_ref().unwrap().dominates, "{spec}");
+    }
 }

@@ -31,7 +31,9 @@ fn largest_component_workflow() {
     assert!(props::is_connected(&giant));
     assert_eq!(giant.len(), mapping.len());
     // Solve on the component and verify through the mapping.
-    let out = Pipeline::new(PipelineConfig::default()).run(&giant, 1).unwrap();
+    let out = Pipeline::new(PipelineConfig::default())
+        .run(&giant, 1)
+        .unwrap();
     assert!(out.dominating_set.is_dominating(&giant));
     // Mapped-back heads only contain original node ids.
     for v in out.dominating_set.iter() {

@@ -16,7 +16,11 @@ fn test_graph(seed: u64) -> kw_graph::CsrGraph {
 fn thread_count_never_changes_results() {
     let g = test_graph(1);
     for threads in [1usize, 2, 4, 8] {
-        let cfg = EngineConfig { threads, seed: 5, ..Default::default() };
+        let cfg = EngineConfig {
+            threads,
+            seed: 5,
+            ..Default::default()
+        };
         let a2 = kw_core::alg2::run_alg2(&g, 3, cfg).unwrap();
         let a3 = kw_core::alg3::run_alg3(&g, 3, cfg).unwrap();
         let base2 = kw_core::alg2::run_alg2(&g, 3, EngineConfig::seeded(5)).unwrap();
@@ -33,7 +37,11 @@ fn wire_checking_passes_for_all_protocols() {
     // check_wire makes the engine decode every message it accounts; any
     // encode/decode drift fails the run.
     let g = test_graph(2);
-    let cfg = EngineConfig { check_wire: true, seed: 1, ..Default::default() };
+    let cfg = EngineConfig {
+        check_wire: true,
+        seed: 1,
+        ..Default::default()
+    };
     kw_core::alg2::run_alg2(&g, 2, cfg).unwrap();
     kw_core::alg3::run_alg3(&g, 2, cfg).unwrap();
     let x = kw_graph::FractionalAssignment::uniform(&g, 0.2);
@@ -47,9 +55,17 @@ fn round_counts_are_exactly_the_theorem_values() {
     let g = test_graph(3);
     for k in 1..=5u32 {
         let a2 = kw_core::alg2::run_alg2(&g, k, EngineConfig::default()).unwrap();
-        assert_eq!(a2.metrics.rounds, 2 * (k * k) as usize, "Theorem 4: 2k² rounds");
+        assert_eq!(
+            a2.metrics.rounds,
+            2 * (k * k) as usize,
+            "Theorem 4: 2k² rounds"
+        );
         let a3 = kw_core::alg3::run_alg3(&g, k, EngineConfig::default()).unwrap();
-        assert_eq!(a3.metrics.rounds, (4 * k * k + 2 * k) as usize, "Theorem 5: 4k²+O(k)");
+        assert_eq!(
+            a3.metrics.rounds,
+            (4 * k * k + 2 * k) as usize,
+            "Theorem 5: 4k²+O(k)"
+        );
     }
     let x = kw_graph::FractionalAssignment::uniform(&g, 0.5);
     let r = kw_core::rounding::run_rounding(&g, &x, Default::default(), EngineConfig::default())
@@ -104,7 +120,11 @@ fn rounding_uses_constant_bits_per_message() {
     let run = kw_core::rounding::run_rounding(&g, &x, Default::default(), EngineConfig::seeded(0))
         .unwrap();
     // Largest message is a Degree(511): 1 tag + gamma(511) = 1 + 19 bits.
-    assert!(run.metrics.max_message_bits <= 20, "{}", run.metrics.max_message_bits);
+    assert!(
+        run.metrics.max_message_bits <= 20,
+        "{}",
+        run.metrics.max_message_bits
+    );
 }
 
 #[test]
@@ -118,7 +138,10 @@ fn engine_seed_controls_all_randomness() {
     let bv: Vec<bool> = g.node_ids().map(|v| b.contains(v)).collect();
     let av2: Vec<bool> = g.node_ids().map(|v| a2.contains(v)).collect();
     assert_eq!(av, av2, "same seed must reproduce");
-    assert_ne!(av, bv, "different seeds should explore different rounding draws");
+    assert_ne!(
+        av, bv,
+        "different seeds should explore different rounding draws"
+    );
 }
 
 #[test]
