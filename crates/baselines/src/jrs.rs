@@ -24,7 +24,7 @@
 use rand::Rng;
 
 use kw_graph::{CsrGraph, DominatingSet, NodeId};
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::wire::{self, BitReader, BitWriter, WireEncode};
 use kw_sim::{Ctx, Engine, EngineConfig, Protocol, RunMetrics, Status};
 
 /// Messages of the LRG protocol (one kind per schedule slot).
@@ -90,6 +90,16 @@ impl WireEncode for JrsMsg {
             0b101 => JrsMsg::Joined,
             _ => return None,
         })
+    }
+
+    fn encoded_bits(&self) -> usize {
+        let opt_class_len = |c: &Option<u8>| wire::gamma_len(c.map_or(0, |c| u64::from(c) + 1));
+        match self {
+            JrsMsg::Covered(_) => 4,
+            JrsMsg::Class(c) | JrsMsg::MaxClass(c) => 3 + opt_class_len(c),
+            JrsMsg::Candidate | JrsMsg::Joined => 3,
+            JrsMsg::Support(s) => 3 + wire::gamma_len(*s),
+        }
     }
 }
 

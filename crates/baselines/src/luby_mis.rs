@@ -13,7 +13,7 @@
 use rand::Rng;
 
 use kw_graph::{CsrGraph, DominatingSet, NodeId};
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::wire::{self, BitReader, BitWriter, WireEncode};
 use kw_sim::{Ctx, Engine, EngineConfig, Protocol, RunMetrics, Status};
 
 /// Messages of the MIS protocol.
@@ -51,6 +51,13 @@ impl WireEncode for MisMsg {
                 id: u32::try_from(r.read_gamma()?).ok()?,
             }
         })
+    }
+
+    fn encoded_bits(&self) -> usize {
+        match self {
+            MisMsg::Ticket { id, .. } => 1 + 64 + wire::gamma_len(u64::from(*id)),
+            MisMsg::Joined => 1,
+        }
     }
 }
 

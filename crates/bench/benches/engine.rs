@@ -1,0 +1,206 @@
+//! Raw round-loop throughput of the `kw_sim` engine's message plane.
+//!
+//! Two traffic shapes bound the delivery phase from both ends:
+//!
+//! * **flood** — broadcast-heavy: every node broadcasts one word per round
+//!   (the shape of Algorithms 1–3, where deliveries dominate);
+//! * **ping** — unicast-heavy: every node sends four unicasts per round to
+//!   hash-chosen ports (the worst case for receiver-driven outbox scans,
+//!   where most scanned entries are addressed to someone else).
+//!
+//! Both run at n ∈ {1_000, 10_000} on G(n, p) with average degree ≈ 16,
+//! sequentially and with 4 worker threads. `BENCH_engine.json` at the repo
+//! root records the before/after numbers for the flat-CSR message-plane
+//! rewrite. Set `KW_BENCH_QUICK=1` (as CI does) to run a seconds-scale
+//! smoke version of the same benchmarks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_graph::generators;
+use kw_sim::rng::split_mix64;
+use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::{Ctx, Engine, EngineConfig, Protocol, Status};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Clone)]
+struct Word(u64);
+
+impl WireEncode for Word {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.0);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(Word)
+    }
+
+    fn encoded_bits(&self) -> usize {
+        kw_sim::wire::gamma_len(self.0)
+    }
+}
+
+/// Broadcast-heavy: one broadcast per node per round.
+struct Flood {
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for Flood {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
+        for (_, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(m.0);
+        }
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        ctx.broadcast(Word(self.acc | 1));
+        Status::Running
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Unicast-heavy: four unicasts per node per round to hash-chosen ports.
+struct Ping {
+    me: u64,
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for Ping {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
+        for (_, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(m.0);
+        }
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        let degree = ctx.degree();
+        if degree > 0 {
+            for i in 0..4u64 {
+                let port = (split_mix64(self.me ^ (u64::from(self.rounds_left) << 8) ^ i)
+                    % u64::from(degree)) as u32;
+                ctx.send(port, Word(self.acc | 1));
+            }
+        }
+        Status::Running
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("KW_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000]
+    }
+}
+
+fn rounds() -> u32 {
+    if quick() {
+        4
+    } else {
+        10
+    }
+}
+
+fn graph(n: usize) -> kw_graph::CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(42);
+    generators::gnp(n, 16.0 / n as f64, &mut rng)
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    if quick() {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(200));
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(3));
+    }
+    group.warm_up_time(Duration::from_millis(500));
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood");
+    configure(&mut group);
+    let r = rounds();
+    for n in sizes() {
+        let g = graph(n);
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig {
+                threads,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        Engine::new(g, cfg, |info| Flood {
+                            acc: u64::from(info.id.raw()),
+                            rounds_left: r,
+                        })
+                        .run()
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ping");
+    configure(&mut group);
+    let r = rounds();
+    for n in sizes() {
+        let g = graph(n);
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig {
+                threads,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        Engine::new(g, cfg, |info| Ping {
+                            me: u64::from(info.id.raw()),
+                            acc: u64::from(info.id.raw()),
+                            rounds_left: r,
+                        })
+                        .run()
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood, bench_ping);
+criterion_main!(benches);

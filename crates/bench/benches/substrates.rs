@@ -81,6 +81,10 @@ impl WireEncode for Beep {
     fn decode(r: &mut BitReader<'_>) -> Option<Self> {
         r.read_gamma().map(Beep)
     }
+
+    fn encoded_bits(&self) -> usize {
+        kw_sim::wire::gamma_len(self.0)
+    }
 }
 
 impl Protocol for Chatter {

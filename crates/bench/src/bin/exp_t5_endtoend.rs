@@ -6,15 +6,18 @@
 //! between greedy/JRS (better quality, more rounds as n grows) and the
 //! trivial baseline, within the Theorem-6 factor of the lower bound.
 //!
-//! Every algorithm is driven through the unified `DsSolver` trait: the
-//! whole comparison is one `ExperimentRunner` matrix over registry specs.
+//! Every algorithm is driven through the unified `DsSolver` trait, in two
+//! overlapping `ExperimentRunner` sweeps sharing one [`ExperimentCache`]:
+//! a KW-only pilot (the k-trend), then the full matrix — whose KW cells
+//! and workload graphs are served from the cache instead of re-solved or
+//! re-generated.
 
 use std::collections::HashMap;
 
 use kw_bench::denominators::{best_denominator, Denominator};
 use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
-use kw_core::solver::ExperimentRunner;
+use kw_core::solver::{ExperimentCache, ExperimentRunner};
 use kw_graph::CsrGraph;
 
 fn main() {
@@ -30,21 +33,51 @@ fn main() {
         Workload::BarabasiAlbert { n: 512, m: 3 },
         Workload::Grid { side: 23 },
     ];
-    let workloads: Vec<(String, CsrGraph)> =
-        suite.iter().map(|w| (w.label(), w.build(2))).collect();
-    let denoms: HashMap<String, Denominator> = workloads
+    let cache = ExperimentCache::new();
+    // Graphs come from the cache's (workload, seed) memo — built once,
+    // shared by both sweeps (and by any later sweep using this cache).
+    let workloads: Vec<(String, CsrGraph)> = suite
         .iter()
-        .map(|(label, g)| (label.clone(), best_denominator(g, 64, 300)))
+        .map(|w| {
+            let g = cache.graph(&w.label(), 2, || w.build(2));
+            (w.label(), (*g).clone())
+        })
         .collect();
-
     let registry = kw_baselines::registry();
+    let runner = ExperimentRunner::new()
+        .workers(0) // one worker per core; results are scheduling-independent
+        .cache(cache.clone());
+
+    // Sweep 1 — KW k-trend pilot (Theorem 6: quality improves with k).
+    let kw_solvers = registry
+        .build_all(["kw:k=2", "kw:k=3", "kw:k=4"])
+        .expect("kw specs registered");
+    let kw_cells = runner
+        .run_matrix(&kw_solvers, &workloads, 0..10)
+        .expect("pilot runs");
+    println!("k-trend (mean |DS| per workload; must shrink as k grows):");
+    for (label, _) in &workloads {
+        let sizes: Vec<String> = kw_cells
+            .iter()
+            .filter(|c| &c.workload == label)
+            .map(|c| format!("{}={:.1}", c.solver, c.size.mean))
+            .collect();
+        println!("  {label}: {}", sizes.join("  "));
+    }
+    println!();
+
+    // Sweep 2 — the full matrix. Overlaps sweep 1 on every KW cell; only
+    // the baselines are actually solved.
     let solvers = registry
         .build_all([
             "kw:k=2", "kw:k=3", "kw:k=4", "jrs", "luby-mis", "greedy", "trivial",
         ])
         .expect("all specs registered");
-    let cells = ExperimentRunner::new()
-        .workers(0) // one worker per core; results are scheduling-independent
+    let denoms: HashMap<String, Denominator> = workloads
+        .iter()
+        .map(|(label, g)| (label.clone(), best_denominator(g, 64, 300)))
+        .collect();
+    let cells = runner
         .run_matrix(&solvers, &workloads, 0..10)
         .expect("matrix runs");
 
@@ -81,6 +114,18 @@ fn main() {
         }
     }
     println!("{table}");
+    let kw_cells_total = (kw_solvers.len() * workloads.len() * 10) as u64;
+    assert_eq!(
+        cache.hits(),
+        kw_cells_total,
+        "full matrix must reuse every pilot KW cell"
+    );
+    println!(
+        "cell cache: {} solved, {} served from cache (all {} KW cells of the full matrix)",
+        cache.misses(),
+        cache.hits(),
+        kw_cells_total,
+    );
     println!("Shape checks: KW rounds are constant per k while JRS/MIS rounds grow with n;");
     println!("KW ratio sits between greedy and trivial and shrinks as k grows (Theorem 6).");
 }

@@ -35,7 +35,7 @@
 //! ```
 
 use kw_graph::{CsrGraph, FractionalAssignment, COVERAGE_TOLERANCE};
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::wire::{self, BitReader, BitWriter, WireEncode};
 use kw_sim::{Ctx, Engine, EngineConfig, Protocol, RunMetrics, Status};
 
 use crate::math::frac_pow;
@@ -74,6 +74,13 @@ impl WireEncode for Alg2Msg {
                 m => Alg2Msg::X(Some(u32::try_from(m - 1).ok()?)),
             }
         })
+    }
+
+    fn encoded_bits(&self) -> usize {
+        match self {
+            Alg2Msg::X(m) => 1 + wire::gamma_len(m.map_or(0, |m| u64::from(m) + 1)),
+            Alg2Msg::Color(_) => 2,
+        }
     }
 }
 

@@ -27,7 +27,7 @@
 //! ```
 
 use kw_graph::{CsrGraph, FractionalAssignment, COVERAGE_TOLERANCE};
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::wire::{self, BitReader, BitWriter, WireEncode};
 use kw_sim::{Ctx, Engine, EngineConfig, Protocol, RunMetrics, Status};
 
 use crate::alg2::validate_k;
@@ -106,6 +106,18 @@ impl WireEncode for Alg3Msg {
             },
             _ => Alg3Msg::Color(r.read_bit()?),
         })
+    }
+
+    fn encoded_bits(&self) -> usize {
+        match self {
+            Alg3Msg::Uint(v) => 2 + wire::gamma_len(*v),
+            Alg3Msg::Active => 2,
+            Alg3Msg::X(None) => 2 + wire::gamma_len(0),
+            Alg3Msg::X(Some(XCode { a, m })) => {
+                2 + wire::gamma_len(*a) + wire::gamma_len(u64::from(*m))
+            }
+            Alg3Msg::Color(_) => 3,
+        }
     }
 }
 

@@ -59,6 +59,13 @@ impl WireEncode for CompositeMsg {
             CompositeMsg::Lp(Alg3Msg::decode(r)?)
         })
     }
+
+    fn encoded_bits(&self) -> usize {
+        match self {
+            CompositeMsg::Lp(m) => 1 + m.encoded_bits(),
+            CompositeMsg::InSet(_) => 2,
+        }
+    }
 }
 
 /// Per-node output of the composite run.

@@ -35,7 +35,7 @@ use rand::{Rng, SeedableRng};
 
 use kw_graph::{CsrGraph, DominatingSet, FractionalAssignment};
 use kw_sim::rng::node_seed;
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::wire::{self, BitReader, BitWriter, WireEncode};
 use kw_sim::{Ctx, Engine, EngineConfig, Protocol, RunMetrics, Status};
 
 use crate::CoreError;
@@ -109,6 +109,13 @@ impl WireEncode for RoundingMsg {
         } else {
             RoundingMsg::Degree(r.read_gamma()?)
         })
+    }
+
+    fn encoded_bits(&self) -> usize {
+        match self {
+            RoundingMsg::Degree(d) => 1 + wire::gamma_len(*d),
+            RoundingMsg::InSet(_) => 2,
+        }
     }
 }
 

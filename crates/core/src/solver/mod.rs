@@ -52,7 +52,7 @@ use crate::CoreError;
 
 pub use pipeline_solvers::{CompositeSolver, PipelineSolver};
 pub use registry::SolverRegistry;
-pub use runner::{CellSummary, ExperimentRunner, SummaryStats};
+pub use runner::{CellSummary, ExperimentCache, ExperimentRunner, SummaryStats};
 pub use spec::SolverSpec;
 
 /// Execution environment of a solve call.

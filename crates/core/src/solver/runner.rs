@@ -1,11 +1,157 @@
-//! Batched experiment execution over a solver × workload × seed matrix.
+//! Batched experiment execution over a solver × workload × seed matrix,
+//! with an optional `(workload, seed)`-keyed cell cache.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use kw_graph::CsrGraph;
 
 use crate::solver::{DsSolver, SolveContext, SolveError};
+
+/// The numbers a [`CellSummary`] aggregates from one `(solver, workload,
+/// seed)` run — everything the runner needs to re-summarize a cell without
+/// re-solving it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct RunOutcome {
+    dominates: bool,
+    size: f64,
+    rounds: f64,
+    messages: f64,
+    ratio_vs_lemma1: f64,
+}
+
+/// Cache key of one run outcome: `(solver spec, workload label, seed,
+/// fault-plan fingerprint)`.
+type OutcomeKey = (String, String, u64, (u64, u64));
+
+/// Memoization shared across [`ExperimentRunner`] sweeps (ROADMAP item
+/// (b)): generated workload graphs keyed by `(workload, seed)`, and run
+/// outcomes keyed by `(solver spec, workload, seed)`.
+///
+/// Experiment binaries routinely sweep overlapping matrices (the same
+/// workloads against growing solver lists, or the same cells with more
+/// seeds); attaching one cache makes every repeated cell free. Workloads
+/// are keyed by *label*, so two different graphs must not share a
+/// workload label within one cache — the same requirement run output
+/// tables already impose. Outcomes are additionally keyed by the
+/// context's fault plan (the only context knob besides the seed that
+/// changes results), so runners with different loss models can share one
+/// cache safely.
+///
+/// Cloning the handle is cheap and shares the underlying cache; it is
+/// thread-safe and deterministic (a hit returns exactly what the original
+/// run produced).
+///
+/// # Example
+///
+/// ```
+/// use kw_core::solver::{ExperimentCache, ExperimentRunner, SolverRegistry};
+/// use kw_graph::generators;
+///
+/// let registry = SolverRegistry::with_core_solvers();
+/// let solvers = registry.build_all(["kw:k=2"])?;
+/// let cache = ExperimentCache::new();
+/// let runner = ExperimentRunner::new().cache(cache.clone());
+/// let workloads = vec![("grid4".to_string(), generators::grid(4, 4))];
+/// let first = runner.run_matrix(&solvers, &workloads, 0..3)?;
+/// let again = runner.run_matrix(&solvers, &workloads, 0..3)?;
+/// assert_eq!(first[0].size, again[0].size);
+/// assert_eq!(cache.hits(), 3); // the second sweep re-solved nothing
+/// # Ok::<(), kw_core::solver::SolveError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ExperimentCache {
+    graphs: Mutex<HashMap<(String, u64), Arc<CsrGraph>>>,
+    /// Keyed by `(solver spec, workload, seed, fault fingerprint)` — the
+    /// fault plan is the one piece of [`SolveContext`] besides the seed
+    /// that changes results, so runners with different loss models can
+    /// safely share one cache.
+    outcomes: Mutex<HashMap<OutcomeKey, RunOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExperimentCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the graph for `(workload, seed)`, generating it with
+    /// `build` on first use and reusing the stored copy afterwards.
+    pub fn graph(
+        &self,
+        workload: &str,
+        seed: u64,
+        build: impl FnOnce() -> CsrGraph,
+    ) -> Arc<CsrGraph> {
+        let mut graphs = self.graphs.lock().unwrap();
+        graphs
+            .entry((workload.to_string(), seed))
+            .or_insert_with(|| Arc::new(build()))
+            .clone()
+    }
+
+    /// Number of run outcomes served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of run outcomes that had to be solved and were then stored.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The part of a context that (together with the per-run seed) can
+    /// change a run's outcome: the fault plan.
+    fn context_fingerprint(ctx: &SolveContext) -> (u64, u64) {
+        (ctx.faults.drop_probability().to_bits(), ctx.faults.seed())
+    }
+
+    fn lookup(
+        &self,
+        solver: &str,
+        workload: &str,
+        seed: u64,
+        ctx: &SolveContext,
+    ) -> Option<RunOutcome> {
+        let key = (
+            solver.to_string(),
+            workload.to_string(),
+            seed,
+            Self::context_fingerprint(ctx),
+        );
+        let found = self.outcomes.lock().unwrap().get(&key).copied();
+        match found {
+            Some(o) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(o)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(
+        &self,
+        solver: &str,
+        workload: &str,
+        seed: u64,
+        ctx: &SolveContext,
+        outcome: RunOutcome,
+    ) {
+        let key = (
+            solver.to_string(),
+            workload.to_string(),
+            seed,
+            Self::context_fingerprint(ctx),
+        );
+        self.outcomes.lock().unwrap().insert(key, outcome);
+    }
+}
 
 /// Five-number summary of a sample set.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -95,6 +241,7 @@ pub struct CellSummary {
 pub struct ExperimentRunner {
     base: SolveContext,
     workers: usize,
+    cache: Option<Arc<ExperimentCache>>,
 }
 
 impl ExperimentRunner {
@@ -113,6 +260,14 @@ impl ExperimentRunner {
     /// `0` = all available cores). Does not affect results.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Attaches a shared [`ExperimentCache`]: `(solver, workload, seed)`
+    /// runs already in the cache are served from it instead of re-solved.
+    /// Does not affect results.
+    pub fn cache(mut self, cache: Arc<ExperimentCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -192,6 +347,7 @@ impl ExperimentRunner {
             check_certificates: true,
             ..self.base
         };
+        let spec = solver.spec();
         let mut sizes = Vec::new();
         let mut rounds = Vec::new();
         let mut messages = Vec::new();
@@ -199,20 +355,40 @@ impl ExperimentRunner {
         let mut runs = 0usize;
         let mut failures = 0usize;
         for &seed in seeds {
-            let report = solver.solve(graph, &ctx.with_seed(seed))?;
+            let outcome = match self
+                .cache
+                .as_deref()
+                .and_then(|c| c.lookup(&spec, label, seed, &ctx))
+            {
+                Some(outcome) => outcome,
+                None => {
+                    let report = solver.solve(graph, &ctx.with_seed(seed))?;
+                    let cert = report.certificate.as_ref().expect("certificates forced on");
+                    let outcome = RunOutcome {
+                        dominates: cert.dominates,
+                        size: report.size() as f64,
+                        rounds: report.rounds() as f64,
+                        messages: report.messages() as f64,
+                        ratio_vs_lemma1: cert.ratio_vs_lemma1,
+                    };
+                    if let Some(cache) = self.cache.as_deref() {
+                        cache.store(&spec, label, seed, &ctx, outcome);
+                    }
+                    outcome
+                }
+            };
             runs += 1;
-            let cert = report.certificate.as_ref().expect("certificates forced on");
-            if !cert.dominates {
+            if !outcome.dominates {
                 failures += 1;
                 continue;
             }
-            sizes.push(report.size() as f64);
-            rounds.push(report.rounds() as f64);
-            messages.push(report.messages() as f64);
-            ratios.push(cert.ratio_vs_lemma1);
+            sizes.push(outcome.size);
+            rounds.push(outcome.rounds);
+            messages.push(outcome.messages);
+            ratios.push(outcome.ratio_vs_lemma1);
         }
         Ok(CellSummary {
-            solver: solver.spec(),
+            solver: spec,
             workload: label.to_string(),
             n: graph.len(),
             max_degree: graph.max_degree(),
@@ -320,5 +496,128 @@ mod tests {
             .run_matrix(&solvers, &[], 0..2)
             .unwrap();
         assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn cache_serves_repeated_cells_without_resolving() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2", "composite:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let runner = ExperimentRunner::new().cache(cache.clone());
+        let first = runner.run_matrix(&solvers, &workloads(), 0..3).unwrap();
+        let triples = solvers.len() * workloads().len() * 3;
+        assert_eq!(cache.misses(), triples as u64);
+        assert_eq!(cache.hits(), 0);
+        let second = runner.run_matrix(&solvers, &workloads(), 0..3).unwrap();
+        assert_eq!(
+            cache.hits(),
+            triples as u64,
+            "second sweep must be all hits"
+        );
+        assert_eq!(
+            cache.misses(),
+            triples as u64,
+            "second sweep must not solve"
+        );
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.ratio_vs_lemma1, b.ratio_vs_lemma1);
+            assert_eq!(a.failures, b.failures);
+        }
+    }
+
+    #[test]
+    fn cache_extends_to_new_seeds_incrementally() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let runner = ExperimentRunner::new().cache(cache.clone());
+        let narrow = runner.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        // Widening the seed range re-solves only the new seeds.
+        let wide = runner.run_matrix(&solvers, &workloads(), 0..4).unwrap();
+        assert_eq!(cache.hits(), (solvers.len() * workloads().len() * 2) as u64);
+        assert_eq!(
+            cache.misses(),
+            (solvers.len() * workloads().len() * 4) as u64
+        );
+        assert_eq!(wide[0].runs, 4);
+        // And matches an uncached run bit for bit.
+        let uncached = ExperimentRunner::new()
+            .run_matrix(&solvers, &workloads(), 0..4)
+            .unwrap();
+        for (a, b) in wide.iter().zip(&uncached) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.messages, b.messages);
+        }
+        assert_eq!(narrow[0].runs, 2);
+    }
+
+    #[test]
+    fn cached_and_uncached_parallel_sweeps_agree() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2", "alg2:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let cached_runner = ExperimentRunner::new().workers(4).cache(cache);
+        let warm = cached_runner
+            .run_matrix(&solvers, &workloads(), 0..2)
+            .unwrap();
+        let replay = cached_runner
+            .run_matrix(&solvers, &workloads(), 0..2)
+            .unwrap();
+        for (a, b) in warm.iter().zip(&replay) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.ratio_vs_lemma1, b.ratio_vs_lemma1);
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_fault_plans() {
+        use kw_sim::FaultPlan;
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let reliable = ExperimentRunner::new().cache(cache.clone());
+        let lossy = ExperimentRunner::new()
+            .context(SolveContext {
+                faults: FaultPlan::drop_with_probability(0.4, 5),
+                ..Default::default()
+            })
+            .cache(cache.clone());
+        let clean = reliable.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        let noisy = lossy.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        // The lossy sweep must not be served the reliable outcomes.
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), (2 * workloads().len() * 2) as u64);
+        // And a lossy re-run hits only the lossy entries.
+        let noisy_again = lossy.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        assert_eq!(cache.hits(), (workloads().len() * 2) as u64);
+        for (a, b) in noisy.iter().zip(&noisy_again) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.failures, b.failures);
+        }
+        // Sanity: lossy messages differ from reliable only via outcomes,
+        // both summaries exist independently.
+        assert_eq!(clean[0].runs, 2);
+    }
+
+    #[test]
+    fn graph_cache_builds_each_workload_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ExperimentCache::new();
+        let builds = AtomicUsize::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            generators::grid(3, 3)
+        };
+        let a = cache.graph("grid3", 7, build);
+        let b = cache.graph("grid3", 7, || unreachable!("must reuse the stored graph"));
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(*a, *b);
+        // A different seed is a different cell.
+        let _ = cache.graph("grid3", 8, || generators::grid(3, 3));
+        assert_eq!(cache.graph("grid3", 8, || unreachable!()).len(), 9);
     }
 }

@@ -208,6 +208,41 @@ impl CsrGraph {
     pub fn num_arcs(&self) -> usize {
         self.targets.len()
     }
+
+    /// The raw CSR offset array (`n + 1` entries).
+    ///
+    /// Node `v`'s directed arcs occupy
+    /// `offsets()[v] as usize .. offsets()[v + 1] as usize` of
+    /// [`targets`](Self::targets), and arc `offsets()[v] + q` is port `q` of
+    /// `v` — the simulator's port numbering *is* CSR arc order, so flat
+    /// per-arc state (reverse-arc tables, message arenas) can be indexed by
+    /// these offsets directly.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw CSR target array (one entry per directed arc).
+    ///
+    /// `targets()[offsets()[v] as usize + q]` is the id of `v`'s `q`-th
+    /// neighbor. Together with [`offsets`](Self::offsets) this is the
+    /// zero-copy edge-array view used by the simulator's flat message plane.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The directed-arc index range of `v`: arc `arc_range(v).start + q`
+    /// corresponds to port `q` of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
 }
 
 impl fmt::Debug for CsrGraph {
@@ -364,6 +399,18 @@ mod tests {
             CsrGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap_err(),
             GraphError::DuplicateEdge { a: 0, b: 1 }
         );
+    }
+
+    #[test]
+    fn edge_array_views_are_consistent() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.offsets().len(), g.len() + 1);
+        assert_eq!(g.targets().len(), g.num_arcs());
+        for v in g.node_ids() {
+            let r = g.arc_range(v);
+            assert_eq!(r.len(), g.degree(v));
+            assert_eq!(&g.targets()[r], g.neighbor_slice(v));
+        }
     }
 
     #[test]

@@ -1,4 +1,54 @@
 //! The synchronous round-driving engine.
+//!
+//! # The flat CSR message plane
+//!
+//! Delivery used to be receiver-driven: every node rescanned the *entire
+//! outbox of every neighbor* each round (the `O(n·Δ)` scan), inboxes were
+//! `n` separately allocated `Vec`s cleared twice per round, and a third
+//! sequential sweep over all outboxes did the metrics accounting. This
+//! engine instead keeps all per-round delivery state in flat arrays
+//! parallel to the graph's CSR edge array. A round costs `O(m + traffic)`
+//! — the `m`-term is sequential walks of dense arrays (placement visits
+//! each receiver arc once), while every random-access and cloning cost
+//! scales with the traffic actually delivered:
+//!
+//! 1. a **fused accounting + classification pass** walks every outbox
+//!    exactly once: it charges sender-side metrics (what used to be a
+//!    separate `account_messages` sweep), publishes each sender's outbox
+//!    length, caches the payload of the common "one reliable broadcast"
+//!    shape in a dense per-node array (the *solo* fast path), and for every
+//!    other sender counts, per directed arc `u → v`, how many copies will
+//!    be delivered along it;
+//! 2. a **staging pass** prefix-sums those counts into per-arc `[start,
+//!    cursor)` ranges and clones each non-solo sender's delivered payloads
+//!    into one sender-major staging arena, in port-then-slot order;
+//! 3. a **placement pass** walks receivers in order and copies each
+//!    message into its slot of one contiguous double-buffered inbox arena:
+//!    solo broadcasts come straight from the dense cache, staged traffic
+//!    from the staging run of the reverse arc (`rev_edge`, a flat table
+//!    built in `O(m)` by a counting pass, not binary searches). Receiver
+//!    offsets into the arena are recorded as placement goes, so no
+//!    separate per-arc prefix pass exists on the hot path.
+//!
+//! All message-proportional buffers (arenas, staging, plan, per-thread
+//! scratch) are reused and keep their capacity, so steady-state rounds
+//! perform no buffer growth — asserted by a debug counter; multi-threaded
+//! rounds still make small `O(threads)` control-structure allocations
+//! (chunk tables, join handles). Every phase preserves the
+//! engine's determinism guarantee: outputs, metrics, and per-node message
+//! counts are bit-identical for every thread count, including under fault
+//! plans (drop decisions are keyed by `(round, sender, receiver, slot)`
+//! exactly as the old receiver-driven scan keyed them).
+//!
+//! **Port-numbering invariant:** port `q` of node `v` is `v`'s `q`-th
+//! neighbor in ascending id order — exactly CSR arc `offsets[v] + q`. The
+//! flat plane indexes by arcs but never renumbers ports, so protocols and
+//! recorded traffic are unaffected by the rewrite.
+//!
+//! Staged (non-solo) deliveries clone a message twice — once into the
+//! staging arena, once into the receiver's inbox slice. Messages are small
+//! wire-encoded values (the paper's are `O(log Δ)` bits), so the extra copy
+//! is far cheaper than the outbox rescans it replaces.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -104,35 +154,85 @@ impl<P: Protocol> Observer<P> for NullObserver {
     fn after_round(&mut self, _round: usize, _nodes: &[P]) {}
 }
 
+/// Per-chunk result of the fused accounting + classification pass.
+struct ScanOut {
+    stats: RoundMetrics,
+    max_message_bits: usize,
+    wire_ok: bool,
+}
+
 /// Drives one protocol instance per node of a graph through synchronous
 /// rounds until every node halts.
 ///
-/// See the [crate docs](crate) for a complete example.
+/// See the [crate docs](crate) for a complete example and the
+/// [module docs](self) for the flat-CSR delivery design.
 pub struct Engine<'g, P: Protocol> {
     graph: &'g CsrGraph,
     config: EngineConfig,
     nodes: Vec<P>,
     rngs: Vec<SmallRng>,
     halted: Vec<bool>,
-    /// `rev_ports[v][q]` = the port on neighbor `adj[v][q]` that points back
-    /// to `v`; used to match unicast messages during receiver-driven
-    /// delivery.
-    rev_ports: Vec<Vec<u32>>,
-    inboxes: Vec<Vec<(u32, P::Msg)>>,
-    next_inboxes: Vec<Vec<(u32, P::Msg)>>,
+    /// `rev_edge[e]` = the directed-arc index of the reverse of arc `e`:
+    /// if arc `e` is port `q` of `v` pointing at `u`, then `rev_edge[e]` is
+    /// the arc of `u` pointing back at `v`. Built in `O(m)` by a counting
+    /// pass in [`Engine::new`]; this is what lets placement find the
+    /// staging run a sender aimed at a given receiver without searching.
+    rev_edge: Vec<u32>,
+    /// Front inbox arena read by the compute phase: node `v`'s inbox is
+    /// `inbox_arena[inbox_offsets[v]..inbox_offsets[v + 1]]`.
+    inbox_arena: Vec<(u32, P::Msg)>,
+    inbox_offsets: Vec<usize>,
+    /// Back arena written by delivery, swapped with the front each round.
+    back_arena: Vec<(u32, P::Msg)>,
+    back_offsets: Vec<usize>,
     outboxes: Vec<Vec<Outbound<P::Msg>>>,
+    /// Per node: this round's outbox length (dense, so placement can skip
+    /// quiet senders without touching their outbox allocation).
+    outbox_len: Vec<u32>,
+    /// Per node: the payload of a sender whose round is exactly one
+    /// broadcast on a reliable network — the dominant traffic shape, which
+    /// placement serves from this dense cache without staging.
+    solo: Vec<Option<P::Msg>>,
+    /// Per directed arc of each *staged* (non-solo, non-quiet) sender:
+    /// copies delivered along it this round.
+    send_counts: Vec<u32>,
+    /// Per directed arc of each staged sender: its `[start, cursor)` run in
+    /// `plan`/`staged` (the cursor advances during the staging pass and
+    /// ends at the run's end).
+    plan_ranges: Vec<(u32, u32)>,
+    /// Staging-arena base index per node (`n + 1` entries; a sender's runs
+    /// are contiguous, so these are also the parallel-chunk boundaries).
+    node_plan_base: Vec<usize>,
+    /// Outbox slot index of every staged delivery, in arena order.
+    plan: Vec<u32>,
+    /// Payload clones of every staged delivery, parallel to `plan`.
+    staged: Vec<P::Msg>,
+    /// Per-thread staging buffers, spliced into `staged` in chunk order.
+    stage_scratch: Vec<Vec<P::Msg>>,
+    /// Per-thread placement buffers, spliced into the arena in chunk order.
+    scratch: Vec<Vec<(u32, P::Msg)>>,
     node_messages: Vec<u64>,
+    /// Debug counter: how many delivery phases grew any per-round buffer's
+    /// capacity. Steady-state rounds must not move this.
+    buffer_growths: u64,
 }
 
 impl<'g, P: Protocol> Engine<'g, P> {
     /// Builds an engine, constructing one protocol instance per node via
     /// `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's adjacency is asymmetric (some `v` lists `u`
+    /// but `u` does not list `v`) — impossible for graphs built through
+    /// [`kw_graph::GraphBuilder`], which enforces symmetry.
     pub fn new(
         graph: &'g CsrGraph,
         config: EngineConfig,
         mut factory: impl FnMut(NodeInfo) -> P,
     ) -> Self {
         let n = graph.len();
+        let arcs = graph.num_arcs();
         let mut nodes = Vec::with_capacity(n);
         let mut rngs = Vec::with_capacity(n);
         for v in 0..n {
@@ -145,30 +245,52 @@ impl<'g, P: Protocol> Engine<'g, P> {
             nodes.push(factory(info));
             rngs.push(SmallRng::seed_from_u64(seed));
         }
-        let rev_ports = (0..n)
-            .map(|v| {
-                graph
-                    .neighbors(NodeId::new(v))
-                    .map(|u| {
-                        graph
-                            .neighbor_slice(u)
-                            .binary_search(&(v as u32))
-                            .expect("graph adjacency is symmetric") as u32
-                    })
-                    .collect()
-            })
-            .collect();
+        // Reverse-arc table in one O(m) counting pass: scanning all arcs in
+        // (sender, port) order visits the in-arcs of every node u in
+        // ascending sender order, which is exactly u's sorted adjacency
+        // order — so the next free slot of u is the reverse arc.
+        let offsets = graph.offsets();
+        let targets = graph.targets();
+        let mut rev_edge = vec![0u32; arcs];
+        let mut next_in: Vec<u32> = offsets[..n].to_vec();
+        for v in 0..n {
+            for e in offsets[v] as usize..offsets[v + 1] as usize {
+                let u = targets[e] as usize;
+                let r = next_in[u] as usize;
+                assert!(
+                    r < offsets[u + 1] as usize && targets[r] as usize == v,
+                    "asymmetric adjacency: node {v} lists {u} as a neighbor, \
+                     but {u} does not list {v} back"
+                );
+                next_in[u] = r as u32 + 1;
+                rev_edge[e] = r as u32;
+            }
+        }
+        let mut solo = Vec::with_capacity(n);
+        solo.resize_with(n, || None);
         Engine {
             graph,
             config,
             nodes,
             rngs,
             halted: vec![false; n],
-            rev_ports,
-            inboxes: vec![Vec::new(); n],
-            next_inboxes: vec![Vec::new(); n],
+            rev_edge,
+            inbox_arena: Vec::new(),
+            inbox_offsets: vec![0; n + 1],
+            back_arena: Vec::new(),
+            back_offsets: vec![0; n + 1],
             outboxes: vec![Vec::new(); n],
+            outbox_len: vec![0; n],
+            solo,
+            send_counts: vec![0; arcs],
+            plan_ranges: vec![(0, 0); arcs],
+            node_plan_base: vec![0; n + 1],
+            plan: Vec::new(),
+            staged: Vec::new(),
+            stage_scratch: Vec::new(),
+            scratch: Vec::new(),
             node_messages: vec![0; n],
+            buffer_growths: 0,
         }
     }
 
@@ -192,6 +314,18 @@ impl<'g, P: Protocol> Engine<'g, P> {
         mut self,
         observer: &mut dyn Observer<P>,
     ) -> Result<RunReport<P::Output>, SimError> {
+        let metrics = self.drive(observer)?;
+        let outputs = self.nodes.into_iter().map(P::finish).collect();
+        Ok(RunReport {
+            outputs,
+            metrics,
+            node_messages: self.node_messages,
+        })
+    }
+
+    /// The round loop, separated from output extraction so tests can
+    /// inspect engine state (e.g. the allocation counter) after a run.
+    fn drive(&mut self, observer: &mut dyn Observer<P>) -> Result<RunMetrics, SimError> {
         let mut metrics = RunMetrics::default();
         let mut round = 0usize;
         loop {
@@ -203,7 +337,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             self.compute_phase(round);
             metrics.rounds = round + 1;
             observer.after_round(round, &self.nodes);
-            let round_stats = self.account_messages(round, &mut metrics)?;
+            let round_stats = self.account_and_classify(round, &mut metrics)?;
             if self.config.record_per_round {
                 metrics.per_round.push(round_stats);
             }
@@ -214,19 +348,15 @@ impl<'g, P: Protocol> Engine<'g, P> {
             round += 1;
         }
         metrics.max_node_messages = self.node_messages.iter().copied().max().unwrap_or(0);
-        let outputs = self.nodes.into_iter().map(P::finish).collect();
-        Ok(RunReport {
-            outputs,
-            metrics,
-            node_messages: self.node_messages,
-        })
+        Ok(metrics)
     }
 
     /// Calls `on_round` on every running node, filling outboxes.
     fn compute_phase(&mut self, round: usize) {
         let threads = self.effective_threads();
         let graph = self.graph;
-        let inboxes = &self.inboxes;
+        let arena = &self.inbox_arena;
+        let offsets = &self.inbox_offsets;
         let n = self.nodes.len();
         if threads <= 1 || n < 2 * threads {
             Self::compute_range(
@@ -237,7 +367,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 &mut self.rngs,
                 &mut self.halted,
                 &mut self.outboxes,
-                inboxes,
+                arena,
+                offsets,
             );
             return;
         }
@@ -250,7 +381,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             for (i, (((nc, rc), hc), oc)) in nodes.zip(rngs).zip(halted).zip(outboxes).enumerate() {
                 let base = i * chunk;
                 s.spawn(move || {
-                    Self::compute_range(graph, round, base, nc, rc, hc, oc, inboxes);
+                    Self::compute_range(graph, round, base, nc, rc, hc, oc, arena, offsets);
                 });
             }
         });
@@ -265,7 +396,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
         rngs: &mut [SmallRng],
         halted: &mut [bool],
         outboxes: &mut [Vec<Outbound<P::Msg>>],
-        inboxes: &[Vec<(u32, P::Msg)>],
+        arena: &[(u32, P::Msg)],
+        inbox_offsets: &[usize],
     ) {
         for (j, node) in nodes.iter_mut().enumerate() {
             if halted[j] {
@@ -277,7 +409,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 node: id,
                 degree: graph.degree(id) as u32,
                 round,
-                inbox: &inboxes[v],
+                inbox: &arena[inbox_offsets[v]..inbox_offsets[v + 1]],
                 outbox: &mut outboxes[j],
                 rng: &mut rngs[j],
             };
@@ -287,122 +419,481 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
     }
 
-    /// Charges every queued message to the metrics (sender side).
-    fn account_messages(
+    /// The fused pass: walks every outbox exactly once, charging
+    /// sender-side metrics (what `account_messages` used to do in a
+    /// separate sweep) and classifying every sender for delivery — quiet,
+    /// solo broadcast (payload cached densely), or staged (per-arc copy
+    /// counts computed, receiver-side filters already applied: arcs into
+    /// halted nodes count zero, and each copy's fate under a fault plan is
+    /// decided with the same `(round, sender, receiver, slot)` key the old
+    /// receiver-driven scan used, so lossy runs reproduce exactly).
+    fn account_and_classify(
         &mut self,
         round: usize,
         metrics: &mut RunMetrics,
     ) -> Result<RoundMetrics, SimError> {
+        let threads = self.effective_threads();
+        let n = self.nodes.len();
+        let graph = self.graph;
+        let halted = &self.halted;
+        let outboxes = &self.outboxes;
+        let faults = self.config.faults;
+        let check_wire = self.config.check_wire;
+        let scan = |base: usize,
+                    node_messages: &mut [u64],
+                    outbox_len: &mut [u32],
+                    solo: &mut [Option<P::Msg>],
+                    send_counts: &mut [u32]|
+         -> ScanOut {
+            Self::scan_range(
+                graph,
+                round,
+                base,
+                outboxes,
+                halted,
+                faults,
+                check_wire,
+                node_messages,
+                outbox_len,
+                solo,
+                send_counts,
+            )
+        };
+        let out = if threads <= 1 || n < 2 * threads {
+            scan(
+                0,
+                &mut self.node_messages,
+                &mut self.outbox_len,
+                &mut self.solo,
+                &mut self.send_counts,
+            )
+        } else {
+            let chunk = n.div_ceil(threads);
+            let counts = split_at_arcs(&mut self.send_counts, graph.offsets(), chunk);
+            let messages = self.node_messages.chunks_mut(chunk);
+            let lens = self.outbox_len.chunks_mut(chunk);
+            let solos = self.solo.chunks_mut(chunk);
+            let outs: Vec<ScanOut> = std::thread::scope(|s| {
+                let handles: Vec<_> = messages
+                    .zip(lens)
+                    .zip(solos)
+                    .zip(counts)
+                    .enumerate()
+                    .map(|(i, (((mc, lc), sc), cc))| {
+                        let scan = &scan;
+                        s.spawn(move || scan(i * chunk, mc, lc, sc, cc))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            outs.into_iter()
+                .fold(None::<ScanOut>, |acc, o| match acc {
+                    None => Some(o),
+                    Some(mut a) => {
+                        a.stats.accumulate(o.stats);
+                        a.max_message_bits = a.max_message_bits.max(o.max_message_bits);
+                        a.wire_ok &= o.wire_ok;
+                        Some(a)
+                    }
+                })
+                .expect("at least one chunk")
+        };
+        if !out.wire_ok {
+            return Err(SimError::WireMismatch { round });
+        }
+        metrics.messages += out.stats.messages;
+        metrics.bits += out.stats.bits;
+        metrics.max_message_bits = metrics.max_message_bits.max(out.max_message_bits);
+        Ok(out.stats)
+    }
+
+    /// [`account_and_classify`](Self::account_and_classify) over one node
+    /// range. `send_counts` is the slice covering exactly the range's arcs.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_range(
+        graph: &CsrGraph,
+        round: usize,
+        base: usize,
+        outboxes: &[Vec<Outbound<P::Msg>>],
+        halted: &[bool],
+        faults: FaultPlan,
+        check_wire: bool,
+        node_messages: &mut [u64],
+        outbox_len: &mut [u32],
+        solo: &mut [Option<P::Msg>],
+        send_counts: &mut [u32],
+    ) -> ScanOut {
+        let offsets = graph.offsets();
+        let targets = graph.targets();
+        let arc_base = offsets[base] as usize;
         let mut stats = RoundMetrics::default();
-        for (v, outbox) in self.outboxes.iter().enumerate() {
-            let degree = self.graph.degree(NodeId::new(v)) as u64;
+        let mut max_message_bits = 0usize;
+        let mut wire_ok = true;
+        let reliable = faults.is_reliable();
+        for j in 0..node_messages.len() {
+            let u = base + j;
+            let outbox = &outboxes[u];
+            outbox_len[j] = outbox.len() as u32;
+            if outbox.is_empty() {
+                solo[j] = None;
+                continue;
+            }
+            let arc_lo = offsets[u] as usize;
+            let degree = offsets[u + 1] as usize - arc_lo;
+            let local = arc_lo - arc_base;
+            // Sender-side accounting (faults and halted receivers never
+            // reduce what the sender is charged for).
             for out in outbox {
                 let (msg, copies) = match out {
-                    Outbound::Broadcast(m) => (m, degree),
+                    Outbound::Broadcast(m) => (m, degree as u64),
                     Outbound::Unicast { msg, .. } => (msg, 1),
                 };
                 let bits = msg.encoded_bits();
-                if self.config.check_wire {
+                if check_wire {
                     let mut w = BitWriter::new();
                     msg.encode(&mut w);
+                    // An `encoded_bits` override that disagrees with the
+                    // real encoding would corrupt the bit accounting.
+                    if w.bit_len() != bits {
+                        wire_ok = false;
+                    }
                     let bytes = w.into_bytes();
                     if P::Msg::decode(&mut BitReader::new(&bytes)).is_none() {
-                        return Err(SimError::WireMismatch { round });
+                        wire_ok = false;
                     }
                 }
                 stats.messages += copies;
                 stats.bits += bits as u64 * copies;
-                metrics.max_message_bits = metrics.max_message_bits.max(bits);
-                self.node_messages[v] += copies;
+                max_message_bits = max_message_bits.max(bits);
+                node_messages[j] += copies;
+            }
+            // Classification. The dominant shape — a single broadcast on a
+            // reliable network — is served from the dense solo cache and
+            // needs no per-arc work at all (halted receivers are filtered
+            // on the receiver side of placement).
+            if reliable {
+                if let [Outbound::Broadcast(m)] = outbox.as_slice() {
+                    solo[j] = Some(m.clone());
+                    continue;
+                }
+                solo[j] = None;
+                let counts = &mut send_counts[local..local + degree];
+                counts.fill(0);
+                let mut broadcasts = 0u32;
+                for out in outbox {
+                    match out {
+                        Outbound::Broadcast(_) => broadcasts += 1,
+                        Outbound::Unicast { port, .. } => counts[*port as usize] += 1,
+                    }
+                }
+                for (p, c) in counts.iter_mut().enumerate() {
+                    let v = targets[arc_lo + p] as usize;
+                    *c = if halted[v] { 0 } else { *c + broadcasts };
+                }
+            } else {
+                solo[j] = None;
+                send_counts[local..local + degree].fill(0);
+                for (slot, out) in outbox.iter().enumerate() {
+                    match out {
+                        Outbound::Broadcast(_) => {
+                            for p in 0..degree {
+                                let v = targets[arc_lo + p];
+                                if !halted[v as usize]
+                                    && !faults.drops(round, u as u32, v, slot as u32)
+                                {
+                                    send_counts[local + p] += 1;
+                                }
+                            }
+                        }
+                        Outbound::Unicast { port, .. } => {
+                            let p = *port as usize;
+                            let v = targets[arc_lo + p];
+                            if !halted[v as usize] && !faults.drops(round, u as u32, v, slot as u32)
+                            {
+                                send_counts[local + p] += 1;
+                            }
+                        }
+                    }
+                }
             }
         }
-        metrics.messages += stats.messages;
-        metrics.bits += stats.bits;
-        Ok(stats)
+        ScanOut {
+            stats,
+            max_message_bits,
+            wire_ok,
+        }
     }
 
-    /// Receiver-driven delivery: moves outbox contents into next-round
-    /// inboxes, then swaps the buffers.
+    /// Whether node `u` has staged (non-solo, non-quiet) traffic this
+    /// round.
+    #[inline]
+    fn is_staged(&self, u: usize) -> bool {
+        self.outbox_len[u] > 0 && self.solo[u].is_none()
+    }
+
+    /// Sender-indexed delivery into the flat arena: prefix-sums the staged
+    /// counts, stages payload clones in sender-major order, places every
+    /// message into its receiver's arena slice, then swaps the double
+    /// buffer.
     fn delivery_phase(&mut self, round: usize) {
-        let threads = self.effective_threads();
-        let graph = self.graph;
-        let outboxes = &self.outboxes;
-        let rev_ports = &self.rev_ports;
-        let halted = &self.halted;
-        let faults = self.config.faults;
+        let cap_before = self.delivery_capacity();
         let n = self.nodes.len();
-        if threads <= 1 || n < 2 * threads {
-            Self::deliver_range(
-                graph,
-                0,
-                &mut self.next_inboxes,
-                outboxes,
-                rev_ports,
-                halted,
-                faults,
-                round,
-            );
-        } else {
-            let chunk = n.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (i, inbox_chunk) in self.next_inboxes.chunks_mut(chunk).enumerate() {
-                    let base = i * chunk;
-                    s.spawn(move || {
-                        Self::deliver_range(
-                            graph,
-                            base,
-                            inbox_chunk,
-                            outboxes,
-                            rev_ports,
-                            halted,
-                            faults,
-                            round,
-                        );
-                    });
+        let offsets = self.graph.offsets();
+        // Staging prefix sum — touches only staged senders' arcs.
+        let mut plan_total = 0usize;
+        for u in 0..n {
+            self.node_plan_base[u] = plan_total;
+            if self.is_staged(u) {
+                for e in offsets[u] as usize..offsets[u + 1] as usize {
+                    self.plan_ranges[e] = (plan_total as u32, plan_total as u32);
+                    plan_total += self.send_counts[e] as usize;
                 }
-            });
+            }
         }
-        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        self.node_plan_base[n] = plan_total;
+        assert!(
+            u32::try_from(plan_total).is_ok(),
+            "more than u32::MAX staged deliveries in one round"
+        );
+        if plan_total > 0 {
+            self.build_staging(round, plan_total);
+        } else {
+            self.staged.clear();
+        }
+        self.place();
+        std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
+        std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
+        // The entire old message plane resets with one arena clear (offsets
+        // are rewritten wholesale next round); only outboxes remain
+        // per-node because `Ctx` hands out `&mut Vec`.
+        self.back_arena.clear();
         for outbox in &mut self.outboxes {
             outbox.clear();
         }
-        for inbox in &mut self.next_inboxes {
-            inbox.clear();
+        let cap_after = self.delivery_capacity();
+        if cap_after > cap_before {
+            self.buffer_growths += 1;
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn deliver_range(
-        graph: &CsrGraph,
-        base: usize,
-        inboxes: &mut [Vec<(u32, P::Msg)>],
-        outboxes: &[Vec<Outbound<P::Msg>>],
-        rev_ports: &[Vec<u32>],
-        halted: &[bool],
-        faults: FaultPlan,
-        round: usize,
-    ) {
-        for (j, inbox) in inboxes.iter_mut().enumerate() {
-            let v = base + j;
-            if halted[v] {
-                continue; // a halted node never reads again
-            }
-            for (q, u) in graph.neighbors(NodeId::new(v)).enumerate() {
-                let back_port = rev_ports[v][q];
-                for (slot, out) in outboxes[u.index()].iter().enumerate() {
-                    let delivered = match out {
-                        Outbound::Broadcast(m) => Some(m),
-                        Outbound::Unicast { port, msg } if *port == back_port => Some(msg),
-                        Outbound::Unicast { .. } => None,
-                    };
-                    let Some(msg) = delivered else { continue };
-                    if faults.drops(round, u.raw(), v as u32, slot as u32) {
-                        continue;
+    /// Total capacity of all reusable delivery buffers, for the
+    /// steady-state allocation check (capacities never shrink, so a sum
+    /// increase means some buffer grew this round).
+    fn delivery_capacity(&self) -> usize {
+        self.inbox_arena.capacity()
+            + self.back_arena.capacity()
+            + self.plan.capacity()
+            + self.staged.capacity()
+            + self.scratch.iter().map(Vec::capacity).sum::<usize>()
+            + self.stage_scratch.iter().map(Vec::capacity).sum::<usize>()
+    }
+
+    /// Fills `plan` (outbox slot of every staged delivery, grouped by
+    /// sender arc, slot-ascending within an arc) and `staged` (the matching
+    /// payload clones) for all staged senders.
+    fn build_staging(&mut self, round: usize, plan_total: usize) {
+        let threads = self.effective_threads();
+        let n = self.nodes.len();
+        let graph = self.graph;
+        let offsets = graph.offsets();
+        let targets = graph.targets();
+        let outboxes = &self.outboxes;
+        let halted = &self.halted;
+        let outbox_len = &self.outbox_len;
+        let solo = &self.solo;
+        let node_plan_base = &self.node_plan_base;
+        let faults = self.config.faults;
+        let reliable = faults.is_reliable();
+        self.plan.resize(plan_total, 0);
+        // Writes one sender's plan entries via the per-arc cursors, then
+        // immediately stages that sender's payloads (its outbox is hot).
+        let fill = |base: usize,
+                    len: usize,
+                    plan_base: usize,
+                    plan_chunk: &mut [u32],
+                    ranges: &mut [(u32, u32)],
+                    sink: &mut Vec<P::Msg>| {
+            let arc_base = offsets[base] as usize;
+            for u in base..base + len {
+                if outbox_len[u] == 0 || solo[u].is_some() {
+                    continue;
+                }
+                let outbox = &outboxes[u];
+                let arc_lo = offsets[u] as usize;
+                let degree = offsets[u + 1] as usize - arc_lo;
+                for (slot, out) in outbox.iter().enumerate() {
+                    match out {
+                        Outbound::Broadcast(_) => {
+                            for p in 0..degree {
+                                let v = targets[arc_lo + p];
+                                if !halted[v as usize]
+                                    && (reliable || !faults.drops(round, u as u32, v, slot as u32))
+                                {
+                                    let cursor = &mut ranges[arc_lo + p - arc_base].1;
+                                    plan_chunk[*cursor as usize - plan_base] = slot as u32;
+                                    *cursor += 1;
+                                }
+                            }
+                        }
+                        Outbound::Unicast { port, .. } => {
+                            let p = *port as usize;
+                            let v = targets[arc_lo + p];
+                            if !halted[v as usize]
+                                && (reliable || !faults.drops(round, u as u32, v, slot as u32))
+                            {
+                                let cursor = &mut ranges[arc_lo + p - arc_base].1;
+                                plan_chunk[*cursor as usize - plan_base] = slot as u32;
+                                *cursor += 1;
+                            }
+                        }
                     }
-                    inbox.push((q as u32, msg.clone()));
+                }
+                for &slot in
+                    &plan_chunk[node_plan_base[u] - plan_base..node_plan_base[u + 1] - plan_base]
+                {
+                    sink.push(outbox[slot as usize].payload().clone());
                 }
             }
+        };
+        if threads <= 1 || n < 2 * threads {
+            self.staged.clear();
+            fill(
+                0,
+                n,
+                0,
+                &mut self.plan[..plan_total],
+                &mut self.plan_ranges,
+                &mut self.staged,
+            );
+            return;
         }
+        let chunk = n.div_ceil(threads);
+        // A sender chunk's plan entries are contiguous (staging bases are
+        // monotone in node order), so the plan, the range table, and the
+        // staging output all split safely at chunk boundaries.
+        let ranges = split_at_arcs(&mut self.plan_ranges, offsets, chunk);
+        let chunks = ranges.len();
+        if self.stage_scratch.len() < chunks {
+            self.stage_scratch.resize_with(chunks, Vec::new);
+        }
+        let mut plans = Vec::with_capacity(chunks);
+        let mut bases = Vec::with_capacity(chunks);
+        let mut rest = &mut self.plan[..plan_total];
+        let mut consumed = 0usize;
+        for i in 0..chunks {
+            let hi = node_plan_base[((i + 1) * chunk).min(n)];
+            let (head, tail) = rest.split_at_mut(hi - consumed);
+            bases.push(consumed);
+            plans.push(head);
+            rest = tail;
+            consumed = hi;
+        }
+        std::thread::scope(|s| {
+            for (i, ((pc, rc), sink)) in plans
+                .into_iter()
+                .zip(ranges)
+                .zip(self.stage_scratch[..chunks].iter_mut())
+                .enumerate()
+            {
+                let base = i * chunk;
+                let len = chunk.min(n - base);
+                let plan_base = bases[i];
+                let fill = &fill;
+                s.spawn(move || {
+                    sink.clear();
+                    fill(base, len, plan_base, pc, rc, sink);
+                });
+            }
+        });
+        self.staged.clear();
+        for sink in &mut self.stage_scratch[..chunks] {
+            self.staged.append(sink);
+        }
+    }
+
+    /// Copies every delivered message into the back arena, receivers in
+    /// ascending order, each receiver's messages in `(port, slot)` order —
+    /// the exact sequence the old receiver-driven scan produced — while
+    /// recording the per-receiver arena offsets.
+    fn place(&mut self) {
+        let threads = self.effective_threads();
+        let n = self.nodes.len();
+        let graph = self.graph;
+        let halted = &self.halted;
+        let outbox_len = &self.outbox_len;
+        let solo = &self.solo;
+        let rev_edge = &self.rev_edge;
+        let plan_ranges = &self.plan_ranges;
+        let staged = &self.staged[..];
+        // `offsets[v]` entries are written relative to the chunk's start;
+        // the caller rebases them once chunk sizes are known.
+        let place_range =
+            |lo: usize, hi: usize, offsets_out: &mut [usize], sink: &mut Vec<(u32, P::Msg)>| {
+                let offsets = graph.offsets();
+                let targets = graph.targets();
+                for v in lo..hi {
+                    offsets_out[v - lo] = sink.len();
+                    if halted[v] {
+                        continue;
+                    }
+                    let arc_lo = offsets[v] as usize;
+                    let degree = offsets[v + 1] as usize - arc_lo;
+                    for q in 0..degree {
+                        let u = targets[arc_lo + q] as usize;
+                        if let Some(m) = &solo[u] {
+                            sink.push((q as u32, m.clone()));
+                            continue;
+                        }
+                        if outbox_len[u] == 0 {
+                            continue;
+                        }
+                        let j = rev_edge[arc_lo + q] as usize;
+                        let (start, end) = plan_ranges[j];
+                        for m in &staged[start as usize..end as usize] {
+                            sink.push((q as u32, m.clone()));
+                        }
+                    }
+                }
+            };
+        if threads <= 1 || n < 2 * threads {
+            self.back_arena.clear();
+            place_range(0, n, &mut self.back_offsets[..n], &mut self.back_arena);
+            self.back_offsets[n] = self.back_arena.len();
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let chunks = n.div_ceil(chunk);
+        if self.scratch.len() < chunks {
+            self.scratch.resize_with(chunks, Vec::new);
+        }
+        let offset_chunks = self.back_offsets[..n].chunks_mut(chunk);
+        std::thread::scope(|s| {
+            for (i, (sink, oc)) in self.scratch[..chunks]
+                .iter_mut()
+                .zip(offset_chunks)
+                .enumerate()
+            {
+                let lo = i * chunk;
+                let hi = (lo + chunk).min(n);
+                let place_range = &place_range;
+                s.spawn(move || {
+                    sink.clear();
+                    place_range(lo, hi, oc, sink);
+                });
+            }
+        });
+        // Splice chunk outputs and rebase their local offsets.
+        self.back_arena.clear();
+        for (i, sink) in self.scratch[..chunks].iter_mut().enumerate() {
+            let base = self.back_arena.len();
+            let lo = i * chunk;
+            let hi = (lo + chunk).min(n);
+            for off in &mut self.back_offsets[lo..hi] {
+                *off += base;
+            }
+            self.back_arena.append(sink);
+        }
+        self.back_offsets[n] = self.back_arena.len();
     }
 
     fn effective_threads(&self) -> usize {
@@ -414,6 +905,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
             self.config.threads
         }
     }
+}
+
+/// Splits `slice` (one entry per directed arc) into per-node-chunk slices
+/// whose boundaries follow the CSR offsets, so arc-indexed state can be
+/// handed to the same worker that owns the node chunk.
+fn split_at_arcs<'a, T>(slice: &'a mut [T], offsets: &[u32], chunk: usize) -> Vec<&'a mut [T]> {
+    let n = offsets.len() - 1;
+    let mut out = Vec::with_capacity(n.div_ceil(chunk.max(1)));
+    let mut rest = slice;
+    let mut consumed = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + chunk).min(n);
+        let hi = offsets[end] as usize;
+        let (head, tail) = rest.split_at_mut(hi - consumed);
+        out.push(head);
+        rest = tail;
+        consumed = hi;
+        base = end;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -721,5 +1233,90 @@ mod tests {
         assert_eq!(seeds1, seeds2);
         let mut rng = SmallRng::seed_from_u64(seeds1[0]);
         let _: u64 = rng.gen();
+    }
+
+    #[test]
+    fn rev_edge_table_inverts_itself() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(13);
+        for g in [
+            generators::petersen(),
+            generators::star(7),
+            generators::gnp(40, 0.2, &mut rng),
+        ] {
+            let engine = Engine::new(&g, EngineConfig::default(), |_| MaxFlood {
+                best: 0,
+                rounds_left: 0,
+            });
+            let offsets = g.offsets();
+            let targets = g.targets();
+            for v in 0..g.len() {
+                for e in offsets[v] as usize..offsets[v + 1] as usize {
+                    let r = engine.rev_edge[e] as usize;
+                    // The reverse arc belongs to the neighbor and points back.
+                    let u = targets[e] as usize;
+                    assert!((offsets[u] as usize..offsets[u + 1] as usize).contains(&r));
+                    assert_eq!(targets[r] as usize, v);
+                    assert_eq!(engine.rev_edge[r] as usize, e);
+                }
+            }
+        }
+    }
+
+    /// A protocol that exercises the staged path (mixed broadcast +
+    /// unicast every round), for the steady-state allocation check.
+    struct Mixed {
+        rounds_left: usize,
+    }
+
+    impl Protocol for Mixed {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if self.rounds_left == 0 {
+                return Status::Halted;
+            }
+            self.rounds_left -= 1;
+            ctx.broadcast(7);
+            if ctx.degree() > 0 {
+                ctx.send(0, 9);
+            }
+            Status::Running
+        }
+
+        fn finish(self) -> u64 {
+            0
+        }
+    }
+
+    /// Steady-state rounds must be allocation-free: a run three times as
+    /// long grows delivery buffers exactly as often as a short one,
+    /// because all growth happens in the first rounds.
+    #[test]
+    fn steady_state_rounds_do_not_grow_buffers() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(21);
+        let g = generators::gnp(80, 0.1, &mut rng);
+        let growths = |rounds: usize, threads: usize| {
+            let mut engine = Engine::new(
+                &g,
+                EngineConfig {
+                    threads,
+                    ..Default::default()
+                },
+                |_| Mixed {
+                    rounds_left: rounds,
+                },
+            );
+            engine.drive(&mut NullObserver).unwrap();
+            engine.buffer_growths
+        };
+        for threads in [1usize, 4] {
+            let short = growths(4, threads);
+            let long = growths(12, threads);
+            assert_eq!(
+                short, long,
+                "delivery buffers grew after warm-up (threads={threads})"
+            );
+        }
     }
 }

@@ -52,14 +52,24 @@ impl FaultPlan {
         self.drop_probability
     }
 
+    /// The seed of the loss process.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Whether this plan can drop messages at all.
     pub fn is_reliable(&self) -> bool {
         self.drop_probability == 0.0
     }
 
     /// Decides the fate of one delivery, identified by `(round, sender,
-    /// receiver, slot)`. Deterministic in the plan seed and independent of
-    /// evaluation order, so results do not depend on thread count.
+    /// receiver, slot)` where `slot` is the message's index in the
+    /// sender's outbox that round. Deterministic in the plan seed and
+    /// independent of evaluation order, so results do not depend on thread
+    /// count — the engine's sender-indexed delivery evaluates the same
+    /// keys the old receiver-driven scan did, keeping lossy runs exactly
+    /// reproducible across the rewrite.
+    #[inline]
     pub fn drops(&self, round: usize, sender: u32, receiver: u32, slot: u32) -> bool {
         if self.drop_probability <= 0.0 {
             return false;

@@ -16,6 +16,27 @@
 //!   [`wire::WireEncode`] implementation, so the paper's `O(log Δ)`
 //!   message-size claim can be validated literally ([`RunMetrics`]).
 //!
+//! # The flat message plane
+//!
+//! Delivery runs on flat arrays parallel to the graph's CSR edge array
+//! rather than per-node `Vec`s: one fused pass walks every outbox exactly
+//! once (charging metrics and classifying traffic), and messages are then
+//! copied straight into one contiguous, double-buffered inbox arena —
+//! broadcasts through a dense per-sender payload cache, unicast and mixed
+//! traffic through a sender-major staging arena addressed by a flat
+//! reverse-arc table. A round costs `O(m + traffic)` with the `m`-term
+//! reduced to sequential walks of dense arrays, message-proportional
+//! buffers keep their capacity so steady-state rounds grow nothing, and
+//! results are bit-identical for every thread count. See the [`engine`
+//! module docs](Engine) for the full design.
+//!
+//! **Port numbering is an invariant of the model, not of the message
+//! plane:** port `q` of node `v` is always `v`'s `q`-th neighbor in
+//! ascending id order (CSR arc order). Protocols written against the old
+//! receiver-driven engine observe identical ports, inbox ordering
+//! (ascending port, then sender outbox slot), metrics, and fault
+//! behavior.
+//!
 //! # Example: one round of "send your degree, output the max"
 //!
 //! ```

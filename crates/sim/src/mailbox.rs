@@ -5,6 +5,9 @@ use rand::rngs::SmallRng;
 use kw_graph::NodeId;
 
 /// Outbound message queued by a node during a round.
+///
+/// A broadcast is materialized once here; the engine's flat delivery plane
+/// clones it only into the arena slot of each edge it is delivered on.
 #[derive(Clone, Debug)]
 pub(crate) enum Outbound<M> {
     /// Same payload to every neighbor (still counted as `degree` messages,
@@ -12,6 +15,16 @@ pub(crate) enum Outbound<M> {
     Broadcast(M),
     /// Payload to the neighbor on one port.
     Unicast { port: u32, msg: M },
+}
+
+impl<M> Outbound<M> {
+    /// The message payload, regardless of addressing mode.
+    pub(crate) fn payload(&self) -> &M {
+        match self {
+            Outbound::Broadcast(m) => m,
+            Outbound::Unicast { msg, .. } => msg,
+        }
+    }
 }
 
 /// Messages received by a node this round, tagged with the receiving port.

@@ -10,6 +10,17 @@ pub struct RoundMetrics {
     pub bits: u64,
 }
 
+impl RoundMetrics {
+    /// Adds another partial count into this one (used by the engine to
+    /// reduce per-worker tallies of the fused accounting pass; counter
+    /// sums are order-independent, so the reduction is deterministic for
+    /// any thread count).
+    pub fn accumulate(&mut self, other: RoundMetrics) {
+        self.messages += other.messages;
+        self.bits += other.bits;
+    }
+}
+
 /// Aggregated communication metrics for a completed run.
 ///
 /// These validate the paper's complexity claims:

@@ -175,6 +175,12 @@ pub trait WireEncode {
         Self: Sized;
 
     /// Exact encoded size in bits (defaults to encoding and measuring).
+    ///
+    /// The default allocates a scratch buffer per call and the engine
+    /// calls this once per queued message per round, so hot protocols
+    /// should override it with a closed form (see [`gamma_len`]). With
+    /// `check_wire` enabled the engine verifies the override against the
+    /// real encoding.
     fn encoded_bits(&self) -> usize {
         let mut w = BitWriter::new();
         self.encode(&mut w);
@@ -194,6 +200,26 @@ pub fn roundtrip<M: WireEncode>(msg: &M) -> Option<M> {
     M::decode(&mut r)
 }
 
+/// Length in bits of [`BitWriter::write_gamma`]'s encoding of `value`,
+/// without encoding anything.
+///
+/// The engine charges every queued message through
+/// [`WireEncode::encoded_bits`] each round; message types whose format is
+/// built from gamma codes and fixed-width fields should override that
+/// method with a closed form using this helper, so the accounting pass
+/// stays allocation-free.
+///
+/// # Panics
+///
+/// Panics if `value == u64::MAX` (not gamma-encodable, mirroring
+/// `write_gamma`).
+#[inline]
+pub fn gamma_len(value: u64) -> usize {
+    let v = value.checked_add(1).expect("gamma code input overflow");
+    let width = 63 - v.leading_zeros() as usize;
+    2 * width + 1
+}
+
 impl WireEncode for u64 {
     fn encode(&self, w: &mut BitWriter) {
         w.write_gamma(*self);
@@ -201,6 +227,10 @@ impl WireEncode for u64 {
 
     fn decode(r: &mut BitReader<'_>) -> Option<Self> {
         r.read_gamma()
+    }
+
+    fn encoded_bits(&self) -> usize {
+        gamma_len(*self)
     }
 }
 

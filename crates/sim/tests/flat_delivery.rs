@@ -1,0 +1,226 @@
+//! Conformance of the flat CSR message plane against the delivery
+//! semantics the old receiver-driven engine defined.
+//!
+//! A scripted protocol (traffic derived from a pure hash of `(node,
+//! round)`, so the test can predict it) records everything it receives;
+//! an independent model computes what the semantics specify: node `v`'s
+//! round-`r` inbox holds, for each port `q` in ascending order, the
+//! messages its neighbor `u` queued in round `r − 1` that address `v`
+//! (broadcasts, plus unicasts whose port points back at `v`), in outbox
+//! slot order, minus fault drops keyed `(round, sender, receiver, slot)`
+//! — and nothing at all once `v` has halted. The property test checks the
+//! exact sequence (hence the exact multiset) on random G(n, p), star, and
+//! complete graphs, with and without faults; a separate test pins
+//! thread-count determinism on a high-Δ graph with faults enabled.
+
+use kw_graph::{generators, CsrGraph, NodeId};
+use kw_sim::rng::split_mix64;
+use kw_sim::{Ctx, Engine, EngineConfig, FaultPlan, Protocol, RunReport, Status};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One scripted send: broadcast, or unicast on a port.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Send {
+    Broadcast(u64),
+    Unicast(u32, u64),
+}
+
+/// The messages node `me` queues in `round`, as a pure function — both the
+/// protocol and the reference model evaluate it. Mixes quiet rounds,
+/// broadcast-only rounds (the engine's solo fast path), and mixed
+/// broadcast + unicast rounds (the staged path).
+fn script(me: u32, round: usize, degree: u32) -> Vec<Send> {
+    if degree == 0 {
+        return Vec::new();
+    }
+    let h = split_mix64((u64::from(me) << 32) ^ (round as u64 + 1));
+    let count = (h % 4) as usize; // 0..=3 messages per round
+    (0..count)
+        .map(|i| {
+            let hi = split_mix64(h ^ ((i as u64 + 1) << 48));
+            let payload = hi | 1;
+            if hi & 2 == 0 {
+                Send::Broadcast(payload)
+            } else {
+                Send::Unicast((hi >> 8) as u32 % degree, payload)
+            }
+        })
+        .collect()
+}
+
+/// The round after which node `me` halts (it still sends that round).
+fn halt_round(me: u32, max_rounds: usize) -> usize {
+    (split_mix64(u64::from(me).wrapping_mul(0x9E37)) % (max_rounds as u64 + 1)) as usize
+}
+
+/// Runs the script and records every `(round, port, payload)` received.
+struct Scripted {
+    me: u32,
+    max_rounds: usize,
+    log: Vec<(usize, u32, u64)>,
+}
+
+impl Protocol for Scripted {
+    type Msg = u64;
+    type Output = Vec<(usize, u32, u64)>;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+        for (port, &m) in ctx.inbox().iter() {
+            self.log.push((ctx.round(), port, m));
+        }
+        for send in script(self.me, ctx.round(), ctx.degree()) {
+            match send {
+                Send::Broadcast(m) => ctx.broadcast(m),
+                Send::Unicast(port, m) => ctx.send(port, m),
+            }
+        }
+        if ctx.round() >= halt_round(self.me, self.max_rounds) {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn finish(self) -> Vec<(usize, u32, u64)> {
+        self.log
+    }
+}
+
+/// The reference model: replays the scripts against the documented
+/// delivery semantics, independent of the engine's implementation.
+fn expected_log(
+    g: &CsrGraph,
+    v: usize,
+    max_rounds: usize,
+    faults: FaultPlan,
+) -> Vec<(usize, u32, u64)> {
+    let mut log = Vec::new();
+    // v computes in rounds 0..=halt_round(v); round r's inbox holds round
+    // r − 1 traffic.
+    for r in 1..=halt_round(v as u32, max_rounds) {
+        for (q, u) in g.neighbors(NodeId::new(v)).enumerate() {
+            // Sender u queued messages in round r − 1 only if it was still
+            // running then.
+            if halt_round(u.raw(), max_rounds) < r - 1 {
+                continue;
+            }
+            let deg_u = g.degree(u) as u32;
+            let back_port = g
+                .neighbor_slice(u)
+                .iter()
+                .position(|&t| t == v as u32)
+                .expect("symmetric adjacency") as u32;
+            for (slot, send) in script(u.raw(), r - 1, deg_u).iter().enumerate() {
+                let payload = match send {
+                    Send::Broadcast(m) => *m,
+                    Send::Unicast(port, m) if *port == back_port => *m,
+                    Send::Unicast(..) => continue,
+                };
+                if faults.drops(r - 1, u.raw(), v as u32, slot as u32) {
+                    continue;
+                }
+                log.push((r, q as u32, payload));
+            }
+        }
+    }
+    log
+}
+
+fn run_scripted(
+    g: &CsrGraph,
+    max_rounds: usize,
+    config: EngineConfig,
+) -> RunReport<Vec<(usize, u32, u64)>> {
+    Engine::new(g, config, |info| Scripted {
+        me: info.id.raw(),
+        max_rounds,
+        log: Vec::new(),
+    })
+    .run()
+    .expect("scripted run terminates")
+}
+
+fn assert_matches_reference(g: &CsrGraph, max_rounds: usize, faults: FaultPlan) {
+    let config = EngineConfig {
+        faults,
+        check_wire: true,
+        ..Default::default()
+    };
+    let report = run_scripted(g, max_rounds, config);
+    for v in 0..g.len() {
+        let expected = expected_log(g, v, max_rounds, faults);
+        assert_eq!(
+            report.outputs[v], expected,
+            "inbox mismatch at node {v} on {g:?} (faults: {faults:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_plane_matches_reference_on_gnp(seed in any::<u64>(), n in 4usize..36) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.25, &mut rng);
+        assert_matches_reference(&g, 6, FaultPlan::reliable());
+        assert_matches_reference(&g, 6, FaultPlan::drop_with_probability(0.3, seed ^ 0x5ca1ab1e));
+    }
+
+    #[test]
+    fn flat_plane_matches_reference_on_star(n in 3usize..40, fault_seed in any::<u64>()) {
+        let g = generators::star(n);
+        assert_matches_reference(&g, 5, FaultPlan::reliable());
+        assert_matches_reference(&g, 5, FaultPlan::drop_with_probability(0.4, fault_seed));
+    }
+
+    #[test]
+    fn flat_plane_matches_reference_on_complete(n in 2usize..16, fault_seed in any::<u64>()) {
+        let g = generators::complete(n);
+        assert_matches_reference(&g, 4, FaultPlan::reliable());
+        assert_matches_reference(&g, 4, FaultPlan::drop_with_probability(0.2, fault_seed));
+    }
+}
+
+/// High-Δ graph (star of cliques: hub degree ≫ average) with faults on:
+/// every thread count must produce the identical report.
+#[test]
+fn thread_count_determinism_high_degree_with_faults() {
+    let g = generators::star_of_cliques(12, 24);
+    let base = EngineConfig {
+        faults: FaultPlan::drop_with_probability(0.25, 99),
+        ..Default::default()
+    };
+    let reference = run_scripted(&g, 9, EngineConfig { threads: 1, ..base });
+    for threads in [2usize, 4, 8] {
+        let par = run_scripted(&g, 9, EngineConfig { threads, ..base });
+        assert_eq!(
+            reference.outputs, par.outputs,
+            "outputs differ at {threads} threads"
+        );
+        assert_eq!(
+            reference.metrics, par.metrics,
+            "metrics differ at {threads} threads"
+        );
+        assert_eq!(
+            reference.node_messages, par.node_messages,
+            "node_messages differ at {threads} threads"
+        );
+    }
+}
+
+/// The star hub exercises the widest single inbox; spot-check volumes so
+/// the property tests above cannot silently degenerate to empty logs.
+#[test]
+fn scripted_traffic_is_nontrivial() {
+    let g = generators::star(30);
+    let report = run_scripted(&g, 6, EngineConfig::default());
+    let received: usize = report.outputs.iter().map(Vec::len).sum();
+    assert!(
+        received > 50,
+        "only {received} deliveries; script too quiet"
+    );
+    assert!(report.metrics.messages > 0);
+}
