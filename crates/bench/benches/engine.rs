@@ -11,12 +11,15 @@
 //! Both run at n ∈ {1_000, 10_000} on G(n, p) with average degree ≈ 16,
 //! sequentially and with 4 worker threads. `BENCH_engine.json` at the repo
 //! root records the before/after numbers for the flat-CSR message-plane
-//! rewrite. Set `KW_BENCH_QUICK=1` (as CI does) to run a seconds-scale
-//! smoke version of the same benchmarks.
+//! rewrite, and `BENCH_engine.jsonl` holds the same "after" numbers in
+//! the `kw_results` run-store format for `regress` gating. Set
+//! `KW_BENCH_QUICK=1` (as CI does) to run a seconds-scale smoke version,
+//! and `KW_BENCH_STORE=<path>` to append every measurement to that run
+//! store when the groups finish.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use kw_graph::generators;
 use kw_sim::rng::split_mix64;
 use kw_sim::wire::{BitReader, BitWriter, WireEncode};
@@ -203,4 +206,34 @@ fn bench_ping(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_flood, bench_ping);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    persist_measurements();
+}
+
+/// Appends this run's measurements to the run store named by
+/// `KW_BENCH_STORE`, one `bench` line each, so engine numbers share the
+/// durable format (and `regress` gating) of experiment records.
+fn persist_measurements() {
+    let Some(path) = std::env::var_os("KW_BENCH_STORE") else {
+        return;
+    };
+    let store = kw_results::RunStore::open(&path).expect("open bench store");
+    let measurements = criterion::collected_measurements();
+    for m in &measurements {
+        let (bench, id) = m.label.split_once('/').unwrap_or((m.label.as_str(), ""));
+        store
+            .append_bench(&kw_results::BenchRecord {
+                bench: bench.to_string(),
+                id: id.to_string(),
+                best_ms: m.best_ms,
+            })
+            .expect("append bench measurement");
+    }
+    println!(
+        "bench store: appended {} measurements to {}",
+        measurements.len(),
+        path.to_string_lossy()
+    );
+}

@@ -9,13 +9,18 @@
 //! fixed-k quality is unchanged — the crossover the paper's motivation
 //! predicts for large, fast-changing networks.
 //!
-//! Both contenders run through the `DsSolver` trait.
+//! Both contenders run through the `DsSolver` trait, and every
+//! per-instance sweep goes through a persistent [`SweepSession`]
+//! (`target/exp_a2_runs.jsonl`, or `KW_RUN_STORE`): a re-run — or a run
+//! killed between instances and restarted — replays the store and only
+//! solves cells it never recorded.
 
 use kw_bench::denominators::best_denominator;
 use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
 use kw_core::math;
 use kw_core::solver::{ExperimentRunner, SolverRegistry};
+use kw_results::pipeline::SweepSession;
 
 fn main() {
     println!("A2 — LP-relaxation (KW) vs greedy parallelization (JRS) at equal rounds\n");
@@ -24,6 +29,15 @@ fn main() {
         kw_baselines::register_baselines(&mut r);
         r
     };
+    let store_path =
+        std::env::var("KW_RUN_STORE").unwrap_or_else(|_| "target/exp_a2_runs.jsonl".to_string());
+    let mut session = SweepSession::open(&store_path).expect("open run store");
+    if session.replayed() > 0 {
+        println!(
+            "resuming: {} records replayed from {store_path}\n",
+            session.replayed()
+        );
+    }
     let suite = [
         Workload::Gnp { n: 128, p: 0.06 },
         Workload::Gnp { n: 512, p: 0.02 },
@@ -47,14 +61,22 @@ fn main() {
         "KW/JRS size",
         "denom kind",
     ]);
+    let (mut solved, mut cached) = (0u64, 0u64);
     for w in suite {
         let g = w.build(9);
         let denom = best_denominator(&g, 0, 256);
         let workloads = vec![(w.label(), g)];
         let jrs = registry.build("jrs").expect("jrs registered");
-        let jrs_cell = &runner
-            .run_matrix(std::slice::from_ref(&jrs), &workloads, 0..seeds)
-            .expect("jrs sweep")[0];
+        let jrs_out = session
+            .run(
+                &runner,
+                std::slice::from_ref(&jrs),
+                &workloads,
+                0..seeds,
+                |_| {},
+            )
+            .expect("jrs sweep");
+        let jrs_cell = &jrs_out.cells[0];
         assert_eq!(jrs_cell.failures, 0);
         let budget = jrs_cell.rounds.mean as usize;
         // Largest k whose pipeline (4k² + 2k + 2 rounds) fits the budget.
@@ -63,10 +85,19 @@ fn main() {
             .last()
             .unwrap_or(1);
         let kw = registry.build(&format!("kw:k={k}")).expect("kw registered");
-        let kw_cell = &runner
-            .run_matrix(std::slice::from_ref(&kw), &workloads, 0..seeds)
-            .expect("kw sweep")[0];
+        let kw_out = session
+            .run(
+                &runner,
+                std::slice::from_ref(&kw),
+                &workloads,
+                0..seeds,
+                |_| {},
+            )
+            .expect("kw sweep");
+        let kw_cell = &kw_out.cells[0];
         assert_eq!(kw_cell.failures, 0);
+        solved += jrs_out.solved + kw_out.solved;
+        cached += jrs_out.cached + kw_out.cached;
         table.row([
             w.label(),
             kw_cell.n.to_string(),
@@ -80,6 +111,9 @@ fn main() {
         ]);
     }
     println!("{table}");
+    println!(
+        "run store: {store_path} — {solved} cells solved, {cached} served from the store/cache"
+    );
     println!("Shape: the KW/JRS size ratio shrinks as n grows — a fixed round budget buys");
     println!("JRS fewer greedy phases on larger graphs, while KW's k (and quality) rises.");
 }

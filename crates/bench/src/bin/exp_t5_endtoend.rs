@@ -6,19 +6,45 @@
 //! between greedy/JRS (better quality, more rounds as n grows) and the
 //! trivial baseline, within the Theorem-6 factor of the lower bound.
 //!
-//! Every algorithm is driven through the unified `DsSolver` trait, in two
-//! overlapping `ExperimentRunner` sweeps sharing one [`ExperimentCache`]:
-//! a KW-only pilot (the k-trend), then the full matrix — whose KW cells
-//! and workload graphs are served from the cache instead of re-solved or
-//! re-generated.
+//! Every algorithm runs through the **streaming results pipeline**: two
+//! overlapping sweeps (a KW-only k-trend pilot, then the full matrix)
+//! share one [`SweepSession`], which streams per-cell progress while the
+//! matrix executes, persists every solved cell to a JSONL run store
+//! (`target/exp_t5_runs.jsonl`, or `KW_RUN_STORE`), and on re-launch
+//! replays the store so only missing cells solve — kill this binary
+//! mid-sweep and restart it to watch the resume. The final table is the
+//! store summary (mean/p50/p95 over seeds; ratio is vs the Lemma-1
+//! bound), rendered as markdown.
 
-use std::collections::HashMap;
+use std::io::Write as _;
 
-use kw_bench::denominators::{best_denominator, Denominator};
-use kw_bench::table::Table;
 use kw_bench::workloads::Workload;
-use kw_core::solver::{ExperimentCache, ExperimentRunner};
+use kw_core::solver::{ExperimentRunner, RunEvent};
 use kw_graph::CsrGraph;
+use kw_results::pipeline::SweepSession;
+use kw_results::summary::Summary;
+
+/// A `\r`-rewriting progress meter: cell-by-cell feedback on stderr
+/// without scrolling the table off the screen.
+fn progress_meter(tag: &'static str) -> impl FnMut(&RunEvent) + Send {
+    let (mut done, mut cached, mut total) = (0usize, 0usize, 0usize);
+    move |ev| {
+        match ev {
+            RunEvent::SweepStarted { runs, .. } => total = *runs,
+            RunEvent::CellCached { .. } => {
+                done += 1;
+                cached += 1;
+            }
+            _ if ev.is_terminal() => done += 1,
+            _ => return,
+        }
+        eprint!("\r[{tag}] {done}/{total} cells ({cached} cached)");
+        if done == total {
+            eprintln!();
+        }
+        let _ = std::io::stderr().flush();
+    }
+}
 
 fn main() {
     println!("T5 — Theorem 6: end-to-end comparison (10 seeds per randomized algorithm)\n");
@@ -33,9 +59,18 @@ fn main() {
         Workload::BarabasiAlbert { n: 512, m: 3 },
         Workload::Grid { side: 23 },
     ];
-    let cache = ExperimentCache::new();
-    // Graphs come from the cache's (workload, seed) memo — built once,
-    // shared by both sweeps (and by any later sweep using this cache).
+    let store_path =
+        std::env::var("KW_RUN_STORE").unwrap_or_else(|_| "target/exp_t5_runs.jsonl".to_string());
+    let mut session = SweepSession::open(&store_path).expect("open run store");
+    if session.replayed() > 0 {
+        println!(
+            "resuming: {} records replayed from {store_path}\n",
+            session.replayed()
+        );
+    }
+    // Graphs come from the session cache's (workload, seed) memo — built
+    // once, shared by both sweeps.
+    let cache = session.cache();
     let workloads: Vec<(String, CsrGraph)> = suite
         .iter()
         .map(|w| {
@@ -44,20 +79,25 @@ fn main() {
         })
         .collect();
     let registry = kw_baselines::registry();
-    let runner = ExperimentRunner::new()
-        .workers(0) // one worker per core; results are scheduling-independent
-        .cache(cache.clone());
+    let runner = ExperimentRunner::new().workers(0); // results are scheduling-independent
 
     // Sweep 1 — KW k-trend pilot (Theorem 6: quality improves with k).
     let kw_solvers = registry
         .build_all(["kw:k=2", "kw:k=3", "kw:k=4"])
         .expect("kw specs registered");
-    let kw_cells = runner
-        .run_matrix(&kw_solvers, &workloads, 0..10)
+    let pilot = session
+        .run(
+            &runner,
+            &kw_solvers,
+            &workloads,
+            0..10,
+            progress_meter("pilot"),
+        )
         .expect("pilot runs");
     println!("k-trend (mean |DS| per workload; must shrink as k grows):");
     for (label, _) in &workloads {
-        let sizes: Vec<String> = kw_cells
+        let sizes: Vec<String> = pilot
+            .cells
             .iter()
             .filter(|c| &c.workload == label)
             .map(|c| format!("{}={:.1}", c.solver, c.size.mean))
@@ -67,65 +107,46 @@ fn main() {
     println!();
 
     // Sweep 2 — the full matrix. Overlaps sweep 1 on every KW cell; only
-    // the baselines are actually solved.
+    // the baselines are actually solved (on a resumed store, nothing is).
     let solvers = registry
         .build_all([
             "kw:k=2", "kw:k=3", "kw:k=4", "jrs", "luby-mis", "greedy", "trivial",
         ])
         .expect("all specs registered");
-    let denoms: HashMap<String, Denominator> = workloads
-        .iter()
-        .map(|(label, g)| (label.clone(), best_denominator(g, 64, 300)))
-        .collect();
-    let cells = runner
-        .run_matrix(&solvers, &workloads, 0..10)
+    let full = session
+        .run(
+            &runner,
+            &solvers,
+            &workloads,
+            0..10,
+            progress_meter("matrix"),
+        )
         .expect("matrix runs");
-
-    let mut table = Table::new([
-        "workload",
-        "n",
-        "Δ",
-        "denom",
-        "algorithm",
-        "E|DS|",
-        "ratio",
-        "rounds",
-    ]);
-    // Group rows by workload (cells arrive solver-major).
-    for (label, _) in &workloads {
-        for cell in cells.iter().filter(|c| &c.workload == label) {
-            assert_eq!(cell.failures, 0, "reliable network never fails to dominate");
-            let denom = &denoms[label];
-            let rounds = if cell.rounds.max == 0.0 {
-                "-".to_string() // centralized solvers: no synchronous rounds
-            } else {
-                format!("{:.0}", cell.rounds.mean)
-            };
-            table.row([
-                label.clone(),
-                cell.n.to_string(),
-                cell.max_degree.to_string(),
-                denom.kind.label().to_string(),
-                cell.solver.clone(),
-                format!("{:.1}", cell.size.mean),
-                format!("{:.2}", cell.size.mean / denom.value),
-                rounds,
-            ]);
-        }
+    if let Some(e) = &full.store_error {
+        eprintln!(
+            "warning: run store append failed ({e}); results below are complete but not all persisted"
+        );
     }
-    println!("{table}");
+    for cell in &full.cells {
+        assert_eq!(cell.failures, 0, "reliable network never fails to dominate");
+    }
+
+    // The table is the store summary of exactly this sweep's records
+    // (ratio = E|DS| / Lemma-1 bound, an upper bound on the true ratio).
+    let summary = Summary::from_records(&full.records);
+    println!("{}", summary.to_markdown());
+
     let kw_cells_total = (kw_solvers.len() * workloads.len() * 10) as u64;
-    assert_eq!(
-        cache.hits(),
-        kw_cells_total,
-        "full matrix must reuse every pilot KW cell"
+    assert!(
+        full.cached >= kw_cells_total,
+        "full matrix must reuse every pilot KW cell ({} cached < {kw_cells_total})",
+        full.cached,
     );
     println!(
-        "cell cache: {} solved, {} served from cache (all {} KW cells of the full matrix)",
-        cache.misses(),
-        cache.hits(),
-        kw_cells_total,
+        "cell cache: {} solved, {} served from cache this sweep (≥ all {} KW pilot cells)",
+        full.solved, full.cached, kw_cells_total,
     );
+    println!("run store: {store_path} (re-run this binary for a 100% cache-hit replay)");
     println!("Shape checks: KW rounds are constant per k while JRS/MIS rounds grow with n;");
     println!("KW ratio sits between greedy and trivial and shrinks as k grows (Theorem 6).");
 }

@@ -5,18 +5,33 @@
 //! `k = ⌈ln(Δ+2)⌉` and reports ratio / log²Δ and rounds / log²Δ — both
 //! must stay bounded by constants for the remark to hold.
 //!
-//! Runs the pipeline through the `DsSolver` trait (`kw:k=K` specs) with
-//! an `ExperimentRunner` sweep over seeds.
+//! Runs the pipeline through the `DsSolver` trait (`kw:k=K` specs),
+//! with each Δ row's seed sweep persisted through a [`SweepSession`]
+//! (`target/exp_t7_runs.jsonl`, or `KW_RUN_STORE`) — the Δ ladder is
+//! exactly the kind of long sweep the streaming pipeline makes
+//! resumable: kill it at any rung and restart to continue from there.
 
 use kw_bench::denominators::best_denominator;
 use kw_bench::table::Table;
 use kw_core::math;
 use kw_core::solver::{ExperimentRunner, SolverRegistry};
 use kw_graph::generators;
+use kw_results::pipeline::SweepSession;
 
 fn main() {
     println!("T7 — k = Θ(log Δ): O(log²Δ) ratio in O(log²Δ) rounds\n");
     let registry = SolverRegistry::with_core_solvers();
+    let store_path =
+        std::env::var("KW_RUN_STORE").unwrap_or_else(|_| "target/exp_t7_runs.jsonl".to_string());
+    let mut session = SweepSession::open(&store_path).expect("open run store");
+    if session.replayed() > 0 {
+        println!(
+            "resuming: {} records replayed from {store_path}\n",
+            session.replayed()
+        );
+    }
+    let runner = ExperimentRunner::new();
+    let (mut solved, mut cached) = (0u64, 0u64);
     let mut table = Table::new([
         "Δ",
         "n",
@@ -35,11 +50,19 @@ fn main() {
         let denom = best_denominator(&g, 0, 0); // Lemma 1 at scale
         let solver = registry.build(&format!("kw:k={k}")).expect("kw registered");
         let workloads = vec![(format!("cliques(6x{clique})"), g.clone())];
-        let cells = ExperimentRunner::new()
-            .run_matrix(std::slice::from_ref(&solver), &workloads, 0..8)
+        let out = session
+            .run(
+                &runner,
+                std::slice::from_ref(&solver),
+                &workloads,
+                0..8,
+                |_| {},
+            )
             .expect("sweep runs");
-        let cell = &cells[0];
+        let cell = &out.cells[0];
         assert_eq!(cell.failures, 0);
+        solved += out.solved;
+        cached += out.cached;
         let log2d = ((delta + 1) as f64).ln().powi(2);
         let rounds = cell.rounds.max as usize;
         let ratio = cell.size.mean / denom.value;
@@ -55,6 +78,9 @@ fn main() {
         ]);
     }
     println!("{table}");
+    println!(
+        "run store: {store_path} — {solved} cells solved, {cached} served from the store/cache"
+    );
     println!("PASS criteria: both normalized columns remain O(1) as Δ doubles six times —");
     println!("that constancy is the O(log²Δ)/O(log²Δ) claim of the remark after Theorem 6.");
 }

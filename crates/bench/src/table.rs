@@ -1,108 +1,9 @@
-//! Minimal fixed-width table printer for experiment outputs.
+//! Re-export of the shared table renderer.
 //!
-//! Experiments print paper-style tables to stdout and optionally emit CSV
-//! (same cells, comma-separated) so EXPERIMENTS.md numbers can be
-//! regenerated mechanically.
+//! The fixed-width [`Table`] moved to [`kw_results::render`] when the
+//! streaming results pipeline landed, so experiment drivers, summaries,
+//! and the `regress` tool share one renderer; this module keeps the
+//! classic `kw_bench::table::Table` path working for the remaining
+//! drivers.
 
-/// A simple right-aligned table.
-#[derive(Clone, Debug)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Table {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cell count differs from the header count.
-    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
-        self
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders the table as CSV.
-    pub fn to_csv(&self) -> String {
-        let mut out = self.headers.join(",");
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-impl std::fmt::Display for Table {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.render())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_aligned() {
-        let mut t = Table::new(["a", "bbb"]);
-        t.row(["1", "2"]).row(["100", "20000"]);
-        let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("bbb"));
-        assert!(lines[3].ends_with("20000"));
-    }
-
-    #[test]
-    fn csv_output() {
-        let mut t = Table::new(["x", "y"]);
-        t.row(["1", "2"]);
-        assert_eq!(t.to_csv(), "x,y\n1,2\n");
-    }
-
-    #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn width_checked() {
-        Table::new(["only"]).row(["a", "b"]);
-    }
-}
+pub use kw_results::render::Table;

@@ -12,7 +12,28 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark's result: the label as printed (e.g.
+/// `"engine_flood/threads1/1000"`) and its best-of-N per-iteration time.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function/param` label.
+    pub label: String,
+    /// Best per-iteration time, milliseconds.
+    pub best_ms: f64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Every measurement this process has produced so far, in run order —
+/// the offline harness's stand-in for criterion's result files, so
+/// bench binaries can persist their numbers (e.g. to a `kw_results`
+/// run store) after the groups finish.
+pub fn collected_measurements() -> Vec<Measurement> {
+    MEASUREMENTS.lock().unwrap().clone()
+}
 
 /// Returns its argument, preventing the optimizer from deleting the
 /// computation that produced it.
@@ -186,6 +207,10 @@ fn run_benchmark(
         best = best.min(b.elapsed / batch as u32);
     }
     println!("  {label}: {best:?}/iter (best of {sample_size} x {batch})");
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        label: label.to_string(),
+        best_ms: best.as_secs_f64() * 1e3,
+    });
 }
 
 /// Declares a group of benchmark functions.

@@ -37,6 +37,7 @@
 //! # Ok::<(), kw_core::solver::SolveError>(())
 //! ```
 
+pub mod events;
 mod pipeline_solvers;
 pub mod registry;
 pub mod runner;
@@ -50,9 +51,10 @@ use kw_sim::{FaultPlan, RunMetrics, SimError};
 
 use crate::CoreError;
 
+pub use events::{RunEvent, RunRecord};
 pub use pipeline_solvers::{CompositeSolver, PipelineSolver};
 pub use registry::SolverRegistry;
-pub use runner::{CellSummary, ExperimentCache, ExperimentRunner, SummaryStats};
+pub use runner::{CellSummary, ExperimentCache, ExperimentRunner, RunOutcome, SummaryStats};
 pub use spec::SolverSpec;
 
 /// Execution environment of a solve call.
@@ -269,6 +271,13 @@ pub enum SolveError {
     Core(CoreError),
     /// A simulation-level failure.
     Sim(SimError),
+    /// A solver panicked inside an [`ExperimentRunner`] worker; the
+    /// runner converts the unwind into this error (and a `CellFailed`
+    /// event in streaming mode) instead of poisoning the sweep.
+    Panicked {
+        /// The panic payload's message, when it was a string.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -286,6 +295,7 @@ impl fmt::Display for SolveError {
             }
             SolveError::Core(e) => write!(f, "solver failed: {e}"),
             SolveError::Sim(e) => write!(f, "simulation failed: {e}"),
+            SolveError::Panicked { reason } => write!(f, "solver panicked: {reason}"),
         }
     }
 }

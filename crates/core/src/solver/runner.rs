@@ -1,24 +1,43 @@
 //! Batched experiment execution over a solver × workload × seed matrix,
-//! with an optional `(workload, seed)`-keyed cell cache.
+//! with an optional `(workload, seed)`-keyed cell cache and a streaming
+//! mode that reports progress cell-by-cell over a bounded channel.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use kw_graph::CsrGraph;
 
+use crate::solver::events::{RunEvent, RunRecord};
 use crate::solver::{DsSolver, SolveContext, SolveError};
 
 /// The numbers a [`CellSummary`] aggregates from one `(solver, workload,
-/// seed)` run — everything the runner needs to re-summarize a cell without
-/// re-solving it.
+/// seed)` run — everything the runner (and the `kw_results` run store)
+/// needs to re-summarize a cell without re-solving it.
+///
+/// `wall_ms` is measurement metadata, not part of the deterministic
+/// outcome: a cache hit or store replay reports the *original* solve's
+/// wall time.
 #[derive(Clone, Copy, Debug, PartialEq)]
-struct RunOutcome {
-    dominates: bool,
-    size: f64,
-    rounds: f64,
-    messages: f64,
-    ratio_vs_lemma1: f64,
+pub struct RunOutcome {
+    /// Whether the output set dominated the graph (can be false only
+    /// under message loss).
+    pub dominates: bool,
+    /// Dominating-set size.
+    pub size: f64,
+    /// Synchronous rounds.
+    pub rounds: f64,
+    /// Total messages.
+    pub messages: f64,
+    /// Total payload bits.
+    pub bits: f64,
+    /// Set size over the Lemma-1 lower bound.
+    pub ratio_vs_lemma1: f64,
+    /// Wall-clock solve time in milliseconds (of the original solve).
+    pub wall_ms: f64,
 }
 
 /// Cache key of one run outcome: `(solver spec, workload label, seed,
@@ -107,6 +126,31 @@ impl ExperimentCache {
     /// change a run's outcome: the fault plan.
     fn context_fingerprint(ctx: &SolveContext) -> (u64, u64) {
         (ctx.faults.drop_probability().to_bits(), ctx.faults.seed())
+    }
+
+    /// Seeds the cache with an already-known outcome, keyed exactly like
+    /// a live run with the given fault plan. This is the resume hook the
+    /// `kw_results` run store uses: replaying persisted [`RunRecord`]s
+    /// into a cache makes a re-launched sweep solve only missing cells.
+    ///
+    /// Replayed entries count as neither hits nor misses until a sweep
+    /// looks them up.
+    pub fn insert_outcome(
+        &self,
+        solver: &str,
+        workload: &str,
+        seed: u64,
+        fault_drop: f64,
+        fault_seed: u64,
+        outcome: RunOutcome,
+    ) {
+        let key = (
+            solver.to_string(),
+            workload.to_string(),
+            seed,
+            (fault_drop.to_bits(), fault_seed),
+        );
+        self.outcomes.lock().unwrap().insert(key, outcome);
     }
 
     fn lookup(
@@ -271,6 +315,12 @@ impl ExperimentRunner {
         self
     }
 
+    /// The base context cells run under (per-run seeds override its
+    /// `seed`). Run stores persist its fault plan in sweep manifests.
+    pub fn base_context(&self) -> SolveContext {
+        self.base
+    }
+
     /// Runs every solver on every workload for every seed, aggregating
     /// each (solver, workload) cell.
     ///
@@ -286,6 +336,58 @@ impl ExperimentRunner {
         seeds: impl IntoIterator<Item = u64>,
     ) -> Result<Vec<CellSummary>, SolveError> {
         let seeds: Vec<u64> = seeds.into_iter().collect();
+        self.run_matrix_inner(solvers, workloads, &seeds, None, &SweepCounters::default())
+    }
+
+    /// Like [`run_matrix`](Self::run_matrix), but reports progress while
+    /// the matrix executes: every `(solver, workload, seed)` cell emits a
+    /// [`RunEvent::CellStarted`] and exactly one terminal event
+    /// (`CellFinished` for fresh solves, `CellCached` for cache hits,
+    /// `CellFailed` for errors or panicking workers), bracketed by one
+    /// `SweepStarted`/`SweepFinished` pair. See [`events`](super::events)
+    /// for the ordering guarantees.
+    ///
+    /// `events` should come from a **bounded** channel
+    /// ([`std::sync::mpsc::sync_channel`]); a full channel backpressures
+    /// the workers, so drain it from another thread (the `kw_results`
+    /// crate's `stream_sweep`/`SweepSession` helpers do this). A closed
+    /// channel never fails the sweep — events are simply discarded.
+    ///
+    /// A worker that panics mid-solve surfaces as a `CellFailed` event
+    /// and a [`SolveError::Panicked`] result rather than a hang or an
+    /// unwinding scope.
+    pub fn run_matrix_streaming<S: DsSolver>(
+        &self,
+        solvers: &[S],
+        workloads: &[(String, CsrGraph)],
+        seeds: impl IntoIterator<Item = u64>,
+        events: SyncSender<RunEvent>,
+    ) -> Result<Vec<CellSummary>, SolveError> {
+        let seeds: Vec<u64> = seeds.into_iter().collect();
+        let _ = events.send(RunEvent::SweepStarted {
+            solvers: solvers.len(),
+            workloads: workloads.len(),
+            seeds: seeds.len(),
+            runs: solvers.len() * workloads.len() * seeds.len(),
+        });
+        let counters = SweepCounters::default();
+        let result = self.run_matrix_inner(solvers, workloads, &seeds, Some(&events), &counters);
+        let _ = events.send(RunEvent::SweepFinished {
+            solved: counters.solved.load(Ordering::Relaxed),
+            cached: counters.cached.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+        });
+        result
+    }
+
+    fn run_matrix_inner<S: DsSolver>(
+        &self,
+        solvers: &[S],
+        workloads: &[(String, CsrGraph)],
+        seeds: &[u64],
+        events: Option<&SyncSender<RunEvent>>,
+        counters: &SweepCounters,
+    ) -> Result<Vec<CellSummary>, SolveError> {
         let cells: Vec<(usize, usize)> = (0..solvers.len())
             .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
             .collect();
@@ -299,27 +401,31 @@ impl ExperimentRunner {
             w => w,
         }
         .min(cells.len().max(1));
-        let work = |_worker: usize| loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= cells.len() || first_error.lock().unwrap().is_some() {
-                break;
-            }
-            let (s, w) = cells[i];
-            let (label, graph) = &workloads[w];
-            match self.run_cell(&solvers[s], label, graph, &seeds) {
-                Ok(summary) => results.lock().unwrap()[i] = Some(summary),
-                Err(e) => {
-                    first_error.lock().unwrap().get_or_insert(e);
+        let work = |worker: usize, events: Option<SyncSender<RunEvent>>| {
+            let mut emitter = events.map(|tx| Emitter { tx, worker, seq: 0 });
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() || first_error.lock().unwrap().is_some() {
                     break;
+                }
+                let (s, w) = cells[i];
+                let (label, graph) = &workloads[w];
+                match self.run_cell(&solvers[s], label, graph, seeds, emitter.as_mut(), counters) {
+                    Ok(summary) => results.lock().unwrap()[i] = Some(summary),
+                    Err(e) => {
+                        first_error.lock().unwrap().get_or_insert(e);
+                        break;
+                    }
                 }
             }
         };
         if workers <= 1 {
-            work(0);
+            work(0, events.cloned());
         } else {
             std::thread::scope(|scope| {
                 for worker in 0..workers {
-                    scope.spawn(move || work(worker));
+                    let tx = events.cloned();
+                    scope.spawn(move || work(worker, tx));
                 }
             });
         }
@@ -340,6 +446,8 @@ impl ExperimentRunner {
         label: &str,
         graph: &CsrGraph,
         seeds: &[u64],
+        mut emitter: Option<&mut Emitter>,
+        counters: &SweepCounters,
     ) -> Result<CellSummary, SolveError> {
         // Certificates drive the ratio column and failure detection; the
         // sweep needs them regardless of the base context's preference.
@@ -355,28 +463,106 @@ impl ExperimentRunner {
         let mut runs = 0usize;
         let mut failures = 0usize;
         for &seed in seeds {
-            let outcome = match self
+            if let Some(e) = emitter.as_deref_mut() {
+                e.emit(|worker, seq| RunEvent::CellStarted {
+                    worker,
+                    seq,
+                    solver: spec.clone(),
+                    workload: label.to_string(),
+                    seed,
+                });
+            }
+            let cached = self
                 .cache
                 .as_deref()
-                .and_then(|c| c.lookup(&spec, label, seed, &ctx))
-            {
-                Some(outcome) => outcome,
+                .and_then(|c| c.lookup(&spec, label, seed, &ctx));
+            let was_cached = cached.is_some();
+            let outcome = match cached {
+                Some(outcome) => {
+                    counters.cached.fetch_add(1, Ordering::Relaxed);
+                    outcome
+                }
                 None => {
-                    let report = solver.solve(graph, &ctx.with_seed(seed))?;
+                    let start = Instant::now();
+                    let report = match catch_unwind(AssertUnwindSafe(|| {
+                        solver.solve(graph, &ctx.with_seed(seed))
+                    })) {
+                        Ok(Ok(report)) => report,
+                        Ok(Err(e)) => {
+                            counters.failed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(em) = emitter.as_deref_mut() {
+                                em.emit(|worker, seq| RunEvent::CellFailed {
+                                    worker,
+                                    seq,
+                                    solver: spec.clone(),
+                                    workload: label.to_string(),
+                                    seed,
+                                    error: e.to_string(),
+                                });
+                            }
+                            return Err(e);
+                        }
+                        Err(panic) => {
+                            counters.failed.fetch_add(1, Ordering::Relaxed);
+                            let reason = panic_message(panic);
+                            if let Some(em) = emitter.as_deref_mut() {
+                                em.emit(|worker, seq| RunEvent::CellFailed {
+                                    worker,
+                                    seq,
+                                    solver: spec.clone(),
+                                    workload: label.to_string(),
+                                    seed,
+                                    error: format!("worker panicked: {reason}"),
+                                });
+                            }
+                            return Err(SolveError::Panicked { reason });
+                        }
+                    };
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                     let cert = report.certificate.as_ref().expect("certificates forced on");
                     let outcome = RunOutcome {
                         dominates: cert.dominates,
                         size: report.size() as f64,
                         rounds: report.rounds() as f64,
                         messages: report.messages() as f64,
+                        bits: report.metrics.bits as f64,
                         ratio_vs_lemma1: cert.ratio_vs_lemma1,
+                        wall_ms,
                     };
                     if let Some(cache) = self.cache.as_deref() {
                         cache.store(&spec, label, seed, &ctx, outcome);
                     }
+                    counters.solved.fetch_add(1, Ordering::Relaxed);
                     outcome
                 }
             };
+            if let Some(e) = emitter.as_deref_mut() {
+                let record = RunRecord {
+                    solver: spec.clone(),
+                    workload: label.to_string(),
+                    n: graph.len(),
+                    max_degree: graph.max_degree(),
+                    seed,
+                    fault_drop: ctx.faults.drop_probability(),
+                    fault_seed: ctx.faults.seed(),
+                    outcome,
+                };
+                e.emit(|worker, seq| {
+                    if was_cached {
+                        RunEvent::CellCached {
+                            worker,
+                            seq,
+                            record,
+                        }
+                    } else {
+                        RunEvent::CellFinished {
+                            worker,
+                            seq,
+                            record,
+                        }
+                    }
+                });
+            }
             runs += 1;
             if !outcome.dominates {
                 failures += 1;
@@ -399,6 +585,43 @@ impl ExperimentRunner {
             messages: SummaryStats::from_samples(&messages),
             ratio_vs_lemma1: SummaryStats::from_samples(&ratios),
         })
+    }
+}
+
+/// Per-sweep tallies backing [`RunEvent::SweepFinished`].
+#[derive(Debug, Default)]
+struct SweepCounters {
+    solved: AtomicU64,
+    cached: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// One worker's event-sending state: the per-worker sequence number that
+/// makes its event stream monotonic.
+struct Emitter {
+    tx: SyncSender<RunEvent>,
+    worker: usize,
+    seq: u64,
+}
+
+impl Emitter {
+    fn emit(&mut self, make: impl FnOnce(usize, u64) -> RunEvent) {
+        let ev = make(self.worker, self.seq);
+        self.seq += 1;
+        // A closed channel means the consumer is gone; the sweep's own
+        // result still reaches the caller, so events are best-effort.
+        let _ = self.tx.send(ev);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -601,6 +824,238 @@ mod tests {
         // Sanity: lossy messages differ from reliable only via outcomes,
         // both summaries exist independently.
         assert_eq!(clean[0].runs, 2);
+    }
+
+    /// Satellite coverage for outcome keying: two *lossy* plans that
+    /// differ only in their fault seed must not share cached outcomes
+    /// (the fingerprint covers both the probability and the seed).
+    #[test]
+    fn cache_distinguishes_fault_seeds_of_equal_drop_rates() {
+        use kw_sim::FaultPlan;
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let lossy = |fault_seed: u64| {
+            ExperimentRunner::new()
+                .context(SolveContext {
+                    faults: FaultPlan::drop_with_probability(0.3, fault_seed),
+                    ..Default::default()
+                })
+                .cache(cache.clone())
+        };
+        let a = lossy(1).run_matrix(&solvers, &workloads(), 0..3).unwrap();
+        let misses_after_a = cache.misses();
+        let b = lossy(2).run_matrix(&solvers, &workloads(), 0..3).unwrap();
+        // Same drop probability, different loss process: nothing shared.
+        assert_eq!(cache.hits(), 0, "distinct fault seeds must not share");
+        assert_eq!(cache.misses(), 2 * misses_after_a);
+        // Each plan still hits its own entries on replay.
+        let a2 = lossy(1).run_matrix(&solvers, &workloads(), 0..3).unwrap();
+        assert_eq!(cache.hits(), misses_after_a);
+        for (x, y) in a.iter().zip(&a2) {
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.failures, y.failures);
+        }
+        let _ = b;
+    }
+
+    #[test]
+    fn streaming_emits_each_cell_exactly_once_with_monotonic_worker_seqs() {
+        use std::collections::HashMap as Map;
+        use std::sync::mpsc::sync_channel;
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2", "composite:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let runner = ExperimentRunner::new().workers(4).cache(cache.clone());
+        let run = |runner: &ExperimentRunner| {
+            let (tx, rx) = sync_channel(4); // deliberately tight: exercises backpressure
+            let (cells, events) = std::thread::scope(|scope| {
+                let consumer = scope.spawn(move || rx.iter().collect::<Vec<RunEvent>>());
+                let cells = runner
+                    .run_matrix_streaming(&solvers, &workloads(), 0..3, tx)
+                    .unwrap();
+                (cells, consumer.join().unwrap())
+            });
+            (cells, events)
+        };
+        let (cells, events) = run(&runner);
+        // The streamed summaries equal the batch API's.
+        let batch = ExperimentRunner::new()
+            .run_matrix(&solvers, &workloads(), 0..3)
+            .unwrap();
+        for (a, b) in cells.iter().zip(&batch) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.messages, b.messages);
+        }
+        // Bracketing events frame the sweep.
+        assert!(matches!(
+            events.first(),
+            Some(RunEvent::SweepStarted { runs: 12, .. })
+        ));
+        match events.last() {
+            Some(RunEvent::SweepFinished {
+                solved,
+                cached,
+                failed,
+            }) => {
+                assert_eq!((*solved, *cached, *failed), (12, 0, 0));
+            }
+            other => panic!("expected SweepFinished, got {other:?}"),
+        }
+        // Every cell: exactly one CellStarted and one terminal event.
+        let mut started: Map<(String, String, u64), usize> = Map::new();
+        let mut finished: Map<(String, String, u64), usize> = Map::new();
+        for ev in &events {
+            if let Some((s, w, seed)) = ev.cell() {
+                let key = (s.to_string(), w.to_string(), seed);
+                if ev.is_terminal() {
+                    *finished.entry(key).or_default() += 1;
+                } else {
+                    *started.entry(key).or_default() += 1;
+                }
+            }
+        }
+        assert_eq!(started.len(), 12);
+        assert_eq!(finished.len(), 12);
+        assert!(started.values().all(|&c| c == 1));
+        assert!(finished.values().all(|&c| c == 1));
+        // Per-worker sequence numbers are strictly increasing in arrival
+        // order (the channel preserves per-sender order).
+        let mut last_seq: Map<usize, u64> = Map::new();
+        for ev in &events {
+            if let Some((worker, seq)) = ev.worker_seq() {
+                if let Some(&prev) = last_seq.get(&worker) {
+                    assert!(seq > prev, "worker {worker}: seq {seq} after {prev}");
+                }
+                last_seq.insert(worker, seq);
+            }
+        }
+        // A second streaming sweep over the same matrix is all cache hits,
+        // reported as CellCached events carrying the original outcomes.
+        let (_, replay_events) = run(&runner);
+        let cached_count = replay_events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::CellCached { .. }))
+            .count();
+        assert_eq!(cached_count, 12);
+        match replay_events.last() {
+            Some(RunEvent::SweepFinished { solved, cached, .. }) => {
+                assert_eq!((*solved, *cached), (0, 12));
+            }
+            other => panic!("expected SweepFinished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_surfaces_solve_errors_as_failed_events() {
+        use std::sync::mpsc::sync_channel;
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=0"]).unwrap();
+        let runner = ExperimentRunner::new().workers(2);
+        let (tx, rx) = sync_channel(64);
+        let (result, events) = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || rx.iter().collect::<Vec<RunEvent>>());
+            let result = runner.run_matrix_streaming(&solvers, &workloads(), 0..2, tx);
+            (result, consumer.join().unwrap())
+        });
+        assert!(matches!(result, Err(SolveError::Core(_))));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RunEvent::CellFailed { .. })),
+            "a solve error must surface as a CellFailed event"
+        );
+        match events.last() {
+            Some(RunEvent::SweepFinished { failed, .. }) => assert!(*failed >= 1),
+            other => panic!("expected SweepFinished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_converts_worker_panics_into_failed_events_not_hangs() {
+        use std::sync::mpsc::sync_channel;
+
+        /// A solver that panics on one specific seed.
+        struct Poisoned;
+        impl DsSolver for Poisoned {
+            fn spec(&self) -> String {
+                "poisoned".to_string()
+            }
+            fn solve(
+                &self,
+                g: &CsrGraph,
+                ctx: &SolveContext,
+            ) -> Result<crate::solver::SolveReport, SolveError> {
+                if ctx.seed == 1 {
+                    panic!("poisoned at seed 1");
+                }
+                let ds = kw_graph::DominatingSet::all(g);
+                Ok(crate::solver::ReportBuilder::new("poisoned", ds).finish(g, ctx))
+            }
+        }
+
+        // Sequential: exactly one cell reaches the poisoned seed before
+        // the abort (parallel workers may each fail their own cell).
+        let runner = ExperimentRunner::new().workers(1);
+        let (tx, rx) = sync_channel(64);
+        let (result, events) = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || rx.iter().collect::<Vec<RunEvent>>());
+            let result = runner.run_matrix_streaming(&[Poisoned], &workloads(), 0..3, tx);
+            (result, consumer.join().unwrap())
+        });
+        match result {
+            Err(SolveError::Panicked { reason }) => assert!(reason.contains("poisoned")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        let failed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::CellFailed { seed, error, .. } => Some((*seed, error.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, 1);
+        assert!(failed[0].1.contains("panicked"));
+    }
+
+    #[test]
+    fn insert_outcome_replays_like_a_live_run() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        // Solve once to learn the true outcomes.
+        let warm_cache = ExperimentCache::new();
+        let runner = ExperimentRunner::new().cache(warm_cache.clone());
+        let live = runner.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        // Replay them into a *fresh* cache through the resume hook.
+        let replayed = ExperimentCache::new();
+        {
+            let outcomes = warm_cache.outcomes.lock().unwrap();
+            for ((solver, workload, seed, (drop_bits, fault_seed)), outcome) in outcomes.iter() {
+                replayed.insert_outcome(
+                    solver,
+                    workload,
+                    *seed,
+                    f64::from_bits(*drop_bits),
+                    *fault_seed,
+                    *outcome,
+                );
+            }
+        }
+        let resumed = ExperimentRunner::new()
+            .cache(replayed.clone())
+            .run_matrix(&solvers, &workloads(), 0..2)
+            .unwrap();
+        assert_eq!(replayed.misses(), 0, "resume must re-solve nothing");
+        assert_eq!(
+            replayed.hits(),
+            (solvers.len() * workloads().len() * 2) as u64
+        );
+        for (a, b) in live.iter().zip(&resumed) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.ratio_vs_lemma1, b.ratio_vs_lemma1);
+        }
     }
 
     #[test]

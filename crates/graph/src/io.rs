@@ -1,15 +1,27 @@
 //! Plain-text graph serialization.
 //!
-//! The format is a minimal edge list:
+//! Two formats round-trip losslessly:
 //!
-//! ```text
-//! # comment lines start with '#'
-//! n <num_nodes>
-//! <u> <v>
-//! <u> <v>
-//! ...
-//! ```
+//! * the workspace's minimal edge list ([`to_edge_list`] /
+//!   [`parse_edge_list`]):
 //!
+//!   ```text
+//!   # comment lines start with '#'
+//!   n <num_nodes>
+//!   <u> <v>
+//!   ...
+//!   ```
+//!
+//! * the DIMACS graph format ([`write_dimacs`] / [`parse_dimacs`]),
+//!   which real-world benchmark files (DIMACS challenges, SNAP exports)
+//!   ship in — node ids are **1-based** on the wire:
+//!
+//!   ```text
+//!   c comment lines start with 'c'
+//!   p edge <num_nodes> <num_edges>
+//!   e <u> <v>
+//!   ...
+//!   ```
 //!
 //! # Example
 //!
@@ -17,8 +29,9 @@
 //! use kw_graph::{generators, io};
 //!
 //! let g = generators::cycle(4);
-//! let text = io::to_edge_list(&g);
-//! let back = io::parse_edge_list(&text)?;
+//! let back = io::parse_edge_list(&io::to_edge_list(&g))?;
+//! assert_eq!(g, back);
+//! let back = io::parse_dimacs(&io::write_dimacs(&g))?;
 //! assert_eq!(g, back);
 //! # Ok::<(), kw_graph::GraphError>(())
 //! ```
@@ -98,6 +111,124 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph, GraphError> {
         .build())
 }
 
+/// Serializes a graph to the DIMACS graph format (`p edge n m` header,
+/// 1-based `e u v` lines).
+pub fn write_dimacs(g: &CsrGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "c kw-graph export");
+    let _ = writeln!(out, "p edge {} {}", g.len(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u.index() + 1, v.index() + 1);
+    }
+    out
+}
+
+/// Parses the DIMACS graph format produced by [`write_dimacs`] (and by
+/// the DIMACS challenge / coloring instance files it mirrors).
+///
+/// Accepted lines: `c ...` comments (ignored), one `p edge <n> <m>`
+/// problem line before any edge (`p col` is accepted as an alias, as
+/// coloring instances use it), and `e <u> <v>` edges with **1-based**
+/// endpoints. The declared edge count `m` must match the number of edge
+/// lines — a mismatch usually means a truncated download, exactly what
+/// a parser should refuse to feed into an experiment.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and the usual
+/// construction errors on invalid edges (out-of-range ids, self-loops,
+/// duplicates).
+pub fn parse_dimacs(text: &str) -> Result<CsrGraph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        reason: "duplicate problem line".to_string(),
+                    });
+                }
+                let format = parts.next().unwrap_or("");
+                if format != "edge" && format != "col" {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        reason: format!("expected 'p edge <n> <m>', got format {format:?}"),
+                    });
+                }
+                let mut number = |what: &str| -> Result<usize, GraphError> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: line_no,
+                            reason: format!("invalid or missing {what} in problem line"),
+                        })
+                };
+                let n = number("node count")?;
+                declared_edges = number("edge count")?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    reason: "edge before the 'p edge' problem line".to_string(),
+                })?;
+                let mut endpoint = |what: &str| -> Result<usize, GraphError> {
+                    let id: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        GraphError::Parse {
+                            line: line_no,
+                            reason: format!("invalid or missing {what}"),
+                        }
+                    })?;
+                    // DIMACS ids are 1-based.
+                    id.checked_sub(1).ok_or(GraphError::Parse {
+                        line: line_no,
+                        reason: format!("{what} is 0 (DIMACS ids are 1-based)"),
+                    })
+                };
+                let u = endpoint("edge endpoint u")?;
+                let v = endpoint("edge endpoint v")?;
+                if parts.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        reason: format!("expected 'e u v', got {line:?}"),
+                    });
+                }
+                b.add_edge(u, v)?;
+                seen_edges += 1;
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("unknown line type {line:?}"),
+                })
+            }
+        }
+    }
+    let builder = builder.ok_or(GraphError::Parse {
+        line: 0,
+        reason: "missing 'p edge <n> <m>' problem line".to_string(),
+    })?;
+    if seen_edges != declared_edges {
+        return Err(GraphError::Parse {
+            line: 0,
+            reason: format!(
+                "problem line declares {declared_edges} edges but {seen_edges} were listed"
+            ),
+        });
+    }
+    Ok(builder.build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +280,62 @@ mod tests {
         use rand::{rngs::SmallRng, SeedableRng};
         let g = generators::gnp(40, 0.15, &mut SmallRng::seed_from_u64(2));
         assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_petersen_and_empty() {
+        let g = generators::petersen();
+        let text = write_dimacs(&g);
+        assert!(text.contains("p edge 10 15"));
+        assert_eq!(parse_dimacs(&text).unwrap(), g);
+        let empty = CsrGraph::empty(4);
+        assert_eq!(parse_dimacs(&write_dimacs(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn dimacs_parses_handwritten_instance_with_comments() {
+        let g = parse_dimacs(
+            "c a triangle plus an isolated node\n\
+             \n\
+             p edge 4 3\n\
+             e 1 2\n\
+             c mid-file comment\n\
+             e 2 3\n\
+             e 3 1\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 3);
+        // 'p col' alias of coloring instances is accepted.
+        let colored = parse_dimacs("p col 2 1\ne 1 2\n").unwrap();
+        assert_eq!(colored.num_edges(), 1);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_instances() {
+        // Missing / duplicate / alien problem lines.
+        assert!(parse_dimacs("e 1 2\n").is_err());
+        assert!(parse_dimacs("p edge 2 1\np edge 2 1\ne 1 2\n").is_err());
+        assert!(parse_dimacs("p matrix 2 1\ne 1 2\n").is_err());
+        assert!(parse_dimacs("p edge x 1\n").is_err());
+        // Edge-count mismatch (truncated file).
+        assert!(parse_dimacs("p edge 3 2\ne 1 2\n").is_err());
+        // 0-based or out-of-range endpoints, malformed edge lines.
+        assert!(parse_dimacs("p edge 2 1\ne 0 1\n").is_err());
+        assert!(parse_dimacs("p edge 2 1\ne 1 3\n").is_err());
+        assert!(parse_dimacs("p edge 2 1\ne 1\n").is_err());
+        assert!(parse_dimacs("p edge 2 1\ne 1 2 3\n").is_err());
+        assert!(parse_dimacs("p edge 2 1\nq 1 2\n").is_err());
+    }
+
+    #[test]
+    fn dimacs_and_edge_list_agree_on_random_graphs() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let g = generators::gnp(40, 0.15, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(parse_dimacs(&write_dimacs(&g)).unwrap(), g);
+        assert_eq!(
+            parse_dimacs(&write_dimacs(&g)).unwrap(),
+            parse_edge_list(&to_edge_list(&g)).unwrap()
+        );
     }
 }

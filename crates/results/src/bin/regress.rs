@@ -1,0 +1,117 @@
+//! Regression gate over run stores.
+//!
+//! ```text
+//! regress <baseline.jsonl> <candidate.jsonl> [--time-ratio R]
+//!         [--quality-ratio R] [--min-wall-ms X]
+//! regress --validate <store.jsonl>
+//! ```
+//!
+//! Compares the candidate store's summary (and bench lines) against the
+//! baseline's; prints every finding and exits 1 if any, 0 when clean,
+//! 2 on usage or load errors. `--validate` just schema-checks one store
+//! (CI uses it on freshly written bench stores, whose absolute timings
+//! are machine-dependent and therefore not gated).
+
+use kw_results::regress::{compare, compare_benches, RegressPolicy};
+use kw_results::store::{RunStore, StoreContents};
+use kw_results::summary::Summary;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regress <baseline.jsonl> <candidate.jsonl> \
+         [--time-ratio R] [--quality-ratio R] [--min-wall-ms X]\n\
+         \x20      regress --validate <store.jsonl>"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> StoreContents {
+    // Opening would create a missing store; a gate must never conjure an
+    // empty baseline into existence and call it a pass.
+    if !std::path::Path::new(path).exists() {
+        eprintln!("regress: store {path} does not exist");
+        std::process::exit(2);
+    }
+    let store = match RunStore::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("regress: cannot open {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match store.load() {
+        Ok(contents) => contents,
+        Err(e) => {
+            eprintln!("regress: cannot load {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        let [_, path] = args.as_slice() else { usage() };
+        let contents = load(path);
+        println!(
+            "{path}: valid ({} manifests, {} records, {} bench lines{})",
+            contents.manifests.len(),
+            contents.records.len(),
+            contents.benches.len(),
+            if contents.truncated_tail {
+                ", torn tail skipped"
+            } else {
+                ""
+            }
+        );
+        return;
+    }
+    let mut policy = RegressPolicy::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag = |target: &mut f64| match it.next().and_then(|v| v.parse().ok()) {
+            Some(v) => *target = v,
+            None => usage(),
+        };
+        match arg.as_str() {
+            "--time-ratio" => flag(&mut policy.max_time_ratio),
+            "--quality-ratio" => flag(&mut policy.max_quality_ratio),
+            "--min-wall-ms" => flag(&mut policy.min_wall_ms),
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        usage()
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+    let mut findings = compare(
+        &Summary::from_records(&baseline.records),
+        &Summary::from_records(&candidate.records),
+        &policy,
+    );
+    findings.extend(compare_benches(
+        &baseline.benches,
+        &candidate.benches,
+        &policy,
+    ));
+    if findings.is_empty() {
+        println!(
+            "regress: OK — {candidate_path} holds the line against {baseline_path} \
+             (time budget {:.0}%, quality budget {:.0}%)",
+            (policy.max_time_ratio - 1.0) * 100.0,
+            (policy.max_quality_ratio - 1.0) * 100.0,
+        );
+        return;
+    }
+    eprintln!(
+        "regress: {} regression(s) in {candidate_path} vs {baseline_path}:",
+        findings.len()
+    );
+    for finding in &findings {
+        eprintln!("  {finding}");
+    }
+    std::process::exit(1);
+}

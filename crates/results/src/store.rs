@@ -1,0 +1,601 @@
+//! The persistent, append-only JSONL run store.
+//!
+//! A store file holds one JSON object per line, each stamped with the
+//! schema version (`"v"`) and a line kind:
+//!
+//! * `manifest` — one per sweep launch: git describe, solver specs,
+//!   workload labels, seeds, and the fault plan;
+//! * `record` — one per solved `(solver, workload, seed)` cell (a
+//!   serialized [`RunRecord`]);
+//! * `bench` — one criterion measurement (group, id, best-of-N ms), so
+//!   engine benchmarks share the same durable format as experiments.
+//!
+//! # Crash safety and resume
+//!
+//! Appends are single `write` calls of one full line each, flushed
+//! immediately, so a crash can tear at most the final line. Two layers
+//! tolerate that tear: [`RunStore::open`] *repairs* the file by
+//! truncating any trailing bytes after the last newline, and
+//! [`RunStore::load`] (for read-only consumers) skips an unparseable
+//! final line, reporting it via [`StoreContents::truncated_tail`].
+//! Everything before the tail must parse — mid-file corruption is an
+//! error, never silently skipped.
+//!
+//! Replaying a store's records into an [`ExperimentCache`] via
+//! [`RunStore::replay_into`] is what makes sweeps resumable: a
+//! re-launched sweep looks every cell up in the cache and only solves
+//! the ones the store never recorded.
+//!
+//! # Schema versioning
+//!
+//! [`SCHEMA_VERSION`] is bumped whenever a line's meaning or required
+//! fields change; readers reject lines with a *newer* version (old code
+//! must not misread new stores) and accept unknown line kinds of the
+//! current version (new code may add kinds old readers can skip).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use kw_core::solver::{ExperimentCache, RunOutcome, RunRecord};
+
+use crate::json::Json;
+
+/// Version stamped on every line this crate writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One sweep launch's provenance: everything needed to re-run it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// `git describe --always --dirty` at launch (or `"unknown"`).
+    pub git: String,
+    /// Canonical solver specs of the sweep, in matrix order.
+    pub solvers: Vec<String>,
+    /// Workload labels of the sweep, in matrix order.
+    pub workloads: Vec<String>,
+    /// Seeds of the sweep, in run order.
+    pub seeds: Vec<u64>,
+    /// Fault-plan drop probability of the sweep's context.
+    pub fault_drop: f64,
+    /// Fault-plan seed of the sweep's context.
+    pub fault_seed: u64,
+}
+
+/// One benchmark measurement in store form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `"engine_flood"`).
+    pub bench: String,
+    /// Benchmark id within the group (e.g. `"threads1/10000"`).
+    pub id: String,
+    /// Best-of-N per-iteration time, milliseconds.
+    pub best_ms: f64,
+}
+
+/// Everything a [`RunStore::load`] call found.
+#[derive(Clone, Debug, Default)]
+pub struct StoreContents {
+    /// Sweep manifests, in append order.
+    pub manifests: Vec<RunManifest>,
+    /// Run records, in append order.
+    pub records: Vec<RunRecord>,
+    /// Benchmark records, in append order.
+    pub benches: Vec<BenchRecord>,
+    /// Lines of the current schema version whose kind this reader does
+    /// not know (skipped, counted for diagnostics).
+    pub unknown_kinds: usize,
+    /// Whether the final line was torn (crash mid-append) and skipped.
+    pub truncated_tail: bool,
+}
+
+/// Store failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A non-final line failed to parse or lacked required fields.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A line carries a schema version newer than this reader.
+    UnsupportedSchema {
+        /// 1-based line number.
+        line: usize,
+        /// The line's version.
+        version: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "run store I/O failed: {e}"),
+            StoreError::Corrupt { line, reason } => {
+                write!(f, "run store corrupt at line {line}: {reason}")
+            }
+            StoreError::UnsupportedSchema { line, version } => write!(
+                f,
+                "run store line {line} has schema v{version}, newer than supported v{SCHEMA_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// An append-only JSONL run store at a fixed path.
+///
+/// # Example
+///
+/// ```no_run
+/// use kw_results::store::{BenchRecord, RunStore};
+///
+/// let store = RunStore::open("target/runs.jsonl")?;
+/// store.append_bench(&BenchRecord {
+///     bench: "engine_flood".into(),
+///     id: "threads1/1000".into(),
+///     best_ms: 0.85,
+/// })?;
+/// let contents = store.load()?;
+/// assert_eq!(contents.benches.len(), 1);
+/// # Ok::<(), kw_results::store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct RunStore {
+    path: PathBuf,
+    file: File,
+}
+
+impl RunStore {
+    /// Opens (creating if missing) the store at `path`, repairing a torn
+    /// final line left by a crash: any bytes after the last newline are
+    /// truncated away, so the next append starts on a clean line.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        // Tail repair: drop a torn final line (no trailing newline),
+        // scanning backwards from the end so opening a long-lived store
+        // never reads the whole file.
+        let len = file.seek(SeekFrom::End(0))?;
+        if len > 0 {
+            let mut pos = len;
+            let mut keep = 0u64;
+            let mut buf = [0u8; 8192];
+            'scan: while pos > 0 {
+                let chunk = buf.len().min(pos as usize);
+                pos -= chunk as u64;
+                file.seek(SeekFrom::Start(pos))?;
+                file.read_exact(&mut buf[..chunk])?;
+                for i in (0..chunk).rev() {
+                    if buf[i] == b'\n' {
+                        keep = pos + i as u64 + 1;
+                        break 'scan;
+                    }
+                }
+            }
+            if keep < len {
+                file.set_len(keep)?;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(RunStore { path, file })
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a sweep manifest line.
+    pub fn append_manifest(&self, m: &RunManifest) -> Result<(), StoreError> {
+        self.append_line(&Json::obj([
+            ("v", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::Str("manifest".into())),
+            ("git", Json::Str(m.git.clone())),
+            (
+                "solvers",
+                Json::Arr(m.solvers.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "workloads",
+                Json::Arr(m.workloads.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "seeds",
+                Json::Arr(m.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            ("fault_drop", Json::num(m.fault_drop)),
+            ("fault_seed", Json::UInt(m.fault_seed)),
+        ]))
+    }
+
+    /// Appends one run record line.
+    pub fn append_record(&self, r: &RunRecord) -> Result<(), StoreError> {
+        self.append_line(&Json::obj([
+            ("v", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::Str("record".into())),
+            ("solver", Json::Str(r.solver.clone())),
+            ("workload", Json::Str(r.workload.clone())),
+            ("n", Json::UInt(r.n as u64)),
+            ("max_degree", Json::UInt(r.max_degree as u64)),
+            ("seed", Json::UInt(r.seed)),
+            ("fault_drop", Json::num(r.fault_drop)),
+            ("fault_seed", Json::UInt(r.fault_seed)),
+            ("dominates", Json::Bool(r.outcome.dominates)),
+            ("size", Json::num(r.outcome.size)),
+            ("rounds", Json::num(r.outcome.rounds)),
+            ("messages", Json::num(r.outcome.messages)),
+            ("bits", Json::num(r.outcome.bits)),
+            ("ratio_vs_lemma1", Json::num(r.outcome.ratio_vs_lemma1)),
+            ("wall_ms", Json::num(r.outcome.wall_ms)),
+        ]))
+    }
+
+    /// Appends one benchmark measurement line.
+    pub fn append_bench(&self, b: &BenchRecord) -> Result<(), StoreError> {
+        self.append_line(&Json::obj([
+            ("v", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::Str("bench".into())),
+            ("bench", Json::Str(b.bench.clone())),
+            ("id", Json::Str(b.id.clone())),
+            ("best_ms", Json::num(b.best_ms)),
+        ]))
+    }
+
+    fn append_line(&self, value: &Json) -> Result<(), StoreError> {
+        let mut line = value.render();
+        line.push('\n');
+        // One write call per line keeps torn lines possible only at a
+        // crash boundary; `&File` is `Write`, so appends need no `&mut`.
+        let mut f = &self.file;
+        f.write_all(line.as_bytes())?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Parses the whole store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for an unreadable non-final line,
+    /// [`StoreError::UnsupportedSchema`] for lines written by a newer
+    /// schema. A torn *final* line is tolerated (see the module docs).
+    pub fn load(&self) -> Result<StoreContents, StoreError> {
+        let text = std::fs::read_to_string(&self.path)?;
+        parse_store(&text)
+    }
+
+    /// Replays every stored record into `cache` through the runner's
+    /// resume hook. Returns the number of records replayed.
+    pub fn replay_into(&self, cache: &ExperimentCache) -> Result<usize, StoreError> {
+        let contents = self.load()?;
+        for r in &contents.records {
+            cache.insert_outcome(
+                &r.solver,
+                &r.workload,
+                r.seed,
+                r.fault_drop,
+                r.fault_seed,
+                r.outcome,
+            );
+        }
+        Ok(contents.records.len())
+    }
+}
+
+/// Parses store text (exposed for validators that read foreign files).
+pub fn parse_store(text: &str) -> Result<StoreContents, StoreError> {
+    let mut contents = StoreContents::default();
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    for (idx, &(line_no, line)) in lines.iter().enumerate() {
+        let is_last = idx + 1 == lines.len();
+        match parse_line(line_no, line) {
+            Ok(Line::Manifest(m)) => contents.manifests.push(m),
+            Ok(Line::Record(r)) => contents.records.push(r),
+            Ok(Line::Bench(b)) => contents.benches.push(b),
+            Ok(Line::Unknown) => contents.unknown_kinds += 1,
+            Err(e @ StoreError::UnsupportedSchema { .. }) => return Err(e),
+            Err(e) => {
+                if is_last {
+                    // Torn tail from a crash mid-append: tolerated.
+                    contents.truncated_tail = true;
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(contents)
+}
+
+enum Line {
+    Manifest(RunManifest),
+    Record(RunRecord),
+    Bench(BenchRecord),
+    Unknown,
+}
+
+fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
+    let corrupt = |reason: String| StoreError::Corrupt {
+        line: line_no,
+        reason,
+    };
+    let v = Json::parse(line).map_err(|e| corrupt(e.to_string()))?;
+    let version = v
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("missing schema version \"v\"".into()))?;
+    if version > SCHEMA_VERSION {
+        return Err(StoreError::UnsupportedSchema {
+            line: line_no,
+            version,
+        });
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("missing line \"kind\"".into()))?;
+    let str_field = |key: &str| -> Result<String, StoreError> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| corrupt(format!("missing string field {key:?}")))
+    };
+    let f64_field = |key: &str| -> Result<f64, StoreError> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| corrupt(format!("missing number field {key:?}")))
+    };
+    let u64_field = |key: &str| -> Result<u64, StoreError> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt(format!("missing integer field {key:?}")))
+    };
+    match kind {
+        "manifest" => {
+            let str_arr = |key: &str| -> Result<Vec<String>, StoreError> {
+                v.get(key)
+                    .and_then(Json::as_arr)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(Json::as_str)
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .ok_or_else(|| corrupt(format!("missing array field {key:?}")))
+            };
+            Ok(Line::Manifest(RunManifest {
+                git: str_field("git")?,
+                solvers: str_arr("solvers")?,
+                workloads: str_arr("workloads")?,
+                seeds: v
+                    .get("seeds")
+                    .and_then(Json::as_arr)
+                    .map(|items| items.iter().filter_map(Json::as_u64).collect())
+                    .ok_or_else(|| corrupt("missing array field \"seeds\"".into()))?,
+                fault_drop: f64_field("fault_drop")?,
+                fault_seed: u64_field("fault_seed")?,
+            }))
+        }
+        "record" => Ok(Line::Record(RunRecord {
+            solver: str_field("solver")?,
+            workload: str_field("workload")?,
+            n: u64_field("n")? as usize,
+            max_degree: u64_field("max_degree")? as usize,
+            seed: u64_field("seed")?,
+            fault_drop: f64_field("fault_drop")?,
+            fault_seed: u64_field("fault_seed")?,
+            outcome: RunOutcome {
+                dominates: v
+                    .get("dominates")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| corrupt("missing bool field \"dominates\"".into()))?,
+                size: f64_field("size")?,
+                rounds: f64_field("rounds")?,
+                messages: f64_field("messages")?,
+                bits: f64_field("bits")?,
+                ratio_vs_lemma1: f64_field("ratio_vs_lemma1")?,
+                wall_ms: f64_field("wall_ms")?,
+            },
+        })),
+        "bench" => Ok(Line::Bench(BenchRecord {
+            bench: str_field("bench")?,
+            id: str_field("id")?,
+            best_ms: f64_field("best_ms")?,
+        })),
+        _ => Ok(Line::Unknown),
+    }
+}
+
+/// `git describe --always --dirty` of the current directory, or
+/// `"unknown"` when git is unavailable (manifests must never fail a
+/// sweep).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("kw_store_test_{}_{tag}.jsonl", std::process::id()))
+    }
+
+    fn sample_record(seed: u64) -> RunRecord {
+        RunRecord {
+            solver: "kw:k=2".into(),
+            workload: "grid4".into(),
+            n: 16,
+            max_degree: 4,
+            seed,
+            fault_drop: 0.25,
+            fault_seed: seed ^ 0xfa,
+            outcome: RunOutcome {
+                dominates: seed.is_multiple_of(2),
+                size: 4.0 + seed as f64,
+                rounds: 18.0,
+                messages: 1234.5,
+                bits: 9876.0,
+                ratio_vs_lemma1: 1.25,
+                wall_ms: 0.75,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrips_all_line_kinds() {
+        let path = temp_store("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let store = RunStore::open(&path).unwrap();
+        let manifest = RunManifest {
+            git: "abc1234-dirty".into(),
+            solvers: vec!["kw:k=2".into(), "greedy".into()],
+            workloads: vec!["grid4".into()],
+            seeds: vec![0, 1, u64::MAX],
+            fault_drop: 0.0,
+            fault_seed: 0,
+        };
+        store.append_manifest(&manifest).unwrap();
+        let records: Vec<RunRecord> = (0..3).map(sample_record).collect();
+        for r in &records {
+            store.append_record(r).unwrap();
+        }
+        let bench = BenchRecord {
+            bench: "engine_flood".into(),
+            id: "threads1/1000".into(),
+            best_ms: 0.849,
+        };
+        store.append_bench(&bench).unwrap();
+        let contents = store.load().unwrap();
+        assert_eq!(contents.manifests, vec![manifest]);
+        assert_eq!(contents.records, records);
+        assert_eq!(contents.benches, vec![bench]);
+        assert!(!contents.truncated_tail);
+        assert_eq!(contents.unknown_kinds, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_by_load_and_repaired_by_open() {
+        let path = temp_store("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = RunStore::open(&path).unwrap();
+            store.append_record(&sample_record(0)).unwrap();
+            store.append_record(&sample_record(1)).unwrap();
+        }
+        // Simulate a crash mid-append: half a line, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let torn_len = text.len();
+        text.push_str("{\"v\":1,\"kind\":\"rec");
+        std::fs::write(&path, &text).unwrap();
+        {
+            // Read-only consumers see both complete records.
+            let store = RunStore::open(&path).unwrap();
+            let contents = store.load().unwrap();
+            assert_eq!(contents.records.len(), 2);
+        }
+        // Open repaired the tail, so the file is back to clean lines and
+        // a subsequent append starts fresh.
+        assert_eq!(std::fs::read_to_string(&path).unwrap().len(), torn_len);
+        let store = RunStore::open(&path).unwrap();
+        store.append_record(&sample_record(2)).unwrap();
+        let contents = store.load().unwrap();
+        assert_eq!(contents.records.len(), 3);
+        assert!(!contents.truncated_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn midfile_corruption_is_an_error_not_a_skip() {
+        let text = "{\"v\":1,\"kind\":\"bench\",\"bench\":\"b\",\"id\":\"i\",\"best_ms\":1}\n\
+                    not json at all\n\
+                    {\"v\":1,\"kind\":\"bench\",\"bench\":\"b\",\"id\":\"j\",\"best_ms\":2}\n";
+        match parse_store(text) {
+            Err(StoreError::Corrupt { line: 2, .. }) => {}
+            other => panic!("expected Corrupt at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let text = format!(
+            "{{\"v\":{},\"kind\":\"bench\",\"bench\":\"b\",\"id\":\"i\",\"best_ms\":1}}\n",
+            SCHEMA_VERSION + 1
+        );
+        assert!(matches!(
+            parse_store(&text),
+            Err(StoreError::UnsupportedSchema { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kinds_of_current_version_are_skipped_and_counted() {
+        let text = "{\"v\":1,\"kind\":\"novelty\",\"payload\":[1,2,3]}\n\
+                    {\"v\":1,\"kind\":\"bench\",\"bench\":\"b\",\"id\":\"i\",\"best_ms\":1}\n";
+        let contents = parse_store(text).unwrap();
+        assert_eq!(contents.unknown_kinds, 1);
+        assert_eq!(contents.benches.len(), 1);
+    }
+
+    #[test]
+    fn replay_into_seeds_a_cache() {
+        let path = temp_store("replay");
+        let _ = std::fs::remove_file(&path);
+        let store = RunStore::open(&path).unwrap();
+        for seed in 0..4 {
+            store.append_record(&sample_record(seed)).unwrap();
+        }
+        let cache = ExperimentCache::new();
+        assert_eq!(store.replay_into(&cache).unwrap(), 4);
+        // Replay counts as neither hit nor miss until a sweep looks up.
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn git_describe_never_fails() {
+        assert!(!git_describe().is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! Rollups of run records: per-cell and per-solver statistics with
+//! mean/p50/p95, rendered to markdown or CSV.
+//!
+//! A [`Summary`] is built from [`RunRecord`]s — live ones collected from
+//! a streaming sweep or persisted ones loaded from a [`RunStore`] — and
+//! aggregates each `(solver, workload)` cell over its seeds, plus each
+//! solver over all its cells. Quality statistics (size, rounds,
+//! messages, bits, ratio-vs-Lemma-1) exclude non-dominating runs, which
+//! are counted as `failures` instead — the same convention
+//! [`CellSummary`] uses; wall-time statistics include every run (cost is
+//! cost, dominated or not).
+//!
+//! [`RunStore`]: crate::store::RunStore
+//! [`CellSummary`]: kw_core::solver::CellSummary
+
+use std::fmt::Write as _;
+
+use kw_core::solver::RunRecord;
+
+use crate::render::Table;
+
+/// Order statistics of one sample set (nearest-rank percentiles).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (0 when empty).
+    pub p50: f64,
+    /// 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarizes `samples`.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are comparable"));
+        let rank = |q: f64| -> f64 {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Percentiles {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// One `(solver, workload)` cell aggregated over seeds.
+#[derive(Clone, Debug)]
+pub struct CellRollup {
+    /// Canonical solver spec.
+    pub solver: String,
+    /// Workload label.
+    pub workload: String,
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Maximum degree `Δ` of the workload graph.
+    pub max_degree: usize,
+    /// Seeds aggregated.
+    pub runs: usize,
+    /// Runs whose output failed to dominate.
+    pub failures: usize,
+    /// Dominating-set sizes.
+    pub size: Percentiles,
+    /// Synchronous rounds.
+    pub rounds: Percentiles,
+    /// Total messages.
+    pub messages: Percentiles,
+    /// Total payload bits.
+    pub bits: Percentiles,
+    /// Set size over the Lemma-1 lower bound.
+    pub ratio_vs_lemma1: Percentiles,
+    /// Wall-clock solve time, ms (includes failed runs).
+    pub wall_ms: Percentiles,
+}
+
+/// One solver aggregated over every workload and seed it ran.
+#[derive(Clone, Debug)]
+pub struct SolverRollup {
+    /// Canonical solver spec.
+    pub solver: String,
+    /// Total runs across workloads.
+    pub runs: usize,
+    /// Total non-dominating runs.
+    pub failures: usize,
+    /// Dominating-set sizes, pooled across workloads.
+    pub size: Percentiles,
+    /// Ratio-vs-Lemma-1, pooled across workloads (the comparable
+    /// quality number between solvers).
+    pub ratio_vs_lemma1: Percentiles,
+    /// Rounds, pooled across workloads.
+    pub rounds: Percentiles,
+    /// Wall-clock time, ms, pooled across workloads.
+    pub wall_ms: Percentiles,
+}
+
+/// Per-cell and per-solver rollups of a set of run records.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Cells, sorted by `(workload, solver)` (the classic table order).
+    pub cells: Vec<CellRollup>,
+    /// Solvers, sorted by spec.
+    pub solvers: Vec<SolverRollup>,
+}
+
+impl Summary {
+    /// Aggregates `records`. Order-insensitive: any permutation of the
+    /// same records yields the identical summary.
+    pub fn from_records(records: &[RunRecord]) -> Self {
+        #[derive(Default)]
+        struct Acc {
+            n: usize,
+            max_degree: usize,
+            runs: usize,
+            failures: usize,
+            size: Vec<f64>,
+            rounds: Vec<f64>,
+            messages: Vec<f64>,
+            bits: Vec<f64>,
+            ratio: Vec<f64>,
+            wall: Vec<f64>,
+        }
+        impl Acc {
+            fn push(&mut self, r: &RunRecord) {
+                self.n = r.n;
+                self.max_degree = r.max_degree;
+                self.runs += 1;
+                self.wall.push(r.outcome.wall_ms);
+                if !r.outcome.dominates {
+                    self.failures += 1;
+                    return;
+                }
+                self.size.push(r.outcome.size);
+                self.rounds.push(r.outcome.rounds);
+                self.messages.push(r.outcome.messages);
+                self.bits.push(r.outcome.bits);
+                self.ratio.push(r.outcome.ratio_vs_lemma1);
+            }
+        }
+        let mut cells: std::collections::BTreeMap<(String, String), Acc> = Default::default();
+        let mut solvers: std::collections::BTreeMap<String, Acc> = Default::default();
+        // Seeds sort runs deterministically inside each accumulator, so
+        // percentile input order never depends on worker scheduling.
+        let mut sorted: Vec<&RunRecord> = records.iter().collect();
+        sorted.sort_by(|a, b| {
+            (&a.solver, &a.workload, a.seed).cmp(&(&b.solver, &b.workload, b.seed))
+        });
+        for r in sorted {
+            cells
+                .entry((r.workload.clone(), r.solver.clone()))
+                .or_default()
+                .push(r);
+            solvers.entry(r.solver.clone()).or_default().push(r);
+        }
+        Summary {
+            cells: cells
+                .into_iter()
+                .map(|((workload, solver), acc)| CellRollup {
+                    solver,
+                    workload,
+                    n: acc.n,
+                    max_degree: acc.max_degree,
+                    runs: acc.runs,
+                    failures: acc.failures,
+                    size: Percentiles::from_samples(&acc.size),
+                    rounds: Percentiles::from_samples(&acc.rounds),
+                    messages: Percentiles::from_samples(&acc.messages),
+                    bits: Percentiles::from_samples(&acc.bits),
+                    ratio_vs_lemma1: Percentiles::from_samples(&acc.ratio),
+                    wall_ms: Percentiles::from_samples(&acc.wall),
+                })
+                .collect(),
+            solvers: solvers
+                .into_iter()
+                .map(|(solver, acc)| SolverRollup {
+                    solver,
+                    runs: acc.runs,
+                    failures: acc.failures,
+                    size: Percentiles::from_samples(&acc.size),
+                    ratio_vs_lemma1: Percentiles::from_samples(&acc.ratio),
+                    rounds: Percentiles::from_samples(&acc.rounds),
+                    wall_ms: Percentiles::from_samples(&acc.wall),
+                })
+                .collect(),
+        }
+    }
+
+    /// Looks one cell up.
+    pub fn cell(&self, solver: &str, workload: &str) -> Option<&CellRollup> {
+        self.cells
+            .iter()
+            .find(|c| c.solver == solver && c.workload == workload)
+    }
+
+    /// Renders the per-cell table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "| workload | n | Δ | solver | runs | fail | E\\|DS\\| | p50 | p95 | ratio | rounds | msgs(p50) | wall ms |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.2} | {:.0} | {:.0} | {:.2} |",
+                c.workload,
+                c.n,
+                c.max_degree,
+                c.solver,
+                c.runs,
+                c.failures,
+                c.size.mean,
+                c.size.p50,
+                c.size.p95,
+                c.ratio_vs_lemma1.mean,
+                c.rounds.p50,
+                c.messages.p50,
+                c.wall_ms.mean,
+            );
+        }
+        out
+    }
+
+    /// Renders the per-cell statistics as CSV (full precision; one row
+    /// per cell).
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new([
+            "workload",
+            "n",
+            "max_degree",
+            "solver",
+            "runs",
+            "failures",
+            "size_mean",
+            "size_p50",
+            "size_p95",
+            "ratio_mean",
+            "rounds_p50",
+            "messages_p50",
+            "bits_p50",
+            "wall_ms_mean",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.workload.clone(),
+                c.n.to_string(),
+                c.max_degree.to_string(),
+                c.solver.clone(),
+                c.runs.to_string(),
+                c.failures.to_string(),
+                c.size.mean.to_string(),
+                c.size.p50.to_string(),
+                c.size.p95.to_string(),
+                c.ratio_vs_lemma1.mean.to_string(),
+                c.rounds.p50.to_string(),
+                c.messages.p50.to_string(),
+                c.bits.p50.to_string(),
+                c.wall_ms.mean.to_string(),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_core::solver::RunOutcome;
+
+    fn record(solver: &str, workload: &str, seed: u64, size: f64, dominates: bool) -> RunRecord {
+        RunRecord {
+            solver: solver.into(),
+            workload: workload.into(),
+            n: 100,
+            max_degree: 9,
+            seed,
+            fault_drop: 0.0,
+            fault_seed: 0,
+            outcome: RunOutcome {
+                dominates,
+                size,
+                rounds: 18.0,
+                messages: 100.0 * size,
+                bits: 1000.0 * size,
+                ratio_vs_lemma1: size / 10.0,
+                wall_ms: size / 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(p.count, 4);
+        assert_eq!(p.mean, 2.5);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.p95, 4.0);
+        assert_eq!((p.min, p.max), (1.0, 4.0));
+        // Singleton: everything is that value.
+        let one = Percentiles::from_samples(&[7.0]);
+        assert_eq!((one.p50, one.p95), (7.0, 7.0));
+        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
+        // 20 samples: p95 is the 19th order statistic.
+        let many: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(Percentiles::from_samples(&many).p95, 19.0);
+        assert_eq!(Percentiles::from_samples(&many).p50, 10.0);
+    }
+
+    #[test]
+    fn rollups_group_and_exclude_failures_from_quality() {
+        let records = vec![
+            record("kw:k=2", "grid", 0, 10.0, true),
+            record("kw:k=2", "grid", 1, 12.0, true),
+            record("kw:k=2", "grid", 2, 99.0, false), // failure
+            record("kw:k=2", "udg", 0, 20.0, true),
+            record("greedy", "grid", 0, 8.0, true),
+        ];
+        let s = Summary::from_records(&records);
+        assert_eq!(s.cells.len(), 3);
+        let cell = s.cell("kw:k=2", "grid").unwrap();
+        assert_eq!((cell.runs, cell.failures), (3, 1));
+        assert_eq!(cell.size.count, 2, "failed run excluded from quality");
+        assert_eq!(cell.size.mean, 11.0);
+        assert_eq!(cell.wall_ms.count, 3, "failed run still costs wall time");
+        assert_eq!((cell.n, cell.max_degree), (100, 9));
+        // Solver rollup pools workloads.
+        let kw = s.solvers.iter().find(|r| r.solver == "kw:k=2").unwrap();
+        assert_eq!((kw.runs, kw.failures), (4, 1));
+        assert_eq!(kw.size.count, 3);
+        // Cells sort workload-major.
+        let order: Vec<(&str, &str)> = s
+            .cells
+            .iter()
+            .map(|c| (c.workload.as_str(), c.solver.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("grid", "greedy"), ("grid", "kw:k=2"), ("udg", "kw:k=2")]
+        );
+    }
+
+    #[test]
+    fn summary_is_order_insensitive() {
+        let mut records = vec![
+            record("kw:k=2", "grid", 0, 10.0, true),
+            record("kw:k=2", "grid", 1, 12.0, true),
+            record("greedy", "grid", 0, 8.0, true),
+            record("greedy", "udg", 3, 9.0, true),
+        ];
+        let a = Summary::from_records(&records);
+        records.reverse();
+        let b = Summary::from_records(&records);
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_markdown(), b.to_markdown());
+    }
+
+    #[test]
+    fn renders_markdown_and_csv() {
+        let records = vec![
+            record("kw:k=2", "grid", 0, 10.0, true),
+            record("kw:k=2", "grid", 1, 12.0, true),
+        ];
+        let s = Summary::from_records(&records);
+        let md = s.to_markdown();
+        assert!(md.starts_with("| workload |"));
+        assert!(md.contains("| grid | 100 | 9 | kw:k=2 | 2 | 0 | 11.0 |"));
+        let csv = s.to_csv();
+        assert!(csv.starts_with("workload,n,max_degree,solver,"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("grid,100,9,kw:k=2,2,0,11,"));
+    }
+}

@@ -21,7 +21,10 @@
 //!   variant, the end-to-end pipeline, invariant instrumentation, and the
 //!   unified solver API ([`kw_core::solver`]);
 //! * [`baselines`] ([`kw_baselines`]) — greedy, Jia–Rajaraman–Suel LRG,
-//!   Luby-style MIS, trivial, and CDS baselines.
+//!   Luby-style MIS, trivial, and CDS baselines;
+//! * [`results`] ([`kw_results`]) — the streaming results pipeline:
+//!   per-cell run events, the persistent JSONL run store, rollup
+//!   summaries, and regression gating.
 //!
 //! # Quickstart: the solver API
 //!
@@ -91,6 +94,47 @@
 //! # Ok::<(), kw_core::solver::SolveError>(())
 //! ```
 //!
+//! # Persisting and comparing runs
+//!
+//! Long sweeps should not die with their process. The streaming results
+//! pipeline ([`kw_results`]) makes experiment output event-driven and
+//! durable:
+//!
+//! * [`ExperimentRunner::run_matrix_streaming`](kw_core::solver::ExperimentRunner::run_matrix_streaming)
+//!   reports every `(solver, workload, seed)` cell over a bounded
+//!   channel as it finishes ([`RunEvent`](kw_core::solver::RunEvent)s),
+//!   instead of staying silent until the final barrier;
+//! * [`SweepSession`](kw_results::pipeline::SweepSession) persists each
+//!   solved cell to an append-only JSONL
+//!   [`RunStore`](kw_results::store::RunStore) (versioned schema, sweep
+//!   manifests with git provenance, crash-safe appends) and replays the
+//!   store on re-launch, so a killed sweep resumes by solving only its
+//!   missing cells;
+//! * [`Summary`](kw_results::summary::Summary) rolls stored records up
+//!   per cell and per solver (mean/p50/p95) and renders markdown or CSV;
+//! * the `regress` binary diffs a candidate store against a baseline and
+//!   exits non-zero on quality or ≥20% time regressions — bench numbers
+//!   (`BENCH_engine.jsonl`) share the same store format via
+//!   `KW_BENCH_STORE`.
+//!
+//! ```no_run
+//! use kw_domset::prelude::*;
+//! use kw_graph::generators;
+//!
+//! let registry = kw_domset::default_registry();
+//! let solvers = registry.build_all(["kw:k=2", "greedy"])?;
+//! let workloads = vec![("grid8".to_string(), generators::grid(8, 8))];
+//! let mut session = SweepSession::open("target/runs.jsonl").expect("store opens");
+//! let out = session.run(&ExperimentRunner::new(), &solvers, &workloads, 0..20, |event| {
+//!     if event.is_terminal() {
+//!         eprint!("."); // cell-by-cell progress, not a final barrier
+//!     }
+//! }).expect("sweep runs");
+//! println!("{}", Summary::from_records(&out.records).to_markdown());
+//! // Re-running replays the store: out.solved == 0, out.cached == 40.
+//! # Ok::<(), kw_core::solver::SolveError>(())
+//! ```
+//!
 //! The lower-level per-algorithm entry points (`Pipeline`, `run_alg2`,
 //! `run_rounding`, the invariant checkers, …) remain available from
 //! [`kw_core`] for experiments that dissect a single stage.
@@ -102,6 +146,7 @@ pub use kw_baselines as baselines;
 pub use kw_core as core;
 pub use kw_graph as graph;
 pub use kw_lp as lp;
+pub use kw_results as results;
 pub use kw_sim as sim;
 
 /// The full solver registry: the paper's solvers (`kw`, `alg2`,
@@ -116,10 +161,12 @@ pub mod prelude {
         DsSolver, ExperimentRunner, SolveContext, SolveError, SolveReport, SolverRegistry,
         SolverSpec,
     };
+    pub use kw_core::solver::{RunEvent, RunRecord};
     pub use kw_core::{Pipeline, PipelineConfig, PipelineOutcome};
     pub use kw_graph::{
         CsrGraph, DominatingSet, FractionalAssignment, GraphBuilder, NodeId, VertexWeights,
     };
+    pub use kw_results::{RunStore, Summary, SweepSession};
     pub use kw_sim::{Engine, EngineConfig, RunMetrics};
 }
 

@@ -63,6 +63,24 @@ proptest! {
     }
 
     #[test]
+    fn dimacs_roundtrip_any_gnp(n in 0usize..60, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        let back = io::parse_dimacs(&io::write_dimacs(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_any_unit_disk(n in 1usize..80, seed in any::<u64>()) {
+        // Unit-disk graphs are the paper's motivating topology and the
+        // shape real DIMACS-format files would feed into workloads.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::unit_disk(n, 0.2, &mut rng);
+        let back = io::parse_dimacs(&io::write_dimacs(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
     fn components_partition_nodes(n in 1usize..60, p in 0.0f64..0.1, seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = generators::gnp(n, p, &mut rng);
