@@ -140,6 +140,8 @@ impl JrsProtocol {
     }
 }
 
+/// Broadcast-only (one `Ctx::broadcast` at most per round of the 6-round
+/// phase): rides the engine's solo-broadcast fast path end to end.
 impl Protocol for JrsProtocol {
     type Msg = JrsMsg;
     type Output = bool;

@@ -84,6 +84,8 @@ impl LubyProtocol {
     }
 }
 
+/// Broadcast-only (ticket or join announcements): rides the engine's
+/// solo-broadcast fast path end to end.
 impl Protocol for LubyProtocol {
     type Msg = MisMsg;
     type Output = bool;

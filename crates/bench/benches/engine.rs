@@ -1,19 +1,25 @@
 //! Raw round-loop throughput of the `kw_sim` engine's message plane.
 //!
-//! Two traffic shapes bound the delivery phase from both ends:
+//! Three traffic shapes bound the message plane from all sides:
 //!
 //! * **flood** — broadcast-heavy: every node broadcasts one word per round
-//!   (the shape of Algorithms 1–3, where deliveries dominate);
+//!   (the shape of Algorithms 1–3, where deliveries dominate and the
+//!   engine's uniform-solo placement fast path applies);
 //! * **ping** — unicast-heavy: every node sends four unicasts per round to
 //!   hash-chosen ports (the worst case for receiver-driven outbox scans,
-//!   where most scanned entries are addressed to someone else).
+//!   where most scanned entries are addressed to someone else);
+//! * **burst** — the send-path stress: every node stages a broadcast plus
+//!   two unicasts per round, so every sender takes the staged (non-solo)
+//!   route through the arena: send-time accounting, per-arc counting,
+//!   plan cursors, and sender-major staging all on the hot path.
 //!
 //! Both run at n ∈ {1_000, 10_000} on G(n, p) with average degree ≈ 16,
 //! sequentially and with 4 worker threads. `BENCH_engine.json` at the repo
 //! root records the before/after numbers for the flat-CSR message-plane
 //! rewrite, and `BENCH_engine.jsonl` holds the same "after" numbers in
 //! the `kw_results` run-store format for `regress` gating. Set
-//! `KW_BENCH_QUICK=1` (as CI does) to run a seconds-scale smoke version,
+//! `KW_BENCH_QUICK=1` (as CI does) to run a seconds-scale smoke of all
+//! three groups — flood, ping, and the burst send-path bench —
 //! and `KW_BENCH_STORE=<path>` to append every measurement to that run
 //! store when the groups finish.
 
@@ -94,6 +100,43 @@ impl Protocol for Ping {
         if degree > 0 {
             for i in 0..4u64 {
                 let port = (split_mix64(self.me ^ (u64::from(self.rounds_left) << 8) ^ i)
+                    % u64::from(degree)) as u32;
+                ctx.send(port, Word(self.acc | 1));
+            }
+        }
+        Status::Running
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Send-path stress: every node broadcasts and unicasts twice per round,
+/// keeping every sender on the staged route through the send arena.
+struct Burst {
+    me: u64,
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for Burst {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
+        for (_, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(m.0);
+        }
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        let degree = ctx.degree();
+        ctx.broadcast(Word(self.acc | 1));
+        if degree > 0 {
+            for i in 0..2u64 {
+                let port = (split_mix64(self.me ^ (u64::from(self.rounds_left) << 9) ^ i)
                     % u64::from(degree)) as u32;
                 ctx.send(port, Word(self.acc | 1));
             }
@@ -205,7 +248,38 @@ fn bench_ping(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flood, bench_ping);
+fn bench_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_burst");
+    configure(&mut group);
+    let r = rounds();
+    for n in sizes() {
+        let g = graph(n);
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig {
+                threads,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        Engine::new(g, cfg, |info| Burst {
+                            me: u64::from(info.id.raw()),
+                            acc: u64::from(info.id.raw()),
+                            rounds_left: r,
+                        })
+                        .run()
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood, bench_ping, bench_burst);
 
 fn main() {
     benches();

@@ -168,6 +168,10 @@ impl Alg2Protocol {
     }
 }
 
+/// Broadcast-only: each round stages at most one `Ctx::broadcast`, the
+/// shape the engine's arena send plane serves through its solo fast path
+/// (metrics are charged and the payload cached at the moment of the
+/// send; delivery never re-walks a send buffer).
 impl Protocol for Alg2Protocol {
     type Msg = Alg2Msg;
     type Output = Alg2Output;

@@ -410,6 +410,9 @@ impl Alg3Protocol {
     }
 }
 
+/// Broadcast-only: [`Alg3Protocol::step`] emits at most one message per
+/// round, staged via `Ctx::broadcast` into the engine's arena send plane
+/// (the solo fast path; no send buffer is ever handed to this code).
 impl Protocol for Alg3Protocol {
     type Msg = Alg3Msg;
     type Output = Alg3Output;

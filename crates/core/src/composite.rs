@@ -109,8 +109,12 @@ impl CompositeProtocol {
 /// Adapter context: lets the embedded Algorithm 3 program speak
 /// `Alg3Msg` while the outer engine speaks `CompositeMsg`.
 ///
-/// Implemented by translating inbox/outbox at the boundary rather than by
-/// re-wrapping `Ctx`, which stays private to `kw-sim`.
+/// Implemented by translating messages at the boundary — unwrap the
+/// inbox, re-wrap the (single) broadcast before staging it through
+/// `Ctx::broadcast` — rather than by re-wrapping `Ctx`, whose send sink
+/// stays opaque to algorithm code. Every phase of this protocol sends at
+/// most one broadcast per round, so the engine's arena send plane serves
+/// it entirely through the solo-broadcast fast path.
 impl Protocol for CompositeProtocol {
     type Msg = CompositeMsg;
     type Output = CompositeOutput;

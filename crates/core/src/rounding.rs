@@ -180,6 +180,9 @@ impl Alg1Protocol {
     }
 }
 
+/// Broadcast-only: every round stages at most one `Ctx::broadcast`
+/// (membership or degree announcements), so the engine's arena send
+/// plane serves this protocol through its solo-broadcast fast path.
 impl Protocol for Alg1Protocol {
     type Msg = RoundingMsg;
     type Output = RoundingOutput;

@@ -78,6 +78,8 @@ impl WeightedAlg2Protocol {
     }
 }
 
+/// Broadcast-only, like the unweighted Algorithm 2: at most one
+/// `Ctx::broadcast` per round, served by the engine's solo fast path.
 impl Protocol for WeightedAlg2Protocol {
     type Msg = Alg2Msg;
     type Output = WeightedOutput;

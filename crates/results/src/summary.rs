@@ -44,15 +44,22 @@ impl Percentiles {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are comparable"));
-        let rank = |q: f64| -> f64 {
-            let idx = (q * sorted.len() as f64).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
+        // Nearest-rank percentile, computed exactly in integers: the P-th
+        // percentile of n samples is the `ceil(P·n/100)`-th order
+        // statistic (1-based). The earlier float formulation
+        // (`(q * n as f64).ceil()`) was correct for small n but hinged on
+        // `0.95 * n` rounding to the right side of an integer; integer
+        // arithmetic removes that hazard for every n. For n = 1 both
+        // ranks are 1, so p50 and p95 equal the sole sample.
+        let rank = |percent: usize| -> f64 {
+            let idx = (percent * sorted.len()).div_ceil(100).max(1);
+            sorted[idx - 1]
         };
         Percentiles {
             count: sorted.len(),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50: rank(0.50),
-            p95: rank(0.95),
+            p50: rank(50),
+            p95: rank(95),
             min: sorted[0],
             max: sorted[sorted.len() - 1],
         }
@@ -310,14 +317,33 @@ mod tests {
         assert_eq!(p.p50, 2.0);
         assert_eq!(p.p95, 4.0);
         assert_eq!((p.min, p.max), (1.0, 4.0));
-        // Singleton: everything is that value.
+        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
+    }
+
+    /// Nearest-rank boundary behavior on tiny and exact-rank cells:
+    /// singletons report the sole sample for every statistic, 2- and
+    /// 3-sample cells take the lower median and the max for p95, and 20
+    /// samples put p95 exactly at the 19th order statistic
+    /// (`ceil(95·20/100) = 19`, an exact integer rank the old float path
+    /// could only hit by rounding luck).
+    #[test]
+    fn percentiles_small_and_exact_rank_cells() {
+        // n = 1: p50 = p95 = min = max = the sample.
         let one = Percentiles::from_samples(&[7.0]);
         assert_eq!((one.p50, one.p95), (7.0, 7.0));
-        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
-        // 20 samples: p95 is the 19th order statistic.
+        assert_eq!((one.min, one.max), (7.0, 7.0));
+        assert_eq!(one.mean, 7.0);
+        // n = 2: rank(50) = ceil(1.0) = 1st, rank(95) = ceil(1.9) = 2nd.
+        let two = Percentiles::from_samples(&[10.0, 2.0]);
+        assert_eq!((two.p50, two.p95), (2.0, 10.0));
+        // n = 3: rank(50) = ceil(1.5) = 2nd, rank(95) = ceil(2.85) = 3rd.
+        let three = Percentiles::from_samples(&[9.0, 1.0, 5.0]);
+        assert_eq!((three.p50, three.p95), (5.0, 9.0));
+        // n = 20: both ranks are exact integers (10 and 19).
         let many: Vec<f64> = (1..=20).map(|i| i as f64).collect();
-        assert_eq!(Percentiles::from_samples(&many).p95, 19.0);
-        assert_eq!(Percentiles::from_samples(&many).p50, 10.0);
+        let p = Percentiles::from_samples(&many);
+        assert_eq!(p.p50, 10.0);
+        assert_eq!(p.p95, 19.0);
     }
 
     #[test]

@@ -2,53 +2,62 @@
 //!
 //! # The flat CSR message plane
 //!
-//! Delivery used to be receiver-driven: every node rescanned the *entire
-//! outbox of every neighbor* each round (the `O(n·Δ)` scan), inboxes were
-//! `n` separately allocated `Vec`s cleared twice per round, and a third
-//! sequential sweep over all outboxes did the metrics accounting. This
-//! engine instead keeps all per-round delivery state in flat arrays
-//! parallel to the graph's CSR edge array. A round costs `O(m + traffic)`
-//! — the `m`-term is sequential walks of dense arrays (placement visits
-//! each receiver arc once), while every random-access and cloning cost
-//! scales with the traffic actually delivered:
+//! Both halves of a round — sending and delivery — run on flat arrays
+//! parallel to the graph's CSR edge array; no per-node `Vec` exists
+//! anywhere on the hot path. A round costs `O(m + traffic)` — the
+//! `m`-term is sequential walks of dense arrays (placement visits each
+//! receiver arc once), while every random-access and cloning cost scales
+//! with the traffic actually delivered:
 //!
-//! 1. a **fused accounting + classification pass** walks every outbox
-//!    exactly once: it charges sender-side metrics (what used to be a
-//!    separate `account_messages` sweep), publishes each sender's outbox
-//!    length, caches the payload of the common "one reliable broadcast"
-//!    shape in a dense per-node array (the *solo* fast path), and for every
-//!    other sender counts, per directed arc `u → v`, how many copies will
-//!    be delivered along it;
-//! 2. a **staging pass** prefix-sums those counts into per-arc `[start,
-//!    cursor)` ranges and clones each non-solo sender's delivered payloads
-//!    into one sender-major staging arena, in port-then-slot order;
+//! 1. the **compute phase** stages sends as they happen: each node's
+//!    [`Ctx`] writes through an opaque [`Sink`](crate::Sink) whose engine
+//!    implementation appends straight into a per-node run of a flat send
+//!    arena (one arena per worker chunk, reused every round). Sender-side
+//!    metrics, wire checking, per-node message counters, run (`outbox`)
+//!    length publication, and solo-broadcast detection — the dominant
+//!    "one reliable broadcast" shape, whose payload is cached in a dense
+//!    per-node array — all happen at the moment of the send, while the
+//!    message is hot. The former "fill per-node outboxes, then re-walk
+//!    every outbox" two-pass is gone;
+//! 2. a **staging pass**, touching only *staged* senders (non-solo,
+//!    non-quiet — none at all in broadcast-heavy rounds), counts per
+//!    directed arc `u → v` how many copies will be delivered along it
+//!    (receiver-side filters applied here: arcs into halted nodes count
+//!    zero, and each copy's fate under a fault plan is decided by the
+//!    same `(round, sender, receiver, slot)` key the old receiver-driven
+//!    scan used), prefix-sums those counts into per-arc `[start, cursor)`
+//!    ranges, and clones each staged sender's delivered payloads out of
+//!    its arena run into one sender-major staging buffer, in
+//!    port-then-slot order;
 //! 3. a **placement pass** walks receivers in order and copies each
-//!    message into its slot of one contiguous double-buffered inbox arena:
-//!    solo broadcasts come straight from the dense cache, staged traffic
-//!    from the staging run of the reverse arc (`rev_edge`, a flat table
-//!    built in `O(m)` by a counting pass, not binary searches). Receiver
-//!    offsets into the arena are recorded as placement goes, so no
-//!    separate per-arc prefix pass exists on the hot path.
+//!    message into its slot of one contiguous double-buffered inbox
+//!    arena: solo broadcasts come straight from the dense cache, staged
+//!    traffic from the staging run of the reverse arc (`rev_edge`, a flat
+//!    table built in `O(m)` by a counting pass, not binary searches).
+//!    Receiver offsets into the arena are recorded as placement goes, so
+//!    no separate per-arc prefix pass exists on the hot path.
 //!
-//! All message-proportional buffers (arenas, staging, plan, per-thread
-//! scratch) are reused and keep their capacity, so steady-state rounds
-//! perform no buffer growth — asserted by a debug counter; multi-threaded
-//! rounds still make small `O(threads)` control-structure allocations
-//! (chunk tables, join handles). Every phase preserves the
-//! engine's determinism guarantee: outputs, metrics, and per-node message
-//! counts are bit-identical for every thread count, including under fault
-//! plans (drop decisions are keyed by `(round, sender, receiver, slot)`
-//! exactly as the old receiver-driven scan keyed them).
+//! All message-proportional buffers (send arenas, inbox arenas, staging,
+//! plan, per-thread scratch) are reused and keep their capacity, so
+//! steady-state rounds perform no buffer growth — asserted by a debug
+//! counter ([`EngineStats::buffer_growths`]); multi-threaded rounds still
+//! make small `O(threads)` control-structure allocations (chunk tables,
+//! join handles). Every phase preserves the engine's determinism
+//! guarantee: outputs, metrics, and per-node message counts are
+//! bit-identical for every thread count, including under fault plans.
+//! Worker chunk boundaries are fixed at construction, and everything
+//! downstream addresses sends through the dense per-node run table, so
+//! the chunked arena layout is invisible to results.
 //!
 //! **Port-numbering invariant:** port `q` of node `v` is `v`'s `q`-th
 //! neighbor in ascending id order — exactly CSR arc `offsets[v] + q`. The
 //! flat plane indexes by arcs but never renumbers ports, so protocols and
-//! recorded traffic are unaffected by the rewrite.
+//! recorded traffic are unaffected by the layout.
 //!
 //! Staged (non-solo) deliveries clone a message twice — once into the
-//! staging arena, once into the receiver's inbox slice. Messages are small
-//! wire-encoded values (the paper's are `O(log Δ)` bits), so the extra copy
-//! is far cheaper than the outbox rescans it replaces.
+//! staging buffer, once into the receiver's inbox slice. Messages are
+//! small wire-encoded values (the paper's are `O(log Δ)` bits), so the
+//! extra copy is far cheaper than the outbox rescans it replaces.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -56,7 +65,7 @@ use rand::SeedableRng;
 use kw_graph::{CsrGraph, NodeId};
 
 use crate::faults::FaultPlan;
-use crate::mailbox::{Ctx, Outbound};
+use crate::mailbox::{Ctx, Outbound, Sink};
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::rng::node_seed;
 use crate::wire::{BitReader, BitWriter, WireEncode};
@@ -131,6 +140,17 @@ pub struct RunReport<O> {
     pub node_messages: Vec<u64>,
 }
 
+/// Internal engine counters exposed for allocation-stability tests and
+/// tuning, returned by [`Engine::run_instrumented`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineStats {
+    /// How many rounds grew the capacity of any reusable message-plane
+    /// buffer (send arenas, staging, plan, inbox arenas, scratch). All
+    /// growth happens during warm-up; steady-state rounds must not move
+    /// this counter.
+    pub buffer_growths: u64,
+}
+
 /// Hook invoked after every round with read access to all node states.
 ///
 /// Observers power the invariant checkers (Lemmas 2–7) and the Figure-1
@@ -154,18 +174,120 @@ impl<P: Protocol> Observer<P> for NullObserver {
     fn after_round(&mut self, _round: usize, _nodes: &[P]) {}
 }
 
-/// Per-chunk result of the fused accounting + classification pass.
-struct ScanOut {
+/// Per-chunk result of the compute phase's fused send accounting.
+struct ChunkOut {
     stats: RoundMetrics,
     max_message_bits: usize,
     wire_ok: bool,
+    /// Staged (non-solo, non-quiet) senders in this chunk.
+    staged: usize,
+    /// Whether every node in this chunk was an active solo broadcaster —
+    /// no halted, quiet, or staged senders. When all chunks agree,
+    /// placement takes the uniform fast path.
+    uniform_solo: bool,
+}
+
+impl ChunkOut {
+    /// An empty tally (`wire_ok` starts true and is and-ed down).
+    fn fresh() -> Self {
+        ChunkOut {
+            stats: RoundMetrics::default(),
+            max_message_bits: 0,
+            wire_ok: true,
+            staged: 0,
+            uniform_solo: true,
+        }
+    }
+}
+
+/// The engine's [`Sink`]: appends sends to the current node's run of its
+/// flat send arena, charging sender-side metrics and (optionally)
+/// verifying wire encodings at the same moment. One instance lives per
+/// worker chunk and persists across rounds (so the arena keeps its
+/// capacity); [`Ctx`] holds it as a concrete reference, so every staging
+/// call — routed through the [`Sink`] trait — dispatches statically and
+/// inlines into the protocol's round.
+pub(crate) struct StageSink<M> {
+    /// The chunk's flat send arena: per-node runs, append-only within a
+    /// round, cleared (capacity kept) at the start of the next compute.
+    pub(crate) arena: Vec<Outbound<M>>,
+    pub(crate) check_wire: bool,
+    /// Chunk tallies, reset each round; per-node shares are recovered by
+    /// differencing around each `on_round` call.
+    pub(crate) messages: u64,
+    pub(crate) bits: u64,
+    pub(crate) max_message_bits: usize,
+    pub(crate) wire_ok: bool,
+}
+
+impl<M> StageSink<M> {
+    pub(crate) fn new() -> Self {
+        StageSink {
+            arena: Vec::new(),
+            check_wire: false,
+            messages: 0,
+            bits: 0,
+            max_message_bits: 0,
+            wire_ok: true,
+        }
+    }
+
+    /// Resets the per-round state (arena contents and tallies), keeping
+    /// the arena's capacity.
+    fn reset_round(&mut self, check_wire: bool) {
+        self.arena.clear();
+        self.check_wire = check_wire;
+        self.messages = 0;
+        self.bits = 0;
+        self.max_message_bits = 0;
+        self.wire_ok = true;
+    }
+}
+
+impl<M: WireEncode> StageSink<M> {
+    /// Sender-side accounting for one staged send (faults and halted
+    /// receivers never reduce what the sender is charged for).
+    #[inline]
+    fn charge(&mut self, msg: &M, copies: u64) {
+        let bits = msg.encoded_bits();
+        if self.check_wire {
+            let mut w = BitWriter::new();
+            msg.encode(&mut w);
+            // An `encoded_bits` override that disagrees with the real
+            // encoding would corrupt the bit accounting.
+            if w.bit_len() != bits {
+                self.wire_ok = false;
+            }
+            let bytes = w.into_bytes();
+            if M::decode(&mut BitReader::new(&bytes)).is_none() {
+                self.wire_ok = false;
+            }
+        }
+        self.messages += copies;
+        self.bits += bits as u64 * copies;
+        self.max_message_bits = self.max_message_bits.max(bits);
+    }
+}
+
+impl<M: WireEncode> Sink<M> for StageSink<M> {
+    #[inline]
+    fn stage_broadcast(&mut self, degree: u32, msg: M) {
+        self.charge(&msg, u64::from(degree));
+        self.arena.push(Outbound::Broadcast(msg));
+    }
+
+    #[inline]
+    fn stage_unicast(&mut self, port: u32, msg: M) {
+        self.charge(&msg, 1);
+        self.arena.push(Outbound::Unicast { port, msg });
+    }
 }
 
 /// Drives one protocol instance per node of a graph through synchronous
 /// rounds until every node halts.
 ///
 /// See the [crate docs](crate) for a complete example and the
-/// [module docs](self) for the flat-CSR delivery design.
+/// [module docs](self) for the flat-CSR message-plane design.
 pub struct Engine<'g, P: Protocol> {
     graph: &'g CsrGraph,
     config: EngineConfig,
@@ -185,25 +307,38 @@ pub struct Engine<'g, P: Protocol> {
     /// Back arena written by delivery, swapped with the front each round.
     back_arena: Vec<(u32, P::Msg)>,
     back_offsets: Vec<usize>,
-    outboxes: Vec<Vec<Outbound<P::Msg>>>,
-    /// Per node: this round's outbox length (dense, so placement can skip
-    /// quiet senders without touching their outbox allocation).
-    outbox_len: Vec<u32>,
+    /// The send half of the double-buffered message plane: one
+    /// [`StageSink`] per worker chunk (flat arena + metric tallies),
+    /// written append-only during compute and read by staging/placement
+    /// during delivery. Arenas clear (capacity kept) every round.
+    sinks: Vec<StageSink<P::Msg>>,
+    /// Per node: `(start, len)` of this round's sends within its chunk's
+    /// send arena — the send-time publication of what used to be
+    /// `outbox_len`, plus the address placement needs to read the run.
+    runs: Vec<(u32, u32)>,
     /// Per node: the payload of a sender whose round is exactly one
     /// broadcast on a reliable network — the dominant traffic shape, which
-    /// placement serves from this dense cache without staging.
+    /// placement serves from this dense cache without staging. Detected at
+    /// send time.
     solo: Vec<Option<P::Msg>>,
-    /// Per directed arc of each *staged* (non-solo, non-quiet) sender:
-    /// copies delivered along it this round.
+    /// Staged (non-solo, non-quiet) senders this round; when zero, the
+    /// entire staging half of delivery is skipped.
+    staged_senders: usize,
+    /// Whether every node this round was an active solo broadcaster (the
+    /// steady state of the paper's broadcast-only algorithms); placement
+    /// then runs a branch-light fast path.
+    uniform_solo: bool,
+    /// Per directed arc of each *staged* sender: copies delivered along it
+    /// this round.
     send_counts: Vec<u32>,
     /// Per directed arc of each staged sender: its `[start, cursor)` run in
     /// `plan`/`staged` (the cursor advances during the staging pass and
     /// ends at the run's end).
     plan_ranges: Vec<(u32, u32)>,
-    /// Staging-arena base index per node (`n + 1` entries; a sender's runs
+    /// Staging-buffer base index per node (`n + 1` entries; a sender's runs
     /// are contiguous, so these are also the parallel-chunk boundaries).
     node_plan_base: Vec<usize>,
-    /// Outbox slot index of every staged delivery, in arena order.
+    /// Send-run slot index of every staged delivery, in staging order.
     plan: Vec<u32>,
     /// Payload clones of every staged delivery, parallel to `plan`.
     staged: Vec<P::Msg>,
@@ -212,9 +347,18 @@ pub struct Engine<'g, P: Protocol> {
     /// Per-thread placement buffers, spliced into the arena in chunk order.
     scratch: Vec<Vec<(u32, P::Msg)>>,
     node_messages: Vec<u64>,
-    /// Debug counter: how many delivery phases grew any per-round buffer's
-    /// capacity. Steady-state rounds must not move this.
+    /// Fixed worker chunking: `chunk` nodes per chunk, `chunks` chunks.
+    /// Identical for every phase, so a chunk's send arena is always read
+    /// by the worker that owns the chunk's nodes.
+    chunk: usize,
+    chunks: usize,
+    /// Debug counter: how many rounds grew any reusable buffer's capacity.
+    /// Steady-state rounds must not move this.
     buffer_growths: u64,
+    /// Total buffer capacity after the previous round, for the growth
+    /// counter (capacities never shrink, so a sum increase means some
+    /// buffer grew — whether during compute or delivery).
+    last_plane_capacity: usize,
 }
 
 impl<'g, P: Protocol> Engine<'g, P> {
@@ -266,8 +410,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 rev_edge[e] = r as u32;
             }
         }
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let (chunk, chunks) = if threads <= 1 || n < 2 * threads {
+            (n.max(1), 1)
+        } else {
+            let chunk = n.div_ceil(threads);
+            (chunk, n.div_ceil(chunk))
+        };
         let mut solo = Vec::with_capacity(n);
         solo.resize_with(n, || None);
+        let mut sinks = Vec::with_capacity(chunks);
+        sinks.resize_with(chunks, StageSink::new);
+        let mut stage_scratch = Vec::with_capacity(chunks);
+        stage_scratch.resize_with(chunks, Vec::new);
+        let mut scratch = Vec::with_capacity(chunks);
+        scratch.resize_with(chunks, Vec::new);
         Engine {
             graph,
             config,
@@ -279,18 +442,23 @@ impl<'g, P: Protocol> Engine<'g, P> {
             inbox_offsets: vec![0; n + 1],
             back_arena: Vec::new(),
             back_offsets: vec![0; n + 1],
-            outboxes: vec![Vec::new(); n],
-            outbox_len: vec![0; n],
+            sinks,
+            runs: vec![(0, 0); n],
             solo,
+            staged_senders: 0,
+            uniform_solo: false,
             send_counts: vec![0; arcs],
             plan_ranges: vec![(0, 0); arcs],
             node_plan_base: vec![0; n + 1],
             plan: Vec::new(),
             staged: Vec::new(),
-            stage_scratch: Vec::new(),
-            scratch: Vec::new(),
+            stage_scratch,
+            scratch,
             node_messages: vec![0; n],
+            chunk,
+            chunks,
             buffer_growths: 0,
+            last_plane_capacity: 0,
         }
     }
 
@@ -305,6 +473,21 @@ impl<'g, P: Protocol> Engine<'g, P> {
         self.run_with_observer(&mut NullObserver)
     }
 
+    /// Runs to completion, additionally returning internal engine counters
+    /// (currently the buffer-growth counter) for allocation-stability
+    /// tests and tuning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_instrumented(mut self) -> Result<(RunReport<P::Output>, EngineStats), SimError> {
+        let metrics = self.drive(&mut NullObserver)?;
+        let stats = EngineStats {
+            buffer_growths: self.buffer_growths,
+        };
+        Ok((self.into_report(metrics), stats))
+    }
+
     /// Runs to completion, invoking `observer` after every round.
     ///
     /// # Errors
@@ -315,12 +498,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
         observer: &mut dyn Observer<P>,
     ) -> Result<RunReport<P::Output>, SimError> {
         let metrics = self.drive(observer)?;
-        let outputs = self.nodes.into_iter().map(P::finish).collect();
-        Ok(RunReport {
-            outputs,
+        Ok(self.into_report(metrics))
+    }
+
+    /// Consumes the engine, extracting per-node outputs into the final
+    /// report (single finalization path for every `run_*` flavor).
+    fn into_report(self, metrics: RunMetrics) -> RunReport<P::Output> {
+        RunReport {
+            outputs: self.nodes.into_iter().map(P::finish).collect(),
             metrics,
             node_messages: self.node_messages,
-        })
+        }
     }
 
     /// The round loop, separated from output extraction so tests can
@@ -334,14 +522,25 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     limit: self.config.max_rounds,
                 });
             }
-            self.compute_phase(round);
+            let out = self.compute_phase(round);
             metrics.rounds = round + 1;
             observer.after_round(round, &self.nodes);
-            let round_stats = self.account_and_classify(round, &mut metrics)?;
-            if self.config.record_per_round {
-                metrics.per_round.push(round_stats);
+            if !out.wire_ok {
+                return Err(SimError::WireMismatch { round });
             }
+            metrics.messages += out.stats.messages;
+            metrics.bits += out.stats.bits;
+            metrics.max_message_bits = metrics.max_message_bits.max(out.max_message_bits);
+            if self.config.record_per_round {
+                metrics.per_round.push(out.stats);
+            }
+            self.staged_senders = out.staged;
+            self.uniform_solo = out.uniform_solo;
             if self.halted.iter().all(|&h| h) {
+                // No delivery follows the final round, so sample buffer
+                // capacities here: the last compute phase may still have
+                // grown a send arena.
+                self.note_plane_capacity();
                 break;
             }
             self.delivery_phase(round);
@@ -351,42 +550,86 @@ impl<'g, P: Protocol> Engine<'g, P> {
         Ok(metrics)
     }
 
-    /// Calls `on_round` on every running node, filling outboxes.
-    fn compute_phase(&mut self, round: usize) {
-        let threads = self.effective_threads();
+    /// Calls `on_round` on every running node. Sends stage directly into
+    /// the flat send arenas through [`StageSink`], which also performs the
+    /// fused sender-side accounting — the per-chunk tallies come back in
+    /// the returned [`ChunkOut`].
+    fn compute_phase(&mut self, round: usize) -> ChunkOut {
         let graph = self.graph;
         let arena = &self.inbox_arena;
         let offsets = &self.inbox_offsets;
-        let n = self.nodes.len();
-        if threads <= 1 || n < 2 * threads {
-            Self::compute_range(
+        let reliable = self.config.faults.is_reliable();
+        let check_wire = self.config.check_wire;
+        let (chunk, chunks) = (self.chunk, self.chunks);
+        if chunks == 1 {
+            return Self::compute_range(
                 graph,
                 round,
                 0,
                 &mut self.nodes,
                 &mut self.rngs,
                 &mut self.halted,
-                &mut self.outboxes,
+                &mut self.sinks[0],
+                &mut self.runs,
+                &mut self.solo,
+                &mut self.node_messages,
                 arena,
                 offsets,
+                reliable,
+                check_wire,
             );
-            return;
         }
-        let chunk = n.div_ceil(threads);
         let nodes = self.nodes.chunks_mut(chunk);
         let rngs = self.rngs.chunks_mut(chunk);
         let halted = self.halted.chunks_mut(chunk);
-        let outboxes = self.outboxes.chunks_mut(chunk);
-        std::thread::scope(|s| {
-            for (i, (((nc, rc), hc), oc)) in nodes.zip(rngs).zip(halted).zip(outboxes).enumerate() {
-                let base = i * chunk;
-                s.spawn(move || {
-                    Self::compute_range(graph, round, base, nc, rc, hc, oc, arena, offsets);
-                });
-            }
+        let runs = self.runs.chunks_mut(chunk);
+        let solos = self.solo.chunks_mut(chunk);
+        let messages = self.node_messages.chunks_mut(chunk);
+        let sinks = self.sinks[..chunks].iter_mut();
+        let outs: Vec<ChunkOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = nodes
+                .zip(rngs)
+                .zip(halted)
+                .zip(runs)
+                .zip(solos)
+                .zip(messages)
+                .zip(sinks)
+                .enumerate()
+                .map(|(i, ((((((nc, rc), hc), runc), sc), mc), sk))| {
+                    s.spawn(move || {
+                        Self::compute_range(
+                            graph,
+                            round,
+                            i * chunk,
+                            nc,
+                            rc,
+                            hc,
+                            sk,
+                            runc,
+                            sc,
+                            mc,
+                            arena,
+                            offsets,
+                            reliable,
+                            check_wire,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
+        outs.into_iter().fold(ChunkOut::fresh(), |mut a, o| {
+            a.stats.accumulate(o.stats);
+            a.max_message_bits = a.max_message_bits.max(o.max_message_bits);
+            a.wire_ok &= o.wire_ok;
+            a.staged += o.staged;
+            a.uniform_solo &= o.uniform_solo;
+            a
+        })
     }
 
+    /// [`compute_phase`](Self::compute_phase) over one node chunk, staging
+    /// into that chunk's send arena.
     #[allow(clippy::too_many_arguments)]
     fn compute_range(
         graph: &CsrGraph,
@@ -395,192 +638,165 @@ impl<'g, P: Protocol> Engine<'g, P> {
         nodes: &mut [P],
         rngs: &mut [SmallRng],
         halted: &mut [bool],
-        outboxes: &mut [Vec<Outbound<P::Msg>>],
-        arena: &[(u32, P::Msg)],
+        sink: &mut StageSink<P::Msg>,
+        runs: &mut [(u32, u32)],
+        solo: &mut [Option<P::Msg>],
+        node_messages: &mut [u64],
+        inbox_arena: &[(u32, P::Msg)],
         inbox_offsets: &[usize],
-    ) {
+        reliable: bool,
+        check_wire: bool,
+    ) -> ChunkOut {
+        sink.reset_round(check_wire);
+        let mut staged = 0usize;
+        let mut uniform_solo = true;
         for (j, node) in nodes.iter_mut().enumerate() {
             if halted[j] {
+                runs[j] = (0, 0);
+                solo[j] = None;
+                uniform_solo = false;
                 continue;
             }
             let v = base + j;
             let id = NodeId::new(v);
+            let degree = graph.degree(id) as u32;
+            let run_start = sink.arena.len();
+            let messages_before = sink.messages;
             let mut ctx = Ctx {
                 node: id,
-                degree: graph.degree(id) as u32,
+                degree,
                 round,
-                inbox: &arena[inbox_offsets[v]..inbox_offsets[v + 1]],
-                outbox: &mut outboxes[j],
+                inbox: &inbox_arena[inbox_offsets[v]..inbox_offsets[v + 1]],
+                sink: &mut *sink,
                 rng: &mut rngs[j],
             };
             if node.on_round(&mut ctx) == Status::Halted {
                 halted[j] = true;
             }
+            node_messages[j] += sink.messages - messages_before;
+            let len = sink.arena.len() - run_start;
+            runs[j] = (run_start as u32, len as u32);
+            solo[j] = match sink.arena.get(run_start) {
+                Some(Outbound::Broadcast(m)) if reliable && len == 1 => Some(m.clone()),
+                _ => None,
+            };
+            if solo[j].is_none() {
+                uniform_solo = false;
+                if len > 0 {
+                    staged += 1;
+                }
+            }
+        }
+        // Run starts/lengths were truncated to u32 above; one check of the
+        // final arena length covers every prefix.
+        assert!(
+            u32::try_from(sink.arena.len()).is_ok(),
+            "more than u32::MAX staged sends in one round chunk"
+        );
+        ChunkOut {
+            stats: RoundMetrics {
+                messages: sink.messages,
+                bits: sink.bits,
+            },
+            max_message_bits: sink.max_message_bits,
+            wire_ok: sink.wire_ok,
+            staged,
+            uniform_solo,
         }
     }
 
-    /// The fused pass: walks every outbox exactly once, charging
-    /// sender-side metrics (what `account_messages` used to do in a
-    /// separate sweep) and classifying every sender for delivery — quiet,
-    /// solo broadcast (payload cached densely), or staged (per-arc copy
-    /// counts computed, receiver-side filters already applied: arcs into
-    /// halted nodes count zero, and each copy's fate under a fault plan is
-    /// decided with the same `(round, sender, receiver, slot)` key the old
-    /// receiver-driven scan used, so lossy runs reproduce exactly).
-    fn account_and_classify(
-        &mut self,
-        round: usize,
-        metrics: &mut RunMetrics,
-    ) -> Result<RoundMetrics, SimError> {
-        let threads = self.effective_threads();
-        let n = self.nodes.len();
-        let graph = self.graph;
-        let halted = &self.halted;
-        let outboxes = &self.outboxes;
-        let faults = self.config.faults;
-        let check_wire = self.config.check_wire;
-        let scan = |base: usize,
-                    node_messages: &mut [u64],
-                    outbox_len: &mut [u32],
-                    solo: &mut [Option<P::Msg>],
-                    send_counts: &mut [u32]|
-         -> ScanOut {
-            Self::scan_range(
-                graph,
-                round,
-                base,
-                outboxes,
-                halted,
-                faults,
-                check_wire,
-                node_messages,
-                outbox_len,
-                solo,
-                send_counts,
-            )
-        };
-        let out = if threads <= 1 || n < 2 * threads {
-            scan(
-                0,
-                &mut self.node_messages,
-                &mut self.outbox_len,
-                &mut self.solo,
-                &mut self.send_counts,
-            )
+    /// Sender-indexed delivery into the flat arena: counts staged
+    /// deliveries per arc, prefix-sums them, stages payload clones in
+    /// sender-major order, places every message into its receiver's arena
+    /// slice, then swaps the double buffer. The entire staging half is
+    /// skipped when the round had no staged senders (the broadcast-heavy
+    /// common case).
+    fn delivery_phase(&mut self, round: usize) {
+        if self.staged_senders > 0 {
+            let plan_total = self.plan_staged(round);
+            if plan_total > 0 {
+                self.build_staging(round, plan_total);
+            } else {
+                self.staged.clear();
+            }
         } else {
-            let chunk = n.div_ceil(threads);
-            let counts = split_at_arcs(&mut self.send_counts, graph.offsets(), chunk);
-            let messages = self.node_messages.chunks_mut(chunk);
-            let lens = self.outbox_len.chunks_mut(chunk);
-            let solos = self.solo.chunks_mut(chunk);
-            let outs: Vec<ScanOut> = std::thread::scope(|s| {
-                let handles: Vec<_> = messages
-                    .zip(lens)
-                    .zip(solos)
-                    .zip(counts)
-                    .enumerate()
-                    .map(|(i, (((mc, lc), sc), cc))| {
-                        let scan = &scan;
-                        s.spawn(move || scan(i * chunk, mc, lc, sc, cc))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            outs.into_iter()
-                .fold(None::<ScanOut>, |acc, o| match acc {
-                    None => Some(o),
-                    Some(mut a) => {
-                        a.stats.accumulate(o.stats);
-                        a.max_message_bits = a.max_message_bits.max(o.max_message_bits);
-                        a.wire_ok &= o.wire_ok;
-                        Some(a)
-                    }
-                })
-                .expect("at least one chunk")
-        };
-        if !out.wire_ok {
-            return Err(SimError::WireMismatch { round });
+            self.staged.clear();
         }
-        metrics.messages += out.stats.messages;
-        metrics.bits += out.stats.bits;
-        metrics.max_message_bits = metrics.max_message_bits.max(out.max_message_bits);
-        Ok(out.stats)
+        self.place();
+        std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
+        std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
+        // The old message plane resets with one arena clear per side
+        // (offsets are rewritten wholesale next round; send arenas clear at
+        // the start of the next compute phase).
+        self.back_arena.clear();
+        self.note_plane_capacity();
     }
 
-    /// [`account_and_classify`](Self::account_and_classify) over one node
-    /// range. `send_counts` is the slice covering exactly the range's arcs.
-    #[allow(clippy::too_many_arguments)]
-    fn scan_range(
-        graph: &CsrGraph,
-        round: usize,
-        base: usize,
-        outboxes: &[Vec<Outbound<P::Msg>>],
-        halted: &[bool],
-        faults: FaultPlan,
-        check_wire: bool,
-        node_messages: &mut [u64],
-        outbox_len: &mut [u32],
-        solo: &mut [Option<P::Msg>],
-        send_counts: &mut [u32],
-    ) -> ScanOut {
-        let offsets = graph.offsets();
-        let targets = graph.targets();
-        let arc_base = offsets[base] as usize;
-        let mut stats = RoundMetrics::default();
-        let mut max_message_bits = 0usize;
-        let mut wire_ok = true;
+    /// Samples the total buffer capacity and bumps the growth counter if
+    /// it rose since the last sample. Called at the end of every delivery
+    /// phase and once more when the run ends (the final round's compute
+    /// phase can grow send arenas even though no delivery follows it).
+    fn note_plane_capacity(&mut self) {
+        let cap = self.plane_capacity();
+        if cap > self.last_plane_capacity {
+            self.buffer_growths += 1;
+        }
+        self.last_plane_capacity = cap;
+    }
+
+    /// Total capacity of all reusable message-plane buffers, for the
+    /// steady-state allocation check (capacities never shrink, so a sum
+    /// increase means some buffer grew this round — during compute-phase
+    /// staging or during delivery).
+    fn plane_capacity(&self) -> usize {
+        self.inbox_arena.capacity()
+            + self.back_arena.capacity()
+            + self.plan.capacity()
+            + self.staged.capacity()
+            + self.sinks.iter().map(|s| s.arena.capacity()).sum::<usize>()
+            + self.scratch.iter().map(Vec::capacity).sum::<usize>()
+            + self.stage_scratch.iter().map(Vec::capacity).sum::<usize>()
+    }
+
+    /// One sequential pass over staged senders that counts, per directed
+    /// arc, how many copies will be delivered along it this round —
+    /// receiver-side filters (halted receivers, fault drops keyed
+    /// `(round, sender, receiver, slot)` with `slot` the index within the
+    /// sender's run) are applied here — and immediately prefix-sums each
+    /// sender's counts into `plan_ranges`/`node_plan_base`. Counting and
+    /// prefixing are fused so a sender's run and arc counts are touched
+    /// exactly once, while still L1-hot; quiet and solo senders cost one
+    /// dense table read each. Returns the total number of staged
+    /// deliveries.
+    fn plan_staged(&mut self, round: usize) -> usize {
+        let n = self.nodes.len();
+        let offsets = self.graph.offsets();
+        let targets = self.graph.targets();
+        let halted = &self.halted;
+        let runs = &self.runs;
+        let solo = &self.solo;
+        let sinks = &self.sinks;
+        let chunk = self.chunk;
+        let send_counts = &mut self.send_counts;
+        let plan_ranges = &mut self.plan_ranges;
+        let node_plan_base = &mut self.node_plan_base;
+        let faults = self.config.faults;
         let reliable = faults.is_reliable();
-        for j in 0..node_messages.len() {
-            let u = base + j;
-            let outbox = &outboxes[u];
-            outbox_len[j] = outbox.len() as u32;
-            if outbox.is_empty() {
-                solo[j] = None;
+        let mut plan_total = 0usize;
+        for (u, &(start, len)) in runs.iter().enumerate() {
+            node_plan_base[u] = plan_total;
+            if len == 0 || solo[u].is_some() {
                 continue;
             }
+            let arena = &sinks[u / chunk].arena;
+            let run = &arena[start as usize..(start as usize + len as usize)];
             let arc_lo = offsets[u] as usize;
             let degree = offsets[u + 1] as usize - arc_lo;
-            let local = arc_lo - arc_base;
-            // Sender-side accounting (faults and halted receivers never
-            // reduce what the sender is charged for).
-            for out in outbox {
-                let (msg, copies) = match out {
-                    Outbound::Broadcast(m) => (m, degree as u64),
-                    Outbound::Unicast { msg, .. } => (msg, 1),
-                };
-                let bits = msg.encoded_bits();
-                if check_wire {
-                    let mut w = BitWriter::new();
-                    msg.encode(&mut w);
-                    // An `encoded_bits` override that disagrees with the
-                    // real encoding would corrupt the bit accounting.
-                    if w.bit_len() != bits {
-                        wire_ok = false;
-                    }
-                    let bytes = w.into_bytes();
-                    if P::Msg::decode(&mut BitReader::new(&bytes)).is_none() {
-                        wire_ok = false;
-                    }
-                }
-                stats.messages += copies;
-                stats.bits += bits as u64 * copies;
-                max_message_bits = max_message_bits.max(bits);
-                node_messages[j] += copies;
-            }
-            // Classification. The dominant shape — a single broadcast on a
-            // reliable network — is served from the dense solo cache and
-            // needs no per-arc work at all (halted receivers are filtered
-            // on the receiver side of placement).
+            let counts = &mut send_counts[arc_lo..arc_lo + degree];
+            counts.fill(0);
             if reliable {
-                if let [Outbound::Broadcast(m)] = outbox.as_slice() {
-                    solo[j] = Some(m.clone());
-                    continue;
-                }
-                solo[j] = None;
-                let counts = &mut send_counts[local..local + degree];
-                counts.fill(0);
                 let mut broadcasts = 0u32;
-                for out in outbox {
+                for out in run {
                     match out {
                         Outbound::Broadcast(_) => broadcasts += 1,
                         Outbound::Unicast { port, .. } => counts[*port as usize] += 1,
@@ -588,20 +804,22 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 }
                 for (p, c) in counts.iter_mut().enumerate() {
                     let v = targets[arc_lo + p] as usize;
-                    *c = if halted[v] { 0 } else { *c + broadcasts };
+                    if halted[v] {
+                        *c = 0;
+                    } else {
+                        *c += broadcasts;
+                    }
                 }
             } else {
-                solo[j] = None;
-                send_counts[local..local + degree].fill(0);
-                for (slot, out) in outbox.iter().enumerate() {
+                for (slot, out) in run.iter().enumerate() {
                     match out {
                         Outbound::Broadcast(_) => {
-                            for p in 0..degree {
+                            for (p, c) in counts.iter_mut().enumerate() {
                                 let v = targets[arc_lo + p];
                                 if !halted[v as usize]
                                     && !faults.drops(round, u as u32, v, slot as u32)
                                 {
-                                    send_counts[local + p] += 1;
+                                    *c += 1;
                                 }
                             }
                         }
@@ -610,118 +828,64 @@ impl<'g, P: Protocol> Engine<'g, P> {
                             let v = targets[arc_lo + p];
                             if !halted[v as usize] && !faults.drops(round, u as u32, v, slot as u32)
                             {
-                                send_counts[local + p] += 1;
+                                counts[p] += 1;
                             }
                         }
                     }
                 }
             }
-        }
-        ScanOut {
-            stats,
-            max_message_bits,
-            wire_ok,
-        }
-    }
-
-    /// Whether node `u` has staged (non-solo, non-quiet) traffic this
-    /// round.
-    #[inline]
-    fn is_staged(&self, u: usize) -> bool {
-        self.outbox_len[u] > 0 && self.solo[u].is_none()
-    }
-
-    /// Sender-indexed delivery into the flat arena: prefix-sums the staged
-    /// counts, stages payload clones in sender-major order, places every
-    /// message into its receiver's arena slice, then swaps the double
-    /// buffer.
-    fn delivery_phase(&mut self, round: usize) {
-        let cap_before = self.delivery_capacity();
-        let n = self.nodes.len();
-        let offsets = self.graph.offsets();
-        // Staging prefix sum — touches only staged senders' arcs.
-        let mut plan_total = 0usize;
-        for u in 0..n {
-            self.node_plan_base[u] = plan_total;
-            if self.is_staged(u) {
-                for e in offsets[u] as usize..offsets[u + 1] as usize {
-                    self.plan_ranges[e] = (plan_total as u32, plan_total as u32);
-                    plan_total += self.send_counts[e] as usize;
-                }
+            for (p, &c) in counts.iter().enumerate() {
+                plan_ranges[arc_lo + p] = (plan_total as u32, plan_total as u32);
+                plan_total += c as usize;
             }
         }
-        self.node_plan_base[n] = plan_total;
+        node_plan_base[n] = plan_total;
         assert!(
             u32::try_from(plan_total).is_ok(),
             "more than u32::MAX staged deliveries in one round"
         );
-        if plan_total > 0 {
-            self.build_staging(round, plan_total);
-        } else {
-            self.staged.clear();
-        }
-        self.place();
-        std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
-        std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
-        // The entire old message plane resets with one arena clear (offsets
-        // are rewritten wholesale next round); only outboxes remain
-        // per-node because `Ctx` hands out `&mut Vec`.
-        self.back_arena.clear();
-        for outbox in &mut self.outboxes {
-            outbox.clear();
-        }
-        let cap_after = self.delivery_capacity();
-        if cap_after > cap_before {
-            self.buffer_growths += 1;
-        }
+        plan_total
     }
 
-    /// Total capacity of all reusable delivery buffers, for the
-    /// steady-state allocation check (capacities never shrink, so a sum
-    /// increase means some buffer grew this round).
-    fn delivery_capacity(&self) -> usize {
-        self.inbox_arena.capacity()
-            + self.back_arena.capacity()
-            + self.plan.capacity()
-            + self.staged.capacity()
-            + self.scratch.iter().map(Vec::capacity).sum::<usize>()
-            + self.stage_scratch.iter().map(Vec::capacity).sum::<usize>()
-    }
-
-    /// Fills `plan` (outbox slot of every staged delivery, grouped by
-    /// sender arc, slot-ascending within an arc) and `staged` (the matching
-    /// payload clones) for all staged senders.
+    /// Fills `plan` (send-run slot of every staged delivery, grouped by
+    /// sender arc, slot-ascending within an arc) and `staged` (the
+    /// matching payload clones) for all staged senders, reading each
+    /// sender's run from its chunk's send arena. The fault/halted filter
+    /// re-evaluates the same `(round, sender, receiver, slot)` keys
+    /// `count_staged` used, so the cursors land exactly at each range's
+    /// end.
     fn build_staging(&mut self, round: usize, plan_total: usize) {
-        let threads = self.effective_threads();
         let n = self.nodes.len();
         let graph = self.graph;
         let offsets = graph.offsets();
         let targets = graph.targets();
-        let outboxes = &self.outboxes;
         let halted = &self.halted;
-        let outbox_len = &self.outbox_len;
+        let runs = &self.runs;
         let solo = &self.solo;
         let node_plan_base = &self.node_plan_base;
         let faults = self.config.faults;
         let reliable = faults.is_reliable();
+        let (chunk, chunks) = (self.chunk, self.chunks);
         self.plan.resize(plan_total, 0);
         // Writes one sender's plan entries via the per-arc cursors, then
-        // immediately stages that sender's payloads (its outbox is hot).
+        // immediately stages that sender's payloads (its run is hot).
         let fill = |base: usize,
                     len: usize,
                     plan_base: usize,
+                    arena: &[Outbound<P::Msg>],
                     plan_chunk: &mut [u32],
                     ranges: &mut [(u32, u32)],
                     sink: &mut Vec<P::Msg>| {
             let arc_base = offsets[base] as usize;
             for u in base..base + len {
-                if outbox_len[u] == 0 || solo[u].is_some() {
+                let (start, rlen) = runs[u];
+                if rlen == 0 || solo[u].is_some() {
                     continue;
                 }
-                let outbox = &outboxes[u];
+                let run = &arena[start as usize..(start as usize + rlen as usize)];
                 let arc_lo = offsets[u] as usize;
                 let degree = offsets[u + 1] as usize - arc_lo;
-                for (slot, out) in outbox.iter().enumerate() {
+                for (slot, out) in run.iter().enumerate() {
                     match out {
                         Outbound::Broadcast(_) => {
                             for p in 0..degree {
@@ -751,31 +915,28 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 for &slot in
                     &plan_chunk[node_plan_base[u] - plan_base..node_plan_base[u + 1] - plan_base]
                 {
-                    sink.push(outbox[slot as usize].payload().clone());
+                    sink.push(run[slot as usize].payload().clone());
                 }
             }
         };
-        if threads <= 1 || n < 2 * threads {
+        if chunks == 1 {
             self.staged.clear();
             fill(
                 0,
                 n,
                 0,
+                &self.sinks[0].arena,
                 &mut self.plan[..plan_total],
                 &mut self.plan_ranges,
                 &mut self.staged,
             );
             return;
         }
-        let chunk = n.div_ceil(threads);
         // A sender chunk's plan entries are contiguous (staging bases are
-        // monotone in node order), so the plan, the range table, and the
-        // staging output all split safely at chunk boundaries.
+        // monotone in node order), so the plan, the range table, the send
+        // arenas, and the staging output all split at the same chunk
+        // boundaries — each worker reads the arena its compute pass wrote.
         let ranges = split_at_arcs(&mut self.plan_ranges, offsets, chunk);
-        let chunks = ranges.len();
-        if self.stage_scratch.len() < chunks {
-            self.stage_scratch.resize_with(chunks, Vec::new);
-        }
         let mut plans = Vec::with_capacity(chunks);
         let mut bases = Vec::with_capacity(chunks);
         let mut rest = &mut self.plan[..plan_total];
@@ -789,10 +950,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
             consumed = hi;
         }
         std::thread::scope(|s| {
-            for (i, ((pc, rc), sink)) in plans
+            for (i, (((pc, rc), sink), sk)) in plans
                 .into_iter()
                 .zip(ranges)
                 .zip(self.stage_scratch[..chunks].iter_mut())
+                .zip(&self.sinks[..chunks])
                 .enumerate()
             {
                 let base = i * chunk;
@@ -801,7 +963,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 let fill = &fill;
                 s.spawn(move || {
                     sink.clear();
-                    fill(base, len, plan_base, pc, rc, sink);
+                    fill(base, len, plan_base, &sk.arena, pc, rc, sink);
                 });
             }
         });
@@ -816,21 +978,48 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// the exact sequence the old receiver-driven scan produced — while
     /// recording the per-receiver arena offsets.
     fn place(&mut self) {
-        let threads = self.effective_threads();
         let n = self.nodes.len();
         let graph = self.graph;
         let halted = &self.halted;
-        let outbox_len = &self.outbox_len;
+        let runs = &self.runs;
         let solo = &self.solo;
         let rev_edge = &self.rev_edge;
         let plan_ranges = &self.plan_ranges;
         let staged = &self.staged[..];
+        let uniform = self.uniform_solo;
+        let (chunk, chunks) = (self.chunk, self.chunks);
         // `offsets[v]` entries are written relative to the chunk's start;
         // the caller rebases them once chunk sizes are known.
         let place_range =
             |lo: usize, hi: usize, offsets_out: &mut [usize], sink: &mut Vec<(u32, P::Msg)>| {
                 let offsets = graph.offsets();
                 let targets = graph.targets();
+                if uniform {
+                    // Uniform-solo round (every sender is an active solo
+                    // broadcaster — the steady state of the paper's
+                    // broadcast-only algorithms): each receiver gets
+                    // exactly one message per port, so placement is one
+                    // exact-length `extend` per receiver with no per-arc
+                    // classification and no per-push capacity checks.
+                    // (A node may still have *halted this round*; it sent,
+                    // but receives nothing.)
+                    for v in lo..hi {
+                        offsets_out[v - lo] = sink.len();
+                        if halted[v] {
+                            continue;
+                        }
+                        let arc_lo = offsets[v] as usize;
+                        let degree = offsets[v + 1] as usize - arc_lo;
+                        let ports = &targets[arc_lo..arc_lo + degree];
+                        sink.extend(ports.iter().enumerate().map(|(q, &u)| {
+                            let m = solo[u as usize]
+                                .as_ref()
+                                .expect("uniform-solo round: every sender has a cached payload");
+                            (q as u32, m.clone())
+                        }));
+                    }
+                    return;
+                }
                 for v in lo..hi {
                     offsets_out[v - lo] = sink.len();
                     if halted[v] {
@@ -844,7 +1033,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                             sink.push((q as u32, m.clone()));
                             continue;
                         }
-                        if outbox_len[u] == 0 {
+                        if runs[u].1 == 0 {
                             continue;
                         }
                         let j = rev_edge[arc_lo + q] as usize;
@@ -855,16 +1044,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     }
                 }
             };
-        if threads <= 1 || n < 2 * threads {
+        if chunks == 1 {
             self.back_arena.clear();
             place_range(0, n, &mut self.back_offsets[..n], &mut self.back_arena);
             self.back_offsets[n] = self.back_arena.len();
             return;
-        }
-        let chunk = n.div_ceil(threads);
-        let chunks = n.div_ceil(chunk);
-        if self.scratch.len() < chunks {
-            self.scratch.resize_with(chunks, Vec::new);
         }
         let offset_chunks = self.back_offsets[..n].chunks_mut(chunk);
         std::thread::scope(|s| {
@@ -894,16 +1078,6 @@ impl<'g, P: Protocol> Engine<'g, P> {
             self.back_arena.append(sink);
         }
         self.back_offsets[n] = self.back_arena.len();
-    }
-
-    fn effective_threads(&self) -> usize {
-        if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        }
     }
 }
 
@@ -1160,6 +1334,51 @@ mod tests {
         assert_eq!(err, SimError::WireMismatch { round: 0 });
     }
 
+    /// The send-time wire check must accept the boundary payloads of the
+    /// gamma code — `0` and `u64::MAX` — on both addressing modes, and
+    /// charge their exact closed-form bit lengths.
+    #[test]
+    fn wire_check_passes_boundary_payloads() {
+        struct Extremes {
+            me: u32,
+        }
+        impl Protocol for Extremes {
+            type Msg = u64;
+            type Output = Vec<u64>;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                match ctx.round() {
+                    0 => {
+                        ctx.broadcast(u64::MAX);
+                        if self.me == 0 {
+                            ctx.send(0, 0);
+                        }
+                        Status::Running
+                    }
+                    _ => Status::Halted,
+                }
+            }
+            fn finish(self) -> Vec<u64> {
+                Vec::new()
+            }
+        }
+        let g = generators::path(2);
+        let report = Engine::new(
+            &g,
+            EngineConfig {
+                check_wire: true,
+                ..Default::default()
+            },
+            |info| Extremes { me: info.id.raw() },
+        )
+        .run()
+        .expect("boundary payloads encode, decode, and measure consistently");
+        // Two broadcasts of u64::MAX (129 bits each) + one unicast of 0
+        // (1 bit).
+        assert_eq!(report.metrics.messages, 3);
+        assert_eq!(report.metrics.bits, 2 * 129 + 1);
+        assert_eq!(report.metrics.max_message_bits, 129);
+    }
+
     #[test]
     fn isolated_nodes_run_and_halt() {
         let g = CsrGraph::empty(3);
@@ -1289,9 +1508,10 @@ mod tests {
         }
     }
 
-    /// Steady-state rounds must be allocation-free: a run three times as
-    /// long grows delivery buffers exactly as often as a short one,
-    /// because all growth happens in the first rounds.
+    /// Steady-state rounds must be allocation-free: a run 25 times as
+    /// long grows message-plane buffers exactly as often as a short one,
+    /// because all growth (send arenas included) happens in the first
+    /// rounds.
     #[test]
     fn steady_state_rounds_do_not_grow_buffers() {
         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(21);
@@ -1312,11 +1532,29 @@ mod tests {
         };
         for threads in [1usize, 4] {
             let short = growths(4, threads);
-            let long = growths(12, threads);
+            let long = growths(100, threads);
             assert_eq!(
                 short, long,
-                "delivery buffers grew after warm-up (threads={threads})"
+                "message-plane buffers grew after warm-up (threads={threads})"
             );
         }
+    }
+
+    /// The dense per-node run table must describe exactly what each node
+    /// staged, and solo classification must match the run contents.
+    #[test]
+    fn run_table_matches_staged_traffic() {
+        let g = generators::star(6);
+        let mut engine = Engine::new(&g, EngineConfig::default(), |_| Mixed { rounds_left: 3 });
+        let out = engine.compute_phase(0);
+        // Every node stages one broadcast + one unicast → all staged.
+        assert_eq!(out.staged, g.len());
+        for v in 0..g.len() {
+            let (_, len) = engine.runs[v];
+            assert_eq!(len, 2, "node {v} staged two sends");
+            assert!(engine.solo[v].is_none(), "mixed traffic is never solo");
+        }
+        // Center degree 5 + unicast = 6; leaves 1 + 1 = 2.
+        assert_eq!(out.stats.messages, 6 + 5 * 2);
     }
 }

@@ -18,17 +18,22 @@
 //!
 //! # The flat message plane
 //!
-//! Delivery runs on flat arrays parallel to the graph's CSR edge array
-//! rather than per-node `Vec`s: one fused pass walks every outbox exactly
-//! once (charging metrics and classifying traffic), and messages are then
-//! copied straight into one contiguous, double-buffered inbox arena —
-//! broadcasts through a dense per-sender payload cache, unicast and mixed
-//! traffic through a sender-major staging arena addressed by a flat
-//! reverse-arc table. A round costs `O(m + traffic)` with the `m`-term
-//! reduced to sequential walks of dense arrays, message-proportional
-//! buffers keep their capacity so steady-state rounds grow nothing, and
-//! results are bit-identical for every thread count. See the [`engine`
-//! module docs](Engine) for the full design.
+//! Both halves of a round run on flat arrays parallel to the graph's CSR
+//! edge array rather than per-node `Vec`s. On the send side,
+//! [`Ctx::broadcast`]/[`Ctx::send`] write through an opaque [`Sink`]
+//! straight into per-node runs of a flat send arena owned by the engine —
+//! no growable buffer is reachable from algorithm code, and sender-side
+//! metrics, wire checking, and traffic classification are fused into the
+//! send itself. On the delivery side, messages are copied straight into
+//! one contiguous, double-buffered inbox arena — solo broadcasts through
+//! a dense per-sender payload cache, unicast and mixed traffic through a
+//! sender-major staging buffer addressed by a flat reverse-arc table. A
+//! round costs `O(m + traffic)` with the `m`-term reduced to sequential
+//! walks of dense arrays, message-proportional buffers keep their
+//! capacity so steady-state rounds grow nothing, and results are
+//! bit-identical for every thread count. See the [`engine` module
+//! docs](Engine) for the full design and the [`mailbox` module
+//! docs](Ctx) for the send contract.
 //!
 //! **Port numbering is an invariant of the model, not of the message
 //! plane:** port `q` of node `v` is always `v`'s `q`-th neighbor in
@@ -91,10 +96,10 @@ mod metrics;
 pub mod rng;
 pub mod wire;
 
-pub use engine::{Engine, EngineConfig, NodeInfo, Observer, RunReport};
+pub use engine::{Engine, EngineConfig, EngineStats, NodeInfo, Observer, RunReport};
 pub use error::SimError;
 pub use faults::FaultPlan;
-pub use mailbox::{Ctx, Inbox, InboxIter};
+pub use mailbox::{Ctx, Inbox, InboxIter, Sink};
 pub use metrics::{RoundMetrics, RunMetrics};
 
 /// Whether a node keeps participating after the current round.

@@ -1,13 +1,38 @@
 //! Per-node message I/O surface.
+//!
+//! # The send contract
+//!
+//! [`Ctx::broadcast`] and [`Ctx::send`] are the *only* way a protocol can
+//! emit messages, and both follow one eager-validation contract:
+//!
+//! * **Addressing is validated at call time, never at delivery time.**
+//!   `send` panics immediately if the port does not name an incident link
+//!   (`port >= degree`); there is no such neighbor, so the call is a
+//!   protocol bug, not a droppable message.
+//! * **`broadcast` is defined for every degree.** It stages exactly one
+//!   copy per incident link — `degree` copies, each charged to the run
+//!   metrics. On an isolated node that is zero copies: a well-defined
+//!   no-op that stages nothing and charges nothing (not an error, and not
+//!   a "silent drop" of anything addressable).
+//! * **Accepted sends are staged immediately** through the engine's
+//!   [`Sink`] into its flat per-round send arena. Sender-side metrics,
+//!   wire checking, and traffic classification all happen at that moment;
+//!   nothing is re-validated or re-walked later, and no growable buffer
+//!   (`&mut Vec` or otherwise) is ever reachable from algorithm code.
+//!
+//! Delivery-time effects — receiver halting and fault drops — are link
+//! properties, not addressing properties, and remain the engine's
+//! business (see [`FaultPlan`](crate::FaultPlan)).
 
 use rand::rngs::SmallRng;
 
 use kw_graph::NodeId;
 
-/// Outbound message queued by a node during a round.
+/// Outbound message staged by a node during a round.
 ///
-/// A broadcast is materialized once here; the engine's flat delivery plane
-/// clones it only into the arena slot of each edge it is delivered on.
+/// A broadcast is materialized once in the send arena; the engine's flat
+/// delivery plane clones it only into the arena slot of each edge it is
+/// delivered on.
 #[derive(Clone, Debug)]
 pub(crate) enum Outbound<M> {
     /// Same payload to every neighbor (still counted as `degree` messages,
@@ -25,6 +50,32 @@ impl<M> Outbound<M> {
             Outbound::Unicast { msg, .. } => msg,
         }
     }
+}
+
+/// Engine-side staging target for one node's sends during one round.
+///
+/// [`Ctx`] validates every call against the send contract (see the
+/// [module docs](self)) and then writes through this trait, so the trait
+/// is *opaque* to protocols: algorithm code can queue traffic but can
+/// never observe, grow, or reorder the buffer behind it. The engine's
+/// implementation appends straight into a per-node run of its flat,
+/// per-round send arena and charges sender-side metrics at the same
+/// moment — the old "fill per-node `Vec` outboxes, then re-walk them all"
+/// two-pass is fused into the send itself.
+///
+/// Implementations may assume both invariants `Ctx` enforces:
+///
+/// * `stage_unicast` is only called with `port < degree`;
+/// * `stage_broadcast` is never called on an isolated node (its `degree`
+///   argument — the sender's degree, passed per call so the sink keeps no
+///   per-node state — is always positive).
+pub trait Sink<M> {
+    /// Stages one copy of `msg` per incident link of the sending node
+    /// (`degree` copies).
+    fn stage_broadcast(&mut self, degree: u32, msg: M);
+
+    /// Stages `msg` for the link on `port` (already validated).
+    fn stage_unicast(&mut self, port: u32, msg: M);
 }
 
 /// Messages received by a node this round, tagged with the receiving port.
@@ -88,18 +139,34 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
 impl<M> ExactSizeIterator for InboxIter<'_, M> {}
 
 /// Everything a node may see and do during one round: its identity and
-/// degree, the inbox, the outbox, and a private RNG.
+/// degree, the inbox, the send sink, and a private RNG.
 ///
 /// This is the *entire* interface between a [`Protocol`](crate::Protocol)
-/// and the world; node programs cannot observe the graph.
-#[derive(Debug)]
+/// and the world; node programs cannot observe the graph. Sends go
+/// through the opaque [`Sink`] contract — the engine stages them directly
+/// into per-node runs of its flat send arena, so no growable buffer
+/// escapes to algorithm code. (`Ctx` holds the engine's sink as a
+/// concrete private type and routes through the trait statically, so
+/// staging inlines into the protocol's round instead of paying a virtual
+/// call per send.)
 pub struct Ctx<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) degree: u32,
     pub(crate) round: usize,
     pub(crate) inbox: &'a [(u32, M)],
-    pub(crate) outbox: &'a mut Vec<Outbound<M>>,
+    pub(crate) sink: &'a mut crate::engine::StageSink<M>,
     pub(crate) rng: &'a mut SmallRng,
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("degree", &self.degree)
+            .field("round", &self.round)
+            .field("inbox_len", &self.inbox.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -130,29 +197,41 @@ impl<'a, M> Ctx<'a, M> {
         self.inbox
     }
 
-    /// Queues `msg` for delivery to every neighbor next round.
+    /// Stages `msg` for delivery to every neighbor next round — one copy
+    /// per incident link.
     ///
     /// Counts as `degree` individual messages in the run metrics, matching
     /// the paper's model in which a node "sends a message to each of its
-    /// direct neighbors".
-    pub fn broadcast(&mut self, msg: M) {
+    /// direct neighbors". On an isolated node this is a well-defined
+    /// no-op: zero links, zero copies, zero charge (see the send contract
+    /// in the [module docs](self)).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: crate::wire::WireEncode,
+    {
         if self.degree > 0 {
-            self.outbox.push(Outbound::Broadcast(msg));
+            Sink::stage_broadcast(self.sink, self.degree, msg);
         }
     }
 
-    /// Queues `msg` for delivery to the neighbor on `port` next round.
+    /// Stages `msg` for delivery to the neighbor on `port` next round.
     ///
     /// # Panics
     ///
-    /// Panics if `port >= degree`.
-    pub fn send(&mut self, port: u32, msg: M) {
+    /// Panics if `port >= degree` — addressing is validated at call time,
+    /// per the send contract in the [module docs](self). In particular an
+    /// isolated node has no valid port at all, so any `send` from it
+    /// panics (whereas its `broadcast` is a no-op).
+    pub fn send(&mut self, port: u32, msg: M)
+    where
+        M: crate::wire::WireEncode,
+    {
         assert!(
             port < self.degree,
             "port {port} out of range for degree {}",
             self.degree
         );
-        self.outbox.push(Outbound::Unicast { port, msg });
+        Sink::stage_unicast(self.sink, port, msg);
     }
 
     /// Private per-node RNG, deterministically seeded from the run seed and
@@ -165,19 +244,21 @@ impl<'a, M> Ctx<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StageSink;
     use rand::SeedableRng;
 
     fn ctx<'a>(
+        degree: u32,
         inbox: &'a [(u32, u64)],
-        outbox: &'a mut Vec<Outbound<u64>>,
+        sink: &'a mut StageSink<u64>,
         rng: &'a mut SmallRng,
     ) -> Ctx<'a, u64> {
         Ctx {
             node: NodeId::new(0),
-            degree: 2,
+            degree,
             round: 3,
             inbox,
-            outbox,
+            sink,
             rng,
         }
     }
@@ -185,9 +266,9 @@ mod tests {
     #[test]
     fn accessors() {
         let inbox = vec![(0u32, 7u64), (1, 9)];
-        let mut outbox = Vec::new();
+        let mut sink = StageSink::new();
         let mut rng = SmallRng::seed_from_u64(0);
-        let c = ctx(&inbox, &mut outbox, &mut rng);
+        let c = ctx(2, &inbox, &mut sink, &mut rng);
         assert_eq!(c.node(), NodeId::new(0));
         assert_eq!(c.degree(), 2);
         assert_eq!(c.round(), 3);
@@ -198,41 +279,59 @@ mod tests {
     }
 
     #[test]
-    fn send_and_broadcast_queue() {
+    fn send_and_broadcast_stage_in_call_order() {
         let inbox = vec![];
-        let mut outbox = Vec::new();
+        let mut sink = StageSink::new();
         let mut rng = SmallRng::seed_from_u64(0);
-        let mut c = ctx(&inbox, &mut outbox, &mut rng);
+        let mut c = ctx(2, &inbox, &mut sink, &mut rng);
         c.broadcast(1);
         c.send(1, 2);
-        assert_eq!(outbox.len(), 2);
-        assert!(matches!(outbox[0], Outbound::Broadcast(1)));
-        assert!(matches!(outbox[1], Outbound::Unicast { port: 1, msg: 2 }));
+        assert_eq!(sink.arena.len(), 2);
+        assert!(matches!(sink.arena[0], Outbound::Broadcast(1)));
+        assert!(matches!(
+            sink.arena[1],
+            Outbound::Unicast { port: 1, msg: 2 }
+        ));
+        // Sender-side accounting is fused into the send itself: the
+        // broadcast charged `degree` copies, the unicast one.
+        assert_eq!(sink.messages, 3);
     }
 
+    /// The unified send contract, isolated-node half: `broadcast` stages
+    /// one copy per link, which on degree 0 is a defined no-op — the sink
+    /// is never even called, and nothing is charged.
     #[test]
-    fn broadcast_on_isolated_node_is_dropped() {
+    fn broadcast_on_isolated_node_is_a_noop() {
         let inbox = vec![];
-        let mut outbox: Vec<Outbound<u64>> = Vec::new();
+        let mut sink = StageSink::new();
         let mut rng = SmallRng::seed_from_u64(0);
-        let mut c = Ctx {
-            node: NodeId::new(1),
-            degree: 0,
-            round: 0,
-            inbox: &inbox,
-            outbox: &mut outbox,
-            rng: &mut rng,
-        };
+        let mut c = ctx(0, &inbox, &mut sink, &mut rng);
         c.broadcast(5);
-        assert!(outbox.is_empty());
+        assert!(sink.arena.is_empty());
+        assert_eq!(sink.messages, 0);
+        assert_eq!(sink.bits, 0);
     }
 
+    /// The unified send contract, addressing half: `send` validates its
+    /// port eagerly and panics — it never reaches the sink.
     #[test]
     #[should_panic(expected = "out of range")]
     fn send_validates_port() {
         let inbox = vec![];
-        let mut outbox = Vec::new();
+        let mut sink = StageSink::new();
         let mut rng = SmallRng::seed_from_u64(0);
-        ctx(&inbox, &mut outbox, &mut rng).send(2, 0);
+        ctx(2, &inbox, &mut sink, &mut rng).send(2, 0);
+    }
+
+    /// On an isolated node every port is invalid, so `send` panics where
+    /// `broadcast` no-ops — the two calls diverge only in whether the
+    /// addressing they name can exist.
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_from_isolated_node_panics() {
+        let inbox = vec![];
+        let mut sink = StageSink::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        ctx(0, &inbox, &mut sink, &mut rng).send(0, 0);
     }
 }

@@ -86,20 +86,19 @@ impl BitWriter {
     /// Appends `value` in Elias gamma code (`2⌊log₂(value+1)⌋ + 1` bits).
     ///
     /// Gamma codes are defined for positive integers; this writes
-    /// `value + 1`, so any `u64` below `u64::MAX` round-trips.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `value == u64::MAX`.
+    /// `value + 1` — computed in `u128`, so *every* `u64` round-trips,
+    /// including `u64::MAX` (whose `value + 1 = 2⁶⁴` encodes in
+    /// `2·64 + 1 = 129` bits).
     pub fn write_gamma(&mut self, value: u64) {
-        let v = value.checked_add(1).expect("gamma code input overflow");
-        let width = 63 - v.leading_zeros() as u8; // floor(log2 v)
+        let v = value as u128 + 1;
+        let width = (127 - v.leading_zeros()) as u8; // floor(log2 v), <= 64
         for _ in 0..width {
             self.write_bit(false);
         }
         self.write_bit(true);
-        // v = 2^width + low bits.
-        self.write_bits(v & !(1u64 << width), width);
+        // v = 2^width + low bits; the low bits always fit in a u64 (for
+        // width 64 the payload is v - 2^64 = value + 1 - 2^64 = 0).
+        self.write_bits((v & !(1u128 << width)) as u64, width);
     }
 
     /// Consumes the writer, returning the padded byte buffer.
@@ -147,6 +146,10 @@ impl<'a> BitReader<'a> {
 
     /// Reads an Elias-gamma-coded value written by
     /// [`BitWriter::write_gamma`].
+    ///
+    /// Widths up to 64 are valid (width 64 is `u64::MAX`); the arithmetic
+    /// runs in `u128` so the boundary decodes exactly rather than
+    /// overflowing the shift.
     pub fn read_gamma(&mut self) -> Option<u64> {
         let mut width = 0u8;
         while !self.read_bit()? {
@@ -156,7 +159,9 @@ impl<'a> BitReader<'a> {
             }
         }
         let low = self.read_bits(width)?;
-        Some(((1u64 << width) | low) - 1)
+        // Reject corrupt streams whose width-64 payload would exceed u64
+        // (only `low == 0` is a valid width-64 encoding).
+        u64::try_from(((1u128 << width) | u128::from(low)) - 1).ok()
     }
 }
 
@@ -209,15 +214,17 @@ pub fn roundtrip<M: WireEncode>(msg: &M) -> Option<M> {
 /// method with a closed form using this helper, so the accounting pass
 /// stays allocation-free.
 ///
-/// # Panics
-///
-/// Panics if `value == u64::MAX` (not gamma-encodable, mirroring
-/// `write_gamma`).
+/// Defined for every `u64`: the width is computed in `u128`, so
+/// `gamma_len(u64::MAX)` is `129` rather than an overflow panic —
+/// mirroring `write_gamma`, which encodes the full domain.
 #[inline]
 pub fn gamma_len(value: u64) -> usize {
-    let v = value.checked_add(1).expect("gamma code input overflow");
-    let width = 63 - v.leading_zeros() as usize;
-    2 * width + 1
+    // Stay in u64 on the hot path; only the unrepresentable `value + 1`
+    // (i.e. `u64::MAX`, width 64) needs the special case.
+    match value.checked_add(1) {
+        Some(v) => 2 * (63 - v.leading_zeros() as usize) + 1,
+        None => 129,
+    }
 }
 
 impl WireEncode for u64 {
@@ -312,14 +319,49 @@ mod tests {
 
     #[test]
     fn gamma_roundtrip_and_length() {
-        for v in [0u64, 1, 2, 3, 7, 16, 17, 100, 1_000_000, u64::MAX - 1] {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            7,
+            16,
+            17,
+            100,
+            1_000_000,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
             let mut w = BitWriter::new();
             w.write_gamma(v);
-            let expect_bits = 2 * (64 - (v + 1).leading_zeros() as usize - 1) + 1;
+            let expect_bits = 2 * (128 - (v as u128 + 1).leading_zeros() as usize - 1) + 1;
             assert_eq!(w.bit_len(), expect_bits, "gamma length for {v}");
+            assert_eq!(gamma_len(v), expect_bits, "closed form for {v}");
             let bytes = w.into_bytes();
             assert_eq!(BitReader::new(&bytes).read_gamma(), Some(v));
         }
+    }
+
+    /// The boundary encodings pinned exactly: `0` is the single bit `1`;
+    /// `u64::MAX` is 64 zeros, a one, and 64 payload zeros — 129 bits, the
+    /// longest gamma code any `u64` produces.
+    #[test]
+    fn gamma_boundary_payloads() {
+        assert_eq!(gamma_len(0), 1);
+        assert_eq!(gamma_len(u64::MAX), 129);
+        assert_eq!(u64::MAX.encoded_bits(), 129);
+        assert_eq!(roundtrip(&0u64), Some(0));
+        assert_eq!(roundtrip(&u64::MAX), Some(u64::MAX));
+        // A width-64 code whose payload is nonzero would decode past
+        // u64::MAX; the reader must reject it instead of wrapping.
+        let mut w = BitWriter::new();
+        for _ in 0..64 {
+            w.write_bit(false);
+        }
+        w.write_bit(true);
+        w.write_bits(1, 64); // payload 1 → would be 2^64 + 1 - 1 > u64::MAX
+        let bytes = w.into_bytes();
+        assert_eq!(BitReader::new(&bytes).read_gamma(), None);
     }
 
     #[test]

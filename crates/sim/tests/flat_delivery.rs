@@ -27,27 +27,55 @@ enum Send {
     Unicast(u32, u64),
 }
 
-/// The messages node `me` queues in `round`, as a pure function — both the
-/// protocol and the reference model evaluate it. Mixes quiet rounds,
-/// broadcast-only rounds (the engine's solo fast path), and mixed
-/// broadcast + unicast rounds (the staged path).
-fn script(me: u32, round: usize, degree: u32) -> Vec<Send> {
+/// Which traffic shape a scripted run drives through the send arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Flavor {
+    /// Quiet, broadcast-only (the solo fast path), and mixed broadcast +
+    /// unicast rounds (the staged path).
+    Mixed,
+    /// Unicast bursts: up to six unicasts per round, ports hash-chosen
+    /// and often repeated — multiple messages must land on one arc in
+    /// send-slot order, the hardest case for the per-arc plan cursors.
+    Burst,
+}
+
+/// The messages node `me` stages in `round`, as a pure function — both
+/// the protocol and the reference model evaluate it.
+fn script(me: u32, round: usize, degree: u32, flavor: Flavor) -> Vec<Send> {
     if degree == 0 {
         return Vec::new();
     }
     let h = split_mix64((u64::from(me) << 32) ^ (round as u64 + 1));
-    let count = (h % 4) as usize; // 0..=3 messages per round
-    (0..count)
-        .map(|i| {
-            let hi = split_mix64(h ^ ((i as u64 + 1) << 48));
-            let payload = hi | 1;
-            if hi & 2 == 0 {
-                Send::Broadcast(payload)
-            } else {
-                Send::Unicast((hi >> 8) as u32 % degree, payload)
-            }
-        })
-        .collect()
+    match flavor {
+        Flavor::Mixed => {
+            let count = (h % 4) as usize; // 0..=3 messages per round
+            (0..count)
+                .map(|i| {
+                    let hi = split_mix64(h ^ ((i as u64 + 1) << 48));
+                    let payload = hi | 1;
+                    if hi & 2 == 0 {
+                        Send::Broadcast(payload)
+                    } else {
+                        Send::Unicast((hi >> 8) as u32 % degree, payload)
+                    }
+                })
+                .collect()
+        }
+        Flavor::Burst => {
+            let count = (h % 7) as usize; // 0..=6 unicasts per round
+                                          // Ports drawn from a window half the degree wide, so bursts
+                                          // frequently stack several messages onto the same arc.
+            let window = (degree / 2).max(1);
+            let base = (h >> 32) as u32 % degree;
+            (0..count)
+                .map(|i| {
+                    let hi = split_mix64(h ^ ((i as u64 + 1) << 48));
+                    let payload = hi | 1;
+                    Send::Unicast((base + (hi >> 8) as u32 % window) % degree, payload)
+                })
+                .collect()
+        }
+    }
 }
 
 /// The round after which node `me` halts (it still sends that round).
@@ -59,6 +87,7 @@ fn halt_round(me: u32, max_rounds: usize) -> usize {
 struct Scripted {
     me: u32,
     max_rounds: usize,
+    flavor: Flavor,
     log: Vec<(usize, u32, u64)>,
 }
 
@@ -70,7 +99,7 @@ impl Protocol for Scripted {
         for (port, &m) in ctx.inbox().iter() {
             self.log.push((ctx.round(), port, m));
         }
-        for send in script(self.me, ctx.round(), ctx.degree()) {
+        for send in script(self.me, ctx.round(), ctx.degree(), self.flavor) {
             match send {
                 Send::Broadcast(m) => ctx.broadcast(m),
                 Send::Unicast(port, m) => ctx.send(port, m),
@@ -95,6 +124,7 @@ fn expected_log(
     v: usize,
     max_rounds: usize,
     faults: FaultPlan,
+    flavor: Flavor,
 ) -> Vec<(usize, u32, u64)> {
     let mut log = Vec::new();
     // v computes in rounds 0..=halt_round(v); round r's inbox holds round
@@ -112,7 +142,7 @@ fn expected_log(
                 .iter()
                 .position(|&t| t == v as u32)
                 .expect("symmetric adjacency") as u32;
-            for (slot, send) in script(u.raw(), r - 1, deg_u).iter().enumerate() {
+            for (slot, send) in script(u.raw(), r - 1, deg_u, flavor).iter().enumerate() {
                 let payload = match send {
                     Send::Broadcast(m) => *m,
                     Send::Unicast(port, m) if *port == back_port => *m,
@@ -132,28 +162,30 @@ fn run_scripted(
     g: &CsrGraph,
     max_rounds: usize,
     config: EngineConfig,
+    flavor: Flavor,
 ) -> RunReport<Vec<(usize, u32, u64)>> {
     Engine::new(g, config, |info| Scripted {
         me: info.id.raw(),
         max_rounds,
+        flavor,
         log: Vec::new(),
     })
     .run()
     .expect("scripted run terminates")
 }
 
-fn assert_matches_reference(g: &CsrGraph, max_rounds: usize, faults: FaultPlan) {
+fn assert_matches_reference(g: &CsrGraph, max_rounds: usize, faults: FaultPlan, flavor: Flavor) {
     let config = EngineConfig {
         faults,
         check_wire: true,
         ..Default::default()
     };
-    let report = run_scripted(g, max_rounds, config);
+    let report = run_scripted(g, max_rounds, config, flavor);
     for v in 0..g.len() {
-        let expected = expected_log(g, v, max_rounds, faults);
+        let expected = expected_log(g, v, max_rounds, faults, flavor);
         assert_eq!(
             report.outputs[v], expected,
-            "inbox mismatch at node {v} on {g:?} (faults: {faults:?})"
+            "inbox mismatch at node {v} on {g:?} (faults: {faults:?}, flavor: {flavor:?})"
         );
     }
 }
@@ -165,27 +197,48 @@ proptest! {
     fn flat_plane_matches_reference_on_gnp(seed in any::<u64>(), n in 4usize..36) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = generators::gnp(n, 0.25, &mut rng);
-        assert_matches_reference(&g, 6, FaultPlan::reliable());
-        assert_matches_reference(&g, 6, FaultPlan::drop_with_probability(0.3, seed ^ 0x5ca1ab1e));
+        assert_matches_reference(&g, 6, FaultPlan::reliable(), Flavor::Mixed);
+        assert_matches_reference(&g, 6, FaultPlan::drop_with_probability(0.3, seed ^ 0x5ca1ab1e), Flavor::Mixed);
     }
 
     #[test]
     fn flat_plane_matches_reference_on_star(n in 3usize..40, fault_seed in any::<u64>()) {
         let g = generators::star(n);
-        assert_matches_reference(&g, 5, FaultPlan::reliable());
-        assert_matches_reference(&g, 5, FaultPlan::drop_with_probability(0.4, fault_seed));
+        assert_matches_reference(&g, 5, FaultPlan::reliable(), Flavor::Mixed);
+        assert_matches_reference(&g, 5, FaultPlan::drop_with_probability(0.4, fault_seed), Flavor::Mixed);
     }
 
     #[test]
     fn flat_plane_matches_reference_on_complete(n in 2usize..16, fault_seed in any::<u64>()) {
         let g = generators::complete(n);
-        assert_matches_reference(&g, 4, FaultPlan::reliable());
-        assert_matches_reference(&g, 4, FaultPlan::drop_with_probability(0.2, fault_seed));
+        assert_matches_reference(&g, 4, FaultPlan::reliable(), Flavor::Mixed);
+        assert_matches_reference(&g, 4, FaultPlan::drop_with_probability(0.2, fault_seed), Flavor::Mixed);
+    }
+
+    /// Unicast bursts push several messages down one arc in a round; the
+    /// arena send path must keep them in send-slot order, reliable and
+    /// faulty alike.
+    #[test]
+    fn arena_send_path_matches_reference_on_unicast_bursts(seed in any::<u64>(), n in 4usize..32) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        assert_matches_reference(&g, 6, FaultPlan::reliable(), Flavor::Burst);
+        assert_matches_reference(&g, 6, FaultPlan::drop_with_probability(0.35, seed ^ 0xb0b), Flavor::Burst);
+    }
+
+    #[test]
+    fn arena_send_path_matches_reference_on_star_bursts(n in 3usize..36, fault_seed in any::<u64>()) {
+        let g = generators::star(n);
+        assert_matches_reference(&g, 5, FaultPlan::reliable(), Flavor::Burst);
+        assert_matches_reference(&g, 5, FaultPlan::drop_with_probability(0.25, fault_seed), Flavor::Burst);
     }
 }
 
 /// High-Δ graph (star of cliques: hub degree ≫ average) with faults on:
-/// every thread count must produce the identical report.
+/// every thread count must produce the identical report, for both traffic
+/// flavors. The chunked send arenas make per-chunk run indices
+/// layout-dependent, so this pins that the dense run table fully hides
+/// the layout.
 #[test]
 fn thread_count_determinism_high_degree_with_faults() {
     let g = generators::star_of_cliques(12, 24);
@@ -193,20 +246,86 @@ fn thread_count_determinism_high_degree_with_faults() {
         faults: FaultPlan::drop_with_probability(0.25, 99),
         ..Default::default()
     };
-    let reference = run_scripted(&g, 9, EngineConfig { threads: 1, ..base });
-    for threads in [2usize, 4, 8] {
-        let par = run_scripted(&g, 9, EngineConfig { threads, ..base });
+    for flavor in [Flavor::Mixed, Flavor::Burst] {
+        let reference = run_scripted(&g, 9, EngineConfig { threads: 1, ..base }, flavor);
+        for threads in [2usize, 4, 8] {
+            let par = run_scripted(&g, 9, EngineConfig { threads, ..base }, flavor);
+            assert_eq!(
+                reference.outputs, par.outputs,
+                "outputs differ at {threads} threads ({flavor:?})"
+            );
+            assert_eq!(
+                reference.metrics, par.metrics,
+                "metrics differ at {threads} threads ({flavor:?})"
+            );
+            assert_eq!(
+                reference.node_messages, par.node_messages,
+                "node_messages differ at {threads} threads ({flavor:?})"
+            );
+        }
+    }
+}
+
+/// Constant-shape traffic for the steady-state allocation check: every
+/// node broadcasts once and unicasts twice (to its first and last port)
+/// each round, exercising the solo *and* staged halves of the arena path
+/// with identical volume per round.
+struct Pulse {
+    rounds_left: usize,
+}
+
+impl Protocol for Pulse {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        ctx.broadcast(0x5eed);
+        let degree = ctx.degree();
+        if degree > 0 {
+            ctx.send(0, 1);
+            ctx.send(degree - 1, 2);
+        }
+        Status::Running
+    }
+
+    fn finish(self) {}
+}
+
+/// Steady-state rounds must not grow any message-plane buffer: with
+/// constant per-round traffic, a 100-round run records exactly as many
+/// capacity-growth events as a short one — all growth is warm-up —
+/// sequentially and chunked. (Traffic whose per-round volume varies may
+/// legitimately grow a buffer whenever a round sets a new peak; that is
+/// capacity chasing the high-water mark, not steady-state allocation.)
+#[test]
+fn arena_buffers_stable_across_100_rounds() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = generators::gnp(60, 0.15, &mut rng);
+    let growths = |rounds: usize, threads: usize| {
+        let (_, stats) = Engine::new(
+            &g,
+            EngineConfig {
+                threads,
+                ..Default::default()
+            },
+            |_| Pulse {
+                rounds_left: rounds,
+            },
+        )
+        .run_instrumented()
+        .expect("pulse run terminates");
+        stats.buffer_growths
+    };
+    for threads in [1usize, 4] {
+        let short = growths(8, threads);
+        let long = growths(100, threads);
         assert_eq!(
-            reference.outputs, par.outputs,
-            "outputs differ at {threads} threads"
-        );
-        assert_eq!(
-            reference.metrics, par.metrics,
-            "metrics differ at {threads} threads"
-        );
-        assert_eq!(
-            reference.node_messages, par.node_messages,
-            "node_messages differ at {threads} threads"
+            short, long,
+            "message-plane buffers grew after warm-up (threads={threads})"
         );
     }
 }
@@ -216,7 +335,7 @@ fn thread_count_determinism_high_degree_with_faults() {
 #[test]
 fn scripted_traffic_is_nontrivial() {
     let g = generators::star(30);
-    let report = run_scripted(&g, 6, EngineConfig::default());
+    let report = run_scripted(&g, 6, EngineConfig::default(), Flavor::Mixed);
     let received: usize = report.outputs.iter().map(Vec::len).sum();
     assert!(
         received > 50,

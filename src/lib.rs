@@ -135,6 +135,41 @@
 //! # Ok::<(), kw_core::solver::SolveError>(())
 //! ```
 //!
+//! # The simulator's send contract (`Sink`/`Ctx`)
+//!
+//! Node programs talk to the world only through
+//! [`Ctx`](kw_sim::Ctx), and since the arena send plane landed its two
+//! send calls follow one eagerly-validated contract (see the
+//! [`kw_sim` mailbox docs](kw_sim::Ctx) for the normative statement):
+//!
+//! * [`Ctx::send`](kw_sim::Ctx::send) **panics at call time** on a port
+//!   `>= degree` — an invalid port names a link that does not exist, so
+//!   it is a protocol bug, never a silently dropped message. On an
+//!   isolated node every `send` panics.
+//! * [`Ctx::broadcast`](kw_sim::Ctx::broadcast) is **defined for every
+//!   degree**: it stages one copy per incident link and charges
+//!   `degree` messages to the run metrics, which on an isolated node is
+//!   zero copies and zero charge — a lawful no-op, not an error.
+//! * Accepted sends are staged immediately through the opaque
+//!   [`Sink`](kw_sim::Sink) trait into per-node runs of a flat send
+//!   arena owned by the engine. Sender-side metrics, optional wire
+//!   verification, and traffic classification happen at the moment of
+//!   the send; no growable send buffer (`&mut Vec` or otherwise) is
+//!   ever reachable from algorithm code.
+//!
+//! **Migration notes (PR 4).** Protocol code needs no changes —
+//! `broadcast`/`send`/`inbox`/`rng` keep their signatures and exact
+//! semantics (ports, inbox ordering, metrics, and fault keys are
+//! bit-identical, for every thread count). Code that *constructed* a
+//! `Ctx` by hand (only possible inside `kw-sim`) now supplies the
+//! engine's staging sink instead of a `&mut Vec<Outbound>`; test
+//! harnesses observe staged traffic through the sink's arena. The
+//! engine additionally exposes
+//! [`Engine::run_instrumented`](kw_sim::Engine::run_instrumented),
+//! returning [`EngineStats`](kw_sim::EngineStats) (the buffer-growth
+//! counter) so allocation-stability tests can assert that steady-state
+//! rounds are growth-free.
+//!
 //! The lower-level per-algorithm entry points (`Pipeline`, `run_alg2`,
 //! `run_rounding`, the invariant checkers, …) remain available from
 //! [`kw_core`] for experiments that dissect a single stage.
@@ -167,7 +202,7 @@ pub mod prelude {
         CsrGraph, DominatingSet, FractionalAssignment, GraphBuilder, NodeId, VertexWeights,
     };
     pub use kw_results::{RunStore, Summary, SweepSession};
-    pub use kw_sim::{Engine, EngineConfig, RunMetrics};
+    pub use kw_sim::{Engine, EngineConfig, EngineStats, RunMetrics, Sink};
 }
 
 #[cfg(test)]
