@@ -48,17 +48,26 @@ fn progress_meter(tag: &'static str) -> impl FnMut(&RunEvent) + Send {
 
 fn main() {
     println!("T5 — Theorem 6: end-to-end comparison (10 seeds per randomized algorithm)\n");
-    let suite = [
-        Workload::Gnp { n: 128, p: 0.05 },
-        Workload::Gnp { n: 512, p: 0.015 },
-        Workload::Gnp { n: 2048, p: 0.004 },
-        Workload::UnitDisk {
-            n: 512,
-            radius: 0.07,
-        },
-        Workload::BarabasiAlbert { n: 512, m: 3 },
-        Workload::Grid { side: 23 },
-    ];
+    // Workload specs on the CLI override the default suite (the spec
+    // grammar is documented in kw_bench::workloads), so instance files
+    // sweep through the same pipeline:
+    //   exp_t5_endtoend dimacs:instances/queen5_5.col gnp:n=128,p=0.05
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite: Vec<Workload> = if args.is_empty() {
+        vec![
+            Workload::Gnp { n: 128, p: 0.05 },
+            Workload::Gnp { n: 512, p: 0.015 },
+            Workload::Gnp { n: 2048, p: 0.004 },
+            Workload::UnitDisk {
+                n: 512,
+                radius: 0.07,
+            },
+            Workload::BarabasiAlbert { n: 512, m: 3 },
+            Workload::Grid { side: 23 },
+        ]
+    } else {
+        kw_bench::workloads::parse_suite(&args).unwrap_or_else(|e| panic!("{e}"))
+    };
     let store_path =
         std::env::var("KW_RUN_STORE").unwrap_or_else(|_| "target/exp_t5_runs.jsonl".to_string());
     let mut session = SweepSession::open(&store_path).expect("open run store");

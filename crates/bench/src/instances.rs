@@ -1,0 +1,291 @@
+//! The bundled real-instance registry (ROADMAP item (g)).
+//!
+//! The paper motivates its algorithm with ad-hoc/wireless topologies,
+//! but synthetic generators cannot express the structured instance
+//! families related work evaluates on (DIMACS challenge graphs, sparse
+//! real-world classes). This module makes a small set of real DIMACS
+//! files first-class: each bundled instance under `instances/` has a
+//! registry entry pinning its **checksum** (FNV-1a 64 of the file
+//! bytes) and **shape** (`n`, unique undirected edges `m`, max degree
+//! `Δ`), and every load validates both — a silently edited or truncated
+//! fixture fails loudly instead of skewing a sweep.
+//!
+//! The bundled files deliberately span the messiness spectrum of real
+//! downloads (see the [`io`](kw_graph::io) lenient-parse contract):
+//!
+//! * `myciel3.col` — a clean coloring instance (the Grötzsch graph);
+//!   parses strictly.
+//! * `queen5_5.col` — the 5×5 queens graph with every edge listed in
+//!   **both orientations**, the convention several challenge families
+//!   ship with; lenient-only.
+//! * `adhoc25.col` — a unit-disk ad-hoc export with `n <id> <value>`
+//!   node lines, duplicated edges, and a stray self-loop; lenient-only.
+//!
+//! [`suite`] wraps all bundled instances as [`Workload::Dimacs`]
+//! entries, ready for any experiment matrix; they cache, persist,
+//! resume, and regress-gate exactly like generated workloads.
+
+use std::path::{Path, PathBuf};
+
+use kw_graph::io::DimacsStats;
+use kw_graph::CsrGraph;
+
+use crate::workloads::Workload;
+
+/// Registry entry of one bundled instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceMeta {
+    /// Registry name (the file stem; what `dimacs(<name>)` labels show).
+    pub name: &'static str,
+    /// Path relative to the workspace root.
+    pub file: &'static str,
+    /// FNV-1a 64 checksum of the file bytes.
+    pub checksum: u64,
+    /// Node count.
+    pub n: usize,
+    /// Unique undirected edges after lenient cleanup.
+    pub m: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+}
+
+/// Every instance bundled under `instances/`.
+pub const BUNDLED: &[InstanceMeta] = &[
+    InstanceMeta {
+        name: "myciel3",
+        file: "instances/myciel3.col",
+        checksum: 0x56f3_d2f9_7aba_f8d3,
+        n: 11,
+        m: 20,
+        max_degree: 5,
+    },
+    InstanceMeta {
+        name: "queen5_5",
+        file: "instances/queen5_5.col",
+        checksum: 0x12e7_276d_5b86_f1e0,
+        n: 25,
+        m: 160,
+        max_degree: 16,
+    },
+    InstanceMeta {
+        name: "adhoc25",
+        file: "instances/adhoc25.col",
+        checksum: 0x5e63_971e_d921_a7b3,
+        n: 25,
+        m: 59,
+        max_degree: 8,
+    },
+];
+
+/// Looks a bundled instance up by registry name.
+pub fn find(name: &str) -> Option<&'static InstanceMeta> {
+    BUNDLED.iter().find(|m| m.name == name)
+}
+
+/// FNV-1a 64 of `bytes` — the registry's checksum function. Not
+/// cryptographic; it guards against accidental edits and truncation,
+/// which is what a fixture registry needs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Resolves an instance path: absolute paths and paths that exist
+/// relative to the current directory are used as-is; otherwise the path
+/// is tried under `KW_INSTANCES_ROOT` (if set), then under the
+/// workspace root recorded at compile time — so tests, benches, and
+/// binaries all find `instances/` regardless of their working
+/// directory, and a relocated binary can point `KW_INSTANCES_ROOT` at
+/// wherever the fixture tree was installed.
+pub fn resolve(path: &Path) -> PathBuf {
+    if path.is_absolute() || path.exists() {
+        return path.to_path_buf();
+    }
+    let roots = [
+        std::env::var_os("KW_INSTANCES_ROOT").map(PathBuf::from),
+        // CARGO_MANIFEST_DIR is crates/bench; the workspace root is two
+        // up. Baked in at compile time, hence the env override above.
+        Some(Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")),
+    ];
+    for root in roots.into_iter().flatten() {
+        let candidate = root.join(path);
+        if candidate.exists() {
+            return candidate;
+        }
+    }
+    path.to_path_buf()
+}
+
+impl InstanceMeta {
+    /// The location of this registry entry's own bundled file — resolved
+    /// against `KW_INSTANCES_ROOT` / the workspace root only, **never**
+    /// the current directory. This is what the load-time validation
+    /// guard compares against: a user's file at a cwd-relative
+    /// `instances/myciel3.col` is their graph, not this fixture, and
+    /// must not be checksum-validated as if it were.
+    pub fn registry_path(&self) -> PathBuf {
+        let rel = Path::new(self.file);
+        if let Some(root) = std::env::var_os("KW_INSTANCES_ROOT") {
+            let candidate = PathBuf::from(root).join(rel);
+            if candidate.exists() {
+                return candidate;
+            }
+        }
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(rel)
+    }
+
+    /// The bundled instance as a workload.
+    pub fn workload(&self) -> Workload {
+        Workload::Dimacs {
+            name: self.name.to_string(),
+            path: PathBuf::from(self.file),
+        }
+    }
+
+    /// Checks loaded file bytes and the parsed graph against this
+    /// registry entry. Returns a human-readable reason on mismatch.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first mismatch (checksum, then shape).
+    pub fn validate(&self, bytes: &[u8], graph: &CsrGraph) -> Result<(), String> {
+        let checksum = fnv1a(bytes);
+        if checksum != self.checksum {
+            return Err(format!(
+                "checksum mismatch for {}: registry has {:#018x}, file has {checksum:#018x} \
+                 (edited or truncated fixture?)",
+                self.file, self.checksum
+            ));
+        }
+        let live = (graph.len(), graph.num_edges(), graph.max_degree());
+        let expected = (self.n, self.m, self.max_degree);
+        if live != expected {
+            return Err(format!(
+                "shape mismatch for {}: registry has (n, m, Δ) = {expected:?}, parsed {live:?}",
+                self.file
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Loads and fully validates one bundled instance, returning the graph
+/// together with the lenient parser's cleanup counters. This is the
+/// registry-file load pipeline (read → UTF-8 → lenient parse →
+/// checksum + shape validation) shared by the smoke binary and anything
+/// else that wants the [`DimacsStats`] alongside the graph;
+/// `Workload::Dimacs` builds go through the same validation for
+/// registry files but accept arbitrary external paths too.
+///
+/// # Errors
+///
+/// A human-readable description of the first failure (I/O, encoding,
+/// parse, or registry mismatch).
+pub fn load(meta: &InstanceMeta) -> Result<(CsrGraph, DimacsStats), String> {
+    let path = meta.registry_path();
+    let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text =
+        std::str::from_utf8(&bytes).map_err(|_| format!("{} is not UTF-8", path.display()))?;
+    let (graph, stats) = kw_graph::io::parse_dimacs_lenient(text)
+        .map_err(|e| format!("parse {}: {e}", meta.file))?;
+    meta.validate(&bytes, &graph)
+        .map_err(|reason| format!("validate {}: {reason}", meta.file))?;
+    Ok((graph, stats))
+}
+
+/// All bundled instances as workloads, registry order.
+pub fn suite() -> Vec<Workload> {
+    BUNDLED.iter().map(InstanceMeta::workload).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bundled_instance_loads_and_validates() {
+        for meta in BUNDLED {
+            let w = meta.workload();
+            let g = w.try_build(0).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(g.len(), meta.n, "{}", meta.name);
+            assert_eq!(g.num_edges(), meta.m, "{}", meta.name);
+            assert_eq!(g.max_degree(), meta.max_degree, "{}", meta.name);
+            assert_eq!(w.label(), format!("dimacs({})", meta.name));
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for meta in BUNDLED {
+            assert_eq!(find(meta.name).unwrap(), meta);
+        }
+        assert!(find("no_such_instance").is_none());
+        let mut names: Vec<_> = BUNDLED.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BUNDLED.len());
+    }
+
+    #[test]
+    fn corrupted_fixture_fails_checksum_validation() {
+        let meta = find("myciel3").unwrap();
+        let path = resolve(Path::new(meta.file));
+        let mut bytes = std::fs::read(path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let (graph, _stats) = kw_graph::io::parse_dimacs_lenient(&text).unwrap();
+        meta.validate(&bytes, &graph).unwrap();
+        // Flip one byte: the checksum must catch it.
+        let last = bytes.len() - 2;
+        bytes[last] ^= 1;
+        let err = meta.validate(&bytes, &graph).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn shape_validation_catches_wrong_graphs() {
+        let meta = find("myciel3").unwrap();
+        let path = resolve(Path::new(meta.file));
+        let bytes = std::fs::read(path).unwrap();
+        let wrong = kw_graph::generators::grid(3, 3);
+        let err = meta.validate(&bytes, &wrong).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn the_messy_fixtures_exercise_the_lenient_paths() {
+        // queen5_5 ships both orientations; adhoc25 ships node lines,
+        // duplicates, and a self-loop. If these stats drift the fixtures
+        // stopped covering the lenient contract.
+        let read = |name: &str| {
+            let meta = find(name).unwrap();
+            let text = std::fs::read_to_string(resolve(Path::new(meta.file))).unwrap();
+            kw_graph::io::parse_dimacs_lenient(&text).unwrap().1
+        };
+        let queen = read("queen5_5");
+        assert_eq!(queen.edge_lines, 320);
+        assert_eq!(queen.duplicate_edges, 160);
+        let adhoc = read("adhoc25");
+        assert_eq!(adhoc.self_loops, 1);
+        assert!(adhoc.duplicate_edges > 0);
+        assert_eq!(adhoc.skipped_lines, 25); // the n-lines
+                                             // myciel3 is clean: strict parse agrees with lenient.
+        let meta = find("myciel3").unwrap();
+        let text = std::fs::read_to_string(resolve(Path::new(meta.file))).unwrap();
+        let strict = kw_graph::io::parse_dimacs(&text).unwrap();
+        assert_eq!(strict.num_edges(), meta.m);
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod denominators;
+pub mod instances;
 pub mod stats;
 pub mod table;
 pub mod workloads;

@@ -278,6 +278,14 @@ pub enum SolveError {
         /// The panic payload's message, when it was a string.
         reason: String,
     },
+    /// Two workloads in one matrix share a label. Labels key the
+    /// experiment cache and the run store, so a duplicate would silently
+    /// serve one workload the other's cached results; the runner detects
+    /// this at matrix start and refuses to sweep.
+    DuplicateWorkload {
+        /// The label both workloads carry.
+        label: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -296,6 +304,12 @@ impl fmt::Display for SolveError {
             SolveError::Core(e) => write!(f, "solver failed: {e}"),
             SolveError::Sim(e) => write!(f, "simulation failed: {e}"),
             SolveError::Panicked { reason } => write!(f, "solver panicked: {reason}"),
+            SolveError::DuplicateWorkload { label } => write!(
+                f,
+                "duplicate workload label {label:?} in one matrix: labels key the \
+                 experiment cache and the run store, so every workload in a sweep \
+                 must carry a unique label"
+            ),
         }
     }
 }

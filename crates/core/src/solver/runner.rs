@@ -2,7 +2,7 @@
 //! with an optional `(workload, seed)`-keyed cell cache and a streaming
 //! mode that reports progress cell-by-cell over a bounded channel.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -52,8 +52,11 @@ type OutcomeKey = (String, String, u64, (u64, u64));
 /// workloads against growing solver lists, or the same cells with more
 /// seeds); attaching one cache makes every repeated cell free. Workloads
 /// are keyed by *label*, so two different graphs must not share a
-/// workload label within one cache — the same requirement run output
-/// tables already impose. Outcomes are additionally keyed by the
+/// workload label within one cache — [`ExperimentRunner`] enforces this
+/// per matrix ([`SolveError::DuplicateWorkload`]), and sweeps sharing a
+/// cache across matrices must keep labels unique themselves (the
+/// `kw_results` sweep session additionally shape-checks labels against
+/// its store). Outcomes are additionally keyed by the
 /// context's fault plan (the only context knob besides the seed that
 /// changes results), so runners with different loss models can share one
 /// cache safely.
@@ -388,6 +391,17 @@ impl ExperimentRunner {
         events: Option<&SyncSender<RunEvent>>,
         counters: &SweepCounters,
     ) -> Result<Vec<CellSummary>, SolveError> {
+        // Labels key the cell cache and the run store; a duplicate label
+        // would silently serve one workload the other's cached results,
+        // so the matrix fails fast before any cell runs.
+        let mut labels = HashSet::with_capacity(workloads.len());
+        for (label, _) in workloads {
+            if !labels.insert(label.as_str()) {
+                return Err(SolveError::DuplicateWorkload {
+                    label: label.clone(),
+                });
+            }
+        }
         let cells: Vec<(usize, usize)> = (0..solvers.len())
             .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
             .collect();
@@ -709,6 +723,37 @@ mod tests {
         let solvers = registry.build_all(["kw:k=0"]).unwrap();
         let err = ExperimentRunner::new().run_matrix(&solvers, &workloads(), 0..2);
         assert!(matches!(err, Err(SolveError::Core(_))));
+    }
+
+    /// Two workloads sharing a label would silently alias each other's
+    /// cache and store cells; the matrix must refuse to start.
+    #[test]
+    fn duplicate_workload_labels_fail_fast() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        let dup = vec![
+            ("grid".to_string(), generators::grid(4, 4)),
+            ("petersen".to_string(), generators::petersen()),
+            ("grid".to_string(), generators::grid(5, 5)),
+        ];
+        match ExperimentRunner::new().run_matrix(&solvers, &dup, 0..2) {
+            Err(SolveError::DuplicateWorkload { label }) => assert_eq!(label, "grid"),
+            other => panic!("expected DuplicateWorkload, got {other:?}"),
+        }
+        // The streaming API refuses identically (and still brackets the
+        // sweep with started/finished events).
+        use std::sync::mpsc::sync_channel;
+        let (tx, rx) = sync_channel(64);
+        let (result, events) = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || rx.iter().collect::<Vec<RunEvent>>());
+            let result = ExperimentRunner::new().run_matrix_streaming(&solvers, &dup, 0..2, tx);
+            (result, consumer.join().unwrap())
+        });
+        assert!(matches!(result, Err(SolveError::DuplicateWorkload { .. })));
+        assert!(
+            !events.iter().any(|e| e.cell().is_some()),
+            "no cell may run on a duplicate-label matrix"
+        );
     }
 
     #[test]

@@ -94,6 +94,55 @@
 //! # Ok::<(), kw_core::solver::SolveError>(())
 //! ```
 //!
+//! # Workloads: generated families and real instances
+//!
+//! The `kw-bench` crate's `Workload` enum names every topology the
+//! experiment drivers sweep — the paper's ad-hoc/unit-disk motivation
+//! plus degree-structured families — and, since the instance registry
+//! landed, **externally loaded graphs**: `Workload::Dimacs` wraps a
+//! real DIMACS-challenge file and flows through the cache, the run
+//! store, and session resume exactly like a generated workload.
+//!
+//! Workloads are CLI-drivable through a spec grammar mirroring the
+//! solver one (`exp_t5_endtoend dimacs:instances/queen5_5.col
+//! gnp:n=128,p=0.05`):
+//!
+//! | spec | family |
+//! |------|--------|
+//! | `gnp:n=1024,p=0.01` | Erdős–Rényi `G(n, p)` |
+//! | `udg:n=100,r=0.18` | unit-disk, radius `r` |
+//! | `ba:n=100,m=2` | Barabási–Albert |
+//! | `grid:side=10` | `side × side` grid |
+//! | `tree:b=3,d=4` | complete `b`-ary tree of depth `d` |
+//! | `cliques:c=5,size=8` | hub-and-cliques (Figure 1) |
+//! | `dimacs:instances/foo.col` | externally loaded DIMACS file |
+//!
+//! Three contracts keep external graphs trustworthy:
+//!
+//! * **Strict vs lenient DIMACS** ([`kw_graph::io`]). `parse_dimacs` is
+//!   strict — exactly what `write_dimacs` emits; any deviation
+//!   (duplicate edges, self-loops, unknown lines, edge-count mismatch)
+//!   is an error, which is the right contract for round-trips.
+//!   `parse_dimacs_lenient` accepts real challenge downloads: it
+//!   deduplicates repeated `e` lines (including the both-orientations
+//!   convention), drops self-loops, skips unknown line kinds (`n <id>
+//!   <value>` node lines), and reports every cleanup in `DimacsStats`.
+//!   Truncation — fewer `e` lines than declared — stays an error in
+//!   both modes.
+//! * **The instance registry** (`kw_bench::instances`). Bundled files
+//!   under `instances/` are pinned by FNV-1a checksum and `(n, m, Δ)`
+//!   shape; every load validates both, so an edited or truncated
+//!   fixture fails loudly instead of skewing a sweep. Instance
+//!   workloads are **seed-invariant**: `build` returns the identical
+//!   graph for every seed and says so via `Workload::is_seeded`.
+//! * **Labels are cache/store keys.** `Workload::label` keys the
+//!   experiment cache and the run store, so labels must be unique
+//!   within a sweep — the runner fails fast on duplicates
+//!   ([`SolveError::DuplicateWorkload`](kw_core::solver::SolveError)) —
+//!   and stable across sites and releases: float parameters render
+//!   through one canonical formatter, and every suite label is pinned
+//!   by a test.
+//!
 //! # Persisting and comparing runs
 //!
 //! Long sweeps should not die with their process. The streaming results

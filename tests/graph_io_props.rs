@@ -81,6 +81,52 @@ proptest! {
     }
 
     #[test]
+    fn lenient_dimacs_agrees_with_strict_on_clean_files(
+        n in 0usize..60,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // On anything write_dimacs emits, the lenient parser must
+        // produce the identical graph with nothing to clean up.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        let text = io::write_dimacs(&g);
+        let (lenient, stats) = io::parse_dimacs_lenient(&text).unwrap();
+        prop_assert_eq!(&lenient, &io::parse_dimacs(&text).unwrap());
+        prop_assert_eq!(lenient, g);
+        prop_assert_eq!(stats.duplicate_edges, 0);
+        prop_assert_eq!(stats.self_loops, 0);
+        prop_assert_eq!(stats.skipped_lines, 0);
+    }
+
+    #[test]
+    fn lenient_dimacs_cleans_adversarial_duplication(
+        n in 2usize..40,
+        p in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        // Re-list every edge in both orientations plus a self-loop and a
+        // node line — the real-download quirks — and require the lenient
+        // parse to recover exactly the original graph.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p, &mut rng);
+        let m = g.num_edges();
+        let mut text = format!("p edge {} {}\nn 1 42\ne 1 1\n", n, 2 * m + 1);
+        for (u, v) in g.edges() {
+            text.push_str(&format!("e {} {}\n", u.index() + 1, v.index() + 1));
+            text.push_str(&format!("e {} {}\n", v.index() + 1, u.index() + 1));
+        }
+        let (back, stats) = io::parse_dimacs_lenient(&text).unwrap();
+        prop_assert_eq!(back, g);
+        prop_assert_eq!(stats.duplicate_edges, m);
+        prop_assert_eq!(stats.self_loops, 1);
+        prop_assert_eq!(stats.skipped_lines, 1);
+        // Strict mode refuses the same text whenever it has an edge (the
+        // node line alone already kills it).
+        prop_assert!(io::parse_dimacs(&text).is_err());
+    }
+
+    #[test]
     fn components_partition_nodes(n in 1usize..60, p in 0.0f64..0.1, seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = generators::gnp(n, p, &mut rng);
