@@ -95,6 +95,9 @@ fn main() {
 
     // 3. Resume in a fresh session: every cell must be served from the
     //    store — instance cells replay exactly like generated cells.
+    //    (The first session must drop before the second can take the
+    //    store's writer lock.)
+    drop(session);
     let total = (solvers.len() * workloads.len() * seeds.len()) as u64;
     let mut resumed = SweepSession::open(&store_path).expect("reopen run store");
     assert!(

@@ -1,0 +1,117 @@
+//! Named request mixes for the serving layer.
+//!
+//! A *mix* is a list of `(solver spec, workload spec, seed)` cells that a
+//! load generator replays against a `kw-serve` daemon. Mixes deliberately
+//! contain few distinct cells: replaying more requests than cells is what
+//! exercises the answer cache, which is the serving story's whole point
+//! (a constant-round solve is computed once and then served from memory).
+//!
+//! Every entry uses the same spec grammars as the rest of the workspace
+//! ([`Workload::parse`](crate::workloads::Workload::parse) and
+//! `SolverSpec::parse`), so anything servable in a sweep is servable
+//! under load, and vice versa.
+
+/// One request of a serving mix: which solver on which workload with
+/// which seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixEntry {
+    /// Solver spec string (e.g. `"kw:k=2"`).
+    pub solver: String,
+    /// Workload spec string (e.g. `"grid:side=6"`).
+    pub workload: String,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl MixEntry {
+    fn new(solver: &str, workload: &str, seed: u64) -> Self {
+        MixEntry {
+            solver: solver.to_string(),
+            workload: workload.to_string(),
+            seed,
+        }
+    }
+}
+
+/// The CI smoke mix: 8 distinct cells over two solvers, two small
+/// generated workloads, and two seeds. Small enough that a burst
+/// completes in seconds; any burst longer than 8 requests is guaranteed
+/// to produce cache hits.
+pub fn smoke_mix() -> Vec<MixEntry> {
+    let mut mix = Vec::new();
+    for solver in ["kw:k=2", "greedy"] {
+        for workload in ["grid:side=6", "gnp:n=64,p=0.1"] {
+            for seed in [0, 1] {
+                mix.push(MixEntry::new(solver, workload, seed));
+            }
+        }
+    }
+    mix
+}
+
+/// A broader (still laptop-sized) mix: the small solver suite over
+/// mixed-topology workloads and three seeds — 45 distinct cells. The
+/// default for interactive `kw-load` runs.
+pub fn small_mix() -> Vec<MixEntry> {
+    let mut mix = Vec::new();
+    for solver in ["kw:k=2", "kw:k=3", "greedy", "jrs", "trivial"] {
+        for workload in ["grid:side=8", "gnp:n=128,p=0.05", "ba:n=128,m=3"] {
+            for seed in 0..3 {
+                mix.push(MixEntry::new(solver, workload, seed));
+            }
+        }
+    }
+    mix
+}
+
+/// Resolves a mix by name (`"smoke"` or `"small"`).
+pub fn by_name(name: &str) -> Option<Vec<MixEntry>> {
+    match name {
+        "smoke" => Some(smoke_mix()),
+        "small" => Some(small_mix()),
+        _ => None,
+    }
+}
+
+/// The names [`by_name`] accepts, for usage messages.
+pub const MIX_NAMES: &[&str] = &["smoke", "small"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use kw_core::solver::SolverSpec;
+
+    #[test]
+    fn every_mix_entry_parses_under_the_shared_grammars() {
+        for name in MIX_NAMES {
+            let mix = by_name(name).unwrap();
+            assert!(!mix.is_empty());
+            for entry in &mix {
+                Workload::parse(&entry.workload)
+                    .unwrap_or_else(|e| panic!("{name}: workload {:?}: {e}", entry.workload));
+                SolverSpec::parse(&entry.solver)
+                    .unwrap_or_else(|e| panic!("{name}: solver {:?}: {e}", entry.solver));
+            }
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_mix_is_small_and_distinct() {
+        let mix = smoke_mix();
+        assert_eq!(mix.len(), 8);
+        let mut unique = mix.clone();
+        unique.dedup();
+        unique.sort_by(|a, b| {
+            (&a.solver, &a.workload, a.seed).cmp(&(&b.solver, &b.workload, b.seed))
+        });
+        unique.dedup();
+        assert_eq!(unique.len(), mix.len(), "cells must be distinct");
+        // Every workload in the smoke mix is generated (never an
+        // instance file), so the daemon can serve it from any cwd.
+        for entry in &mix {
+            assert!(!entry.workload.starts_with("dimacs:"));
+        }
+    }
+}

@@ -66,6 +66,7 @@ fn instance_sweep_persists_and_resumes_to_full_cache_hits() {
         .expect("first sweep");
     assert_eq!((first.solved, first.cached), (total, 0));
     assert!(first.store_error.is_none());
+    drop(session); // release the writer lock for the resume session
 
     let mut resumed = SweepSession::open(&path).expect("reopen store");
     assert_eq!(resumed.replayed() as u64, total);
@@ -99,7 +100,8 @@ fn instance_label_reuse_with_different_graph_is_rejected_on_resume() {
     session
         .run(&runner, &solvers, &real, 0..2, |_| {})
         .expect("first sweep");
-    // Same label, different graph: the session must refuse to replay.
+    drop(session); // release the writer lock for the reopened session
+                   // Same label, different graph: the session must refuse to replay.
     let imposter = vec![(real[0].0.clone(), kw_graph::generators::grid(3, 3))];
     let mut reopened = SweepSession::open(&path).expect("reopen store");
     match reopened.run(&runner, &solvers, &imposter, 0..2, |_| {}) {

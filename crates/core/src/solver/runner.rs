@@ -156,6 +156,40 @@ impl ExperimentCache {
         self.outcomes.lock().unwrap().insert(key, outcome);
     }
 
+    /// Looks up the outcome of one `(solver, workload, seed)` cell under
+    /// `ctx`'s fault plan, counting a hit or a miss exactly like a sweep
+    /// would. This is the single-request serving path: where a sweep
+    /// goes through [`ExperimentRunner`], a daemon answering one request
+    /// at a time asks the cache directly and solves only on `None`.
+    pub fn outcome(
+        &self,
+        solver: &str,
+        workload: &str,
+        seed: u64,
+        ctx: &SolveContext,
+    ) -> Option<RunOutcome> {
+        self.lookup(solver, workload, seed, ctx)
+    }
+
+    /// Number of memoized outcomes — e.g. how many answers a restarted
+    /// daemon warmed from its run store before serving traffic.
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.lock().unwrap().len()
+    }
+
+    /// Returns the already-memoized graph for `(workload, seed)` without
+    /// building anything. Lets callers with *fallible* graph builders
+    /// (e.g. a workload naming an instance file) run the build outside
+    /// the cache lock — a panicking builder inside [`Self::graph`] would
+    /// poison the graph memo for every later caller.
+    pub fn cached_graph(&self, workload: &str, seed: u64) -> Option<Arc<CsrGraph>> {
+        self.graphs
+            .lock()
+            .unwrap()
+            .get(&(workload.to_string(), seed))
+            .cloned()
+    }
+
     fn lookup(
         &self,
         solver: &str,
@@ -1119,5 +1153,40 @@ mod tests {
         // A different seed is a different cell.
         let _ = cache.graph("grid3", 8, || generators::grid(3, 3));
         assert_eq!(cache.graph("grid3", 8, || unreachable!()).len(), 9);
+        // Peeking never builds: a present cell is returned, an absent
+        // one is just `None`.
+        assert_eq!(cache.cached_graph("grid3", 7).unwrap().len(), 9);
+        assert!(cache.cached_graph("grid3", 99).is_none());
+        assert!(cache.cached_graph("other", 7).is_none());
+    }
+
+    /// The serving path: `outcome()` observes exactly what a sweep
+    /// stored, counts hits/misses like a sweep lookup, and
+    /// `outcome_count()` reports the memo size (what a daemon logs after
+    /// warming from its store).
+    #[test]
+    fn direct_outcome_lookup_serves_sweep_results() {
+        let registry = SolverRegistry::with_core_solvers();
+        let solvers = registry.build_all(["kw:k=2"]).unwrap();
+        let cache = ExperimentCache::new();
+        let runner = ExperimentRunner::new().cache(cache.clone());
+        let ctx = runner.base_context();
+        assert_eq!(cache.outcome_count(), 0);
+        assert!(cache.outcome("kw:k=2", "grid4", 0, &ctx).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        runner.run_matrix(&solvers, &workloads(), 0..2).unwrap();
+        assert_eq!(cache.outcome_count(), 2 * workloads().len());
+        let hits_before = cache.hits();
+        let outcome = cache
+            .outcome("kw:k=2", "grid4", 0, &ctx)
+            .expect("solved cell is served");
+        assert!(outcome.dominates);
+        assert_eq!(cache.hits(), hits_before + 1);
+        // A different fault plan is a different cell.
+        let faulty = SolveContext {
+            faults: kw_sim::FaultPlan::drop_with_probability(0.5, 7),
+            ..ctx
+        };
+        assert!(cache.outcome("kw:k=2", "grid4", 0, &faulty).is_none());
     }
 }

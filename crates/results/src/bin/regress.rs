@@ -13,7 +13,7 @@
 //! are machine-dependent and therefore not gated).
 
 use kw_results::regress::{compare, compare_benches, RegressPolicy};
-use kw_results::store::{RunStore, StoreContents};
+use kw_results::store::{load_path, StoreContents};
 use kw_results::summary::Summary;
 
 fn usage() -> ! {
@@ -26,20 +26,14 @@ fn usage() -> ! {
 }
 
 fn load(path: &str) -> StoreContents {
-    // Opening would create a missing store; a gate must never conjure an
-    // empty baseline into existence and call it a pass.
+    // Strictly read-only: a gate must never conjure a missing baseline
+    // into existence and call it a pass, repair tails, or contend for
+    // the writer lock a live daemon or sweep is holding.
     if !std::path::Path::new(path).exists() {
         eprintln!("regress: store {path} does not exist");
         std::process::exit(2);
     }
-    let store = match RunStore::open(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("regress: cannot open {path}: {e}");
-            std::process::exit(2);
-        }
-    };
-    match store.load() {
+    match load_path(path) {
         Ok(contents) => contents,
         Err(e) => {
             eprintln!("regress: cannot load {path}: {e}");

@@ -10,7 +10,7 @@
 use kw_core::solver::{ExperimentRunner, RunEvent, SolverRegistry};
 use kw_graph::generators;
 use kw_results::pipeline::SweepSession;
-use kw_results::store::{RunStore, SCHEMA_VERSION};
+use kw_results::store::SCHEMA_VERSION;
 
 fn main() {
     let path = std::env::var("KW_STORE_SMOKE_PATH").unwrap_or_else(|_| {
@@ -53,12 +53,12 @@ fn main() {
     );
     assert!(out.store_error.is_none(), "appends must succeed");
     println!("pass 1: solved {} cells, {} events", out.solved, events);
+    // Release the writer lock before the resume session takes it.
+    drop(session);
 
-    // Validate the emitted JSONL against the schema.
-    let contents = RunStore::open(&path)
-        .expect("reopen store")
-        .load()
-        .expect("store validates against the schema");
+    // Validate the emitted JSONL against the schema (read-only; no
+    // writer lock needed).
+    let contents = kw_results::store::load_path(&path).expect("store validates against the schema");
     assert_eq!(contents.manifests.len(), 1, "one manifest per sweep");
     assert_eq!(contents.records.len(), total, "one record per solved cell");
     assert!(!contents.truncated_tail, "no torn tail after clean run");

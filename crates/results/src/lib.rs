@@ -44,8 +44,8 @@ pub mod summary;
 pub use pipeline::{stream_sweep, PipelineError, SweepOutcome, SweepSession};
 pub use regress::{compare, compare_benches, RegressPolicy, Regression};
 pub use render::Table;
-pub use store::{BenchRecord, RunManifest, RunStore, StoreError, SCHEMA_VERSION};
-pub use summary::{CellRollup, Percentiles, SolverRollup, Summary};
+pub use store::{load_path, BenchRecord, RunManifest, RunStore, StoreError, SCHEMA_VERSION};
+pub use summary::{nearest_rank, CellRollup, Percentiles, SolverRollup, Summary};
 
 // The event types are defined next to the runner that emits them; this
 // crate is their natural home from a consumer's point of view.

@@ -32,6 +32,20 @@
 //! fields change; readers reject lines with a *newer* version (old code
 //! must not misread new stores) and accept unknown line kinds of the
 //! current version (new code may add kinds old readers can skip).
+//!
+//! # Single writer
+//!
+//! Append crash-safety assumes exactly one writer per file: two
+//! processes appending concurrently (say, a `kw-serve` daemon and a
+//! sweep pointed at the same path) could interleave partial `write`
+//! calls into torn mid-file lines that no repair pass may touch. So
+//! [`RunStore::open`] takes an exclusive advisory lock — a `<path>.lock`
+//! sibling file holding the owner's pid, created atomically — and fails
+//! fast with [`StoreError::Locked`] while another live process holds it.
+//! A lock whose owner pid is no longer alive (crashed writer) is stolen;
+//! dropping the store releases the lock. Read-only consumers (`regress`,
+//! summaries of foreign stores) use [`load_path`], which neither locks
+//! nor repairs.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -108,6 +122,13 @@ pub enum StoreError {
         /// The line's version.
         version: u64,
     },
+    /// Another live process holds the store's writer lock.
+    Locked {
+        /// The store path that was contended.
+        path: PathBuf,
+        /// Contents of the lock file (the holder's pid, normally).
+        holder: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -120,6 +141,14 @@ impl fmt::Display for StoreError {
             StoreError::UnsupportedSchema { line, version } => write!(
                 f,
                 "run store line {line} has schema v{version}, newer than supported v{SCHEMA_VERSION}"
+            ),
+            StoreError::Locked { path, holder } => write!(
+                f,
+                "run store {} is already open for writing by process {holder}; \
+                 two writers (e.g. a kw-serve daemon and a sweep) must not share \
+                 one store — stop the other writer or point this one at a \
+                 different path",
+                path.display()
             ),
         }
     }
@@ -161,12 +190,127 @@ impl From<std::io::Error> for StoreError {
 pub struct RunStore {
     path: PathBuf,
     file: File,
+    // Held (and its file removed) for exactly the store's lifetime.
+    _lock: WriterLock,
+}
+
+/// Exclusive advisory writer lock: a `<store>.lock` sibling file created
+/// atomically and holding the owner's pid. Removed on drop.
+#[derive(Debug)]
+struct WriterLock {
+    path: PathBuf,
+}
+
+impl WriterLock {
+    fn acquire(store_path: &Path) -> Result<Self, StoreError> {
+        let lock_path = lock_path_for(store_path);
+        // Serialize same-process acquisition: threads of one process all
+        // stamp the same pid, so the file protocol alone cannot tell them
+        // apart. The registry mutex is held across the file operations,
+        // making in-process contention (daemon + sweep in one binary)
+        // fully race-free.
+        let mut held = held_lock_paths().lock().expect("lock registry poisoned");
+        if held.contains(&lock_path) {
+            return Err(StoreError::Locked {
+                path: store_path.to_path_buf(),
+                holder: format!("{} (this process)", std::process::id()),
+            });
+        }
+        // Two attempts: the second only after claiming a stale lock.
+        for stole in [false, true] {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    // Best-effort pid stamp; an empty lock file still
+                    // locks (it reads as a non-numeric "pid" below, which
+                    // is treated as a live holder).
+                    let _ = write!(f, "{}", std::process::id());
+                    held.insert(lock_path.clone());
+                    return Ok(WriterLock { path: lock_path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&lock_path)
+                        .unwrap_or_default()
+                        .trim()
+                        .to_string();
+                    let stale = matches!(holder.parse::<u32>(), Ok(pid) if !pid_alive(pid));
+                    if stale && !stole {
+                        // The owner died without cleanup (kill -9, OOM).
+                        // Claim the corpse by *renaming* it — rename is
+                        // atomic, so of several racing stealers exactly
+                        // one wins; the losers fall through to
+                        // `create_new` against the winner's fresh lock.
+                        // (Deleting instead would open a window where a
+                        // loser removes the winner's live lock.)
+                        let claim =
+                            lock_path.with_extension(format!("steal.{}", std::process::id()));
+                        if std::fs::rename(&lock_path, &claim).is_ok() {
+                            let _ = std::fs::remove_file(&claim);
+                        }
+                        continue;
+                    }
+                    return Err(StoreError::Locked {
+                        path: store_path.to_path_buf(),
+                        holder: if holder.is_empty() {
+                            "<unknown>".to_string()
+                        } else {
+                            holder
+                        },
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("second acquire attempt either succeeds or errors")
+    }
+}
+
+impl Drop for WriterLock {
+    fn drop(&mut self) {
+        // Registry mutex spans both steps so no thread can acquire
+        // between the file vanishing and the registry forgetting it.
+        let mut held = held_lock_paths().lock().expect("lock registry poisoned");
+        let _ = std::fs::remove_file(&self.path);
+        held.remove(&self.path);
+    }
+}
+
+/// Lock paths held by this process (see [`WriterLock::acquire`]).
+fn held_lock_paths() -> &'static std::sync::Mutex<std::collections::HashSet<PathBuf>> {
+    static HELD: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<PathBuf>>> =
+        std::sync::OnceLock::new();
+    HELD.get_or_init(Default::default)
+}
+
+/// The lock file guarding `path`: a `.lock`-suffixed sibling.
+fn lock_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+/// Whether `pid` names a live process. Only Linux has a cheap portable
+/// answer (`/proc`); elsewhere assume alive — never steal a lock that
+/// might be held.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
 }
 
 impl RunStore {
     /// Opens (creating if missing) the store at `path`, repairing a torn
     /// final line left by a crash: any bytes after the last newline are
     /// truncated away, so the next append starts on a clean line.
+    ///
+    /// Takes the exclusive writer lock (see the module docs): while
+    /// another live process has the same path open, this fails fast with
+    /// [`StoreError::Locked`] rather than risking interleaved appends.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
@@ -174,6 +318,7 @@ impl RunStore {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let lock = WriterLock::acquire(&path)?;
         let mut file = OpenOptions::new()
             .create(true)
             .read(true)
@@ -204,7 +349,11 @@ impl RunStore {
             }
         }
         file.seek(SeekFrom::End(0))?;
-        Ok(RunStore { path, file })
+        Ok(RunStore {
+            path,
+            file,
+            _lock: lock,
+        })
     }
 
     /// The store's file path.
@@ -307,6 +456,16 @@ impl RunStore {
         }
         Ok(contents.records.len())
     }
+}
+
+/// Loads the store at `path` read-only: no writer lock, no tail repair,
+/// no mutation of any kind. The path for validators and summarizers
+/// (`regress`, dashboards) that must be able to read a store *while* a
+/// daemon or sweep holds its writer lock. A torn final line is tolerated
+/// exactly as in [`RunStore::load`].
+pub fn load_path(path: impl AsRef<Path>) -> Result<StoreContents, StoreError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_store(&text)
 }
 
 /// Parses store text (exposed for validators that read foreign files).
@@ -597,5 +756,109 @@ mod tests {
     #[test]
     fn git_describe_never_fails() {
         assert!(!git_describe().is_empty());
+    }
+
+    #[test]
+    fn second_writer_fails_fast_and_drop_releases_the_lock() {
+        let path = temp_store("locked");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(lock_path_for(&path));
+        let first = RunStore::open(&path).unwrap();
+        // A contending writer on the same path is refused with the pid.
+        match RunStore::open(&path) {
+            Err(StoreError::Locked { path: p, holder }) => {
+                assert_eq!(p, path);
+                assert_eq!(holder, format!("{} (this process)", std::process::id()));
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Read-only loads are not blocked by the writer lock.
+        first.append_record(&sample_record(0)).unwrap();
+        assert_eq!(load_path(&path).unwrap().records.len(), 1);
+        // Dropping the holder releases the lock for the next writer.
+        drop(first);
+        let second = RunStore::open(&path).unwrap();
+        second.append_record(&sample_record(1)).unwrap();
+        drop(second);
+        assert!(
+            !lock_path_for(&path).exists(),
+            "drop must remove the lock file"
+        );
+        assert_eq!(load_path(&path).unwrap().records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_stolen() {
+        let path = temp_store("stale_lock");
+        let _ = std::fs::remove_file(&path);
+        // A pid that cannot be live: pid_max on Linux is < 2^22 by
+        // default and never exceeds u32 range; u32::MAX is safely dead.
+        std::fs::write(lock_path_for(&path), format!("{}", u32::MAX)).unwrap();
+        let store = RunStore::open(&path).expect("stale lock is stolen");
+        store.append_record(&sample_record(0)).unwrap();
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unreadable_lock_holder_is_respected_not_stolen() {
+        let path = temp_store("garbage_lock");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(lock_path_for(&path), "not-a-pid").unwrap();
+        match RunStore::open(&path) {
+            Err(StoreError::Locked { holder, .. }) => assert_eq!(holder, "not-a-pid"),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        std::fs::remove_file(lock_path_for(&path)).unwrap();
+    }
+
+    /// The contended case: writers racing for one path. At most one may
+    /// hold the store at a time; every append that went through lands as
+    /// a whole, parseable line.
+    #[test]
+    fn contended_writers_serialize_without_torn_lines() {
+        let path = temp_store("contended");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(lock_path_for(&path));
+        let holders = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let appended = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let (path, holders, appended) = (path.clone(), holders.clone(), appended.clone());
+                scope.spawn(move || {
+                    for attempt in 0..20u64 {
+                        match RunStore::open(&path) {
+                            Ok(store) => {
+                                let now = holders.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                assert_eq!(now, 0, "two writers held the lock at once");
+                                store
+                                    .append_record(&sample_record(t * 100 + attempt))
+                                    .unwrap();
+                                appended.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                holders.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                                drop(store);
+                            }
+                            Err(StoreError::Locked { .. }) => {
+                                std::thread::yield_now();
+                            }
+                            Err(other) => panic!("unexpected store error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        let contents = load_path(&path).unwrap();
+        assert!(!contents.truncated_tail);
+        assert_eq!(
+            contents.records.len(),
+            appended.load(std::sync::atomic::Ordering::SeqCst) as usize,
+            "every successful append is one whole line"
+        );
+        assert!(
+            contents.records.len() >= 20,
+            "at least one thread got through"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

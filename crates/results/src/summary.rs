@@ -19,6 +19,26 @@ use kw_core::solver::RunRecord;
 
 use crate::render::Table;
 
+/// Nearest-rank percentile rank, computed exactly in integers: the P-th
+/// percentile of `n` samples is the `ceil(P·n/100)`-th order statistic,
+/// returned here as a **1-based rank** clamped to at least 1 (so for
+/// n = 1 every percentile is the sole sample). Returns 0 when `n` is 0 —
+/// no samples, no rank. The earlier float formulation
+/// (`(q * n as f64).ceil()`) was correct for small n but hinged on
+/// `0.95 * n` rounding to the right side of an integer; integer
+/// arithmetic removes that hazard for every n.
+///
+/// This is the *single* percentile definition of the workspace: both
+/// [`Percentiles::from_samples`] and the serving daemon's latency
+/// histogram (`kw_serve`) rank through this function, so a p99 in a
+/// summary table and a p99 on `/metrics` mean exactly the same thing.
+pub fn nearest_rank(percent: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    (percent * n).div_ceil(100).max(1)
+}
+
 /// Order statistics of one sample set (nearest-rank percentiles).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Percentiles {
@@ -30,6 +50,8 @@ pub struct Percentiles {
     pub p50: f64,
     /// 95th percentile (0 when empty).
     pub p95: f64,
+    /// 99th percentile (0 when empty).
+    pub p99: f64,
     /// Minimum (0 when empty).
     pub min: f64,
     /// Maximum (0 when empty).
@@ -44,22 +66,13 @@ impl Percentiles {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are comparable"));
-        // Nearest-rank percentile, computed exactly in integers: the P-th
-        // percentile of n samples is the `ceil(P·n/100)`-th order
-        // statistic (1-based). The earlier float formulation
-        // (`(q * n as f64).ceil()`) was correct for small n but hinged on
-        // `0.95 * n` rounding to the right side of an integer; integer
-        // arithmetic removes that hazard for every n. For n = 1 both
-        // ranks are 1, so p50 and p95 equal the sole sample.
-        let rank = |percent: usize| -> f64 {
-            let idx = (percent * sorted.len()).div_ceil(100).max(1);
-            sorted[idx - 1]
-        };
+        let rank = |percent: usize| -> f64 { sorted[nearest_rank(percent, sorted.len()) - 1] };
         Percentiles {
             count: sorted.len(),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: rank(50),
             p95: rank(95),
+            p99: rank(99),
             min: sorted[0],
             max: sorted[sorted.len() - 1],
         }
@@ -217,13 +230,13 @@ impl Summary {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "| workload | n | Δ | solver | runs | fail | E\\|DS\\| | p50 | p95 | ratio | rounds | msgs(p50) | wall ms |\n",
+            "| workload | n | Δ | solver | runs | fail | E\\|DS\\| | p50 | p95 | p99 | ratio | rounds | msgs(p50) | wall ms |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.2} | {:.0} | {:.0} | {:.2} |",
+                "| {} | {} | {} | {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.0} | {:.2} | {:.0} | {:.0} | {:.2} |",
                 c.workload,
                 c.n,
                 c.max_degree,
@@ -233,6 +246,7 @@ impl Summary {
                 c.size.mean,
                 c.size.p50,
                 c.size.p95,
+                c.size.p99,
                 c.ratio_vs_lemma1.mean,
                 c.rounds.p50,
                 c.messages.p50,
@@ -255,11 +269,13 @@ impl Summary {
             "size_mean",
             "size_p50",
             "size_p95",
+            "size_p99",
             "ratio_mean",
             "rounds_p50",
             "messages_p50",
             "bits_p50",
             "wall_ms_mean",
+            "wall_ms_p99",
         ]);
         for c in &self.cells {
             t.row([
@@ -272,11 +288,13 @@ impl Summary {
                 c.size.mean.to_string(),
                 c.size.p50.to_string(),
                 c.size.p95.to_string(),
+                c.size.p99.to_string(),
                 c.ratio_vs_lemma1.mean.to_string(),
                 c.rounds.p50.to_string(),
                 c.messages.p50.to_string(),
                 c.bits.p50.to_string(),
                 c.wall_ms.mean.to_string(),
+                c.wall_ms.p99.to_string(),
             ]);
         }
         t.to_csv()
@@ -316,34 +334,83 @@ mod tests {
         assert_eq!(p.mean, 2.5);
         assert_eq!(p.p50, 2.0);
         assert_eq!(p.p95, 4.0);
+        assert_eq!(p.p99, 4.0);
         assert_eq!((p.min, p.max), (1.0, 4.0));
         assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
     }
 
+    /// The shared rank function itself, at the sizes the satellite pins
+    /// (n = 1/2/3/20) plus the first n where p99 separates from max.
+    #[test]
+    fn nearest_rank_boundary_cases() {
+        assert_eq!(nearest_rank(50, 0), 0, "no samples, no rank");
+        for percent in [50, 95, 99] {
+            assert_eq!(nearest_rank(percent, 1), 1);
+        }
+        // n = 2: ceil(1.0) = 1, ceil(1.9) = 2, ceil(1.98) = 2.
+        assert_eq!(
+            (
+                nearest_rank(50, 2),
+                nearest_rank(95, 2),
+                nearest_rank(99, 2)
+            ),
+            (1, 2, 2)
+        );
+        // n = 3: ceil(1.5) = 2, ceil(2.85) = 3, ceil(2.97) = 3.
+        assert_eq!(
+            (
+                nearest_rank(50, 3),
+                nearest_rank(95, 3),
+                nearest_rank(99, 3)
+            ),
+            (2, 3, 3)
+        );
+        // n = 20: p50 and p95 are exact integer ranks; p99 still clamps
+        // to the max (ceil(19.8) = 20).
+        assert_eq!(
+            (
+                nearest_rank(50, 20),
+                nearest_rank(95, 20),
+                nearest_rank(99, 20)
+            ),
+            (10, 19, 20)
+        );
+        // n = 101 is the first size where p99 drops below the max.
+        assert_eq!(nearest_rank(99, 101), 100);
+        assert_eq!(nearest_rank(100, 101), 101);
+    }
+
     /// Nearest-rank boundary behavior on tiny and exact-rank cells:
     /// singletons report the sole sample for every statistic, 2- and
-    /// 3-sample cells take the lower median and the max for p95, and 20
-    /// samples put p95 exactly at the 19th order statistic
+    /// 3-sample cells take the lower median and the max for p95/p99, and
+    /// 20 samples put p95 exactly at the 19th order statistic
     /// (`ceil(95·20/100) = 19`, an exact integer rank the old float path
     /// could only hit by rounding luck).
     #[test]
     fn percentiles_small_and_exact_rank_cells() {
-        // n = 1: p50 = p95 = min = max = the sample.
+        // n = 1: p50 = p95 = p99 = min = max = the sample.
         let one = Percentiles::from_samples(&[7.0]);
-        assert_eq!((one.p50, one.p95), (7.0, 7.0));
+        assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
         assert_eq!((one.min, one.max), (7.0, 7.0));
         assert_eq!(one.mean, 7.0);
         // n = 2: rank(50) = ceil(1.0) = 1st, rank(95) = ceil(1.9) = 2nd.
         let two = Percentiles::from_samples(&[10.0, 2.0]);
-        assert_eq!((two.p50, two.p95), (2.0, 10.0));
+        assert_eq!((two.p50, two.p95, two.p99), (2.0, 10.0, 10.0));
         // n = 3: rank(50) = ceil(1.5) = 2nd, rank(95) = ceil(2.85) = 3rd.
         let three = Percentiles::from_samples(&[9.0, 1.0, 5.0]);
-        assert_eq!((three.p50, three.p95), (5.0, 9.0));
-        // n = 20: both ranks are exact integers (10 and 19).
+        assert_eq!((three.p50, three.p95, three.p99), (5.0, 9.0, 9.0));
+        // n = 20: p50/p95 ranks are exact integers (10 and 19); p99
+        // clamps to the 20th.
         let many: Vec<f64> = (1..=20).map(|i| i as f64).collect();
         let p = Percentiles::from_samples(&many);
         assert_eq!(p.p50, 10.0);
         assert_eq!(p.p95, 19.0);
+        assert_eq!(p.p99, 20.0);
+        // n = 200: p99 sits strictly below the max (198th of 200).
+        let wide: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let p = Percentiles::from_samples(&wide);
+        assert_eq!(p.p99, 198.0);
+        assert_eq!(p.max, 200.0);
     }
 
     #[test]
@@ -403,13 +470,16 @@ mod tests {
         let s = Summary::from_records(&records);
         let md = s.to_markdown();
         assert!(md.starts_with("| workload |"));
-        assert!(md.contains("| grid | 100 | 9 | kw:k=2 | 2 | 0 | 11.0 |"));
+        assert!(md.lines().next().unwrap().contains("| p99 |"));
+        // p50/p95/p99 of {10, 12}: ranks 1/2/2 → 10, 12, 12.
+        assert!(md.contains("| grid | 100 | 9 | kw:k=2 | 2 | 0 | 11.0 | 10 | 12 | 12 |"));
         let csv = s.to_csv();
         assert!(csv.starts_with("workload,n,max_degree,solver,"));
+        assert!(csv.lines().next().unwrap().contains("size_p99"));
         assert!(csv
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("grid,100,9,kw:k=2,2,0,11,"));
+            .starts_with("grid,100,9,kw:k=2,2,0,11,10,12,12,"));
     }
 }

@@ -43,6 +43,8 @@ fn killed_then_resumed_sweep_reexecutes_only_missing_cells() {
         .run(&runner, &solvers, &workloads(), 0..3, |_| {})
         .unwrap();
     assert_eq!((full.solved, full.cached), (total as u64, 0));
+    // Release the writer lock before the "killed" process resumes.
+    drop(session);
 
     // "Kill" the sweep: keep the manifest and the first 5 records, plus
     // a torn half-line exactly as a crash mid-append would leave it.
@@ -84,6 +86,7 @@ fn killed_then_resumed_sweep_reexecutes_only_missing_cells() {
 
     // The store is whole again: 12 records, no torn tail, and a third
     // session replays all of them (nothing left to solve).
+    drop(resumed);
     let contents = RunStore::open(&path).unwrap().load().unwrap();
     assert_eq!(contents.records.len(), total);
     assert_eq!(contents.manifests.len(), 2, "one manifest per launch");
@@ -208,6 +211,7 @@ fn summary_of_a_loaded_store_renders_and_rolls_up() {
             |_| {},
         )
         .unwrap();
+    drop(session);
     let contents = RunStore::open(&path).unwrap().load().unwrap();
     let summary = Summary::from_records(&contents.records);
     assert_eq!(summary.cells.len(), 4);

@@ -1,0 +1,79 @@
+//! `kw-serve` — the solve-as-a-service daemon.
+//!
+//! ```text
+//! kw-serve [--addr HOST:PORT] [--store PATH] [--workers N]
+//!          [--queue N] [--deadline-ms N]
+//! ```
+//!
+//! Binds, warms the answer cache from `--store` (if given), prints one
+//! `listening ...` line, and serves until a client POSTs `/shutdown`,
+//! then drains in-flight requests and exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use kw_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kw-serve [--addr HOST:PORT] [--store PATH] [--workers N] \
+         [--queue N] [--deadline-ms N]\n\
+         \n\
+         endpoints: POST /solve  GET /healthz  GET /metrics  POST /shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7341".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--store" => config.store = Some(PathBuf::from(value("--store"))),
+            "--workers" => config.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse_num(&value("--queue"), "--queue"),
+            "--deadline-ms" => {
+                config.deadline =
+                    Duration::from_millis(parse_num(&value("--deadline-ms"), "--deadline-ms"))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("kw-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on http://{} ({} answers warmed from store)",
+        server.addr(),
+        server.service().warmed()
+    );
+    server.wait_for_shutdown_request();
+    println!("shutdown requested; draining");
+    server.shutdown();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn usage_for(flag: &str) -> ! {
+    eprintln!("kw-serve: {flag} needs a value");
+    usage();
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("kw-serve: {flag} got unparseable value {text:?}");
+        usage();
+    })
+}

@@ -1,0 +1,337 @@
+//! Request routing and the solve path: specs in, memoized answers out.
+//!
+//! A [`SolveService`] owns everything a request needs — the solver
+//! registry (core + baselines, the same table every sweep uses), the
+//! [`ExperimentCache`] answers memoize into, an optional [`RunStore`]
+//! that persists every fresh answer, and the [`Telemetry`] counters.
+//! Handlers are pure `&self` functions so one service instance is shared
+//! across all worker threads.
+//!
+//! The persistence contract mirrors `SweepSession`: on startup the store
+//! replays into the cache (`warmed` answers), so a restarted daemon
+//! re-serves everything it ever solved without re-solving; every cache
+//! miss appends one `record` line. A failed append degrades to
+//! metrics-only (the answer is still served) — a full disk must not turn
+//! a compute service into an outage.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use kw_bench::workloads::Workload;
+use kw_core::solver::{ExperimentCache, RunOutcome, RunRecord, SolveContext, SolverRegistry};
+use kw_results::json::Json;
+use kw_results::store::{RunStore, StoreError};
+
+use crate::http::{Request, Response};
+use crate::telemetry::Telemetry;
+
+/// Errors starting a service (never per-request; requests map to 4xx/5xx
+/// responses instead).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The run store could not be opened (including another writer
+    /// holding its lock).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O failed: {e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// The daemon's request handler: registry + cache + store + telemetry.
+pub struct SolveService {
+    registry: SolverRegistry,
+    cache: Arc<ExperimentCache>,
+    store: Option<Mutex<RunStore>>,
+    /// `(workload label, seed) → (n, Δ)`, learned from store replay and
+    /// live solves. Lets cached answers report graph shape without
+    /// rebuilding (or even holding) the graph.
+    shapes: Mutex<HashMap<(String, u64), (usize, usize)>>,
+    warmed: usize,
+    shutdown_requested: AtomicBool,
+    /// Request counters and latency histogram.
+    pub telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveService")
+            .field("warmed", &self.warmed)
+            .field("persistent", &self.store.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveService {
+    /// Creates a service, opening (and replaying) the store at
+    /// `store_path` if given. With `None` the daemon is memory-only:
+    /// still cached, nothing survives a restart.
+    pub fn new(store_path: Option<&Path>) -> Result<Self, ServeError> {
+        let registry = kw_baselines::registry();
+        let cache = ExperimentCache::new();
+        let mut shapes = HashMap::new();
+        let (store, warmed) = match store_path {
+            Some(path) => {
+                let store = RunStore::open(path)?;
+                let contents = store.load()?;
+                for r in &contents.records {
+                    cache.insert_outcome(
+                        &r.solver,
+                        &r.workload,
+                        r.seed,
+                        r.fault_drop,
+                        r.fault_seed,
+                        r.outcome,
+                    );
+                    shapes.insert((r.workload.clone(), r.seed), (r.n, r.max_degree));
+                }
+                // Count *distinct* warmed answers: a store written under
+                // racing clients may carry duplicate lines for one cell.
+                (Some(Mutex::new(store)), cache.outcome_count())
+            }
+            None => (None, 0),
+        };
+        Ok(SolveService {
+            registry,
+            cache,
+            store,
+            shapes: Mutex::new(shapes),
+            warmed,
+            shutdown_requested: AtomicBool::new(false),
+            telemetry: Telemetry::default(),
+        })
+    }
+
+    /// Answers replayed from the store at startup.
+    pub fn warmed(&self) -> usize {
+        self.warmed
+    }
+
+    /// The shared answer cache (hit/miss counters feed `/metrics`).
+    pub fn cache(&self) -> &ExperimentCache {
+        &self.cache
+    }
+
+    /// Whether `POST /shutdown` has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Routes one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req.path() {
+            "/healthz" => match req.method.as_str() {
+                "GET" | "HEAD" => Response::text(200, "ok\n"),
+                _ => Response::error(405, "use GET /healthz"),
+            },
+            "/metrics" => match req.method.as_str() {
+                "GET" => {
+                    let mut resp = Response::text(
+                        200,
+                        self.telemetry.render_prometheus(
+                            self.cache.hits(),
+                            self.cache.misses(),
+                            self.warmed as u64,
+                        ),
+                    );
+                    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                    resp
+                }
+                _ => Response::error(405, "use GET /metrics"),
+            },
+            "/solve" => match req.method.as_str() {
+                "POST" => self.solve(&req.body),
+                _ => Response::error(405, "use POST /solve"),
+            },
+            "/shutdown" => match req.method.as_str() {
+                "POST" => {
+                    self.shutdown_requested.store(true, Ordering::SeqCst);
+                    Response::text(200, "draining\n")
+                }
+                _ => Response::error(405, "use POST /shutdown"),
+            },
+            other => Response::error(
+                404,
+                format!(
+                    "unknown path {other:?}; endpoints: POST /solve, GET /healthz, \
+                     GET /metrics, POST /shutdown"
+                ),
+            ),
+        }
+    }
+
+    /// `POST /solve`: body `{"workload": spec, "solver": spec, "seed"?: n}`.
+    fn solve(&self, body: &[u8]) -> Response {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        let json = match Json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, format!("body is not JSON: {e}")),
+        };
+        let Some(workload_spec) = json.get("workload").and_then(Json::as_str) else {
+            return Response::error(400, "missing string field \"workload\"");
+        };
+        let Some(solver_spec) = json.get("solver").and_then(Json::as_str) else {
+            return Response::error(400, "missing string field \"solver\"");
+        };
+        let seed = match json.get("seed") {
+            None => 0,
+            Some(v) => match v.as_u64() {
+                Some(s) => s,
+                None => return Response::error(400, "\"seed\" must be an unsigned integer"),
+            },
+        };
+
+        // Untrusted spec strings go through the same grammars as CLI
+        // sweeps; parse failures are the client's problem, not a 500.
+        let workload = match Workload::parse(workload_spec) {
+            Ok(w) => w,
+            Err(e) => return Response::error(400, e.to_string()),
+        };
+        let solver = match self.registry.build(solver_spec) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, e.to_string()),
+        };
+        let spec = solver.spec();
+        let label = workload.label();
+        // Certificates forced on, exactly like `ExperimentRunner` cells:
+        // the response's `dominates`/`ratio` fields depend on them, and
+        // a daemon must stay cache-compatible with sweep stores.
+        let ctx = SolveContext {
+            check_certificates: true,
+            ..SolveContext::seeded(seed)
+        };
+
+        if let Some(outcome) = self.cache.outcome(&spec, &label, seed, &ctx) {
+            let shape = self
+                .shapes
+                .lock()
+                .unwrap()
+                .get(&(label.clone(), seed))
+                .copied();
+            return self.render_outcome(&spec, &label, seed, shape, outcome, true);
+        }
+
+        // Miss: materialize the graph (memoized per (label, seed)) and
+        // solve. The fallible build runs *outside* the cache so a bad
+        // instance path cannot poison the graph memo.
+        let graph = match self.cache.cached_graph(&label, seed) {
+            Some(g) => g,
+            None => match workload.try_build(seed) {
+                Ok(g) => self.cache.graph(&label, seed, || g),
+                Err(e) => return Response::error(400, e.to_string()),
+            },
+        };
+        let start = Instant::now();
+        let report = match catch_unwind(AssertUnwindSafe(|| solver.solve(&graph, &ctx))) {
+            Ok(Ok(report)) => report,
+            Ok(Err(e)) => return Response::error(422, e.to_string()),
+            Err(panic) => {
+                self.telemetry.count_panic();
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".to_string());
+                return Response::error(500, format!("solver panicked: {reason}"));
+            }
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let cert = report.certificate.as_ref().expect("certificates forced on");
+        let outcome = RunOutcome {
+            dominates: cert.dominates,
+            size: report.size() as f64,
+            rounds: report.rounds() as f64,
+            messages: report.messages() as f64,
+            bits: report.metrics.bits as f64,
+            ratio_vs_lemma1: cert.ratio_vs_lemma1,
+            wall_ms,
+        };
+        let shape = (graph.len(), graph.max_degree());
+        self.cache.insert_outcome(
+            &spec,
+            &label,
+            seed,
+            ctx.faults.drop_probability(),
+            ctx.faults.seed(),
+            outcome,
+        );
+        self.shapes
+            .lock()
+            .unwrap()
+            .insert((label.clone(), seed), shape);
+        if let Some(store) = &self.store {
+            let record = RunRecord {
+                solver: spec.clone(),
+                workload: label.clone(),
+                n: shape.0,
+                max_degree: shape.1,
+                seed,
+                fault_drop: ctx.faults.drop_probability(),
+                fault_seed: ctx.faults.seed(),
+                outcome,
+            };
+            if store.lock().unwrap().append_record(&record).is_err() {
+                self.telemetry.count_store_error();
+            }
+        }
+        self.render_outcome(&spec, &label, seed, Some(shape), outcome, false)
+    }
+
+    fn render_outcome(
+        &self,
+        solver: &str,
+        workload: &str,
+        seed: u64,
+        shape: Option<(usize, usize)>,
+        outcome: RunOutcome,
+        cached: bool,
+    ) -> Response {
+        let (n, max_degree) = shape.unwrap_or((0, 0));
+        Response::json(
+            200,
+            &Json::obj([
+                ("solver", Json::Str(solver.to_string())),
+                ("workload", Json::Str(workload.to_string())),
+                ("seed", Json::UInt(seed)),
+                ("n", Json::UInt(n as u64)),
+                ("max_degree", Json::UInt(max_degree as u64)),
+                ("cached", Json::Bool(cached)),
+                ("dominates", Json::Bool(outcome.dominates)),
+                ("size", Json::num(outcome.size)),
+                ("rounds", Json::num(outcome.rounds)),
+                ("messages", Json::num(outcome.messages)),
+                ("bits", Json::num(outcome.bits)),
+                ("ratio_vs_lemma1", Json::num(outcome.ratio_vs_lemma1)),
+                ("wall_ms", Json::num(outcome.wall_ms)),
+            ]),
+        )
+    }
+}

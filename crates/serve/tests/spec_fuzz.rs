@@ -1,0 +1,212 @@
+//! Fuzzing the two grammars the daemon exposes to untrusted clients.
+//!
+//! `POST /solve` hands attacker-controlled strings straight to
+//! `Workload::parse` and `SolverSpec::parse` (via the registry), so both
+//! must be total: any input is either `Ok` or a structured `Err`, never
+//! a panic. The workspace's offline proptest stand-in has only numeric
+//! strategies, so each case derives an adversarial string from a fuzzed
+//! `u64` seed — mutations of valid specs, random splices of the
+//! grammars' meta-characters, and raw byte noise.
+
+use kw_bench::workloads::Workload;
+use kw_core::solver::SolverSpec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fragments that real specs are made of — names, separators, numbers,
+/// and near-miss junk. Splicing these finds parser edge cases far
+/// faster than uniform random bytes.
+const FRAGMENTS: &[&str] = &[
+    "gnp",
+    "udg",
+    "ba",
+    "grid",
+    "tree",
+    "cliques",
+    "dimacs",
+    "kw",
+    "greedy",
+    "jrs",
+    "trivial",
+    "luby-mis",
+    "connected",
+    "n",
+    "p",
+    "r",
+    "m",
+    "side",
+    "b",
+    "d",
+    "c",
+    "size",
+    "k",
+    "=",
+    ":",
+    ",",
+    "(",
+    ")",
+    "/",
+    "0",
+    "1",
+    "-1",
+    "7",
+    "1e9",
+    "0.5",
+    ".",
+    "..",
+    "NaN",
+    "inf",
+    "-",
+    "+",
+    " ",
+    "",
+    "\t",
+    "é",
+    "�",
+    "\u{0}",
+    "99999999999999999999",
+    "n=",
+    "=8",
+    "n=8",
+    "p=0.1",
+    "side=4",
+];
+
+/// Valid specs to mutate (one char swapped, truncated, duplicated).
+const VALID: &[&str] = &[
+    "gnp:n=64,p=0.1",
+    "udg:n=50,r=0.2",
+    "ba:n=64,m=3",
+    "grid:side=6",
+    "tree:b=2,d=4",
+    "cliques:c=3,size=4",
+    "dimacs:/tmp/nope.col",
+    "kw:k=2",
+    "greedy",
+    "connected(greedy)",
+    "jrs",
+];
+
+fn adversarial(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match rng.gen_range(0u32..4) {
+        // Splice random fragments.
+        0 => {
+            let n = rng.gen_range(0usize..8);
+            (0..n)
+                .map(|_| FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())])
+                .collect()
+        }
+        // Mutate a valid spec: flip one byte to a random ASCII char.
+        1 => {
+            let mut s: Vec<u8> = VALID[rng.gen_range(0..VALID.len())].bytes().collect();
+            if !s.is_empty() {
+                let i = rng.gen_range(0..s.len());
+                s[i] = rng.gen_range(0x20u8..0x7f);
+            }
+            String::from_utf8_lossy(&s).into_owned()
+        }
+        // Truncate or duplicate a valid spec.
+        2 => {
+            let s = VALID[rng.gen_range(0..VALID.len())];
+            if rng.gen_bool(0.5) {
+                let cut = rng.gen_range(0..=s.len());
+                s.get(..cut).map(str::to_string).unwrap_or_default()
+            } else {
+                format!("{s}{s}")
+            }
+        }
+        // Raw noise: random printable-and-not bytes, lossily decoded.
+        _ => {
+            let n = rng.gen_range(0usize..32);
+            let bytes: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `Workload::parse` is total, and accepted specs round-trip:
+    /// re-parsing what `spec()` prints yields the same workload.
+    #[test]
+    fn workload_parse_never_panics(seed in any::<u64>()) {
+        let input = adversarial(seed);
+        if let Ok(w) = Workload::parse(&input) {
+            let reparsed = Workload::parse(&w.spec())
+                .expect("canonical spec must re-parse");
+            prop_assert_eq!(reparsed.spec(), w.spec());
+            prop_assert_eq!(reparsed.label(), w.label());
+        }
+    }
+
+    /// `SolverSpec::parse` is total, with the same round-trip law
+    /// (`Display` renders the canonical form).
+    #[test]
+    fn solver_spec_parse_never_panics(seed in any::<u64>()) {
+        let input = adversarial(seed);
+        if let Ok(s) = SolverSpec::parse(&input) {
+            let canonical = s.to_string();
+            let reparsed = SolverSpec::parse(&canonical)
+                .expect("canonical spec must re-parse");
+            prop_assert_eq!(reparsed.to_string(), canonical);
+        }
+    }
+
+    /// The registry's `build` (the actual `/solve` path: grammar plus
+    /// name lookup plus parameter validation) is total too.
+    #[test]
+    fn registry_build_never_panics(seed in any::<u64>()) {
+        let registry = kw_baselines::registry();
+        let input = adversarial(seed);
+        let _ = registry.build(&input);
+    }
+}
+
+/// The exact strings a confused client is most likely to send: empty,
+/// whitespace, half-written pairs, wrong separators. All must be `Err`
+/// (none are valid), all without panicking.
+#[test]
+fn hand_picked_adversarial_specs_error_cleanly() {
+    let cases = [
+        "",
+        " ",
+        ":",
+        "=",
+        ",",
+        "gnp",
+        "gnp:",
+        "gnp:n",
+        "gnp:n=",
+        "gnp:n=,p=",
+        "gnp:n=64",
+        "gnp:n=64,p=0.1,extra=1",
+        "gnp:n=-1,p=0.1",
+        "gnp:n=64,p=nope",
+        "grid:side=0x10",
+        "tree:b=2,d=99999999999999999999",
+        "dimacs:",
+        "kw:",
+        "kw:k=",
+        "kw:k=0x2",
+        "connected(",
+        "connected()",
+        "connected(nope)",
+        "(greedy)",
+    ];
+    let registry = kw_baselines::registry();
+    for case in cases {
+        assert!(
+            Workload::parse(case).is_err(),
+            "workload grammar must reject {case:?}"
+        );
+        // The solver *grammar* alone is permissive about values; the
+        // registry build (which is what `/solve` runs) must reject.
+        assert!(
+            registry.build(case).is_err(),
+            "solver registry must reject {case:?}"
+        );
+    }
+}

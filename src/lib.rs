@@ -24,7 +24,10 @@
 //!   Luby-style MIS, trivial, and CDS baselines;
 //! * [`results`] ([`kw_results`]) — the streaming results pipeline:
 //!   per-cell run events, the persistent JSONL run store, rollup
-//!   summaries, and regression gating.
+//!   summaries, and regression gating;
+//! * [`serve`] ([`kw_serve`]) — solve-as-a-service: the `kw-serve`
+//!   daemon with a persistent answer cache and Prometheus telemetry,
+//!   plus the `kw-load` load generator.
 //!
 //! # Quickstart: the solver API
 //!
@@ -219,6 +222,52 @@
 //! counter) so allocation-stability tests can assert that steady-state
 //! rounds are growth-free.
 //!
+//! # Serving solves (`kw-serve` / `kw-load`)
+//!
+//! The serving layer ([`kw_serve`]) wraps the same solver stack in a
+//! long-running daemon, built on nothing but `std` (a hand-rolled,
+//! strictly-limited HTTP/1.1 implementation over `TcpListener`):
+//!
+//! ```text
+//! cargo run --release -p kw-serve --bin kw-serve -- \
+//!     --addr 127.0.0.1:7341 --store target/serve_runs.jsonl
+//! curl -d '{"workload": "gnp:n=128,p=0.05", "solver": "kw:k=2", "seed": 7}' \
+//!     http://127.0.0.1:7341/solve
+//! ```
+//!
+//! **Endpoints.** `POST /solve` takes `{"workload", "solver",
+//! "seed"?}` — the exact same spec grammars as the sweep CLIs — and
+//! answers the run outcome as JSON (`dominates`, `size`, `rounds`,
+//! `messages`, `bits`, `ratio_vs_lemma1`, `wall_ms`, plus a `cached`
+//! flag). `GET /healthz` answers `ok`. `GET /metrics` renders
+//! Prometheus text: request/response-class/shed/panic counters, an
+//! in-flight gauge, cache hit/miss/warmed counters, and nearest-rank
+//! p50/p95/p99 latency from a fixed-bucket histogram —
+//! [`kw_results::nearest_rank`] is the *single* percentile definition
+//! shared between the daemon and the sweep summaries. `POST /shutdown`
+//! starts a graceful drain (the std-only stand-in for SIGTERM).
+//!
+//! **Caching and persistence.** Answers memoize into the same
+//! [`ExperimentCache`](kw_core::solver::ExperimentCache) the sweep
+//! runner uses — keyed by `(solver spec, workload label, seed, fault
+//! plan)` — and every fresh answer is appended to a
+//! [`RunStore`](kw_results::store::RunStore). A restarted daemon
+//! replays its store into the cache before accepting traffic, so every
+//! answer it ever computed is served as a cache hit across restarts.
+//! The store's writer lock means a daemon and a sweep can never corrupt
+//! one store by sharing it: the second writer fails fast with a
+//! `Locked` error.
+//!
+//! **Backpressure and robustness.** A bounded worker pool serves
+//! connections; when the accept queue is full the daemon sheds load
+//! with `503` + `Retry-After` instead of queueing unboundedly. Requests
+//! carry a wall-clock deadline, oversized or malformed requests map to
+//! 4xx (never a panic — solver panics are caught and answered as 500
+//! and counted), and `kw-load` replays named request mixes
+//! (`kw_bench::mix`) at a target concurrency, appending latency
+//! percentiles to `KW_BENCH_STORE` so `regress` gates serving
+//! performance like any other benchmark.
+//!
 //! The lower-level per-algorithm entry points (`Pipeline`, `run_alg2`,
 //! `run_rounding`, the invariant checkers, …) remain available from
 //! [`kw_core`] for experiments that dissect a single stage.
@@ -231,6 +280,7 @@ pub use kw_core as core;
 pub use kw_graph as graph;
 pub use kw_lp as lp;
 pub use kw_results as results;
+pub use kw_serve as serve;
 pub use kw_sim as sim;
 
 /// The full solver registry: the paper's solvers (`kw`, `alg2`,
