@@ -161,7 +161,7 @@ impl DsSolver for ConnectedSolver {
         // caller's certificate preference.
         let inner_ctx = SolveContext {
             check_certificates: true,
-            ..*ctx
+            ..ctx.clone()
         };
         let inner_report = self.inner.solve(g, &inner_ctx)?;
         let dominates = inner_report

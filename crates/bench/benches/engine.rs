@@ -203,7 +203,7 @@ fn bench_flood(c: &mut Criterion) {
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        Engine::new(g, cfg, |info| Flood {
+                        Engine::new(g, cfg.clone(), |info| Flood {
                             acc: u64::from(info.id.raw()),
                             rounds_left: r,
                         })
@@ -233,7 +233,7 @@ fn bench_ping(c: &mut Criterion) {
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        Engine::new(g, cfg, |info| Ping {
+                        Engine::new(g, cfg.clone(), |info| Ping {
                             me: u64::from(info.id.raw()),
                             acc: u64::from(info.id.raw()),
                             rounds_left: r,
@@ -264,7 +264,7 @@ fn bench_burst(c: &mut Criterion) {
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        Engine::new(g, cfg, |info| Burst {
+                        Engine::new(g, cfg.clone(), |info| Burst {
                             me: u64::from(info.id.raw()),
                             acc: u64::from(info.id.raw()),
                             rounds_left: r,

@@ -122,7 +122,7 @@ fn bench_engine_rounds(c: &mut Criterion) {
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        Engine::new(g, cfg, |_| Chatter { remaining: 20 })
+                        Engine::new(g, cfg.clone(), |_| Chatter { remaining: 20 })
                             .run()
                             .unwrap()
                     })

@@ -54,7 +54,7 @@ fn main() {
         for seed in 0..seeds {
             let ctx = SolveContext {
                 seed,
-                faults: FaultPlan::drop_with_probability(drop, seed ^ 0xfa),
+                faults: FaultPlan::drop_with_probability(drop, seed ^ 0xfa).into(),
                 ..SolveContext::default()
             };
             let report = solver.solve(&g, &ctx).expect("pipeline runs");

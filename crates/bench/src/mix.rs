@@ -1,7 +1,7 @@
 //! Named request mixes for the serving layer.
 //!
-//! A *mix* is a list of `(solver spec, workload spec, seed)` cells that a
-//! load generator replays against a `kw-serve` daemon. Mixes deliberately
+//! A *mix* is a list of `(solver spec, workload spec, seed, chaos)`
+//! cells that a load generator replays against a `kw-serve` daemon. Mixes deliberately
 //! contain few distinct cells: replaying more requests than cells is what
 //! exercises the answer cache, which is the serving story's whole point
 //! (a constant-round solve is computed once and then served from memory).
@@ -12,7 +12,7 @@
 //! under load, and vice versa.
 
 /// One request of a serving mix: which solver on which workload with
-/// which seed.
+/// which seed, under which chaos plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MixEntry {
     /// Solver spec string (e.g. `"kw:k=2"`).
@@ -21,6 +21,10 @@ pub struct MixEntry {
     pub workload: String,
     /// Run seed.
     pub seed: u64,
+    /// Chaos clause in the sweep grammar (`""` = reliable network); the
+    /// daemon normalizes it through `ChaosPlan::parse`, so two clauses
+    /// spelling the same plan share one cache cell.
+    pub chaos: String,
 }
 
 impl MixEntry {
@@ -29,6 +33,14 @@ impl MixEntry {
             solver: solver.to_string(),
             workload: workload.to_string(),
             seed,
+            chaos: String::new(),
+        }
+    }
+
+    fn chaotic(solver: &str, workload: &str, seed: u64, chaos: &str) -> Self {
+        MixEntry {
+            chaos: chaos.to_string(),
+            ..MixEntry::new(solver, workload, seed)
         }
     }
 }
@@ -64,23 +76,42 @@ pub fn small_mix() -> Vec<MixEntry> {
     mix
 }
 
-/// Resolves a mix by name (`"smoke"` or `"small"`).
+/// The chaotic mix: one solver on one small grid, seed pinned, with the
+/// chaos clause as the *only* axis — a clean control plus iid drops,
+/// burst loss, a crash, a byzantine sender, and the full ISSUE-grammar
+/// combination. Every entry is a distinct cache cell purely by chaos
+/// spec, so replaying this mix exercises chaos-keyed caching end to end.
+pub fn chaos_mix() -> Vec<MixEntry> {
+    let cell = |chaos| MixEntry::chaotic("kw:k=2", "grid:side=5", 0, chaos);
+    vec![
+        cell(""),
+        cell("drop=0.1,seed=5"),
+        cell("burst=r1-3@0.9"),
+        cell("crash=3@r2"),
+        cell("byz=2"),
+        cell("chaos:drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3"),
+    ]
+}
+
+/// Resolves a mix by name (`"smoke"`, `"small"`, or `"chaos"`).
 pub fn by_name(name: &str) -> Option<Vec<MixEntry>> {
     match name {
         "smoke" => Some(smoke_mix()),
         "small" => Some(small_mix()),
+        "chaos" => Some(chaos_mix()),
         _ => None,
     }
 }
 
 /// The names [`by_name`] accepts, for usage messages.
-pub const MIX_NAMES: &[&str] = &["smoke", "small"];
+pub const MIX_NAMES: &[&str] = &["smoke", "small", "chaos"];
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads::Workload;
     use kw_core::solver::SolverSpec;
+    use kw_sim::ChaosPlan;
 
     #[test]
     fn every_mix_entry_parses_under_the_shared_grammars() {
@@ -92,9 +123,40 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{name}: workload {:?}: {e}", entry.workload));
                 SolverSpec::parse(&entry.solver)
                     .unwrap_or_else(|e| panic!("{name}: solver {:?}: {e}", entry.solver));
+                ChaosPlan::parse(&entry.chaos)
+                    .unwrap_or_else(|e| panic!("{name}: chaos {:?}: {e}", entry.chaos));
             }
         }
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn chaos_mix_cells_are_distinct_by_canonical_chaos_spec() {
+        let mix = chaos_mix();
+        let mut specs: Vec<String> = mix
+            .iter()
+            .map(|e| ChaosPlan::parse(&e.chaos).unwrap().spec())
+            .collect();
+        specs.sort();
+        specs.dedup();
+        assert_eq!(specs.len(), mix.len(), "each entry must be its own cell");
+        assert!(
+            mix.iter().any(|e| !e.chaos.is_empty()),
+            "the chaos mix must actually carry chaos"
+        );
+        // Every entry shares (solver, workload, seed): the chaos clause
+        // really is the only axis distinguishing the cells.
+        assert!(mix
+            .iter()
+            .all(|e| (e.solver.as_str(), e.workload.as_str(), e.seed)
+                == (
+                    mix[0].solver.as_str(),
+                    mix[0].workload.as_str(),
+                    mix[0].seed
+                )));
+        // The full-combination entry keeps byzantine corruption in play.
+        let full = ChaosPlan::parse(&mix[5].chaos).unwrap();
+        assert!(full.has_byzantine() && full.has_down() && !full.lossless());
     }
 
     #[test]

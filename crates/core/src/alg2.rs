@@ -188,7 +188,10 @@ impl Protocol for Alg2Protocol {
                 for (_, msg) in ctx.inbox() {
                     match msg {
                         Alg2Msg::Color(gray) => white += usize::from(!gray),
-                        Alg2Msg::X(_) => debug_assert!(false, "unexpected x message in step 0"),
+                        // Honest lock-step senders never mix variants;
+                        // a wrong-variant payload is byzantine corruption
+                        // that happened to decode — garbage, dropped.
+                        Alg2Msg::X(_) => {}
                     }
                 }
                 self.delta_tilde = white;
@@ -209,7 +212,7 @@ impl Protocol for Alg2Protocol {
             for (_, msg) in ctx.inbox() {
                 match msg {
                     Alg2Msg::X(m) => cover += self.decode_x(*m),
-                    Alg2Msg::Color(_) => debug_assert!(false, "unexpected color in step 1"),
+                    Alg2Msg::Color(_) => {} // byzantine garbage (see step 0)
                 }
             }
             if cover >= 1.0 - COVERAGE_TOLERANCE {

@@ -23,7 +23,7 @@
 //! ```
 
 use kw_graph::{CsrGraph, DominatingSet, FractionalAssignment};
-use kw_sim::{EngineConfig, FaultPlan, RunMetrics};
+use kw_sim::{ChaosPlan, EngineConfig, RunMetrics};
 
 use crate::alg2::run_alg2;
 use crate::alg3::run_alg3;
@@ -126,14 +126,20 @@ impl Pipeline {
     /// [`CoreError::InvalidConfig`] if `k == 0`; simulation errors are
     /// propagated.
     pub fn run(&self, g: &CsrGraph, seed: u64) -> Result<PipelineOutcome, CoreError> {
-        self.run_with_faults(g, seed, FaultPlan::reliable())
+        self.run_with_faults(g, seed, ChaosPlan::reliable())
     }
 
-    /// Runs the pipeline over an unreliable network: every delivered
-    /// message copy is subject to the given loss model (robustness
-    /// ablation A3; the paper's model is the reliable special case).
+    /// Runs the pipeline under a chaos plan: iid losses, correlated drop
+    /// bursts, crash/recover schedules, adversarial (byzantine) senders,
+    /// and inter-round churn (robustness ablation A3; the paper's model is
+    /// the reliable special case). A plain [`kw_sim::FaultPlan`] converts
+    /// via `.into()`.
     ///
-    /// With losses the theorems' guarantees no longer apply — the output
+    /// Both simulation stages (fractional solver, then rounding) run under
+    /// the same plan, each from its own round 0 — chaos round numbers are
+    /// stage-local.
+    ///
+    /// With chaos the theorems' guarantees no longer apply — the output
     /// may even fail to dominate; callers should check.
     ///
     /// # Errors
@@ -143,12 +149,12 @@ impl Pipeline {
         &self,
         g: &CsrGraph,
         seed: u64,
-        faults: FaultPlan,
+        faults: ChaosPlan,
     ) -> Result<PipelineOutcome, CoreError> {
         let engine = EngineConfig {
             seed,
             threads: self.config.threads,
-            faults,
+            faults: faults.clone(),
             ..EngineConfig::default()
         };
         let (fractional, fractional_metrics, delta2) = match self.config.solver {

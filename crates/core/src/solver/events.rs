@@ -27,7 +27,7 @@
 use super::runner::RunOutcome;
 
 /// Durable description of one `(solver, workload, seed)` run: the cache
-/// key (including the fault-plan fingerprint, the one context knob
+/// key (including the chaos-plan fingerprint, the one context knob
 /// besides the seed that changes results) plus the [`RunOutcome`].
 ///
 /// This is exactly the information the `kw_results` run store persists
@@ -48,10 +48,11 @@ pub struct RunRecord {
     pub max_degree: usize,
     /// Run seed.
     pub seed: u64,
-    /// Fault-plan drop probability (0.0 = reliable network).
-    pub fault_drop: f64,
-    /// Fault-plan seed (meaningful only when `fault_drop > 0`).
-    pub fault_seed: u64,
+    /// Canonical chaos spec of the context's [`ChaosPlan`] (`""` =
+    /// reliable network) — the fingerprint the cache keys outcomes by.
+    ///
+    /// [`ChaosPlan`]: kw_sim::ChaosPlan
+    pub chaos: String,
     /// What the run produced.
     pub outcome: RunOutcome,
 }

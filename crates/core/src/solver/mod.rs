@@ -47,7 +47,7 @@ use std::error::Error;
 use std::fmt;
 
 use kw_graph::{CsrGraph, DominatingSet, FractionalAssignment};
-use kw_sim::{FaultPlan, RunMetrics, SimError};
+use kw_sim::{ChaosPlan, RunMetrics, SimError};
 
 use crate::CoreError;
 
@@ -63,15 +63,17 @@ pub use spec::SolverSpec;
 /// algorithm parameters belong to the solver itself (configured through
 /// its [`SolverSpec`]). One context can therefore drive any solver, which
 /// is what makes solver × workload × seed matrices well-defined.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveContext {
     /// Run seed; all randomness any solver consumes derives from it.
     pub seed: u64,
     /// Worker threads for the simulation engine (`<= 1` = sequential,
     /// `0` = all available cores). Never affects results.
     pub threads: usize,
-    /// Message-loss model (defaults to the paper's reliable network).
-    pub faults: FaultPlan,
+    /// Chaos model — iid losses, drop bursts, crashes, byzantine senders,
+    /// churn (defaults to the paper's reliable network). A plain
+    /// [`kw_sim::FaultPlan`] converts via `.into()`.
+    pub faults: ChaosPlan,
     /// Whether to attach a quality [`Certificate`] to reports
     /// (verification + Lemma-1 ratio; costs one `is_dominating` pass).
     pub check_certificates: bool,
@@ -82,7 +84,7 @@ impl Default for SolveContext {
         SolveContext {
             seed: 0,
             threads: 1,
-            faults: FaultPlan::reliable(),
+            faults: ChaosPlan::reliable(),
             check_certificates: true,
         }
     }
@@ -97,10 +99,13 @@ impl SolveContext {
         }
     }
 
-    /// Returns the context with a different seed (used by the
+    /// Returns a copy of the context with a different seed (used by the
     /// [`ExperimentRunner`] to sweep seeds).
-    pub fn with_seed(self, seed: u64) -> Self {
-        SolveContext { seed, ..self }
+    pub fn with_seed(&self, seed: u64) -> Self {
+        SolveContext {
+            seed,
+            ..self.clone()
+        }
     }
 }
 
@@ -221,6 +226,11 @@ impl ReportBuilder {
             .iter()
             .fold(RunMetrics::default(), |acc, s| acc.merged(&s.metrics));
         let certificate = ctx.check_certificates.then(|| {
+            // Under churn the run ends on a different topology than it
+            // started from; quality is judged against the final graph the
+            // chaos script produced.
+            let churned = ctx.faults.churned_graph(g);
+            let g = churned.as_ref().unwrap_or(g);
             let size = self.dominating_set.len() as f64;
             let lemma1 = kw_lp::bounds::lemma1_bound(g);
             let ratio_vs_lemma1 = if lemma1 > 0.0 {

@@ -91,7 +91,8 @@ impl DsSolver for PipelineSolver {
     }
 
     fn solve(&self, g: &CsrGraph, ctx: &SolveContext) -> Result<SolveReport, SolveError> {
-        let outcome = Pipeline::new(self.config(ctx)).run_with_faults(g, ctx.seed, ctx.faults)?;
+        let outcome =
+            Pipeline::new(self.config(ctx)).run_with_faults(g, ctx.seed, ctx.faults.clone())?;
         Ok(
             ReportBuilder::new(self.spec(), outcome.dominating_set.clone())
                 .fractional(outcome.fractional.clone())
@@ -148,7 +149,7 @@ impl DsSolver for CompositeSolver {
         let engine = EngineConfig {
             seed: ctx.seed,
             threads: ctx.threads,
-            faults: ctx.faults,
+            faults: ctx.faults.clone(),
             ..EngineConfig::default()
         };
         let rounding = RoundingConfig {

@@ -41,8 +41,8 @@ pub struct RunOutcome {
 }
 
 /// Cache key of one run outcome: `(solver spec, workload label, seed,
-/// fault-plan fingerprint)`.
-type OutcomeKey = (String, String, u64, (u64, u64));
+/// canonical chaos spec)`.
+type OutcomeKey = (String, String, u64, String);
 
 /// Memoization shared across [`ExperimentRunner`] sweeps (ROADMAP item
 /// (b)): generated workload graphs keyed by `(workload, seed)`, and run
@@ -85,10 +85,10 @@ type OutcomeKey = (String, String, u64, (u64, u64));
 #[derive(Debug, Default)]
 pub struct ExperimentCache {
     graphs: Mutex<HashMap<(String, u64), Arc<CsrGraph>>>,
-    /// Keyed by `(solver spec, workload, seed, fault fingerprint)` — the
-    /// fault plan is the one piece of [`SolveContext`] besides the seed
-    /// that changes results, so runners with different loss models can
-    /// safely share one cache.
+    /// Keyed by `(solver spec, workload, seed, canonical chaos spec)` —
+    /// the chaos plan is the one piece of [`SolveContext`] besides the
+    /// seed that changes results, so runners with different loss/chaos
+    /// models can safely share one cache.
     outcomes: Mutex<HashMap<OutcomeKey, RunOutcome>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -126,32 +126,34 @@ impl ExperimentCache {
     }
 
     /// The part of a context that (together with the per-run seed) can
-    /// change a run's outcome: the fault plan.
-    fn context_fingerprint(ctx: &SolveContext) -> (u64, u64) {
-        (ctx.faults.drop_probability().to_bits(), ctx.faults.seed())
+    /// change a run's outcome: the chaos plan, as its canonical spec.
+    fn context_fingerprint(ctx: &SolveContext) -> String {
+        ctx.faults.spec()
     }
 
     /// Seeds the cache with an already-known outcome, keyed exactly like
-    /// a live run with the given fault plan. This is the resume hook the
-    /// `kw_results` run store uses: replaying persisted [`RunRecord`]s
-    /// into a cache makes a re-launched sweep solve only missing cells.
+    /// a live run under the chaos plan whose canonical spec is `chaos`
+    /// (`""` = reliable). This is the resume hook the `kw_results` run
+    /// store uses: replaying persisted [`RunRecord`]s into a cache makes
+    /// a re-launched sweep solve only missing cells.
     ///
     /// Replayed entries count as neither hits nor misses until a sweep
-    /// looks them up.
+    /// looks them up. Non-canonical specs (e.g. a raw `"chaos:..."`
+    /// clause) should be normalized via [`kw_sim::ChaosPlan::parse`]
+    /// before insertion, or the live sweep will miss them.
     pub fn insert_outcome(
         &self,
         solver: &str,
         workload: &str,
         seed: u64,
-        fault_drop: f64,
-        fault_seed: u64,
+        chaos: &str,
         outcome: RunOutcome,
     ) {
         let key = (
             solver.to_string(),
             workload.to_string(),
             seed,
-            (fault_drop.to_bits(), fault_seed),
+            chaos.to_string(),
         );
         self.outcomes.lock().unwrap().insert(key, outcome);
     }
@@ -353,9 +355,9 @@ impl ExperimentRunner {
     }
 
     /// The base context cells run under (per-run seeds override its
-    /// `seed`). Run stores persist its fault plan in sweep manifests.
+    /// `seed`). Run stores persist its chaos plan in sweep manifests.
     pub fn base_context(&self) -> SolveContext {
-        self.base
+        self.base.clone()
     }
 
     /// Runs every solver on every workload for every seed, aggregating
@@ -501,8 +503,9 @@ impl ExperimentRunner {
         // sweep needs them regardless of the base context's preference.
         let ctx = SolveContext {
             check_certificates: true,
-            ..self.base
+            ..self.base.clone()
         };
+        let chaos = ctx.faults.spec();
         let spec = solver.spec();
         let mut sizes = Vec::new();
         let mut rounds = Vec::new();
@@ -591,8 +594,7 @@ impl ExperimentRunner {
                     n: graph.len(),
                     max_degree: graph.max_degree(),
                     seed,
-                    fault_drop: ctx.faults.drop_probability(),
-                    fault_seed: ctx.faults.seed(),
+                    chaos: chaos.clone(),
                     outcome,
                 };
                 e.emit(|worker, seq| {
@@ -884,7 +886,7 @@ mod tests {
         let reliable = ExperimentRunner::new().cache(cache.clone());
         let lossy = ExperimentRunner::new()
             .context(SolveContext {
-                faults: FaultPlan::drop_with_probability(0.4, 5),
+                faults: FaultPlan::drop_with_probability(0.4, 5).into(),
                 ..Default::default()
             })
             .cache(cache.clone());
@@ -917,7 +919,7 @@ mod tests {
         let lossy = |fault_seed: u64| {
             ExperimentRunner::new()
                 .context(SolveContext {
-                    faults: FaultPlan::drop_with_probability(0.3, fault_seed),
+                    faults: FaultPlan::drop_with_probability(0.3, fault_seed).into(),
                     ..Default::default()
                 })
                 .cache(cache.clone())
@@ -1110,15 +1112,8 @@ mod tests {
         let replayed = ExperimentCache::new();
         {
             let outcomes = warm_cache.outcomes.lock().unwrap();
-            for ((solver, workload, seed, (drop_bits, fault_seed)), outcome) in outcomes.iter() {
-                replayed.insert_outcome(
-                    solver,
-                    workload,
-                    *seed,
-                    f64::from_bits(*drop_bits),
-                    *fault_seed,
-                    *outcome,
-                );
+            for ((solver, workload, seed, chaos), outcome) in outcomes.iter() {
+                replayed.insert_outcome(solver, workload, *seed, chaos, *outcome);
             }
         }
         let resumed = ExperimentRunner::new()
@@ -1184,8 +1179,8 @@ mod tests {
         assert_eq!(cache.hits(), hits_before + 1);
         // A different fault plan is a different cell.
         let faulty = SolveContext {
-            faults: kw_sim::FaultPlan::drop_with_probability(0.5, 7),
-            ..ctx
+            faults: kw_sim::FaultPlan::drop_with_probability(0.5, 7).into(),
+            ..ctx.clone()
         };
         assert!(cache.outcome("kw:k=2", "grid4", 0, &faulty).is_none());
     }

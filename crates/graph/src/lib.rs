@@ -37,6 +37,7 @@
 
 mod bitset;
 mod builder;
+pub mod churn;
 mod csr;
 mod domset;
 mod error;
@@ -47,6 +48,7 @@ pub mod props;
 
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use churn::{apply_churn, ChurnEvent, ChurnKind};
 pub use csr::{ClosedNeighbors, CsrGraph, Neighbors};
 pub use domset::{DominatingSet, FractionalAssignment, VertexWeights, COVERAGE_TOLERANCE};
 pub use error::GraphError;

@@ -187,14 +187,7 @@ impl SweepSession {
         let cache = ExperimentCache::new();
         let mut shapes = HashMap::new();
         for r in &contents.records {
-            cache.insert_outcome(
-                &r.solver,
-                &r.workload,
-                r.seed,
-                r.fault_drop,
-                r.fault_seed,
-                r.outcome,
-            );
+            cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
             shapes.insert(r.workload.clone(), (r.n, r.max_degree));
         }
         Ok(SweepSession {
@@ -267,8 +260,7 @@ impl SweepSession {
             solvers: solvers.iter().map(DsSolver::spec).collect(),
             workloads: workloads.iter().map(|(label, _)| label.clone()).collect(),
             seeds: seeds.clone(),
-            fault_drop: base.faults.drop_probability(),
-            fault_seed: base.faults.seed(),
+            chaos: base.faults.spec(),
         })?;
         let runner = runner.clone().cache(self.cache.clone());
         let store = &self.store;

@@ -152,23 +152,32 @@ impl fmt::Display for Regression {
     }
 }
 
-/// Diffs `fresh` against `baseline` cell by cell. Cells only in `fresh`
-/// are ignored (new coverage is not a regression); cells only in
-/// `baseline` are reported as [`Regression::MissingCell`].
+/// Diffs `fresh` against `baseline` cell by cell, matching on
+/// `(solver, workload, chaos)` — a chaotic cell is only ever compared
+/// against the same chaos plan, never against the clean baseline of the
+/// same workload. Cells only in `fresh` are ignored (new coverage is not
+/// a regression); cells only in `baseline` are reported as
+/// [`Regression::MissingCell`]. In findings, a non-reliable chaos spec
+/// is folded into the workload display as `workload (chaos:spec)`.
 pub fn compare(baseline: &Summary, fresh: &Summary, policy: &RegressPolicy) -> Vec<Regression> {
     let mut findings = Vec::new();
     for base in &baseline.cells {
-        let Some(new) = fresh.cell(&base.solver, &base.workload) else {
+        let workload = if base.chaos.is_empty() {
+            base.workload.clone()
+        } else {
+            format!("{} (chaos:{})", base.workload, base.chaos)
+        };
+        let Some(new) = fresh.cell_under(&base.solver, &base.workload, &base.chaos) else {
             findings.push(Regression::MissingCell {
                 solver: base.solver.clone(),
-                workload: base.workload.clone(),
+                workload,
             });
             continue;
         };
         if new.failures > base.failures {
             findings.push(Regression::MoreFailures {
                 solver: base.solver.clone(),
-                workload: base.workload.clone(),
+                workload: workload.clone(),
                 baseline: base.failures,
                 fresh: new.failures,
             });
@@ -179,7 +188,7 @@ pub fn compare(baseline: &Summary, fresh: &Summary, policy: &RegressPolicy) -> V
         {
             findings.push(Regression::Quality {
                 solver: base.solver.clone(),
-                workload: base.workload.clone(),
+                workload: workload.clone(),
                 baseline: base.size.mean,
                 fresh: new.size.mean,
             });
@@ -189,7 +198,7 @@ pub fn compare(baseline: &Summary, fresh: &Summary, policy: &RegressPolicy) -> V
         {
             findings.push(Regression::Time {
                 solver: base.solver.clone(),
-                workload: base.workload.clone(),
+                workload: workload.clone(),
                 baseline_ms: base.wall_ms.mean,
                 fresh_ms: new.wall_ms.mean,
             });
@@ -254,8 +263,7 @@ mod tests {
             n: 64,
             max_degree: 8,
             seed,
-            fault_drop: 0.0,
-            fault_seed: 0,
+            chaos: String::new(),
             outcome: RunOutcome {
                 dominates: true,
                 size,
@@ -325,6 +333,34 @@ mod tests {
         assert!(findings
             .iter()
             .any(|r| matches!(r, Regression::MissingCell { solver, .. } if solver == "greedy")));
+    }
+
+    #[test]
+    fn chaos_cells_gate_independently_of_clean_cells() {
+        let chaotic = |size: f64| {
+            let mut r = record("kw:k=2", "grid", 0, size, 2.0);
+            r.chaos = "drop=0.2,seed=7".into();
+            r
+        };
+        let base = Summary::from_records(&[record("kw:k=2", "grid", 0, 10.0, 2.0), chaotic(14.0)]);
+        // The chaotic cell degrades; the clean cell is unchanged. Only
+        // the chaotic cell may be flagged — and under its chaos label.
+        let fresh = Summary::from_records(&[record("kw:k=2", "grid", 0, 10.0, 2.0), chaotic(16.0)]);
+        let findings = compare(&base, &fresh, &RegressPolicy::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(matches!(
+            &findings[0],
+            Regression::Quality { workload, .. } if workload == "grid (chaos:drop=0.2,seed=7)"
+        ));
+        // A fresh run that dropped the chaotic cell but kept the clean
+        // one reports exactly the chaotic cell missing, not the clean.
+        let clean_only = Summary::from_records(&[record("kw:k=2", "grid", 0, 10.0, 2.0)]);
+        let findings = compare(&base, &clean_only, &RegressPolicy::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(matches!(
+            &findings[0],
+            Regression::MissingCell { workload, .. } if workload == "grid (chaos:drop=0.2,seed=7)"
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! schema version (`"v"`) and a line kind:
 //!
 //! * `manifest` — one per sweep launch: git describe, solver specs,
-//!   workload labels, seeds, and the fault plan;
+//!   workload labels, seeds, and the chaos plan (canonical spec);
 //! * `record` — one per solved `(solver, workload, seed)` cell (a
 //!   serialized [`RunRecord`]);
 //! * `bench` — one criterion measurement (group, id, best-of-N ms), so
@@ -33,6 +33,15 @@
 //! must not misread new stores) and accept unknown line kinds of the
 //! current version (new code may add kinds old readers can skip).
 //!
+//! v1 → v2: manifests and records replaced the `fault_drop`/`fault_seed`
+//! pair with a single `chaos` string — the canonical [`ChaosPlan`] spec
+//! (`""` = reliable), which also covers bursts, crashes, byzantine
+//! senders, and churn. v1 lines are still read: their legacy pair is
+//! synthesized into the equivalent canonical iid-only spec, so old
+//! stores replay into today's caches and key the same cells.
+//!
+//! [`ChaosPlan`]: kw_sim::ChaosPlan
+//!
 //! # Single writer
 //!
 //! Append crash-safety assumes exactly one writer per file: two
@@ -53,11 +62,12 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use kw_core::solver::{ExperimentCache, RunOutcome, RunRecord};
+use kw_sim::ChaosPlan;
 
 use crate::json::Json;
 
 /// Version stamped on every line this crate writes.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One sweep launch's provenance: everything needed to re-run it.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,10 +80,8 @@ pub struct RunManifest {
     pub workloads: Vec<String>,
     /// Seeds of the sweep, in run order.
     pub seeds: Vec<u64>,
-    /// Fault-plan drop probability of the sweep's context.
-    pub fault_drop: f64,
-    /// Fault-plan seed of the sweep's context.
-    pub fault_seed: u64,
+    /// Canonical chaos spec of the sweep's context (`""` = reliable).
+    pub chaos: String,
 }
 
 /// One benchmark measurement in store form.
@@ -379,8 +387,7 @@ impl RunStore {
                 "seeds",
                 Json::Arr(m.seeds.iter().map(|&s| Json::UInt(s)).collect()),
             ),
-            ("fault_drop", Json::num(m.fault_drop)),
-            ("fault_seed", Json::UInt(m.fault_seed)),
+            ("chaos", Json::Str(m.chaos.clone())),
         ]))
     }
 
@@ -394,8 +401,7 @@ impl RunStore {
             ("n", Json::UInt(r.n as u64)),
             ("max_degree", Json::UInt(r.max_degree as u64)),
             ("seed", Json::UInt(r.seed)),
-            ("fault_drop", Json::num(r.fault_drop)),
-            ("fault_seed", Json::UInt(r.fault_seed)),
+            ("chaos", Json::Str(r.chaos.clone())),
             ("dominates", Json::Bool(r.outcome.dominates)),
             ("size", Json::num(r.outcome.size)),
             ("rounds", Json::num(r.outcome.rounds)),
@@ -445,14 +451,7 @@ impl RunStore {
     pub fn replay_into(&self, cache: &ExperimentCache) -> Result<usize, StoreError> {
         let contents = self.load()?;
         for r in &contents.records {
-            cache.insert_outcome(
-                &r.solver,
-                &r.workload,
-                r.seed,
-                r.fault_drop,
-                r.fault_seed,
-                r.outcome,
-            );
+            cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
         }
         Ok(contents.records.len())
     }
@@ -541,6 +540,20 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
             .and_then(Json::as_u64)
             .ok_or_else(|| corrupt(format!("missing integer field {key:?}")))
     };
+    // v2 lines carry the canonical chaos spec directly; v1 lines carried
+    // an iid-only `fault_drop`/`fault_seed` pair, synthesized here into
+    // the equivalent canonical spec so old stores key today's caches.
+    let chaos_field = || -> Result<String, StoreError> {
+        if let Some(spec) = v.get("chaos").and_then(Json::as_str) {
+            return Ok(spec.to_string());
+        }
+        let drop = f64_field("fault_drop")?;
+        let seed = u64_field("fault_seed")?;
+        if !(0.0..=1.0).contains(&drop) {
+            return Err(corrupt(format!("fault_drop {drop} outside [0, 1]")));
+        }
+        Ok(ChaosPlan::from(kw_sim::FaultPlan::drop_with_probability(drop, seed)).spec())
+    };
     match kind {
         "manifest" => {
             let str_arr = |key: &str| -> Result<Vec<String>, StoreError> {
@@ -564,8 +577,7 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
                     .and_then(Json::as_arr)
                     .map(|items| items.iter().filter_map(Json::as_u64).collect())
                     .ok_or_else(|| corrupt("missing array field \"seeds\"".into()))?,
-                fault_drop: f64_field("fault_drop")?,
-                fault_seed: u64_field("fault_seed")?,
+                chaos: chaos_field()?,
             }))
         }
         "record" => Ok(Line::Record(RunRecord {
@@ -574,8 +586,7 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
             n: u64_field("n")? as usize,
             max_degree: u64_field("max_degree")? as usize,
             seed: u64_field("seed")?,
-            fault_drop: f64_field("fault_drop")?,
-            fault_seed: u64_field("fault_seed")?,
+            chaos: chaos_field()?,
             outcome: RunOutcome {
                 dominates: v
                     .get("dominates")
@@ -628,8 +639,7 @@ mod tests {
             n: 16,
             max_degree: 4,
             seed,
-            fault_drop: 0.25,
-            fault_seed: seed ^ 0xfa,
+            chaos: format!("drop=0.25,seed={}", seed ^ 0xfa),
             outcome: RunOutcome {
                 dominates: seed.is_multiple_of(2),
                 size: 4.0 + seed as f64,
@@ -652,8 +662,7 @@ mod tests {
             solvers: vec!["kw:k=2".into(), "greedy".into()],
             workloads: vec!["grid4".into()],
             seeds: vec![0, 1, u64::MAX],
-            fault_drop: 0.0,
-            fault_seed: 0,
+            chaos: "drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3".into(),
         };
         store.append_manifest(&manifest).unwrap();
         let records: Vec<RunRecord> = (0..3).map(sample_record).collect();
@@ -751,6 +760,41 @@ mod tests {
         // Replay counts as neither hit nor miss until a sweep looks up.
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// v1 stores carried `fault_drop`/`fault_seed` instead of a `chaos`
+    /// string; readers must map them onto the equivalent canonical
+    /// iid-only chaos spec so old stores still replay and key caches.
+    #[test]
+    fn v1_legacy_fault_fields_map_to_canonical_chaos_specs() {
+        let text = "{\"v\":1,\"kind\":\"manifest\",\"git\":\"abc\",\"solvers\":[\"kw:k=2\"],\
+                    \"workloads\":[\"grid4\"],\"seeds\":[0],\"fault_drop\":0.25,\"fault_seed\":9}\n\
+                    {\"v\":1,\"kind\":\"record\",\"solver\":\"kw:k=2\",\"workload\":\"grid4\",\
+                    \"n\":16,\"max_degree\":4,\"seed\":0,\"fault_drop\":0.25,\"fault_seed\":9,\
+                    \"dominates\":true,\"size\":4,\"rounds\":18,\"messages\":10,\"bits\":20,\
+                    \"ratio_vs_lemma1\":1.5,\"wall_ms\":0.5}\n\
+                    {\"v\":1,\"kind\":\"record\",\"solver\":\"kw:k=2\",\"workload\":\"grid4\",\
+                    \"n\":16,\"max_degree\":4,\"seed\":1,\"fault_drop\":0.0,\"fault_seed\":0,\
+                    \"dominates\":true,\"size\":4,\"rounds\":18,\"messages\":10,\"bits\":20,\
+                    \"ratio_vs_lemma1\":1.5,\"wall_ms\":0.5}\n";
+        let contents = parse_store(text).unwrap();
+        assert_eq!(contents.manifests[0].chaos, "drop=0.25,seed=9");
+        assert_eq!(contents.records[0].chaos, "drop=0.25,seed=9");
+        // A reliable v1 pair maps to the canonical empty spec.
+        assert_eq!(contents.records[1].chaos, "");
+        // The synthesized specs parse back to the plans they describe.
+        let plan = ChaosPlan::parse(&contents.records[0].chaos).unwrap();
+        assert_eq!(plan.drop_probability(), 0.25);
+        assert_eq!(plan.seed(), 9);
+        // A v1 line with an impossible probability is corrupt, not UB.
+        let bad = "{\"v\":1,\"kind\":\"record\",\"solver\":\"s\",\"workload\":\"w\",\
+                   \"n\":1,\"max_degree\":0,\"seed\":0,\"fault_drop\":1.5,\"fault_seed\":0,\
+                   \"dominates\":true,\"size\":1,\"rounds\":1,\"messages\":0,\"bits\":0,\
+                   \"ratio_vs_lemma1\":1,\"wall_ms\":0}\nx\n";
+        assert!(matches!(
+            parse_store(bad),
+            Err(StoreError::Corrupt { line: 1, .. })
+        ));
     }
 
     #[test]

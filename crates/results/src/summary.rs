@@ -86,6 +86,10 @@ pub struct CellRollup {
     pub solver: String,
     /// Workload label.
     pub workload: String,
+    /// Canonical chaos spec the cell ran under (`""` = reliable). Part
+    /// of the cell key: the same `(solver, workload)` under different
+    /// chaos plans rolls up as separate cells.
+    pub chaos: String,
     /// Node count of the workload graph.
     pub n: usize,
     /// Maximum degree `Δ` of the workload graph.
@@ -131,7 +135,8 @@ pub struct SolverRollup {
 /// Per-cell and per-solver rollups of a set of run records.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
-    /// Cells, sorted by `(workload, solver)` (the classic table order).
+    /// Cells, sorted by `(workload, chaos, solver)` (the classic table
+    /// order, with chaos variants of a workload grouped together).
     pub cells: Vec<CellRollup>,
     /// Solvers, sorted by spec.
     pub solvers: Vec<SolverRollup>,
@@ -171,17 +176,23 @@ impl Summary {
                 self.ratio.push(r.outcome.ratio_vs_lemma1);
             }
         }
-        let mut cells: std::collections::BTreeMap<(String, String), Acc> = Default::default();
+        let mut cells: std::collections::BTreeMap<(String, String, String), Acc> =
+            Default::default();
         let mut solvers: std::collections::BTreeMap<String, Acc> = Default::default();
         // Seeds sort runs deterministically inside each accumulator, so
         // percentile input order never depends on worker scheduling.
         let mut sorted: Vec<&RunRecord> = records.iter().collect();
         sorted.sort_by(|a, b| {
-            (&a.solver, &a.workload, a.seed).cmp(&(&b.solver, &b.workload, b.seed))
+            (&a.solver, &a.workload, &a.chaos, a.seed).cmp(&(
+                &b.solver,
+                &b.workload,
+                &b.chaos,
+                b.seed,
+            ))
         });
         for r in sorted {
             cells
-                .entry((r.workload.clone(), r.solver.clone()))
+                .entry((r.workload.clone(), r.chaos.clone(), r.solver.clone()))
                 .or_default()
                 .push(r);
             solvers.entry(r.solver.clone()).or_default().push(r);
@@ -189,9 +200,10 @@ impl Summary {
         Summary {
             cells: cells
                 .into_iter()
-                .map(|((workload, solver), acc)| CellRollup {
+                .map(|((workload, chaos, solver), acc)| CellRollup {
                     solver,
                     workload,
+                    chaos,
                     n: acc.n,
                     max_degree: acc.max_degree,
                     runs: acc.runs,
@@ -219,28 +231,38 @@ impl Summary {
         }
     }
 
-    /// Looks one cell up.
+    /// Looks one cell up by solver and workload (first match across
+    /// chaos variants; summaries of reliable sweeps have exactly one).
     pub fn cell(&self, solver: &str, workload: &str) -> Option<&CellRollup> {
         self.cells
             .iter()
             .find(|c| c.solver == solver && c.workload == workload)
     }
 
+    /// Looks one cell up under a specific canonical chaos spec (`""` =
+    /// reliable).
+    pub fn cell_under(&self, solver: &str, workload: &str, chaos: &str) -> Option<&CellRollup> {
+        self.cells
+            .iter()
+            .find(|c| c.solver == solver && c.workload == workload && c.chaos == chaos)
+    }
+
     /// Renders the per-cell table as GitHub-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "| workload | n | Δ | solver | runs | fail | E\\|DS\\| | p50 | p95 | p99 | ratio | rounds | msgs(p50) | wall ms |\n",
+            "| workload | n | Δ | solver | chaos | runs | fail | E\\|DS\\| | p50 | p95 | p99 | ratio | rounds | msgs(p50) | wall ms |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.0} | {:.2} | {:.0} | {:.0} | {:.2} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.0} | {:.2} | {:.0} | {:.0} | {:.2} |",
                 c.workload,
                 c.n,
                 c.max_degree,
                 c.solver,
+                if c.chaos.is_empty() { "-" } else { &c.chaos },
                 c.runs,
                 c.failures,
                 c.size.mean,
@@ -264,6 +286,7 @@ impl Summary {
             "n",
             "max_degree",
             "solver",
+            "chaos",
             "runs",
             "failures",
             "size_mean",
@@ -283,6 +306,7 @@ impl Summary {
                 c.n.to_string(),
                 c.max_degree.to_string(),
                 c.solver.clone(),
+                c.chaos.clone(),
                 c.runs.to_string(),
                 c.failures.to_string(),
                 c.size.mean.to_string(),
@@ -313,8 +337,7 @@ mod tests {
             n: 100,
             max_degree: 9,
             seed,
-            fault_drop: 0.0,
-            fault_seed: 0,
+            chaos: String::new(),
             outcome: RunOutcome {
                 dominates,
                 size,
@@ -472,14 +495,40 @@ mod tests {
         assert!(md.starts_with("| workload |"));
         assert!(md.lines().next().unwrap().contains("| p99 |"));
         // p50/p95/p99 of {10, 12}: ranks 1/2/2 → 10, 12, 12.
-        assert!(md.contains("| grid | 100 | 9 | kw:k=2 | 2 | 0 | 11.0 | 10 | 12 | 12 |"));
+        assert!(md.contains("| grid | 100 | 9 | kw:k=2 | - | 2 | 0 | 11.0 | 10 | 12 | 12 |"));
         let csv = s.to_csv();
-        assert!(csv.starts_with("workload,n,max_degree,solver,"));
+        assert!(csv.starts_with("workload,n,max_degree,solver,chaos,"));
         assert!(csv.lines().next().unwrap().contains("size_p99"));
         assert!(csv
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("grid,100,9,kw:k=2,2,0,11,10,12,12,"));
+            .starts_with("grid,100,9,kw:k=2,,2,0,11,10,12,12,"));
+    }
+
+    /// The same `(solver, workload)` under different chaos plans must
+    /// roll up as separate cells — collapsing them would average a
+    /// degraded run into the clean baseline.
+    #[test]
+    fn chaos_variants_are_distinct_cells() {
+        let mut clean = record("kw:k=2", "grid", 0, 10.0, true);
+        clean.chaos = String::new();
+        let mut noisy = record("kw:k=2", "grid", 0, 14.0, true);
+        noisy.chaos = "drop=0.2,seed=7".into();
+        let mut noisy2 = record("kw:k=2", "grid", 1, 16.0, false);
+        noisy2.chaos = "drop=0.2,seed=7".into();
+        let s = Summary::from_records(&[clean, noisy, noisy2]);
+        assert_eq!(s.cells.len(), 2);
+        let base = s.cell_under("kw:k=2", "grid", "").unwrap();
+        assert_eq!((base.runs, base.failures), (1, 0));
+        assert_eq!(base.size.mean, 10.0);
+        let chaotic = s.cell_under("kw:k=2", "grid", "drop=0.2,seed=7").unwrap();
+        assert_eq!((chaotic.runs, chaotic.failures), (2, 1));
+        assert_eq!(chaotic.size.mean, 14.0, "failed run excluded");
+        // The chaos spec shows up in both rendered tables.
+        assert!(s.to_markdown().contains("| drop=0.2,seed=7 |"));
+        assert!(s.to_csv().contains(",drop=0.2,seed=7,"));
+        // The chaos-blind lookup still finds the first variant.
+        assert!(s.cell("kw:k=2", "grid").is_some());
     }
 }

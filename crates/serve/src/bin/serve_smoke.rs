@@ -92,6 +92,26 @@ fn smoke() -> Result<(), String> {
     )?;
     println!("pass 1 ok: {hits_1} hits over {requests} burst requests");
 
+    // --- chaotic mix ---------------------------------------------------------
+    // Same daemon, now under the chaos mix: every cell shares (solver,
+    // workload, seed) and differs only by chaos clause, so correct
+    // chaos-keyed caching is the only way this stays consistent.
+    let chaos_entries = mix::chaos_mix();
+    let chaos_requests = chaos_entries.len() * 2; // each cell replayed twice
+    let chaos_report = run_load(addr, "chaos", &chaos_entries, 2, chaos_requests, TIMEOUT);
+    println!("{}", chaos_report.render());
+    expect(
+        chaos_report.ok_2xx == chaos_requests,
+        "chaos mix must answer 200 for every request",
+    )?;
+    let metrics = scrape(addr)?;
+    let chaotic = chaos_entries.iter().filter(|e| !e.chaos.is_empty()).count();
+    expect(
+        metric(&metrics, "kw_serve_chaos_requests_total")? == (chaotic * 2) as f64,
+        "every non-reliable request must tick the chaos counter",
+    )?;
+    println!("chaos mix ok: {} chaotic requests counted", chaotic * 2);
+
     // --- graceful drain ------------------------------------------------------
     let drain = http_request(addr, "POST", "/shutdown", b"", TIMEOUT)
         .map_err(|e| format!("shutdown: {e}"))?;
@@ -104,8 +124,8 @@ fn smoke() -> Result<(), String> {
     let server = Server::start(config(&store)).map_err(|e| format!("restart: {e}"))?;
     let addr = server.addr();
     expect(
-        server.service().warmed() == mix_entries.len(),
-        "restart must warm one answer per distinct cell",
+        server.service().warmed() == mix_entries.len() + chaos_entries.len(),
+        "restart must warm one answer per distinct cell, chaos cells included",
     )?;
     let entry = &mix_entries[0];
     let body = format!(
@@ -131,8 +151,9 @@ fn smoke() -> Result<(), String> {
         "warm daemon must not re-solve",
     )?;
     expect(
-        metric(&metrics, "kw_serve_cache_warmed_total")? == mix_entries.len() as f64,
-        "warmed gauge must count the replayed store",
+        metric(&metrics, "kw_serve_cache_warmed_total")?
+            == (mix_entries.len() + chaos_entries.len()) as f64,
+        "warmed gauge must count the replayed store, chaos cells included",
     )?;
     server.shutdown();
     println!("pass 2 ok: warm restart served from store");

@@ -190,8 +190,13 @@ pub fn run_load(
                     return;
                 }
                 let entry = &mix_entries[i % mix_entries.len()];
+                let chaos = if entry.chaos.is_empty() {
+                    String::new()
+                } else {
+                    format!(", \"chaos\": {}", json_string(&entry.chaos))
+                };
                 let body = format!(
-                    "{{\"workload\": {}, \"solver\": {}, \"seed\": {}}}",
+                    "{{\"workload\": {}, \"solver\": {}, \"seed\": {}{chaos}}}",
                     json_string(&entry.workload),
                     json_string(&entry.solver),
                     entry.seed

@@ -25,6 +25,7 @@ use kw_bench::workloads::Workload;
 use kw_core::solver::{ExperimentCache, RunOutcome, RunRecord, SolveContext, SolverRegistry};
 use kw_results::json::Json;
 use kw_results::store::{RunStore, StoreError};
+use kw_sim::ChaosPlan;
 
 use crate::http::{Request, Response};
 use crate::telemetry::Telemetry;
@@ -100,14 +101,7 @@ impl SolveService {
                 let store = RunStore::open(path)?;
                 let contents = store.load()?;
                 for r in &contents.records {
-                    cache.insert_outcome(
-                        &r.solver,
-                        &r.workload,
-                        r.seed,
-                        r.fault_drop,
-                        r.fault_seed,
-                        r.outcome,
-                    );
+                    cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
                     shapes.insert((r.workload.clone(), r.seed), (r.n, r.max_degree));
                 }
                 // Count *distinct* warmed answers: a store written under
@@ -185,7 +179,12 @@ impl SolveService {
         }
     }
 
-    /// `POST /solve`: body `{"workload": spec, "solver": spec, "seed"?: n}`.
+    /// `POST /solve`: body `{"workload": spec, "solver": spec, "seed"?: n,
+    /// "chaos"?: clause}`. The chaos clause uses the sweep grammar (an
+    /// optional `chaos:` prefix is accepted), e.g.
+    /// `"drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3"`; answers are cached
+    /// and persisted under the canonical spec, so a daemon and a sweep
+    /// sharing a store key chaos cells identically.
     fn solve(&self, body: &[u8]) -> Response {
         let text = match std::str::from_utf8(body) {
             Ok(t) => t,
@@ -208,6 +207,19 @@ impl SolveService {
                 None => return Response::error(400, "\"seed\" must be an unsigned integer"),
             },
         };
+        let faults = match json.get("chaos") {
+            None => ChaosPlan::reliable(),
+            Some(v) => match v.as_str() {
+                Some(clause) => match ChaosPlan::parse(clause) {
+                    Ok(plan) => plan,
+                    Err(e) => return Response::error(400, format!("bad \"chaos\" clause: {e}")),
+                },
+                None => return Response::error(400, "\"chaos\" must be a string clause"),
+            },
+        };
+        if !faults.is_reliable() {
+            self.telemetry.count_chaos_request();
+        }
 
         // Untrusted spec strings go through the same grammars as CLI
         // sweeps; parse failures are the client's problem, not a 500.
@@ -226,8 +238,10 @@ impl SolveService {
         // a daemon must stay cache-compatible with sweep stores.
         let ctx = SolveContext {
             check_certificates: true,
+            faults,
             ..SolveContext::seeded(seed)
         };
+        let chaos = ctx.faults.spec();
 
         if let Some(outcome) = self.cache.outcome(&spec, &label, seed, &ctx) {
             let shape = self
@@ -275,14 +289,8 @@ impl SolveService {
             wall_ms,
         };
         let shape = (graph.len(), graph.max_degree());
-        self.cache.insert_outcome(
-            &spec,
-            &label,
-            seed,
-            ctx.faults.drop_probability(),
-            ctx.faults.seed(),
-            outcome,
-        );
+        self.cache
+            .insert_outcome(&spec, &label, seed, &chaos, outcome);
         self.shapes
             .lock()
             .unwrap()
@@ -294,8 +302,7 @@ impl SolveService {
                 n: shape.0,
                 max_degree: shape.1,
                 seed,
-                fault_drop: ctx.faults.drop_probability(),
-                fault_seed: ctx.faults.seed(),
+                chaos,
                 outcome,
             };
             if store.lock().unwrap().append_record(&record).is_err() {

@@ -105,6 +105,8 @@ pub struct Telemetry {
     panics: AtomicU64,
     /// Store appends that failed (the answer was still served).
     store_errors: AtomicU64,
+    /// Solve requests carrying a non-reliable chaos clause.
+    chaos_requests: AtomicU64,
     /// Requests currently being handled by workers.
     inflight: AtomicU64,
     /// End-to-end request latency (entering the worker to response
@@ -139,6 +141,17 @@ impl Telemetry {
     /// Counts one failed store append.
     pub fn count_store_error(&self) {
         self.store_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one solve request whose chaos clause was not the reliable
+    /// plan (parsed successfully; rejected clauses are plain 4xx).
+    pub fn count_chaos_request(&self) {
+        self.chaos_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Chaos solve requests observed.
+    pub fn chaos_requests(&self) -> u64 {
+        self.chaos_requests.load(Ordering::Relaxed)
     }
 
     /// Marks a request entering a worker; the guard exits on drop (also
@@ -213,6 +226,12 @@ impl Telemetry {
             "Run-store appends that failed.",
             "counter",
             self.store_errors.load(Ordering::Relaxed),
+        );
+        gauge(
+            "kw_serve_chaos_requests_total",
+            "Solve requests carrying a non-reliable chaos clause.",
+            "counter",
+            self.chaos_requests.load(Ordering::Relaxed),
         );
         gauge(
             "kw_serve_inflight",
@@ -335,6 +354,7 @@ mod tests {
         t.observe_shed(5);
         t.count_panic();
         t.count_store_error();
+        t.count_chaos_request();
         {
             let _guard = t.enter();
             assert_eq!(t.inflight(), 1);
@@ -350,6 +370,8 @@ mod tests {
         assert!(text.contains("kw_serve_shed_total 1\n"));
         assert!(text.contains("kw_serve_solve_panics_total 1\n"));
         assert!(text.contains("kw_serve_store_errors_total 1\n"));
+        assert_eq!(t.chaos_requests(), 1);
+        assert!(text.contains("kw_serve_chaos_requests_total 1\n"));
         assert!(text.contains("kw_serve_inflight 0\n"));
         assert!(text.contains("kw_serve_cache_hits_total 7\n"));
         assert!(text.contains("kw_serve_cache_misses_total 3\n"));

@@ -344,3 +344,79 @@ fn second_daemon_on_same_store_is_refused() {
     first.shutdown();
     let _ = std::fs::remove_file(&store);
 }
+
+/// The chaos clause: keyed into the cache by canonical spec, counted in
+/// `/metrics`, persisted through restart, and rejected with 400 on
+/// garbage — never a 5xx.
+#[test]
+fn chaos_clause_is_keyed_counted_persisted_and_validated() {
+    let store = temp_store("chaos");
+    let _ = std::fs::remove_file(&store);
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    let clause = "drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3";
+    let with_chaos = |spelling: &str| {
+        format!(
+            "{{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"seed\": 1, \
+             \"chaos\": \"{spelling}\"}}"
+        )
+    };
+
+    let first = answer(&post_solve(&server, &with_chaos(clause)));
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(metric(&server, "kw_serve_chaos_requests_total"), 1.0);
+
+    // The `chaos:` prefix spelling normalizes to the same canonical spec
+    // and therefore the same cache cell.
+    let prefixed = answer(&post_solve(
+        &server,
+        &with_chaos(&format!("chaos:{clause}")),
+    ));
+    assert_eq!(prefixed.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        first.get("size").map(Json::render),
+        prefixed.get("size").map(Json::render)
+    );
+    assert_eq!(metric(&server, "kw_serve_chaos_requests_total"), 2.0);
+
+    // The same (workload, solver, seed) without chaos is a different
+    // cell — and a reliable request never ticks the chaos counter.
+    let clean = answer(&post_solve(
+        &server,
+        &solve_body("grid:side=6", "kw:k=2", 1),
+    ));
+    assert_eq!(clean.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(metric(&server, "kw_serve_chaos_requests_total"), 2.0);
+
+    // Garbage clauses are the client's problem: 400, not 500.
+    let bad = post_solve(&server, &with_chaos("drop=banana"));
+    assert_eq!(bad.status, 400, "{}", String::from_utf8_lossy(&bad.body));
+    let not_a_string = post_solve(
+        &server,
+        "{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"chaos\": 3}",
+    );
+    assert_eq!(not_a_string.status, 400);
+    assert_eq!(metric(&server, "kw_serve_responses_5xx_total"), 0.0);
+    server.shutdown();
+
+    // Restart on the same store: both cells warm, and the chaotic answer
+    // is served from the warmed cache without re-solving.
+    let second = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    assert_eq!(second.service().warmed(), 2);
+    let warmed = answer(&post_solve(&second, &with_chaos(clause)));
+    assert_eq!(warmed.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        first.get("size").map(Json::render),
+        warmed.get("size").map(Json::render)
+    );
+    assert_eq!(metric(&second, "kw_serve_cache_misses_total"), 0.0);
+    second.shutdown();
+    let _ = std::fs::remove_file(&store);
+}

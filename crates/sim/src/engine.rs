@@ -62,9 +62,9 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use kw_graph::{CsrGraph, NodeId};
+use kw_graph::{apply_churn, CsrGraph, NodeId};
 
-use crate::faults::FaultPlan;
+use crate::chaos::ChaosPlan;
 use crate::mailbox::{Ctx, Outbound, Sink};
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::rng::node_seed;
@@ -87,7 +87,7 @@ pub struct NodeInfo {
 /// The defaults run sequentially with a generous round budget; experiments
 /// enable `threads` for large graphs and `record_per_round` when they need
 /// round-resolved traffic curves.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Abort with [`SimError::MaxRoundsExceeded`] after this many rounds.
     pub max_rounds: usize,
@@ -101,8 +101,12 @@ pub struct EngineConfig {
     /// Verify that every sent message decodes from its own wire encoding
     /// (cheap safety net; enabled by default in tests, not benches).
     pub check_wire: bool,
-    /// Message-loss model applied at delivery (defaults to reliable).
-    pub faults: FaultPlan,
+    /// Chaos model — iid drops, bursts, crashes, byzantine senders, and
+    /// churn (defaults to fully reliable). A plain [`FaultPlan`] converts
+    /// via `.into()`.
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    pub faults: ChaosPlan,
 }
 
 impl Default for EngineConfig {
@@ -113,7 +117,7 @@ impl Default for EngineConfig {
             threads: 1,
             record_per_round: false,
             check_wire: false,
-            faults: FaultPlan::reliable(),
+            faults: ChaosPlan::reliable(),
         }
     }
 }
@@ -182,9 +186,12 @@ struct ChunkOut {
     /// Staged (non-solo, non-quiet) senders in this chunk.
     staged: usize,
     /// Whether every node in this chunk was an active solo broadcaster —
-    /// no halted, quiet, or staged senders. When all chunks agree,
+    /// no halted, down, quiet, or staged senders. When all chunks agree,
     /// placement takes the uniform fast path.
     uniform_solo: bool,
+    /// Byzantine payloads whose corrupted encoding no longer decoded and
+    /// were rejected (never delivered, never a panic).
+    byz_rejected: u64,
 }
 
 impl ChunkOut {
@@ -196,6 +203,7 @@ impl ChunkOut {
             wire_ok: true,
             staged: 0,
             uniform_solo: true,
+            byz_rejected: 0,
         }
     }
 }
@@ -290,6 +298,10 @@ impl<M: WireEncode> Sink<M> for StageSink<M> {
 /// [module docs](self) for the flat-CSR message-plane design.
 pub struct Engine<'g, P: Protocol> {
     graph: &'g CsrGraph,
+    /// The current topology under a churn script: `None` until the first
+    /// churn event applies, then the rebuilt graph. Every phase reads
+    /// `churned.as_ref().unwrap_or(graph)`.
+    churned: Option<CsrGraph>,
     config: EngineConfig,
     nodes: Vec<P>,
     rngs: Vec<SmallRng>,
@@ -355,6 +367,8 @@ pub struct Engine<'g, P: Protocol> {
     /// Debug counter: how many rounds grew any reusable buffer's capacity.
     /// Steady-state rounds must not move this.
     buffer_growths: u64,
+    /// How many times a churn event forced a CSR-plane rebuild.
+    graph_rebuilds: u64,
     /// Total buffer capacity after the previous round, for the growth
     /// counter (capacities never shrink, so a sum increase means some
     /// buffer grew — whether during compute or delivery).
@@ -389,27 +403,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             nodes.push(factory(info));
             rngs.push(SmallRng::seed_from_u64(seed));
         }
-        // Reverse-arc table in one O(m) counting pass: scanning all arcs in
-        // (sender, port) order visits the in-arcs of every node u in
-        // ascending sender order, which is exactly u's sorted adjacency
-        // order — so the next free slot of u is the reverse arc.
-        let offsets = graph.offsets();
-        let targets = graph.targets();
-        let mut rev_edge = vec![0u32; arcs];
-        let mut next_in: Vec<u32> = offsets[..n].to_vec();
-        for v in 0..n {
-            for e in offsets[v] as usize..offsets[v + 1] as usize {
-                let u = targets[e] as usize;
-                let r = next_in[u] as usize;
-                assert!(
-                    r < offsets[u + 1] as usize && targets[r] as usize == v,
-                    "asymmetric adjacency: node {v} lists {u} as a neighbor, \
-                     but {u} does not list {v} back"
-                );
-                next_in[u] = r as u32 + 1;
-                rev_edge[e] = r as u32;
-            }
-        }
+        let rev_edge = build_rev_edge(graph);
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -433,6 +427,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         scratch.resize_with(chunks, Vec::new);
         Engine {
             graph,
+            churned: None,
             config,
             nodes,
             rngs,
@@ -458,6 +453,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             chunk,
             chunks,
             buffer_growths: 0,
+            graph_rebuilds: 0,
             last_plane_capacity: 0,
         }
     }
@@ -515,12 +511,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// inspect engine state (e.g. the allocation counter) after a run.
     fn drive(&mut self, observer: &mut dyn Observer<P>) -> Result<RunMetrics, SimError> {
         let mut metrics = RunMetrics::default();
+        let has_down = self.config.faults.has_down();
+        let has_churn = self.config.faults.has_churn();
         let mut round = 0usize;
         loop {
             if round >= self.config.max_rounds {
                 return Err(SimError::MaxRoundsExceeded {
                     limit: self.config.max_rounds,
                 });
+            }
+            if has_churn {
+                self.apply_churn_at(round);
             }
             let out = self.compute_phase(round);
             metrics.rounds = round + 1;
@@ -530,13 +531,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
             metrics.messages += out.stats.messages;
             metrics.bits += out.stats.bits;
+            metrics.byz_rejected += out.byz_rejected;
             metrics.max_message_bits = metrics.max_message_bits.max(out.max_message_bits);
             if self.config.record_per_round {
                 metrics.per_round.push(out.stats);
             }
             self.staged_senders = out.staged;
             self.uniform_solo = out.uniform_solo;
-            if self.halted.iter().all(|&h| h) {
+            let finished = if has_down {
+                // A node that is down for every remaining round can never
+                // run again; treating it as terminated keeps crash-forever
+                // and leave-without-rejoin schedules from spinning to the
+                // round limit.
+                let faults = &self.config.faults;
+                self.halted
+                    .iter()
+                    .enumerate()
+                    .all(|(v, &h)| h || faults.down_forever(v as u32, round + 1))
+            } else {
+                self.halted.iter().all(|&h| h)
+            };
+            if finished {
                 // No delivery follows the final round, so sample buffer
                 // capacities here: the last compute phase may still have
                 // grown a send arena.
@@ -547,7 +562,37 @@ impl<'g, P: Protocol> Engine<'g, P> {
             round += 1;
         }
         metrics.max_node_messages = self.node_messages.iter().copied().max().unwrap_or(0);
+        metrics.graph_rebuilds = self.graph_rebuilds;
         Ok(metrics)
+    }
+
+    /// Applies the chaos plan's churn events scheduled for `round` (a
+    /// no-op when none are): the topology is rebuilt from the original
+    /// graph plus the full event prefix up to and including this round,
+    /// the CSR-parallel planes (reverse arcs, per-arc staging state) are
+    /// rebuilt against the new arc layout, and in-flight messages are
+    /// dropped — a message sent across a churn boundary never arrives,
+    /// matching the view that the boundary is a topology reconfiguration.
+    fn apply_churn_at(&mut self, round: usize) {
+        if self.config.faults.churn_events_at(round).is_empty() {
+            return;
+        }
+        let rebuilt = {
+            let events = self.config.faults.churn();
+            let applied = events.partition_point(|e| e.round <= round);
+            apply_churn(self.graph, &events[..applied])
+        };
+        self.rev_edge = build_rev_edge(&rebuilt);
+        let arcs = rebuilt.num_arcs();
+        self.send_counts.clear();
+        self.send_counts.resize(arcs, 0);
+        self.plan_ranges.clear();
+        self.plan_ranges.resize(arcs, (0, 0));
+        // Drop in-flight messages: every inbox reads empty this round.
+        self.inbox_arena.clear();
+        self.inbox_offsets.fill(0);
+        self.churned = Some(rebuilt);
+        self.graph_rebuilds += 1;
     }
 
     /// Calls `on_round` on every running node. Sends stage directly into
@@ -555,10 +600,10 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// fused sender-side accounting — the per-chunk tallies come back in
     /// the returned [`ChunkOut`].
     fn compute_phase(&mut self, round: usize) -> ChunkOut {
-        let graph = self.graph;
+        let graph = self.churned.as_ref().unwrap_or(self.graph);
         let arena = &self.inbox_arena;
         let offsets = &self.inbox_offsets;
-        let reliable = self.config.faults.is_reliable();
+        let faults = &self.config.faults;
         let check_wire = self.config.check_wire;
         let (chunk, chunks) = (self.chunk, self.chunks);
         if chunks == 1 {
@@ -575,7 +620,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 &mut self.node_messages,
                 arena,
                 offsets,
-                reliable,
+                faults,
                 check_wire,
             );
         }
@@ -610,7 +655,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                             mc,
                             arena,
                             offsets,
-                            reliable,
+                            faults,
                             check_wire,
                         )
                     })
@@ -624,6 +669,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             a.wire_ok &= o.wire_ok;
             a.staged += o.staged;
             a.uniform_solo &= o.uniform_solo;
+            a.byz_rejected += o.byz_rejected;
             a
         })
     }
@@ -644,20 +690,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
         node_messages: &mut [u64],
         inbox_arena: &[(u32, P::Msg)],
         inbox_offsets: &[usize],
-        reliable: bool,
+        faults: &ChaosPlan,
         check_wire: bool,
     ) -> ChunkOut {
         sink.reset_round(check_wire);
+        let lossless = faults.lossless();
+        let has_down = faults.has_down();
+        let has_byz = faults.has_byzantine();
         let mut staged = 0usize;
         let mut uniform_solo = true;
+        let mut byz_rejected = 0u64;
         for (j, node) in nodes.iter_mut().enumerate() {
-            if halted[j] {
+            let v = base + j;
+            if halted[j] || (has_down && faults.is_down(v as u32, round)) {
+                // A halted node is done; a down (crashed or churned-out)
+                // node neither computes nor sends, but keeps its protocol
+                // state frozen until recovery.
                 runs[j] = (0, 0);
                 solo[j] = None;
                 uniform_solo = false;
                 continue;
             }
-            let v = base + j;
             let id = NodeId::new(v);
             let degree = graph.degree(id) as u32;
             let run_start = sink.arena.len();
@@ -674,10 +727,14 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 halted[j] = true;
             }
             node_messages[j] += sink.messages - messages_before;
-            let len = sink.arena.len() - run_start;
+            let mut len = sink.arena.len() - run_start;
+            if has_byz && len > 0 && faults.is_byzantine(v as u32) {
+                byz_rejected += Self::garble_run(faults, sink, run_start, round, v as u32);
+                len = sink.arena.len() - run_start;
+            }
             runs[j] = (run_start as u32, len as u32);
             solo[j] = match sink.arena.get(run_start) {
-                Some(Outbound::Broadcast(m)) if reliable && len == 1 => Some(m.clone()),
+                Some(Outbound::Broadcast(m)) if lossless && len == 1 => Some(m.clone()),
                 _ => None,
             };
             if solo[j].is_none() {
@@ -702,7 +759,47 @@ impl<'g, P: Protocol> Engine<'g, P> {
             wire_ok: sink.wire_ok,
             staged,
             uniform_solo,
+            byz_rejected,
         }
+    }
+
+    /// Garbles the just-staged run of byzantine sender `sender` (the run
+    /// is at the arena tail, so compaction is a truncate): each payload's
+    /// wire encoding is corrupted by the chaos plan's deterministic
+    /// bit-flip process and decoded back. Payloads that still decode are
+    /// delivered in garbled form (addressing preserved); payloads whose
+    /// corruption no longer decodes are compacted out of the run and
+    /// counted — never delivered, never a panic. Sender-side metrics keep
+    /// the original charge: the byzantine node did transmit, the garbling
+    /// happens on the wire.
+    fn garble_run(
+        faults: &ChaosPlan,
+        sink: &mut StageSink<P::Msg>,
+        run_start: usize,
+        round: usize,
+        sender: u32,
+    ) -> u64 {
+        let mut rejected = 0u64;
+        let mut kept = run_start;
+        for slot in 0..sink.arena.len() - run_start {
+            let mut w = BitWriter::new();
+            sink.arena[run_start + slot].payload().encode(&mut w);
+            let mut bytes = w.into_bytes();
+            faults.corrupt(&mut bytes, round, sender, slot as u32);
+            match P::Msg::decode(&mut BitReader::new(&bytes)) {
+                Some(msg) => {
+                    let garbled = match &sink.arena[run_start + slot] {
+                        Outbound::Broadcast(_) => Outbound::Broadcast(msg),
+                        Outbound::Unicast { port, .. } => Outbound::Unicast { port: *port, msg },
+                    };
+                    sink.arena[kept] = garbled;
+                    kept += 1;
+                }
+                None => rejected += 1,
+            }
+        }
+        sink.arena.truncate(kept);
+        rejected
     }
 
     /// Sender-indexed delivery into the flat arena: counts staged
@@ -722,7 +819,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         } else {
             self.staged.clear();
         }
-        self.place();
+        self.place(round);
         std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
         std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
         // The old message plane resets with one arena clear per side
@@ -770,8 +867,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// deliveries.
     fn plan_staged(&mut self, round: usize) -> usize {
         let n = self.nodes.len();
-        let offsets = self.graph.offsets();
-        let targets = self.graph.targets();
+        let graph = self.churned.as_ref().unwrap_or(self.graph);
+        let offsets = graph.offsets();
+        let targets = graph.targets();
         let halted = &self.halted;
         let runs = &self.runs;
         let solo = &self.solo;
@@ -780,8 +878,12 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let send_counts = &mut self.send_counts;
         let plan_ranges = &mut self.plan_ranges;
         let node_plan_base = &mut self.node_plan_base;
-        let faults = self.config.faults;
-        let reliable = faults.is_reliable();
+        let faults = &self.config.faults;
+        let lossless = faults.lossless();
+        let has_down = faults.has_down();
+        // Messages delivered this round are read next round, so the
+        // receiver-side liveness filter looks one round ahead.
+        let next = round + 1;
         let mut plan_total = 0usize;
         for (u, &(start, len)) in runs.iter().enumerate() {
             node_plan_base[u] = plan_total;
@@ -794,7 +896,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             let degree = offsets[u + 1] as usize - arc_lo;
             let counts = &mut send_counts[arc_lo..arc_lo + degree];
             counts.fill(0);
-            if reliable {
+            if lossless {
                 let mut broadcasts = 0u32;
                 for out in run {
                     match out {
@@ -803,8 +905,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     }
                 }
                 for (p, c) in counts.iter_mut().enumerate() {
-                    let v = targets[arc_lo + p] as usize;
-                    if halted[v] {
+                    let v = targets[arc_lo + p];
+                    if halted[v as usize] || (has_down && faults.is_down(v, next)) {
                         *c = 0;
                     } else {
                         *c += broadcasts;
@@ -816,8 +918,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         Outbound::Broadcast(_) => {
                             for (p, c) in counts.iter_mut().enumerate() {
                                 let v = targets[arc_lo + p];
-                                if !halted[v as usize]
-                                    && !faults.drops(round, u as u32, v, slot as u32)
+                                if !(halted[v as usize]
+                                    || (has_down && faults.is_down(v, next))
+                                    || faults.drops(round, u as u32, v, slot as u32))
                                 {
                                     *c += 1;
                                 }
@@ -826,7 +929,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         Outbound::Unicast { port, .. } => {
                             let p = *port as usize;
                             let v = targets[arc_lo + p];
-                            if !halted[v as usize] && !faults.drops(round, u as u32, v, slot as u32)
+                            if !(halted[v as usize]
+                                || (has_down && faults.is_down(v, next))
+                                || faults.drops(round, u as u32, v, slot as u32))
                             {
                                 counts[p] += 1;
                             }
@@ -856,15 +961,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// end.
     fn build_staging(&mut self, round: usize, plan_total: usize) {
         let n = self.nodes.len();
-        let graph = self.graph;
+        let graph = self.churned.as_ref().unwrap_or(self.graph);
         let offsets = graph.offsets();
         let targets = graph.targets();
         let halted = &self.halted;
         let runs = &self.runs;
         let solo = &self.solo;
         let node_plan_base = &self.node_plan_base;
-        let faults = self.config.faults;
-        let reliable = faults.is_reliable();
+        let faults = &self.config.faults;
+        let lossless = faults.lossless();
+        let has_down = faults.has_down();
+        let next = round + 1;
         let (chunk, chunks) = (self.chunk, self.chunks);
         self.plan.resize(plan_total, 0);
         // Writes one sender's plan entries via the per-arc cursors, then
@@ -890,8 +997,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         Outbound::Broadcast(_) => {
                             for p in 0..degree {
                                 let v = targets[arc_lo + p];
-                                if !halted[v as usize]
-                                    && (reliable || !faults.drops(round, u as u32, v, slot as u32))
+                                if !(halted[v as usize]
+                                    || (has_down && faults.is_down(v, next))
+                                    || (!lossless && faults.drops(round, u as u32, v, slot as u32)))
                                 {
                                     let cursor = &mut ranges[arc_lo + p - arc_base].1;
                                     plan_chunk[*cursor as usize - plan_base] = slot as u32;
@@ -902,8 +1010,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         Outbound::Unicast { port, .. } => {
                             let p = *port as usize;
                             let v = targets[arc_lo + p];
-                            if !halted[v as usize]
-                                && (reliable || !faults.drops(round, u as u32, v, slot as u32))
+                            if !(halted[v as usize]
+                                || (has_down && faults.is_down(v, next))
+                                || (!lossless && faults.drops(round, u as u32, v, slot as u32)))
                             {
                                 let cursor = &mut ranges[arc_lo + p - arc_base].1;
                                 plan_chunk[*cursor as usize - plan_base] = slot as u32;
@@ -977,10 +1086,13 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// ascending order, each receiver's messages in `(port, slot)` order —
     /// the exact sequence the old receiver-driven scan produced — while
     /// recording the per-receiver arena offsets.
-    fn place(&mut self) {
+    fn place(&mut self, round: usize) {
         let n = self.nodes.len();
-        let graph = self.graph;
+        let graph = self.churned.as_ref().unwrap_or(self.graph);
         let halted = &self.halted;
+        let faults = &self.config.faults;
+        let has_down = faults.has_down();
+        let next = round + 1;
         let runs = &self.runs;
         let solo = &self.solo;
         let rev_edge = &self.rev_edge;
@@ -1002,10 +1114,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     // exact-length `extend` per receiver with no per-arc
                     // classification and no per-push capacity checks.
                     // (A node may still have *halted this round*; it sent,
-                    // but receives nothing.)
+                    // but receives nothing. Likewise a node that will be
+                    // down next round receives nothing now.)
                     for v in lo..hi {
                         offsets_out[v - lo] = sink.len();
-                        if halted[v] {
+                        if halted[v] || (has_down && faults.is_down(v as u32, next)) {
                             continue;
                         }
                         let arc_lo = offsets[v] as usize;
@@ -1022,7 +1135,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 }
                 for v in lo..hi {
                     offsets_out[v - lo] = sink.len();
-                    if halted[v] {
+                    if halted[v] || (has_down && faults.is_down(v as u32, next)) {
                         continue;
                     }
                     let arc_lo = offsets[v] as usize;
@@ -1079,6 +1192,38 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
         self.back_offsets[n] = self.back_arena.len();
     }
+}
+
+/// Builds the reverse-arc table of `graph` in one O(m) counting pass:
+/// scanning all arcs in (sender, port) order visits the in-arcs of every
+/// node `u` in ascending sender order, which is exactly `u`'s sorted
+/// adjacency order — so the next free slot of `u` is the reverse arc.
+/// Called at construction and again after every churn rebuild.
+///
+/// # Panics
+///
+/// Panics if the graph's adjacency is asymmetric — impossible for graphs
+/// built through [`kw_graph::GraphBuilder`], which enforces symmetry.
+fn build_rev_edge(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.len();
+    let offsets = graph.offsets();
+    let targets = graph.targets();
+    let mut rev_edge = vec![0u32; graph.num_arcs()];
+    let mut next_in: Vec<u32> = offsets[..n].to_vec();
+    for v in 0..n {
+        for e in offsets[v] as usize..offsets[v + 1] as usize {
+            let u = targets[e] as usize;
+            let r = next_in[u] as usize;
+            assert!(
+                r < offsets[u + 1] as usize && targets[r] as usize == v,
+                "asymmetric adjacency: node {v} lists {u} as a neighbor, \
+                 but {u} does not list {v} back"
+            );
+            next_in[u] = r as u32 + 1;
+            rev_edge[e] = r as u32;
+        }
+    }
+    rev_edge
 }
 
 /// Splits `slice` (one entry per directed arc) into per-node-chunk slices
@@ -1395,11 +1540,11 @@ mod tests {
         // metrics still count every copy.
         let g = generators::star(5);
         let lossy = EngineConfig {
-            faults: FaultPlan::drop_with_probability(0.8, 7),
+            faults: FaultPlan::drop_with_probability(0.8, 7).into(),
             ..Default::default()
         };
         let lossless = flood_report(&g, 1, EngineConfig::default());
-        let report = flood_report(&g, 1, lossy);
+        let report = flood_report(&g, 1, lossy.clone());
         assert_eq!(report.metrics.messages, lossless.metrics.messages);
         // Leaves learn the center's id only if its broadcast survived;
         // with p=0.8 over 4+4 deliveries, some leaf should miss out for
@@ -1414,10 +1559,17 @@ mod tests {
         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
         let g = generators::gnp(150, 0.05, &mut rng);
         let base = EngineConfig {
-            faults: FaultPlan::drop_with_probability(0.3, 11),
+            faults: FaultPlan::drop_with_probability(0.3, 11).into(),
             ..Default::default()
         };
-        let seq = flood_report(&g, 6, EngineConfig { threads: 1, ..base });
+        let seq = flood_report(
+            &g,
+            6,
+            EngineConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
         let par = flood_report(&g, 6, EngineConfig { threads: 4, ..base });
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
@@ -1556,5 +1708,238 @@ mod tests {
         }
         // Center degree 5 + unicast = 6; leaves 1 + 1 = 2.
         assert_eq!(out.stats.messages, 6 + 5 * 2);
+    }
+
+    #[test]
+    fn burst_blackout_suppresses_deliveries_but_not_charges() {
+        use crate::chaos::{Burst, ChaosPlan};
+        let g = generators::path(6);
+        // A total blackout covering every round: nobody ever hears anybody.
+        let chaos = ChaosPlan::reliable().with_burst(Burst {
+            from_round: 0,
+            to_round: 100,
+            drop_probability: 1.0,
+            region: 1.0,
+        });
+        let report = flood_report(
+            &g,
+            5,
+            EngineConfig {
+                faults: chaos,
+                ..Default::default()
+            },
+        );
+        let clear = flood_report(&g, 5, EngineConfig::default());
+        assert_eq!(
+            report.outputs,
+            (0..6).map(|v| v as u64).collect::<Vec<_>>(),
+            "no delivery survives a full-window blackout"
+        );
+        // Senders are still charged for every transmitted copy.
+        assert_eq!(report.metrics.messages, clear.metrics.messages);
+        // A burst that opens only after the run ends changes nothing.
+        let late = ChaosPlan::reliable().with_burst(Burst {
+            from_round: 50,
+            to_round: 60,
+            drop_probability: 1.0,
+            region: 1.0,
+        });
+        let unaffected = flood_report(
+            &g,
+            5,
+            EngineConfig {
+                faults: late,
+                ..Default::default()
+            },
+        );
+        assert_eq!(unaffected.outputs, clear.outputs);
+    }
+
+    #[test]
+    fn crashed_node_freezes_then_recovers() {
+        use crate::chaos::ChaosPlan;
+        // Path 0-1-2; node 1 is down for rounds 0..=1, then recovers. The
+        // ends can only learn of each other through node 1, so the flood
+        // still converges — just later.
+        let g = generators::path(3);
+        let chaos = ChaosPlan::reliable().with_crash(1, 0, Some(1));
+        let report = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                faults: chaos,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.outputs, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn crash_forever_terminates_without_round_limit() {
+        use crate::chaos::ChaosPlan;
+        // Node 1 crashes at round 0 and never recovers: it can never halt
+        // on its own, so termination must treat it as done. With the relay
+        // gone, each end only ever knows itself.
+        let g = generators::path(3);
+        let chaos = ChaosPlan::reliable().with_crash(1, 0, None);
+        let report = flood_report(
+            &g,
+            4,
+            EngineConfig {
+                faults: chaos,
+                max_rounds: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.outputs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn byzantine_sender_is_deterministic_and_never_panics() {
+        use crate::chaos::ChaosPlan;
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+        let g = generators::gnp(60, 0.1, &mut rng);
+        let chaos = ChaosPlan::reliable()
+            .with_fault_seed(17)
+            .with_byzantine(0)
+            .with_byzantine(5);
+        let config = EngineConfig {
+            faults: chaos,
+            check_wire: true,
+            ..Default::default()
+        };
+        let a = flood_report(&g, 6, config.clone());
+        let b = flood_report(&g, 6, config.clone());
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        let par = flood_report(
+            &g,
+            6,
+            EngineConfig {
+                threads: 4,
+                ..config
+            },
+        );
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.metrics, par.metrics);
+        // Garbling happens on the wire: senders are charged exactly as in
+        // a clean run.
+        let clean = flood_report(&g, 6, EngineConfig::default());
+        assert_eq!(a.metrics.messages, clean.metrics.messages);
+    }
+
+    #[test]
+    fn churn_removes_edges_and_counts_rebuilds() {
+        use crate::chaos::ChaosPlan;
+        use kw_graph::{ChurnEvent, ChurnKind};
+        // Path 0-1-2; at round 1 the 0-1 edge disappears and the message
+        // in flight across the boundary is dropped, so node 0 never learns
+        // anything while 1 and 2 keep talking.
+        let g = generators::path(3);
+        let chaos = ChaosPlan::reliable().with_churn_event(ChurnEvent {
+            round: 1,
+            kind: ChurnKind::RemoveEdge(0, 1),
+        });
+        let report = flood_report(
+            &g,
+            6,
+            EngineConfig {
+                faults: chaos,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.outputs, vec![0, 2, 2]);
+        assert_eq!(report.metrics.graph_rebuilds, 1);
+    }
+
+    #[test]
+    fn churn_leave_is_down_forever_and_join_restores() {
+        use crate::chaos::ChaosPlan;
+        use kw_graph::{ChurnEvent, ChurnKind};
+        let g = generators::path(3);
+        // Leave with no later Join: node 2 freezes, run still terminates.
+        let leave = ChaosPlan::reliable().with_churn_event(ChurnEvent {
+            round: 1,
+            kind: ChurnKind::Leave(2),
+        });
+        let report = flood_report(
+            &g,
+            4,
+            EngineConfig {
+                faults: leave,
+                max_rounds: 100,
+                ..Default::default()
+            },
+        );
+        // Node 2's broadcast at round 0 is in flight across the churn
+        // boundary and dropped; afterwards only 0 and 1 talk.
+        assert_eq!(report.outputs, vec![1, 1, 2]);
+        // Leave then Join: a rejoining node comes back isolated (its old
+        // edges left with it), so the script re-attaches it explicitly.
+        let bounce = ChaosPlan::reliable()
+            .with_churn_event(ChurnEvent {
+                round: 1,
+                kind: ChurnKind::Leave(2),
+            })
+            .with_churn_event(ChurnEvent {
+                round: 3,
+                kind: ChurnKind::Join(2),
+            })
+            .with_churn_event(ChurnEvent {
+                round: 3,
+                kind: ChurnKind::AddEdge(1, 2),
+            });
+        let report = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                faults: bounce,
+                max_rounds: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.outputs, vec![2, 2, 2]);
+        assert_eq!(report.metrics.graph_rebuilds, 2);
+    }
+
+    #[test]
+    fn full_chaos_mix_is_thread_invariant() {
+        use crate::chaos::ChaosPlan;
+        // Every chaos ingredient at once on a cycle, where all scripted
+        // node/edge references exist.
+        let g = generators::cycle(150);
+        let chaos = ChaosPlan::parse(
+            "drop=0.1,seed=11,burst=r1-3@0.8/0.5,crash=7@r2-4,crash=33@r1,byz=3+90,\
+             churn=r2re0-1+r3l5+r5j5",
+        )
+        .expect("valid spec");
+        let base = EngineConfig {
+            faults: chaos,
+            max_rounds: 200,
+            ..Default::default()
+        };
+        let seq = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
+        let par2 = flood_report(
+            &g,
+            8,
+            EngineConfig {
+                threads: 2,
+                ..base.clone()
+            },
+        );
+        let par8 = flood_report(&g, 8, EngineConfig { threads: 8, ..base });
+        assert_eq!(seq.outputs, par2.outputs);
+        assert_eq!(seq.metrics, par2.metrics);
+        assert_eq!(seq.node_messages, par2.node_messages);
+        assert_eq!(seq.outputs, par8.outputs);
+        assert_eq!(seq.metrics, par8.metrics);
+        assert_eq!(seq.node_messages, par8.node_messages);
     }
 }

@@ -31,15 +31,17 @@ impl FaultPlan {
     }
 
     /// Drops each delivered message copy independently with probability
-    /// `drop_probability`.
+    /// `drop_probability`. The full closed range `[0, 1]` is accepted:
+    /// 1.0 is a total blackout (every delivery lost), a legitimate
+    /// worst-case plan.
     ///
     /// # Panics
     ///
-    /// Panics if the probability is not in `[0, 1)`.
+    /// Panics if the probability is not in `[0, 1]` (including NaN).
     pub fn drop_with_probability(drop_probability: f64, seed: u64) -> Self {
         assert!(
-            (0.0..1.0).contains(&drop_probability),
-            "drop probability {drop_probability} outside [0, 1)"
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability {drop_probability} outside [0, 1]"
         );
         FaultPlan {
             drop_probability,
@@ -127,8 +129,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1)")]
-    fn validates_probability() {
-        FaultPlan::drop_with_probability(1.0, 0);
+    fn total_blackout_is_accepted_and_drops_everything() {
+        // Regression: 1.0 used to panic, but a total blackout is a
+        // legitimate worst-case plan. `unit` is in [0, 1) so `unit < 1.0`
+        // drops every delivery.
+        let p = FaultPlan::drop_with_probability(1.0, 7);
+        assert!(!p.is_reliable());
+        for i in 0..1000u64 {
+            assert!(p.drops((i % 17) as usize, (i % 5) as u32, (i % 11) as u32, i as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validates_probability_above_one() {
+        FaultPlan::drop_with_probability(1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validates_probability_nan() {
+        FaultPlan::drop_with_probability(f64::NAN, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validates_probability_negative() {
+        FaultPlan::drop_with_probability(-0.1, 0);
     }
 }

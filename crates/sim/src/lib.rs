@@ -88,6 +88,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod engine;
 mod error;
 pub mod faults;
@@ -96,6 +97,7 @@ mod metrics;
 pub mod rng;
 pub mod wire;
 
+pub use chaos::{Burst, ChaosParseError, ChaosPlan, CrashWindow};
 pub use engine::{Engine, EngineConfig, EngineStats, NodeInfo, Observer, RunReport};
 pub use error::SimError;
 pub use faults::FaultPlan;

@@ -39,6 +39,14 @@ pub struct RunMetrics {
     pub max_message_bits: usize,
     /// Maximum over nodes of the total number of messages that node sent.
     pub max_node_messages: u64,
+    /// Byzantine payloads whose garbled wire encoding no longer decoded
+    /// and were rejected at the receiver boundary (never delivered, never
+    /// a panic). Zero on runs without adversarial senders.
+    pub byz_rejected: u64,
+    /// How many times a churn event forced the engine to rebuild its
+    /// CSR-parallel message plane — the per-event cost of continuing in
+    /// place instead of re-solving from scratch. Zero without churn.
+    pub graph_rebuilds: u64,
     /// Per-round breakdown (empty unless trace recording was enabled).
     pub per_round: Vec<RoundMetrics>,
 }
@@ -74,6 +82,8 @@ impl RunMetrics {
             bits: self.bits + later.bits,
             max_message_bits: self.max_message_bits.max(later.max_message_bits),
             max_node_messages: self.max_node_messages.max(later.max_node_messages),
+            byz_rejected: self.byz_rejected + later.byz_rejected,
+            graph_rebuilds: self.graph_rebuilds + later.graph_rebuilds,
             per_round,
         }
     }
@@ -91,7 +101,7 @@ mod tests {
             bits: 64,
             max_message_bits: 16,
             max_node_messages: 5,
-            per_round: vec![],
+            ..Default::default()
         };
         assert_eq!(m.messages_per_round(), 2.0);
         assert_eq!(m.bits_per_message(), 8.0);
@@ -112,6 +122,8 @@ mod tests {
             bits: 64,
             max_message_bits: 16,
             max_node_messages: 5,
+            byz_rejected: 1,
+            graph_rebuilds: 2,
             per_round: vec![RoundMetrics {
                 messages: 8,
                 bits: 64,
@@ -123,6 +135,8 @@ mod tests {
             bits: 9,
             max_message_bits: 7,
             max_node_messages: 11,
+            byz_rejected: 4,
+            graph_rebuilds: 1,
             per_round: vec![RoundMetrics {
                 messages: 3,
                 bits: 9,
@@ -134,6 +148,8 @@ mod tests {
         assert_eq!(m.bits, 73);
         assert_eq!(m.max_message_bits, 16);
         assert_eq!(m.max_node_messages, 11);
+        assert_eq!(m.byz_rejected, 5);
+        assert_eq!(m.graph_rebuilds, 3);
         assert_eq!(m.per_round.len(), 2);
         assert_eq!(a.merged(&RunMetrics::default()), a);
     }

@@ -176,7 +176,7 @@ fn run_scripted(
 
 fn assert_matches_reference(g: &CsrGraph, max_rounds: usize, faults: FaultPlan, flavor: Flavor) {
     let config = EngineConfig {
-        faults,
+        faults: faults.into(),
         check_wire: true,
         ..Default::default()
     };
@@ -243,13 +243,29 @@ proptest! {
 fn thread_count_determinism_high_degree_with_faults() {
     let g = generators::star_of_cliques(12, 24);
     let base = EngineConfig {
-        faults: FaultPlan::drop_with_probability(0.25, 99),
+        faults: FaultPlan::drop_with_probability(0.25, 99).into(),
         ..Default::default()
     };
     for flavor in [Flavor::Mixed, Flavor::Burst] {
-        let reference = run_scripted(&g, 9, EngineConfig { threads: 1, ..base }, flavor);
+        let reference = run_scripted(
+            &g,
+            9,
+            EngineConfig {
+                threads: 1,
+                ..base.clone()
+            },
+            flavor,
+        );
         for threads in [2usize, 4, 8] {
-            let par = run_scripted(&g, 9, EngineConfig { threads, ..base }, flavor);
+            let par = run_scripted(
+                &g,
+                9,
+                EngineConfig {
+                    threads,
+                    ..base.clone()
+                },
+                flavor,
+            );
             assert_eq!(
                 reference.outputs, par.outputs,
                 "outputs differ at {threads} threads ({flavor:?})"

@@ -213,9 +213,9 @@ fn fault_plan_loss_rate_at_engine_level() {
             EngineConfig {
                 threads,
                 faults: if drop == 0.0 {
-                    FaultPlan::reliable()
+                    FaultPlan::reliable().into()
                 } else {
-                    FaultPlan::drop_with_probability(drop, 77)
+                    FaultPlan::drop_with_probability(drop, 77).into()
                 },
                 ..Default::default()
             },

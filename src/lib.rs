@@ -222,6 +222,58 @@
 //! counter) so allocation-stability tests can assert that steady-state
 //! rounds are growth-free.
 //!
+//! # Chaos, churn, and adversaries
+//!
+//! The paper's model is synchronous and reliable; the chaos plane
+//! ([`ChaosPlan`](kw_sim::ChaosPlan)) measures what happens when it
+//! isn't. One spec grammar drives every failure mode, and the same
+//! clause string works in [`SolveContext::faults`](kw_core::solver::SolveContext)
+//! (via [`ChaosPlan::parse`](kw_sim::ChaosPlan::parse)), in `POST
+//! /solve` bodies, and in the run store:
+//!
+//! ```text
+//! chaos:drop=0.1,seed=7,burst=r3-5@0.9/0.5,crash=7@r2-4,byz=3+9,churn=r2re0-1+r4l6
+//! ```
+//!
+//! * `drop=<p>` — iid per-delivery loss with probability `p ∈ [0, 1]`
+//!   (`seed=<s>` keys all chaotic randomness; the legacy
+//!   [`FaultPlan`](kw_sim::FaultPlan) converts via `.into()`).
+//! * `burst=r<a>-<b>@<p>[/<f>]` — correlated loss storm: during rounds
+//!   `a..=b`, deliveries drop with probability `p`, optionally scoped
+//!   to a seeded region holding fraction `f` of the nodes.
+//! * `crash=<v>@r<a>[-<b>]` — node `v` is down from round `a` (to `b`,
+//!   or forever): it computes nothing, sends nothing, receives nothing.
+//!   A node down forever stops gating termination.
+//! * `byz=<v>[+<v>…]` — byzantine senders: every outgoing payload is
+//!   garbled by seeded bit flips *on the wire encoding*. Receivers
+//!   decode-or-reject — a rejected payload counts in
+//!   [`RunMetrics::byz_rejected`](kw_sim::RunMetrics::byz_rejected) and
+//!   is dropped, a decodable one is delivered as ordinary garbage — and
+//!   the engine never panics either way (every registered decoder is
+//!   fuzzed to return errors, not panic, on arbitrary bytes).
+//! * `churn=<event>[+<event>…]` — scripted topology changes applied
+//!   between rounds against the CSR planes (`r2re0-1` = remove edge
+//!   {0,1} before round 2; `ae` adds an edge, `j`/`l` are node
+//!   join/leave). The engine rebuilds its message plane per event
+//!   ([`RunMetrics::graph_rebuilds`](kw_sim::RunMetrics::graph_rebuilds)),
+//!   which is the "continue in place" cost that `exp_c1_chaos` compares
+//!   against re-solving the final topology; certificates grade against
+//!   the churned graph.
+//!
+//! **Reproducibility contract.** A chaos run is a pure function of
+//! `(graph, solver spec, run seed, chaos spec)`: bit-identical across
+//! 1/2/8 engine threads, across process restarts, and across the
+//! cache/store/serve boundary. The canonical spec string
+//! ([`ChaosPlan::spec`](kw_sim::ChaosPlan::spec)) *is* the fault
+//! fingerprint: [`ExperimentCache`](kw_core::solver::ExperimentCache)
+//! keys outcomes by it, run-store records persist it (schema v2; v1
+//! `fault_drop`/`fault_seed` records are synthesized into iid-only
+//! specs on read), sweeps resume chaos cells as cache hits, and
+//! `regress` compares cells chaos-aware — a chaotic cell never gates
+//! against its clean twin. `exp_c1_chaos` sweeps the chaos ladder and
+//! the churn comparison through exactly this pipeline; CI's
+//! `chaos_smoke` step re-runs it and schema-validates the store.
+//!
 //! # Serving solves (`kw-serve` / `kw-load`)
 //!
 //! The serving layer ([`kw_serve`]) wraps the same solver stack in a
@@ -236,10 +288,11 @@
 //! ```
 //!
 //! **Endpoints.** `POST /solve` takes `{"workload", "solver",
-//! "seed"?}` — the exact same spec grammars as the sweep CLIs — and
-//! answers the run outcome as JSON (`dominates`, `size`, `rounds`,
-//! `messages`, `bits`, `ratio_vs_lemma1`, `wall_ms`, plus a `cached`
-//! flag). `GET /healthz` answers `ok`. `GET /metrics` renders
+//! "seed"?, "chaos"?}` — the exact same spec grammars as the sweep
+//! CLIs, chaos clause included — and answers the run outcome as JSON
+//! (`dominates`, `size`, `rounds`, `messages`, `bits`,
+//! `ratio_vs_lemma1`, `wall_ms`, plus a `cached` flag). Non-reliable
+//! chaos requests tick the `kw_serve_chaos_requests_total` counter. `GET /healthz` answers `ok`. `GET /metrics` renders
 //! Prometheus text: request/response-class/shed/panic counters, an
 //! in-flight gauge, cache hit/miss/warmed counters, and nearest-rank
 //! p50/p95/p99 latency from a fixed-bucket histogram —

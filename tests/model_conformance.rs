@@ -21,7 +21,7 @@ fn thread_count_never_changes_results() {
             seed: 5,
             ..Default::default()
         };
-        let a2 = kw_core::alg2::run_alg2(&g, 3, cfg).unwrap();
+        let a2 = kw_core::alg2::run_alg2(&g, 3, cfg.clone()).unwrap();
         let a3 = kw_core::alg3::run_alg3(&g, 3, cfg).unwrap();
         let base2 = kw_core::alg2::run_alg2(&g, 3, EngineConfig::seeded(5)).unwrap();
         let base3 = kw_core::alg3::run_alg3(&g, 3, EngineConfig::seeded(5)).unwrap();
@@ -42,10 +42,10 @@ fn wire_checking_passes_for_all_protocols() {
         seed: 1,
         ..Default::default()
     };
-    kw_core::alg2::run_alg2(&g, 2, cfg).unwrap();
-    kw_core::alg3::run_alg3(&g, 2, cfg).unwrap();
+    kw_core::alg2::run_alg2(&g, 2, cfg.clone()).unwrap();
+    kw_core::alg3::run_alg3(&g, 2, cfg.clone()).unwrap();
     let x = kw_graph::FractionalAssignment::uniform(&g, 0.2);
-    kw_core::rounding::run_rounding(&g, &x, Default::default(), cfg).unwrap();
+    kw_core::rounding::run_rounding(&g, &x, Default::default(), cfg.clone()).unwrap();
     let w = VertexWeights::uniform(&g);
     kw_core::weighted::run_weighted_alg2(&g, &w, 2, cfg).unwrap();
 }
