@@ -1,0 +1,250 @@
+//! Experiment O1 (ROADMAP item (i)): where does engine time go as the
+//! worker count grows?
+//!
+//! Every engine benchmark to date has shown the same inversion: 4
+//! threads are *slower* than 1 on n ≤ 10k workloads. This binary turns
+//! the kw-trace span plane on that question directly. It runs the two
+//! boundary traffic shapes from `benches/engine.rs` — broadcast-heavy
+//! *flood* and unicast-heavy *ping* — on G(n, p) with average degree 16
+//! at 1/2/4/8 workers, with a [`kw_trace::Tracer`] installed, and
+//! reports the per-phase attribution: how much wall time each of
+//! plan/send/deliver/compute costs, how much goes to the synthetic
+//! *barrier* span (fork/join overhead: spawn lead + join tail around
+//! every parallel phase), and how unevenly the chunk work is spread
+//! (imbalance = max worker busy / mean worker busy).
+//!
+//! Outputs:
+//!
+//! * a markdown attribution table on stdout and at `KW_PROFILE_MD`
+//!   (default `target/exp_o1_profile.md`);
+//! * one `trace` line per cell appended to the run store at
+//!   `KW_RUN_STORE` (default `target/exp_o1_profile.jsonl`), so
+//!   `regress` can gate phase-share drift against a stored baseline;
+//! * a Chrome trace-event JSON of the flood run at the highest thread
+//!   count at `KW_TRACE_OUT` (default `target/exp_o1_trace.json`) —
+//!   load it in Perfetto / `chrome://tracing` to see the spans.
+//!
+//! `KW_BENCH_QUICK=1` (as CI's profile_smoke step sets) shrinks to
+//! n = 1_000, 4 rounds, threads 1/2.
+//!
+//! The binary also asserts the determinism contract on its own output:
+//! the span structure hash of every thread count must be identical per
+//! protocol — ticks vary, structure must not.
+
+use kw_graph::generators;
+use kw_results::store::{RunStore, TraceRecord};
+use kw_sim::rng::split_mix64;
+use kw_sim::wire::{BitReader, BitWriter, WireEncode};
+use kw_sim::{Ctx, Engine, EngineConfig, Protocol, Status};
+use kw_trace::Tracer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Clone)]
+struct Word(u64);
+
+impl WireEncode for Word {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.0);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(Word)
+    }
+
+    fn encoded_bits(&self) -> usize {
+        kw_sim::wire::gamma_len(self.0)
+    }
+}
+
+/// Broadcast-heavy: one broadcast per node per round (the shape of
+/// Algorithms 1–3). Mirrors `benches/engine.rs`.
+struct Flood {
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for Flood {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
+        for (_, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(m.0);
+        }
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        ctx.broadcast(Word(self.acc | 1));
+        Status::Running
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Unicast-heavy: four unicasts per node per round to hash-chosen
+/// ports. Mirrors `benches/engine.rs`.
+struct Ping {
+    me: u64,
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for Ping {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
+        for (_, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(m.0);
+        }
+        if self.rounds_left == 0 {
+            return Status::Halted;
+        }
+        self.rounds_left -= 1;
+        let degree = ctx.degree();
+        if degree > 0 {
+            for i in 0..4u64 {
+                let port = (split_mix64(self.me ^ (u64::from(self.rounds_left) << 8) ^ i)
+                    % u64::from(degree)) as u32;
+                ctx.send(port, Word(self.acc | 1));
+            }
+        }
+        Status::Running
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("KW_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// One traced engine run; returns the harvested tracer and the summed
+/// outputs (a cheap payload fingerprint to confirm thread-invariance).
+fn profile(g: &kw_graph::CsrGraph, threads: usize, rounds: u32, protocol: &str) -> (Tracer, u64) {
+    let cfg = EngineConfig {
+        threads,
+        ..Default::default()
+    };
+    kw_trace::install(Tracer::new());
+    kw_trace::with_active(|t| t.begin("solve"));
+    let outputs: Vec<u64> = match protocol {
+        "flood" => {
+            Engine::new(g, cfg, |info| Flood {
+                acc: u64::from(info.id.raw()),
+                rounds_left: rounds,
+            })
+            .run()
+            .expect("reliable run")
+            .outputs
+        }
+        "ping" => {
+            Engine::new(g, cfg, |info| Ping {
+                me: u64::from(info.id.raw()),
+                acc: u64::from(info.id.raw()),
+                rounds_left: rounds,
+            })
+            .run()
+            .expect("reliable run")
+            .outputs
+        }
+        other => unreachable!("unknown protocol {other}"),
+    };
+    let mut tracer = kw_trace::take().expect("tracer was installed");
+    tracer.finish();
+    let fingerprint = outputs.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+    (tracer, fingerprint)
+}
+
+fn main() {
+    let (n, rounds, thread_counts): (usize, u32, &[usize]) = if quick() {
+        (1_000, 4, &[1, 2])
+    } else {
+        (10_000, 10, &[1, 2, 4, 8])
+    };
+    println!("O1 — engine phase attribution: flood/ping on gnp(n={n}, deg≈16), {rounds} rounds\n");
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = generators::gnp(n, 16.0 / n as f64, &mut rng);
+    let workload = format!("gnp:n={n},deg=16");
+
+    let store_path =
+        std::env::var("KW_RUN_STORE").unwrap_or_else(|_| "target/exp_o1_profile.jsonl".to_string());
+    let store = RunStore::open(&store_path).expect("open run store");
+
+    let mut md = String::new();
+    md.push_str(&format!(
+        "# O1 — engine phase attribution\n\nflood/ping on gnp(n={n}, deg≈16), {rounds} rounds, seed 42.\n\
+         Shares are of total phase time; *barrier* is fork/join overhead\n\
+         (spawn lead + join tail around each parallel phase); imbalance is\n\
+         max/mean worker busy time.\n\n"
+    ));
+    md.push_str(
+        "| protocol | threads | total ms | plan | send | deliver | compute | barrier | imbalance |\n\
+         |---|---|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+
+    let mut chrome_export: Option<(String, usize)> = None;
+    for protocol in ["flood", "ping"] {
+        let mut hashes = Vec::new();
+        let mut fingerprints = Vec::new();
+        for &threads in thread_counts {
+            let (tracer, fingerprint) = profile(&g, threads, rounds, protocol);
+            let summary = tracer.summarize();
+            hashes.push(summary.structure_hash);
+            fingerprints.push(fingerprint);
+            let share = |p: &str| format!("{:.0}%", 100.0 * summary.phase_share(p));
+            md.push_str(&format!(
+                "| {protocol} | {threads} | {:.2} | {} | {} | {} | {} | {} | {:.2} |\n",
+                summary.total_us as f64 / 1e3,
+                share("plan"),
+                share("send"),
+                share("deliver"),
+                share("compute"),
+                share("barrier"),
+                summary.imbalance,
+            ));
+            store
+                .append_trace(&TraceRecord {
+                    solver: format!("engine:{protocol}"),
+                    workload: workload.clone(),
+                    seed: 42,
+                    chaos: String::new(),
+                    summary,
+                })
+                .expect("append trace line");
+            // Export the busiest flood profile for Perfetto.
+            if protocol == "flood" && threads == *thread_counts.last().unwrap() {
+                chrome_export = Some((tracer.chrome_json(), threads));
+            }
+        }
+        // Determinism contract: structure is thread-invariant.
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "{protocol}: structure hash varies across thread counts: {hashes:x?}"
+        );
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "{protocol}: outputs vary across thread counts"
+        );
+    }
+
+    println!("{md}");
+    let md_path =
+        std::env::var("KW_PROFILE_MD").unwrap_or_else(|_| "target/exp_o1_profile.md".to_string());
+    std::fs::write(&md_path, &md).expect("write markdown report");
+    println!("attribution table -> {md_path}");
+    println!("trace lines       -> {store_path}");
+
+    if let Some((json, threads)) = chrome_export {
+        let out = std::env::var("KW_TRACE_OUT")
+            .unwrap_or_else(|_| "target/exp_o1_trace.json".to_string());
+        std::fs::write(&out, json).expect("write Chrome trace");
+        println!("chrome trace      -> {out} (flood @ {threads} threads)");
+    }
+}

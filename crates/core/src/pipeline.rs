@@ -157,6 +157,10 @@ impl Pipeline {
             faults: faults.clone(),
             ..EngineConfig::default()
         };
+        // Stage spans bracket the two simulation segments when a tracer is
+        // installed; an early `?` return leaves the span open, and the
+        // harvester's `Tracer::finish` closes it at the error tick.
+        kw_trace::with_active(|t| t.begin("stage:fractional"));
         let (fractional, fractional_metrics, delta2) = match self.config.solver {
             FractionalSolver::Alg2DeltaKnown => {
                 let run = run_alg2(g, self.config.k, engine)?;
@@ -167,6 +171,7 @@ impl Pipeline {
                 (run.x, run.metrics, Some(run.delta2))
             }
         };
+        kw_trace::with_active(|t| t.end());
         // Derive a distinct engine seed for the rounding stage so its RNG
         // draws are independent of anything the solver consumed.
         let rounding_engine = EngineConfig {
@@ -175,12 +180,14 @@ impl Pipeline {
             faults,
             ..EngineConfig::default()
         };
+        kw_trace::with_active(|t| t.begin("stage:rounding"));
         let rounding = match &delta2 {
             Some(d2) => {
                 run_rounding_with_delta2(g, &fractional, d2, self.config.rounding, rounding_engine)?
             }
             None => run_rounding(g, &fractional, self.config.rounding, rounding_engine)?,
         };
+        kw_trace::with_active(|t| t.end());
         Ok(PipelineOutcome {
             dominating_set: rounding.set,
             fractional,

@@ -77,6 +77,12 @@ pub struct SolveContext {
     /// Whether to attach a quality [`Certificate`] to reports
     /// (verification + Lemma-1 ratio; costs one `is_dominating` pass).
     pub check_certificates: bool,
+    /// Whether to profile the solve with the `kw_trace` span plane and
+    /// attach the rollup to [`SolveReport::trace`]. Off by default; an
+    /// untraced run pays one thread-local read per engine drive and
+    /// nothing per round. Tracing never affects results — only the
+    /// report's `trace` field.
+    pub trace: bool,
 }
 
 impl Default for SolveContext {
@@ -86,6 +92,7 @@ impl Default for SolveContext {
             threads: 1,
             faults: ChaosPlan::reliable(),
             check_certificates: true,
+            trace: false,
         }
     }
 }
@@ -156,6 +163,11 @@ pub struct SolveReport {
     pub stages: Vec<StageMetrics>,
     /// Quality certificate (present unless the context disabled it).
     pub certificate: Option<Certificate>,
+    /// Where-does-time-go rollup of the solve's span/counter trace.
+    /// Present only when the run was traced ([`SolveContext::trace`] via
+    /// [`traced_solve`], or an externally installed tracer harvested by
+    /// the caller).
+    pub trace: Option<kw_trace::TraceSummary>,
 }
 
 impl SolveReport {
@@ -255,8 +267,55 @@ impl ReportBuilder {
             metrics,
             stages: self.stages,
             certificate,
+            trace: None,
         }
     }
+}
+
+/// Runs `solver` with the span/profiling plane active when the context
+/// asks for it ([`SolveContext::trace`]), harvesting the trace into
+/// [`SolveReport::trace`]; with tracing off this is exactly
+/// `solver.solve(g, ctx)`.
+///
+/// A [`kw_trace::Tracer`] is installed in this thread's slot around the
+/// solve (wrapped in a root `solve` span), so the engine rounds the
+/// solver drives — on this thread — record phase spans and round
+/// samples. The slot is cleared even when the solver errors or panics;
+/// a pre-installed tracer is replaced (traced solves don't nest).
+///
+/// # Errors
+///
+/// Whatever `solver.solve` returns; the trace of a failed solve is
+/// discarded with the error.
+pub fn traced_solve(
+    solver: &dyn DsSolver,
+    g: &CsrGraph,
+    ctx: &SolveContext,
+) -> Result<SolveReport, SolveError> {
+    if !ctx.trace {
+        return solver.solve(g, ctx);
+    }
+    // Clears the thread-local slot on every exit path, including a
+    // panicking solver unwinding through this frame (the runner converts
+    // such panics into `CellFailed` events and reuses the worker).
+    struct ClearSlot;
+    impl Drop for ClearSlot {
+        fn drop(&mut self) {
+            let _ = kw_trace::take();
+        }
+    }
+    kw_trace::install(kw_trace::Tracer::new());
+    let _clear = ClearSlot;
+    kw_trace::with_active(|t| t.begin("solve"));
+    let result = solver.solve(g, ctx);
+    let summary = kw_trace::take().map(|mut t| {
+        t.finish();
+        t.summarize()
+    });
+    result.map(|mut report| {
+        report.trace = summary;
+        report
+    })
 }
 
 /// Errors produced by solver construction and solve calls.

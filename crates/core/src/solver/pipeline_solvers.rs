@@ -156,7 +156,9 @@ impl DsSolver for CompositeSolver {
             multiplier: self.multiplier,
             skip_fallback: false,
         };
+        kw_trace::with_active(|t| t.begin("stage:composite"));
         let run = run_composite(g, self.k, rounding, engine)?;
+        kw_trace::with_active(|t| t.end());
         Ok(ReportBuilder::new(self.spec(), run.set.clone())
             .fractional(run.fractional.clone())
             .stage("composite", run.metrics)
@@ -199,6 +201,37 @@ mod tests {
             .unwrap();
         assert_eq!(report.rounds(), math::alg3_rounds(k) + 2);
         assert!(report.certificate.unwrap().dominates);
+    }
+
+    #[test]
+    fn traced_solve_attaches_stage_spans_without_changing_output() {
+        let g = generators::grid(6, 6);
+        let solver = PipelineSolver::new(3, FractionalSolver::Alg3);
+        let plain = solver.solve(&g, &SolveContext::seeded(7)).unwrap();
+        assert!(plain.trace.is_none());
+        let ctx = SolveContext {
+            trace: true,
+            ..SolveContext::seeded(7)
+        };
+        let traced = crate::solver::traced_solve(&solver, &g, &ctx).unwrap();
+        assert_eq!(traced.dominating_set, plain.dominating_set);
+        assert_eq!(traced.metrics, plain.metrics);
+        let summary = traced.trace.clone().expect("trace requested");
+        let labels: Vec<&str> = summary
+            .phase_us
+            .iter()
+            .map(|(label, _)| label.as_str())
+            .collect();
+        for phase in ["compute", "plan", "send", "deliver", "barrier"] {
+            assert!(labels.contains(&phase), "missing phase {phase}");
+        }
+        assert_eq!(summary.rounds as usize, traced.rounds());
+        assert_eq!(summary.samples.len(), traced.rounds());
+        // The tracer slot must not leak into later, untraced solves.
+        assert!(!kw_trace::is_active());
+        let after = solver.solve(&g, &SolveContext::seeded(7)).unwrap();
+        assert!(after.trace.is_none());
+        assert_eq!(after.dominating_set, plain.dominating_set);
     }
 
     #[test]

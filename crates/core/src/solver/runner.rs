@@ -12,7 +12,7 @@ use std::time::Instant;
 use kw_graph::CsrGraph;
 
 use crate::solver::events::{RunEvent, RunRecord};
-use crate::solver::{DsSolver, SolveContext, SolveError};
+use crate::solver::{traced_solve, DsSolver, SolveContext, SolveError};
 
 /// The numbers a [`CellSummary`] aggregates from one `(solver, workload,
 /// seed)` run — everything the runner (and the `kw_results` run store)
@@ -534,9 +534,17 @@ impl ExperimentRunner {
                     outcome
                 }
                 None => {
+                    // Human-readable run identity, prefixed onto failure
+                    // messages so a panic deep in a parallel sweep names
+                    // the exact cell to replay (chaos only when active).
+                    let run_id = if chaos == "none" {
+                        format!("{spec} on {label} (seed {seed})")
+                    } else {
+                        format!("{spec} on {label} (seed {seed}, chaos {chaos})")
+                    };
                     let start = Instant::now();
                     let report = match catch_unwind(AssertUnwindSafe(|| {
-                        solver.solve(graph, &ctx.with_seed(seed))
+                        traced_solve(solver, graph, &ctx.with_seed(seed))
                     })) {
                         Ok(Ok(report)) => report,
                         Ok(Err(e)) => {
@@ -548,14 +556,14 @@ impl ExperimentRunner {
                                     solver: spec.clone(),
                                     workload: label.to_string(),
                                     seed,
-                                    error: e.to_string(),
+                                    error: format!("{run_id}: {e}"),
                                 });
                             }
                             return Err(e);
                         }
                         Err(panic) => {
                             counters.failed.fetch_add(1, Ordering::Relaxed);
-                            let reason = panic_message(panic);
+                            let reason = format!("{run_id}: {}", panic_message(panic));
                             if let Some(em) = emitter.as_deref_mut() {
                                 em.emit(|worker, seq| RunEvent::CellFailed {
                                     worker,

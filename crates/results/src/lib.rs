@@ -22,9 +22,16 @@
 //! * **Regression gating** — [`regress::compare`] diffs a fresh summary
 //!   against a stored baseline and flags quality growth, new failures,
 //!   and ≥20% time regressions; `regress::compare_benches` does the same
-//!   for bench lines. The `regress` binary exits non-zero on findings,
-//!   and `store_smoke` is the CI end-to-end check (sweep → validate →
-//!   resume → 100% cache hits).
+//!   for bench lines, and `regress::compare_traces` gates the *shape* of
+//!   profiles (per-phase share drift, matched by thread count). The
+//!   `regress` binary exits non-zero on findings, and `store_smoke` is
+//!   the CI end-to-end check (sweep → validate → resume → 100% cache
+//!   hits).
+//! * **Traces** — profiled solves ([`kw_trace`] spans through
+//!   `SolveContext::trace`) persist as `trace` store lines
+//!   ([`store::TraceRecord`]) and roll up per solver × workload ×
+//!   threads via [`summary::TraceRollup`] (phase shares, barrier cost,
+//!   worker imbalance).
 //!
 //! [`ExperimentRunner::run_matrix_streaming`]:
 //!     kw_core::solver::ExperimentRunner::run_matrix_streaming
@@ -42,10 +49,12 @@ pub mod store;
 pub mod summary;
 
 pub use pipeline::{stream_sweep, PipelineError, SweepOutcome, SweepSession};
-pub use regress::{compare, compare_benches, RegressPolicy, Regression};
+pub use regress::{compare, compare_benches, compare_traces, RegressPolicy, Regression};
 pub use render::Table;
-pub use store::{load_path, BenchRecord, RunManifest, RunStore, StoreError, SCHEMA_VERSION};
-pub use summary::{nearest_rank, CellRollup, Percentiles, SolverRollup, Summary};
+pub use store::{
+    load_path, BenchRecord, RunManifest, RunStore, StoreError, TraceRecord, SCHEMA_VERSION,
+};
+pub use summary::{nearest_rank, CellRollup, Percentiles, SolverRollup, Summary, TraceRollup};
 
 // The event types are defined next to the runner that emits them; this
 // crate is their natural home from a consumer's point of view.

@@ -9,10 +9,10 @@
 
 use std::fmt;
 
-use crate::store::BenchRecord;
+use crate::store::{BenchRecord, TraceRecord};
 use crate::summary::Summary;
 
-/// Thresholds for [`compare`] / [`compare_benches`].
+/// Thresholds for [`compare`] / [`compare_benches`] / [`compare_traces`].
 #[derive(Clone, Copy, Debug)]
 pub struct RegressPolicy {
     /// A cell's mean wall time (or a bench's best-of-N) may grow to at
@@ -25,6 +25,12 @@ pub struct RegressPolicy {
     /// Baseline cells faster than this (ms) are exempt from the time
     /// gate (default 0.05 ms — sub-tick noise).
     pub min_wall_ms: f64,
+    /// A traced phase's share of phase time may drift from the baseline
+    /// by at most this, absolute (default 0.15 — compute going from 60%
+    /// to 80% of a solve fails). Shares are ratios, so this gate is
+    /// immune to the machine being uniformly faster or slower; it fires
+    /// only when the *shape* of where time goes changes.
+    pub max_phase_share_drift: f64,
 }
 
 impl Default for RegressPolicy {
@@ -33,6 +39,7 @@ impl Default for RegressPolicy {
             max_time_ratio: 1.2,
             max_quality_ratio: 1.02,
             min_wall_ms: 0.05,
+            max_phase_share_drift: 0.15,
         }
     }
 }
@@ -98,6 +105,19 @@ pub enum Regression {
         /// Benchmark id.
         id: String,
     },
+    /// A traced phase's share of phase time drifted beyond tolerance.
+    PhaseShare {
+        /// Solver spec of the drifting trace.
+        solver: String,
+        /// Workload label (with threads, e.g. `flood10k@4t`).
+        workload: String,
+        /// The drifting phase.
+        phase: String,
+        /// Baseline share of phase time, in [0, 1].
+        baseline: f64,
+        /// Fresh share of phase time, in [0, 1].
+        fresh: f64,
+    },
 }
 
 impl fmt::Display for Regression {
@@ -148,6 +168,18 @@ impl fmt::Display for Regression {
             Regression::MissingBench { bench, id } => {
                 write!(f, "MISSING  bench {bench}/{id}: absent from fresh measurements")
             }
+            Regression::PhaseShare {
+                solver,
+                workload,
+                phase,
+                baseline,
+                fresh,
+            } => write!(
+                f,
+                "PHASE    {solver} on {workload}: {phase} share {:.0}% -> {:.0}% of phase time",
+                100.0 * baseline,
+                100.0 * fresh
+            ),
         }
     }
 }
@@ -245,6 +277,62 @@ pub fn compare_benches(
                         fresh_ms,
                     });
                 }
+            }
+        }
+    }
+    findings
+}
+
+/// Diffs fresh trace rollups against stored baselines, matched by
+/// `(solver, workload, chaos, threads)` — a 4-thread profile is only
+/// ever compared against a 4-thread baseline, since phase shares shift
+/// legitimately with the worker count. Duplicates keep the last on both
+/// sides (re-profiles append). Missing traces are *not* findings: a
+/// profile run covers whatever matrix it chose that day, and phase-share
+/// drift is the only signal this gate exists for.
+pub fn compare_traces(
+    baseline: &[TraceRecord],
+    fresh: &[TraceRecord],
+    policy: &RegressPolicy,
+) -> Vec<Regression> {
+    let key = |t: &TraceRecord| {
+        (
+            t.solver.clone(),
+            t.workload.clone(),
+            t.chaos.clone(),
+            t.summary.threads,
+        )
+    };
+    let mut findings = Vec::new();
+    let mut seen = Vec::new();
+    for base in baseline.iter().rev() {
+        let k = key(base);
+        if seen.contains(&k) {
+            continue; // latest baseline per key wins
+        }
+        seen.push(k);
+        let Some(new) = fresh.iter().rev().find(|t| key(t) == key(base)) else {
+            continue;
+        };
+        for phase in kw_trace::PHASES {
+            let b = base.summary.phase_share(phase);
+            let f = new.summary.phase_share(phase);
+            if (f - b).abs() > policy.max_phase_share_drift {
+                let workload = if base.chaos.is_empty() {
+                    format!("{}@{}t", base.workload, base.summary.threads)
+                } else {
+                    format!(
+                        "{}@{}t (chaos:{})",
+                        base.workload, base.summary.threads, base.chaos
+                    )
+                };
+                findings.push(Regression::PhaseShare {
+                    solver: base.solver.clone(),
+                    workload,
+                    phase: phase.to_string(),
+                    baseline: b,
+                    fresh: f,
+                });
             }
         }
     }
@@ -368,6 +456,60 @@ mod tests {
         let base = Summary::from_records(&[record("kw:k=2", "grid", 0, 10.0, 0.01)]);
         let slow = Summary::from_records(&[record("kw:k=2", "grid", 0, 10.0, 0.04)]);
         assert!(compare(&base, &slow, &RegressPolicy::default()).is_empty());
+    }
+
+    fn trace(threads: usize, scale: u64, barrier_us: u64) -> TraceRecord {
+        TraceRecord {
+            solver: "kw:k=2".into(),
+            workload: "flood10k".into(),
+            seed: 42,
+            chaos: String::new(),
+            summary: kw_trace::TraceSummary {
+                threads,
+                rounds: 10,
+                total_us: 1_000 * scale + barrier_us,
+                phase_us: vec![
+                    ("barrier".into(), barrier_us),
+                    ("compute".into(), 700 * scale),
+                    ("deliver".into(), 100 * scale),
+                    ("plan".into(), 50 * scale),
+                    ("send".into(), 150 * scale),
+                ],
+                barrier_us,
+                imbalance: 1.1,
+                structure_hash: 7,
+                samples: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn phase_share_drift_gates_within_matching_thread_counts() {
+        // Baseline: compute dominates (700 of 1000 phase µs = 70%).
+        let base = vec![trace(4, 1, 0)];
+        // Same shape, uniformly 3x slower: shares unchanged, no finding.
+        let slower = vec![trace(4, 3, 0)];
+        assert!(compare_traces(&base, &slower, &RegressPolicy::default()).is_empty());
+        // Barrier grows from 0% to ~41% of phase time: flagged, and the
+        // compute share collapse is flagged alongside it.
+        let barrier_heavy = vec![trace(4, 1, 700)];
+        let findings = compare_traces(&base, &barrier_heavy, &RegressPolicy::default());
+        assert!(
+            findings.iter().any(|r| matches!(
+                r,
+                Regression::PhaseShare { phase, workload, .. }
+                    if phase == "barrier" && workload == "flood10k@4t"
+            )),
+            "{findings:?}"
+        );
+        // A 1-thread fresh trace never gates against the 4-thread base.
+        let other_threads = vec![trace(1, 1, 700)];
+        assert!(compare_traces(&base, &other_threads, &RegressPolicy::default()).is_empty());
+        // Missing fresh traces are not findings.
+        assert!(compare_traces(&base, &[], &RegressPolicy::default()).is_empty());
+        // Re-profiles append: the latest fresh trace is the one gated.
+        let appended = vec![trace(4, 1, 700), trace(4, 1, 0)];
+        assert!(compare_traces(&base, &appended, &RegressPolicy::default()).is_empty());
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! * `record` — one per solved `(solver, workload, seed)` cell (a
 //!   serialized [`RunRecord`]);
 //! * `bench` — one criterion measurement (group, id, best-of-N ms), so
-//!   engine benchmarks share the same durable format as experiments.
+//!   engine benchmarks share the same durable format as experiments;
+//! * `trace` — one profiled solve's where-does-time-go rollup (a
+//!   [`kw_trace::TraceSummary`]: per-phase totals, fork/join barrier
+//!   time, worker imbalance, the structure fingerprint, and the full
+//!   per-round counter series), keyed like a record by
+//!   `(solver, workload, seed, chaos)` plus the thread count.
 //!
 //! # Crash safety and resume
 //!
@@ -40,6 +45,10 @@
 //! synthesized into the equivalent canonical iid-only spec, so old
 //! stores replay into today's caches and key the same cells.
 //!
+//! v2 → v3: added the `trace` line kind. No existing kind changed
+//! shape, so v1/v2 lines read exactly as before under a v3 reader; a v2
+//! reader rejects v3 lines per the newer-version rule above.
+//!
 //! [`ChaosPlan`]: kw_sim::ChaosPlan
 //!
 //! # Single writer
@@ -67,7 +76,7 @@ use kw_sim::ChaosPlan;
 use crate::json::Json;
 
 /// Version stamped on every line this crate writes.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One sweep launch's provenance: everything needed to re-run it.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,6 +104,21 @@ pub struct BenchRecord {
     pub best_ms: f64,
 }
 
+/// One profiled solve's trace rollup in store form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Canonical solver spec.
+    pub solver: String,
+    /// Workload label.
+    pub workload: String,
+    /// Seed of the profiled run.
+    pub seed: u64,
+    /// Canonical chaos spec (`""` = reliable).
+    pub chaos: String,
+    /// The trace rollup, including the full per-round counter series.
+    pub summary: kw_trace::TraceSummary,
+}
+
 /// Everything a [`RunStore::load`] call found.
 #[derive(Clone, Debug, Default)]
 pub struct StoreContents {
@@ -104,6 +128,8 @@ pub struct StoreContents {
     pub records: Vec<RunRecord>,
     /// Benchmark records, in append order.
     pub benches: Vec<BenchRecord>,
+    /// Trace records, in append order.
+    pub traces: Vec<TraceRecord>,
     /// Lines of the current schema version whose kind this reader does
     /// not know (skipped, counted for diagnostics).
     pub unknown_kinds: usize,
@@ -423,6 +449,51 @@ impl RunStore {
         ]))
     }
 
+    /// Appends one trace rollup line. Phase totals serialize as a
+    /// label→µs object and the per-round counter series as fixed-shape
+    /// six-field rows, so trace lines stay one line even for
+    /// thousand-round solves.
+    pub fn append_trace(&self, t: &TraceRecord) -> Result<(), StoreError> {
+        let s = &t.summary;
+        let phase_us = Json::Obj(
+            s.phase_us
+                .iter()
+                .map(|(label, us)| (label.clone(), Json::UInt(*us)))
+                .collect(),
+        );
+        let samples = Json::Arr(
+            s.samples
+                .iter()
+                .map(|r| {
+                    Json::Arr(vec![
+                        Json::UInt(u64::from(r.round)),
+                        Json::UInt(r.messages),
+                        Json::UInt(r.bits),
+                        Json::UInt(r.active),
+                        Json::UInt(r.arena_bytes),
+                        Json::UInt(r.rebuilds),
+                    ])
+                })
+                .collect(),
+        );
+        self.append_line(&Json::obj([
+            ("v", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::Str("trace".into())),
+            ("solver", Json::Str(t.solver.clone())),
+            ("workload", Json::Str(t.workload.clone())),
+            ("seed", Json::UInt(t.seed)),
+            ("chaos", Json::Str(t.chaos.clone())),
+            ("threads", Json::UInt(s.threads as u64)),
+            ("rounds", Json::UInt(s.rounds)),
+            ("total_us", Json::UInt(s.total_us)),
+            ("barrier_us", Json::UInt(s.barrier_us)),
+            ("imbalance", Json::num(s.imbalance)),
+            ("structure_hash", Json::UInt(s.structure_hash)),
+            ("phase_us", phase_us),
+            ("samples", samples),
+        ]))
+    }
+
     fn append_line(&self, value: &Json) -> Result<(), StoreError> {
         let mut line = value.render();
         line.push('\n');
@@ -482,6 +553,7 @@ pub fn parse_store(text: &str) -> Result<StoreContents, StoreError> {
             Ok(Line::Manifest(m)) => contents.manifests.push(m),
             Ok(Line::Record(r)) => contents.records.push(r),
             Ok(Line::Bench(b)) => contents.benches.push(b),
+            Ok(Line::Trace(t)) => contents.traces.push(*t),
             Ok(Line::Unknown) => contents.unknown_kinds += 1,
             Err(e @ StoreError::UnsupportedSchema { .. }) => return Err(e),
             Err(e) => {
@@ -501,6 +573,9 @@ enum Line {
     Manifest(RunManifest),
     Record(RunRecord),
     Bench(BenchRecord),
+    // Boxed: a trace line carries a full counter series and would
+    // otherwise dominate the enum's size.
+    Trace(Box<TraceRecord>),
     Unknown,
 }
 
@@ -605,6 +680,57 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
             id: str_field("id")?,
             best_ms: f64_field("best_ms")?,
         })),
+        "trace" => {
+            let phase_us = match v.get("phase_us") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(label, us)| us.as_u64().map(|us| (label.clone(), us)))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| corrupt("non-integer value in \"phase_us\"".into()))?,
+                _ => return Err(corrupt("missing object field \"phase_us\"".into())),
+            };
+            let samples = v
+                .get("samples")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| corrupt("missing array field \"samples\"".into()))?
+                .iter()
+                .map(|row| {
+                    let cols: Vec<u64> = row
+                        .as_arr()
+                        .map(|cells| cells.iter().filter_map(Json::as_u64).collect())
+                        .unwrap_or_default();
+                    match cols[..] {
+                        [round, messages, bits, active, arena_bytes, rebuilds] => {
+                            Ok(kw_trace::RoundSample {
+                                round: round as u32,
+                                messages,
+                                bits,
+                                active,
+                                arena_bytes,
+                                rebuilds,
+                            })
+                        }
+                        _ => Err(corrupt("malformed \"samples\" row".into())),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Line::Trace(Box::new(TraceRecord {
+                solver: str_field("solver")?,
+                workload: str_field("workload")?,
+                seed: u64_field("seed")?,
+                chaos: chaos_field()?,
+                summary: kw_trace::TraceSummary {
+                    threads: u64_field("threads")? as usize,
+                    rounds: u64_field("rounds")?,
+                    total_us: u64_field("total_us")?,
+                    phase_us,
+                    barrier_us: u64_field("barrier_us")?,
+                    imbalance: f64_field("imbalance")?,
+                    structure_hash: u64_field("structure_hash")?,
+                    samples,
+                },
+            })))
+        }
         _ => Ok(Line::Unknown),
     }
 }
@@ -682,6 +808,82 @@ mod tests {
         assert!(!contents.truncated_tail);
         assert_eq!(contents.unknown_kinds, 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_trace(seed: u64) -> TraceRecord {
+        TraceRecord {
+            solver: "kw:k=2".into(),
+            workload: "flood10k".into(),
+            seed,
+            chaos: String::new(),
+            summary: kw_trace::TraceSummary {
+                threads: 4,
+                rounds: 2,
+                total_us: 1_234,
+                phase_us: vec![
+                    ("barrier".into(), 40),
+                    ("compute".into(), 700),
+                    ("deliver".into(), 120),
+                    ("plan".into(), 30),
+                    ("send".into(), 200),
+                ],
+                barrier_us: 40,
+                imbalance: 1.25,
+                structure_hash: 0xdead_beef_cafe_f00d,
+                samples: (0..2)
+                    .map(|r| kw_trace::RoundSample {
+                        round: r,
+                        messages: 100 + u64::from(r),
+                        bits: 800,
+                        active: 1_000,
+                        arena_bytes: 4_096,
+                        rebuilds: 0,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn trace_lines_roundtrip_exactly() {
+        let path = temp_store("trace_roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let store = RunStore::open(&path).unwrap();
+        let traces: Vec<TraceRecord> = (0..2).map(sample_trace).collect();
+        for t in &traces {
+            store.append_trace(t).unwrap();
+        }
+        // A trace line must not bleed into the other collections.
+        store
+            .append_bench(&BenchRecord {
+                bench: "engine_flood".into(),
+                id: "threads1/1000".into(),
+                best_ms: 0.9,
+            })
+            .unwrap();
+        let contents = store.load().unwrap();
+        assert_eq!(contents.traces, traces);
+        assert_eq!(contents.benches.len(), 1);
+        assert_eq!(contents.records.len(), 0);
+        assert_eq!(contents.unknown_kinds, 0);
+        // One line per trace, no matter how long the counter series is.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_trace_lines_are_corrupt_not_skipped() {
+        let bad = format!(
+            "{{\"v\":{SCHEMA_VERSION},\"kind\":\"trace\",\"solver\":\"s\",\"workload\":\"w\",\
+             \"seed\":0,\"chaos\":\"\",\"threads\":1,\"rounds\":1,\"total_us\":1,\
+             \"barrier_us\":0,\"imbalance\":1.0,\"structure_hash\":1,\
+             \"phase_us\":{{\"compute\":1}},\"samples\":[[1,2,3]]}}\nx\n"
+        );
+        assert!(matches!(
+            parse_store(&bad),
+            Err(StoreError::Corrupt { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -22,10 +22,13 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use kw_bench::workloads::Workload;
-use kw_core::solver::{ExperimentCache, RunOutcome, RunRecord, SolveContext, SolverRegistry};
+use kw_core::solver::{
+    traced_solve, ExperimentCache, RunOutcome, RunRecord, SolveContext, SolverRegistry,
+};
 use kw_results::json::Json;
-use kw_results::store::{RunStore, StoreError};
+use kw_results::store::{RunStore, StoreError, TraceRecord};
 use kw_sim::ChaosPlan;
+use kw_trace::TraceSummary;
 
 use crate::http::{Request, Response};
 use crate::telemetry::Telemetry;
@@ -220,6 +223,17 @@ impl SolveService {
         if !faults.is_reliable() {
             self.telemetry.count_chaos_request();
         }
+        // `"trace": true` profiles the solve with the span plane and
+        // returns the rollup inline. A traced request always computes —
+        // a cached outcome has no trace to attach — so it doubles as a
+        // "measure this cell right now" escape hatch.
+        let want_trace = match json.get("trace") {
+            None => false,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => return Response::error(400, "\"trace\" must be a boolean"),
+            },
+        };
 
         // Untrusted spec strings go through the same grammars as CLI
         // sweeps; parse failures are the client's problem, not a 500.
@@ -239,18 +253,22 @@ impl SolveService {
         let ctx = SolveContext {
             check_certificates: true,
             faults,
+            trace: want_trace,
             ..SolveContext::seeded(seed)
         };
         let chaos = ctx.faults.spec();
 
-        if let Some(outcome) = self.cache.outcome(&spec, &label, seed, &ctx) {
-            let shape = self
-                .shapes
-                .lock()
-                .unwrap()
-                .get(&(label.clone(), seed))
-                .copied();
-            return self.render_outcome(&spec, &label, seed, shape, outcome, true);
+        let was_cached = self.cache.outcome(&spec, &label, seed, &ctx);
+        if let Some(outcome) = was_cached {
+            if !want_trace {
+                let shape = self
+                    .shapes
+                    .lock()
+                    .unwrap()
+                    .get(&(label.clone(), seed))
+                    .copied();
+                return self.render_outcome(&spec, &label, seed, shape, outcome, true, None);
+            }
         }
 
         // Miss: materialize the graph (memoized per (label, seed)) and
@@ -264,7 +282,7 @@ impl SolveService {
             },
         };
         let start = Instant::now();
-        let report = match catch_unwind(AssertUnwindSafe(|| solver.solve(&graph, &ctx))) {
+        let report = match catch_unwind(AssertUnwindSafe(|| traced_solve(&*solver, &graph, &ctx))) {
             Ok(Ok(report)) => report,
             Ok(Err(e)) => return Response::error(422, e.to_string()),
             Err(panic) => {
@@ -274,10 +292,18 @@ impl SolveService {
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic".to_string());
-                return Response::error(500, format!("solver panicked: {reason}"));
+                let run_id = if chaos.is_empty() {
+                    format!("{spec} on {label} (seed {seed})")
+                } else {
+                    format!("{spec} on {label} (seed {seed}, chaos {chaos})")
+                };
+                return Response::error(500, format!("solver panicked: {run_id}: {reason}"));
             }
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(summary) = &report.trace {
+            self.telemetry.observe_trace(summary);
+        }
         let cert = report.certificate.as_ref().expect("certificates forced on");
         let outcome = RunOutcome {
             dominates: cert.dominates,
@@ -296,22 +322,74 @@ impl SolveService {
             .unwrap()
             .insert((label.clone(), seed), shape);
         if let Some(store) = &self.store {
-            let record = RunRecord {
-                solver: spec.clone(),
-                workload: label.clone(),
-                n: shape.0,
-                max_degree: shape.1,
-                seed,
-                chaos,
-                outcome,
-            };
-            if store.lock().unwrap().append_record(&record).is_err() {
-                self.telemetry.count_store_error();
+            // A traced re-solve of an already-cached cell appends only
+            // its trace line — duplicating the record would double-weight
+            // the cell in summaries built from this store.
+            if was_cached.is_none() {
+                let record = RunRecord {
+                    solver: spec.clone(),
+                    workload: label.clone(),
+                    n: shape.0,
+                    max_degree: shape.1,
+                    seed,
+                    chaos: chaos.clone(),
+                    outcome,
+                };
+                if store.lock().unwrap().append_record(&record).is_err() {
+                    self.telemetry.count_store_error();
+                }
+            }
+            if let Some(summary) = &report.trace {
+                let trace = TraceRecord {
+                    solver: spec.clone(),
+                    workload: label.clone(),
+                    seed,
+                    chaos: chaos.clone(),
+                    summary: summary.clone(),
+                };
+                if store.lock().unwrap().append_trace(&trace).is_err() {
+                    self.telemetry.count_store_error();
+                }
             }
         }
-        self.render_outcome(&spec, &label, seed, Some(shape), outcome, false)
+        self.render_outcome(
+            &spec,
+            &label,
+            seed,
+            Some(shape),
+            outcome,
+            false,
+            report.trace.as_ref(),
+        )
     }
 
+    /// The inline `"trace"` object of a traced solve's response: the
+    /// rollup without the per-round sample series (which can run to
+    /// thousands of rounds — it lives in the store's trace line, not in
+    /// every HTTP response).
+    fn trace_json(summary: &TraceSummary) -> Json {
+        Json::obj([
+            ("threads", Json::UInt(summary.threads as u64)),
+            ("rounds", Json::UInt(summary.rounds)),
+            ("total_us", Json::UInt(summary.total_us)),
+            ("barrier_us", Json::UInt(summary.barrier_us)),
+            ("imbalance", Json::num(summary.imbalance)),
+            ("structure_hash", Json::UInt(summary.structure_hash)),
+            (
+                "phase_us",
+                Json::Obj(
+                    summary
+                        .phase_us
+                        .iter()
+                        .map(|(label, us)| (label.clone(), Json::UInt(*us)))
+                        .collect(),
+                ),
+            ),
+            ("samples", Json::UInt(summary.samples.len() as u64)),
+        ])
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn render_outcome(
         &self,
         solver: &str,
@@ -320,25 +398,30 @@ impl SolveService {
         shape: Option<(usize, usize)>,
         outcome: RunOutcome,
         cached: bool,
+        trace: Option<&TraceSummary>,
     ) -> Response {
         let (n, max_degree) = shape.unwrap_or((0, 0));
-        Response::json(
-            200,
-            &Json::obj([
-                ("solver", Json::Str(solver.to_string())),
-                ("workload", Json::Str(workload.to_string())),
-                ("seed", Json::UInt(seed)),
-                ("n", Json::UInt(n as u64)),
-                ("max_degree", Json::UInt(max_degree as u64)),
-                ("cached", Json::Bool(cached)),
-                ("dominates", Json::Bool(outcome.dominates)),
-                ("size", Json::num(outcome.size)),
-                ("rounds", Json::num(outcome.rounds)),
-                ("messages", Json::num(outcome.messages)),
-                ("bits", Json::num(outcome.bits)),
-                ("ratio_vs_lemma1", Json::num(outcome.ratio_vs_lemma1)),
-                ("wall_ms", Json::num(outcome.wall_ms)),
-            ]),
-        )
+        let mut fields = vec![
+            ("solver".to_string(), Json::Str(solver.to_string())),
+            ("workload".to_string(), Json::Str(workload.to_string())),
+            ("seed".to_string(), Json::UInt(seed)),
+            ("n".to_string(), Json::UInt(n as u64)),
+            ("max_degree".to_string(), Json::UInt(max_degree as u64)),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("dominates".to_string(), Json::Bool(outcome.dominates)),
+            ("size".to_string(), Json::num(outcome.size)),
+            ("rounds".to_string(), Json::num(outcome.rounds)),
+            ("messages".to_string(), Json::num(outcome.messages)),
+            ("bits".to_string(), Json::num(outcome.bits)),
+            (
+                "ratio_vs_lemma1".to_string(),
+                Json::num(outcome.ratio_vs_lemma1),
+            ),
+            ("wall_ms".to_string(), Json::num(outcome.wall_ms)),
+        ];
+        if let Some(summary) = trace {
+            fields.push(("trace".to_string(), Self::trace_json(summary)));
+        }
+        Response::json(200, &Json::Obj(fields))
     }
 }

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use kw_results::summary::nearest_rank;
+use kw_trace::PHASES;
 
 /// Upper bounds (µs, inclusive) of the latency histogram buckets. The
 /// final `u64::MAX` bucket catches everything slower; its reported
@@ -109,6 +110,12 @@ pub struct Telemetry {
     chaos_requests: AtomicU64,
     /// Requests currently being handled by workers.
     inflight: AtomicU64,
+    /// Traced solves observed (requests with `"trace": true`).
+    traced_solves: AtomicU64,
+    /// Cumulative engine-phase time (µs) over traced solves, indexed
+    /// like [`PHASES`]. Only traced solves contribute — untraced ones
+    /// record no spans to attribute.
+    phase_us: [AtomicU64; PHASES.len()],
     /// End-to-end request latency (entering the worker to response
     /// written).
     pub latency: LatencyHistogram,
@@ -152,6 +159,20 @@ impl Telemetry {
     /// Chaos solve requests observed.
     pub fn chaos_requests(&self) -> u64 {
         self.chaos_requests.load(Ordering::Relaxed)
+    }
+
+    /// Accumulates one traced solve's per-phase totals into the phase
+    /// duration counters.
+    pub fn observe_trace(&self, summary: &kw_trace::TraceSummary) {
+        self.traced_solves.fetch_add(1, Ordering::Relaxed);
+        for (i, &phase) in PHASES.iter().enumerate() {
+            self.phase_us[i].fetch_add(summary.phase_total(phase), Ordering::Relaxed);
+        }
+    }
+
+    /// Traced solves observed.
+    pub fn traced_solves(&self) -> u64 {
+        self.traced_solves.load(Ordering::Relaxed)
     }
 
     /// Marks a request entering a worker; the guard exits on drop (also
@@ -271,6 +292,25 @@ impl Telemetry {
                 self.latency.percentile(percent),
             );
         }
+        gauge(
+            "kw_serve_traced_solves_total",
+            "Solve requests profiled with the span plane.",
+            "counter",
+            self.traced_solves.load(Ordering::Relaxed),
+        );
+        // A labeled metric family: HELP/TYPE once under the bare name,
+        // then one sample line per phase label (HELP/TYPE lines with
+        // braces are invalid exposition).
+        out.push_str(
+            "# HELP kw_serve_solve_phase_us_total Cumulative engine-phase time over traced solves, microseconds.\n\
+             # TYPE kw_serve_solve_phase_us_total counter\n",
+        );
+        for (i, &phase) in PHASES.iter().enumerate() {
+            out.push_str(&format!(
+                "kw_serve_solve_phase_us_total{{phase=\"{phase}\"}} {}\n",
+                self.phase_us[i].load(Ordering::Relaxed)
+            ));
+        }
         out
     }
 }
@@ -335,6 +375,127 @@ mod tests {
         assert_eq!(h.percentile(50), p.p50 as u64);
         assert_eq!(h.percentile(95), p.p95 as u64);
         assert_eq!(h.percentile(99), p.p99 as u64);
+    }
+
+    /// Exact boundary semantics: bounds are *inclusive* upper edges, so
+    /// a sample equal to a bound lands in that bound's bucket, and one
+    /// microsecond more lands in the next.
+    #[test]
+    fn samples_on_exact_bucket_bounds_land_in_the_bounds_bucket() {
+        for &bound in BUCKET_BOUNDS_US.iter().take(BUCKET_BOUNDS_US.len() - 1) {
+            let h = LatencyHistogram::default();
+            h.record(bound);
+            assert_eq!(
+                h.percentile(50),
+                bound,
+                "value == bound {bound} must report that bound"
+            );
+            let h = LatencyHistogram::default();
+            h.record(bound + 1);
+            let next = BUCKET_BOUNDS_US
+                [BUCKET_BOUNDS_US.iter().position(|&b| b == bound).unwrap() + 1]
+                .min(OVERFLOW_CAP_US);
+            assert_eq!(
+                h.percentile(50),
+                next,
+                "value {} must spill into the next bucket",
+                bound + 1
+            );
+        }
+        // Zero is a valid latency and belongs to the first bucket.
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.percentile(50), BUCKET_BOUNDS_US[0]);
+    }
+
+    /// Structural check of the Prometheus text exposition: every
+    /// non-comment line is `name[{labels}] value`, every sample is
+    /// preceded by HELP and TYPE lines for its bare family name, and
+    /// labeled families keep braces out of their HELP/TYPE lines.
+    #[test]
+    fn metrics_render_as_valid_prometheus_exposition() {
+        let t = Telemetry::default();
+        t.observe(200, 120);
+        t.observe_trace(&kw_trace::TraceSummary {
+            threads: 2,
+            rounds: 4,
+            total_us: 1_000,
+            phase_us: vec![("compute".into(), 600), ("deliver".into(), 150)],
+            barrier_us: 0,
+            imbalance: 1.0,
+            structure_hash: 0,
+            samples: Vec::new(),
+        });
+        let text = t.render_prometheus(1, 2, 3);
+        let mut typed: Vec<String> = Vec::new();
+        let mut helped: Vec<String> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(!name.contains('{'), "HELP must use the bare name");
+                helped.push(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(!name.contains('{'), "TYPE must use the bare name");
+                assert!(
+                    ["counter", "gauge"].contains(&kind),
+                    "unknown metric type {kind}"
+                );
+                typed.push(name.to_string());
+                continue;
+            }
+            // Sample line: name or name{label="v"} then a u64 value.
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<u64>().expect("sample value is an integer");
+            let family = name_part.split('{').next().unwrap();
+            assert!(
+                family
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name {family}"
+            );
+            assert!(
+                typed.contains(&family.to_string()) && helped.contains(&family.to_string()),
+                "sample {family} lacks HELP/TYPE"
+            );
+            if let Some(labels) = name_part.strip_prefix(&format!("{family}{{")) {
+                let labels = labels.strip_suffix('}').expect("balanced braces");
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"'), "quoted label value");
+                }
+            }
+        }
+        // The phase family appears once per phase, all under one family.
+        let phase_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("kw_serve_solve_phase_us_total{"))
+            .collect();
+        assert_eq!(phase_lines.len(), PHASES.len());
+        assert!(text.contains("kw_serve_solve_phase_us_total{phase=\"compute\"} 600\n"));
+        assert!(text.contains("kw_serve_solve_phase_us_total{phase=\"plan\"} 0\n"));
+        assert!(text.contains("kw_serve_traced_solves_total 1\n"));
+        // A second traced solve accumulates.
+        t.observe_trace(&kw_trace::TraceSummary {
+            threads: 2,
+            rounds: 4,
+            total_us: 500,
+            phase_us: vec![("compute".into(), 400)],
+            barrier_us: 0,
+            imbalance: 1.0,
+            structure_hash: 0,
+            samples: Vec::new(),
+        });
+        assert_eq!(t.traced_solves(), 2);
+        assert!(t
+            .render_prometheus(1, 2, 3)
+            .contains("kw_serve_solve_phase_us_total{phase=\"compute\"} 1000\n"));
     }
 
     #[test]

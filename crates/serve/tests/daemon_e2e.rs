@@ -420,3 +420,79 @@ fn chaos_clause_is_keyed_counted_persisted_and_validated() {
     second.shutdown();
     let _ = std::fs::remove_file(&store);
 }
+
+/// The `"trace": true` solve path: the response carries the span-plane
+/// rollup inline, phase time lands on `/metrics`, the store gains trace
+/// lines — and a traced re-solve of a cached cell appends its trace
+/// without duplicating the cell's record.
+#[test]
+fn traced_solves_return_rollups_and_persist_trace_lines() {
+    let store = temp_store("trace");
+    let _ = std::fs::remove_file(&store);
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    let traced_body =
+        "{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"seed\": 3, \"trace\": true}";
+
+    let first = answer(&post_solve(&server, traced_body));
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let trace = first.get("trace").expect("traced solve returns a trace");
+    assert!(trace.get("rounds").and_then(Json::as_u64).unwrap() > 0);
+    let phase_us = trace.get("phase_us").expect("phase_us object");
+    for phase in ["plan", "send", "deliver", "compute", "barrier"] {
+        assert!(phase_us.get(phase).is_some(), "missing phase {phase}");
+    }
+    assert_eq!(
+        trace.get("threads").and_then(Json::as_u64),
+        Some(1),
+        "the service solves single-threaded"
+    );
+
+    // An untraced request of the same cell hits the cache and carries no
+    // trace; a traced re-request solves again and returns a fresh trace.
+    let untraced_body = "{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"seed\": 3}";
+    let hit = answer(&post_solve(&server, untraced_body));
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+    assert!(hit.get("trace").is_none());
+    let retraced = answer(&post_solve(&server, traced_body));
+    assert_eq!(retraced.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        trace.get("structure_hash").map(Json::render),
+        retraced
+            .get("trace")
+            .and_then(|t| t.get("structure_hash"))
+            .map(Json::render),
+        "same cell, same deterministic structure"
+    );
+
+    // Phase counters accumulate only from traced solves.
+    assert_eq!(metric(&server, "kw_serve_traced_solves_total"), 2.0);
+    let resp = http_request(server.addr(), "GET", "/metrics", b"", TIMEOUT).unwrap();
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(
+        text.contains("kw_serve_solve_phase_us_total{phase=\"compute\"}"),
+        "{text}"
+    );
+
+    // A malformed trace flag is the client's problem.
+    let bad = post_solve(
+        &server,
+        "{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"trace\": \"yes\"}",
+    );
+    assert_eq!(bad.status, 400);
+
+    server.shutdown(); // flush + release the store
+    let contents = kw_results::store::load_path(&store).unwrap();
+    assert_eq!(contents.records.len(), 1, "one record despite two solves");
+    assert_eq!(contents.traces.len(), 2, "every traced solve persists");
+    assert_eq!(contents.traces[0].solver, "kw:k=2");
+    assert_eq!(contents.traces[0].workload, "grid(6x6)");
+    assert_eq!(
+        contents.traces[0].summary.structure_hash,
+        contents.traces[1].summary.structure_hash
+    );
+    let _ = std::fs::remove_file(&store);
+}

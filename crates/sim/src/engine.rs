@@ -59,10 +59,13 @@
 //! small wire-encoded values (the paper's are `O(log Δ)` bits), so the
 //! extra copy is far cheaper than the outbox rescans it replaces.
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use kw_graph::{apply_churn, CsrGraph, NodeId};
+use kw_trace::{tick_us, RoundSample};
 
 use crate::chaos::ChaosPlan;
 use crate::mailbox::{Ctx, Outbound, Sink};
@@ -364,6 +367,15 @@ pub struct Engine<'g, P: Protocol> {
     /// by the worker that owns the chunk's nodes.
     chunk: usize,
     chunks: usize,
+    /// Per-chunk `(start, end)` tick pairs of the most recent parallel
+    /// phase, microseconds from the tracer origin. Workers fill their
+    /// slot by value; the driving thread flushes the slice into the
+    /// tracer after the join ([`kw_trace::Tracer::end_parallel`]), so no
+    /// worker ever touches the (thread-local) tracer. Fixed-size, only
+    /// written when a tracer is installed; deliberately not part of
+    /// [`plane_capacity`](Self::plane_capacity) — it is profiling state,
+    /// not message-plane state.
+    chunk_ticks: Vec<(u64, u64)>,
     /// Debug counter: how many rounds grew any reusable buffer's capacity.
     /// Steady-state rounds must not move this.
     buffer_growths: u64,
@@ -452,6 +464,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             node_messages: vec![0; n],
             chunk,
             chunks,
+            chunk_ticks: vec![(0, 0); chunks],
             buffer_growths: 0,
             graph_rebuilds: 0,
             last_plane_capacity: 0,
@@ -509,10 +522,19 @@ impl<'g, P: Protocol> Engine<'g, P> {
 
     /// The round loop, separated from output extraction so tests can
     /// inspect engine state (e.g. the allocation counter) after a run.
+    ///
+    /// When a [`kw_trace::Tracer`] is installed on the driving thread,
+    /// every round emits a `round` span with `compute`/`plan`/`send`/
+    /// `deliver` phase children, per-chunk worker-track spans, synthetic
+    /// `barrier` (fork/join overhead) spans, and one [`RoundSample`] —
+    /// see the span taxonomy in the `kw_trace` crate docs. Untraced runs
+    /// pay exactly one thread-local read, here.
     fn drive(&mut self, observer: &mut dyn Observer<P>) -> Result<RunMetrics, SimError> {
         let mut metrics = RunMetrics::default();
         let has_down = self.config.faults.has_down();
         let has_churn = self.config.faults.has_churn();
+        let origin = kw_trace::origin();
+        let trace = origin.is_some();
         let mut round = 0usize;
         loop {
             if round >= self.config.max_rounds {
@@ -520,10 +542,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     limit: self.config.max_rounds,
                 });
             }
-            if has_churn {
-                self.apply_churn_at(round);
+            if trace {
+                kw_trace::with_active(|t| t.begin("round"));
             }
-            let out = self.compute_phase(round);
+            if has_churn {
+                if trace {
+                    kw_trace::with_active(|t| t.begin("churn"));
+                }
+                self.apply_churn_at(round);
+                if trace {
+                    kw_trace::with_active(|t| t.end());
+                }
+            }
+            if trace {
+                kw_trace::with_active(|t| t.begin("compute"));
+            }
+            let out = self.compute_phase(round, origin);
+            if trace {
+                kw_trace::with_active(|t| {
+                    t.end_parallel("compute", &self.chunk_ticks[..self.chunks])
+                });
+            }
             metrics.rounds = round + 1;
             observer.after_round(round, &self.nodes);
             if !out.wire_ok {
@@ -538,6 +577,21 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
             self.staged_senders = out.staged;
             self.uniform_solo = out.uniform_solo;
+            if trace {
+                let active = self.halted.iter().filter(|h| !**h).count() as u64;
+                let arena_bytes =
+                    (self.inbox_arena.len() * std::mem::size_of::<(u32, P::Msg)>()) as u64;
+                kw_trace::with_active(|t| {
+                    t.sample(RoundSample {
+                        round: round as u32,
+                        messages: out.stats.messages,
+                        bits: out.stats.bits,
+                        active,
+                        arena_bytes,
+                        rebuilds: self.graph_rebuilds,
+                    })
+                });
+            }
             let finished = if has_down {
                 // A node that is down for every remaining round can never
                 // run again; treating it as terminated keeps crash-forever
@@ -556,9 +610,15 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 // capacities here: the last compute phase may still have
                 // grown a send arena.
                 self.note_plane_capacity();
+                if trace {
+                    kw_trace::with_active(|t| t.end());
+                }
                 break;
             }
-            self.delivery_phase(round);
+            self.delivery_phase(round, origin);
+            if trace {
+                kw_trace::with_active(|t| t.end());
+            }
             round += 1;
         }
         metrics.max_node_messages = self.node_messages.iter().copied().max().unwrap_or(0);
@@ -599,7 +659,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// the flat send arenas through [`StageSink`], which also performs the
     /// fused sender-side accounting — the per-chunk tallies come back in
     /// the returned [`ChunkOut`].
-    fn compute_phase(&mut self, round: usize) -> ChunkOut {
+    fn compute_phase(&mut self, round: usize, origin: Option<Instant>) -> ChunkOut {
         let graph = self.churned.as_ref().unwrap_or(self.graph);
         let arena = &self.inbox_arena;
         let offsets = &self.inbox_offsets;
@@ -607,7 +667,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let check_wire = self.config.check_wire;
         let (chunk, chunks) = (self.chunk, self.chunks);
         if chunks == 1 {
-            return Self::compute_range(
+            let start = origin.map(tick_us);
+            let out = Self::compute_range(
                 graph,
                 round,
                 0,
@@ -623,6 +684,10 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 faults,
                 check_wire,
             );
+            if let (Some(s0), Some(o)) = (start, origin) {
+                self.chunk_ticks[0] = (s0, tick_us(o));
+            }
+            return out;
         }
         let nodes = self.nodes.chunks_mut(chunk);
         let rngs = self.rngs.chunks_mut(chunk);
@@ -631,6 +696,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let solos = self.solo.chunks_mut(chunk);
         let messages = self.node_messages.chunks_mut(chunk);
         let sinks = self.sinks[..chunks].iter_mut();
+        let ticks = self.chunk_ticks[..chunks].iter_mut();
         let outs: Vec<ChunkOut> = std::thread::scope(|s| {
             let handles: Vec<_> = nodes
                 .zip(rngs)
@@ -639,10 +705,12 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 .zip(solos)
                 .zip(messages)
                 .zip(sinks)
+                .zip(ticks)
                 .enumerate()
-                .map(|(i, ((((((nc, rc), hc), runc), sc), mc), sk))| {
+                .map(|(i, (((((((nc, rc), hc), runc), sc), mc), sk), tick))| {
                     s.spawn(move || {
-                        Self::compute_range(
+                        let start = origin.map(tick_us);
+                        let out = Self::compute_range(
                             graph,
                             round,
                             i * chunk,
@@ -657,7 +725,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
                             offsets,
                             faults,
                             check_wire,
-                        )
+                        );
+                        if let (Some(s0), Some(o)) = (start, origin) {
+                            *tick = (s0, tick_us(o));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -808,24 +880,46 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// slice, then swaps the double buffer. The entire staging half is
     /// skipped when the round had no staged senders (the broadcast-heavy
     /// common case).
-    fn delivery_phase(&mut self, round: usize) {
-        if self.staged_senders > 0 {
-            let plan_total = self.plan_staged(round);
-            if plan_total > 0 {
-                self.build_staging(round, plan_total);
-            } else {
-                self.staged.clear();
-            }
+    fn delivery_phase(&mut self, round: usize, origin: Option<Instant>) {
+        let trace = origin.is_some();
+        // `plan` (sequential count + prefix), `send` (parallel staging)
+        // and `deliver` (parallel placement + swap) spans are emitted
+        // even when the traffic shape skips a sub-phase: skips depend on
+        // staged traffic, never on the thread count, so the span tree
+        // stays structurally identical across 1/2/8 threads.
+        if trace {
+            kw_trace::with_active(|t| t.begin("plan"));
+        }
+        let plan_total = if self.staged_senders > 0 {
+            self.plan_staged(round)
+        } else {
+            0
+        };
+        if trace {
+            kw_trace::with_active(|t| t.end());
+            kw_trace::with_active(|t| t.begin("send"));
+        }
+        let built = plan_total > 0;
+        if built {
+            self.build_staging(round, plan_total, origin);
         } else {
             self.staged.clear();
         }
-        self.place(round);
+        if trace {
+            let ticks = &self.chunk_ticks[..if built { self.chunks } else { 0 }];
+            kw_trace::with_active(|t| t.end_parallel("send", ticks));
+            kw_trace::with_active(|t| t.begin("deliver"));
+        }
+        self.place(round, origin);
         std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
         std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
         // The old message plane resets with one arena clear per side
         // (offsets are rewritten wholesale next round; send arenas clear at
         // the start of the next compute phase).
         self.back_arena.clear();
+        if trace {
+            kw_trace::with_active(|t| t.end_parallel("deliver", &self.chunk_ticks[..self.chunks]));
+        }
         self.note_plane_capacity();
     }
 
@@ -959,7 +1053,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// re-evaluates the same `(round, sender, receiver, slot)` keys
     /// `count_staged` used, so the cursors land exactly at each range's
     /// end.
-    fn build_staging(&mut self, round: usize, plan_total: usize) {
+    fn build_staging(&mut self, round: usize, plan_total: usize, origin: Option<Instant>) {
         let n = self.nodes.len();
         let graph = self.churned.as_ref().unwrap_or(self.graph);
         let offsets = graph.offsets();
@@ -1029,6 +1123,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
         };
         if chunks == 1 {
+            let start = origin.map(tick_us);
             self.staged.clear();
             fill(
                 0,
@@ -1039,6 +1134,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 &mut self.plan_ranges,
                 &mut self.staged,
             );
+            if let (Some(s0), Some(o)) = (start, origin) {
+                self.chunk_ticks[0] = (s0, tick_us(o));
+            }
             return;
         }
         // A sender chunk's plan entries are contiguous (staging bases are
@@ -1059,11 +1157,12 @@ impl<'g, P: Protocol> Engine<'g, P> {
             consumed = hi;
         }
         std::thread::scope(|s| {
-            for (i, (((pc, rc), sink), sk)) in plans
+            for (i, ((((pc, rc), sink), sk), tick)) in plans
                 .into_iter()
                 .zip(ranges)
                 .zip(self.stage_scratch[..chunks].iter_mut())
                 .zip(&self.sinks[..chunks])
+                .zip(self.chunk_ticks[..chunks].iter_mut())
                 .enumerate()
             {
                 let base = i * chunk;
@@ -1071,8 +1170,12 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 let plan_base = bases[i];
                 let fill = &fill;
                 s.spawn(move || {
+                    let start = origin.map(tick_us);
                     sink.clear();
                     fill(base, len, plan_base, &sk.arena, pc, rc, sink);
+                    if let (Some(s0), Some(o)) = (start, origin) {
+                        *tick = (s0, tick_us(o));
+                    }
                 });
             }
         });
@@ -1086,7 +1189,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// ascending order, each receiver's messages in `(port, slot)` order —
     /// the exact sequence the old receiver-driven scan produced — while
     /// recording the per-receiver arena offsets.
-    fn place(&mut self, round: usize) {
+    fn place(&mut self, round: usize, origin: Option<Instant>) {
         let n = self.nodes.len();
         let graph = self.churned.as_ref().unwrap_or(self.graph);
         let halted = &self.halted;
@@ -1158,24 +1261,33 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 }
             };
         if chunks == 1 {
+            let start = origin.map(tick_us);
             self.back_arena.clear();
             place_range(0, n, &mut self.back_offsets[..n], &mut self.back_arena);
             self.back_offsets[n] = self.back_arena.len();
+            if let (Some(s0), Some(o)) = (start, origin) {
+                self.chunk_ticks[0] = (s0, tick_us(o));
+            }
             return;
         }
         let offset_chunks = self.back_offsets[..n].chunks_mut(chunk);
         std::thread::scope(|s| {
-            for (i, (sink, oc)) in self.scratch[..chunks]
+            for (i, ((sink, oc), tick)) in self.scratch[..chunks]
                 .iter_mut()
                 .zip(offset_chunks)
+                .zip(self.chunk_ticks[..chunks].iter_mut())
                 .enumerate()
             {
                 let lo = i * chunk;
                 let hi = (lo + chunk).min(n);
                 let place_range = &place_range;
                 s.spawn(move || {
+                    let start = origin.map(tick_us);
                     sink.clear();
                     place_range(lo, hi, oc, sink);
+                    if let (Some(s0), Some(o)) = (start, origin) {
+                        *tick = (s0, tick_us(o));
+                    }
                 });
             }
         });
@@ -1692,13 +1804,65 @@ mod tests {
         }
     }
 
+    /// A traced run emits the documented span taxonomy (`round` →
+    /// `compute`/`plan`/`send`/`deliver` + synthetic `barrier`s) plus one
+    /// sample per round, and the structural fingerprint is identical
+    /// across thread counts — only tick values may differ.
+    #[test]
+    fn tracer_records_round_structure_thread_invariantly() {
+        let g = generators::cycle(64);
+        let traced_run = |threads: usize| {
+            kw_trace::install(kw_trace::Tracer::new());
+            let report = flood_report(
+                &g,
+                4,
+                EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut t = kw_trace::take().expect("tracer still installed");
+            t.finish();
+            (report.outputs, t)
+        };
+        let (out1, t1) = traced_run(1);
+        let labels: Vec<&str> = t1.spans().iter().map(|s| s.label).collect();
+        assert!(labels.contains(&"round"));
+        assert!(labels.contains(&"compute"));
+        assert!(labels.contains(&"plan"));
+        assert!(labels.contains(&"deliver"));
+        assert!(labels.contains(&"barrier"));
+        let rounds = t1.spans().iter().filter(|s| s.label == "round").count();
+        assert_eq!(t1.samples().len(), rounds);
+        for (threads, expected_chunks) in [(2, 2), (8, 8)] {
+            let (out, t) = traced_run(threads);
+            assert_eq!(out, out1, "outputs invariant at {threads} threads");
+            assert_eq!(
+                t.structure(),
+                t1.structure(),
+                "span tree varies at {threads} threads"
+            );
+            assert_eq!(
+                t.samples(),
+                t1.samples(),
+                "counter series varies at {threads} threads"
+            );
+            assert_eq!(t.structure_hash(), t1.structure_hash());
+            assert_eq!(t.summarize().threads, expected_chunks);
+        }
+        // And with no tracer installed, nothing records and outputs match.
+        assert!(!kw_trace::is_active());
+        let plain = flood_report(&g, 4, EngineConfig::default());
+        assert_eq!(plain.outputs, out1);
+    }
+
     /// The dense per-node run table must describe exactly what each node
     /// staged, and solo classification must match the run contents.
     #[test]
     fn run_table_matches_staged_traffic() {
         let g = generators::star(6);
         let mut engine = Engine::new(&g, EngineConfig::default(), |_| Mixed { rounds_left: 3 });
-        let out = engine.compute_phase(0);
+        let out = engine.compute_phase(0, None);
         // Every node stages one broadcast + one unicast → all staged.
         assert_eq!(out.staged, g.len());
         for v in 0..g.len() {

@@ -1,0 +1,93 @@
+//! A/B cost of the tracing plane, in three states:
+//!
+//! * `null` — the [`NullTracer`] compile-out path: the same call shape
+//!   monomorphized to nothing (the zero-cost floor);
+//! * `disabled` — no tracer installed in the thread-local slot, checked
+//!   the way the engine checks it (`is_active` once per run plus the
+//!   `with_active` misses a traced drive would take);
+//! * `recording` — a live [`Tracer`] taking real spans and samples.
+//!
+//! The claim under test: `disabled` is indistinguishable from `null`
+//! (the engine pays one thread-local read per drive and nothing per
+//! round), and `recording` stays cheap enough to leave on for
+//! experiments. Run with `KW_BENCH_QUICK=1` for a smoke pass.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, Criterion};
+use kw_trace::{NullTracer, RoundSample, SpanSink, Tracer};
+
+const ROUNDS: u32 = 1_000;
+
+fn quick() -> bool {
+    std::env::var_os("KW_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    if quick() {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(100));
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2));
+    }
+    group.warm_up_time(Duration::from_millis(200));
+}
+
+/// The engine's per-round recording shape against any sink.
+fn drive_rounds<S: SpanSink>(sink: &mut S) {
+    for round in 0..ROUNDS {
+        sink.begin("round");
+        sink.begin("compute");
+        sink.end();
+        sink.begin("plan");
+        sink.end();
+        sink.begin("deliver");
+        sink.end();
+        sink.sample(RoundSample {
+            round,
+            messages: u64::from(round),
+            bits: u64::from(round) * 8,
+            active: 100,
+            arena_bytes: 4_096,
+            rebuilds: 0,
+        });
+        sink.end();
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    configure(&mut group);
+    group.bench_function("null", |b| {
+        b.iter(|| {
+            let mut sink = NullTracer;
+            drive_rounds(black_box(&mut sink));
+        })
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            // The engine's untraced cost: one is_active check per drive;
+            // with_active short-circuits without evaluating the closure.
+            if black_box(kw_trace::is_active()) {
+                kw_trace::with_active(|t| t.begin("round"));
+            }
+        })
+    });
+    group.bench_function("recording", |b| {
+        b.iter(|| {
+            let mut t = Tracer::new();
+            drive_rounds(&mut t);
+            black_box(t.summarize().total_us)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+
+fn main() {
+    benches();
+}

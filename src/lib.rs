@@ -25,6 +25,8 @@
 //! * [`results`] ([`kw_results`]) — the streaming results pipeline:
 //!   per-cell run events, the persistent JSONL run store, rollup
 //!   summaries, and regression gating;
+//! * [`trace`] ([`kw_trace`]) — the span/profiling plane: hierarchical
+//!   spans, per-round counter series, Chrome-trace export;
 //! * [`serve`] ([`kw_serve`]) — solve-as-a-service: the `kw-serve`
 //!   daemon with a persistent answer cache and Prometheus telemetry,
 //!   plus the `kw-load` load generator.
@@ -274,6 +276,61 @@
 //! the churn comparison through exactly this pipeline; CI's
 //! `chaos_smoke` step re-runs it and schema-validates the store.
 //!
+//! # Observability: the trace plane (`kw-trace`)
+//!
+//! Where the chaos plane measures *what* the stack computes under
+//! failure, the trace plane ([`kw_trace`]) measures *where the time
+//! goes* — and costs nothing when off. A [`Tracer`](kw_trace::Tracer)
+//! installed in a thread-local slot records:
+//!
+//! * **hierarchical spans** — `solve → stage:{fractional,rounding,
+//!   composite} → round → {plan,send,deliver,compute,barrier}`
+//!   ([`kw_trace::PHASES`]), plus one chunk span per worker per
+//!   parallel phase on worker tracks, so fork/join overhead and chunk
+//!   imbalance are first-class measurements rather than inferred gaps;
+//! * **per-round counter series** — [`RoundSample`](kw_trace::RoundSample)
+//!   carries messages, bits, active nodes, arena bytes, and graph
+//!   rebuilds per round, a time series the scalar `RunMetrics` totals
+//!   cannot express.
+//!
+//! Instrumentation sites use [`kw_trace::with_active`], which is a
+//! single thread-local check when no tracer is installed — the
+//! disabled path benches within noise of untraced code
+//! (`crates/trace/benches/overhead.rs` is the A/B harness), so the
+//! spans stay compiled in unconditionally.
+//!
+//! **Determinism contract.** Trace *structure* — the span tree, its
+//! labels and nesting, the round samples, and the FNV structure hash
+//! over both — is a function of the workload alone and is bit-identical
+//! across 1/2/8 engine threads; only tick values vary
+//! (`crates/bench/tests/trace_determinism.rs` pins this at engine and
+//! solver level, chaos included).
+//!
+//! **Entry points.** [`traced_solve`](kw_core::solver::traced_solve)
+//! wraps any [`DsSolver`](kw_core::solver::DsSolver) and attaches a
+//! [`TraceSummary`](kw_trace::TraceSummary) (per-phase totals and
+//! shares, barrier time, imbalance, structure hash, round series) to
+//! the report when [`SolveContext::trace`](kw_core::solver::SolveContext)
+//! is set. Summaries persist as `trace` lines in the run store (schema
+//! v3, [`TraceRecord`](kw_results::store::TraceRecord)), roll up to a
+//! where-does-time-go markdown table
+//! ([`TraceRollup`](kw_results::TraceRollup)), and gate in `regress`:
+//! [`compare_traces`](kw_results::compare_traces) flags any engine
+//! phase whose share of total phase time drifts by more than 15
+//! percentage points against the stored baseline. `POST /solve` takes
+//! `"trace": true` and answers with the rollup inline; `GET /metrics`
+//! exports cumulative per-phase counters
+//! (`kw_serve_solve_phase_us_total{phase="..."}`).
+//!
+//! **Flame views.** [`Tracer::chrome_json`](kw_trace::Tracer::chrome_json)
+//! renders the span tree as Chrome trace-event JSON — load the file in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing` (main
+//! track plus one track per worker). `exp_o1_profile` is the canonical
+//! producer: it attributes flood/ping engine time across 1/2/4/8
+//! workers (ROADMAP item (i)), writes the attribution table, the trace
+//! store, and a Chrome trace, and `regress --check-json` validates the
+//! export in CI's `profile_smoke` step.
+//!
 //! # Serving solves (`kw-serve` / `kw-load`)
 //!
 //! The serving layer ([`kw_serve`]) wraps the same solver stack in a
@@ -335,6 +392,7 @@ pub use kw_lp as lp;
 pub use kw_results as results;
 pub use kw_serve as serve;
 pub use kw_sim as sim;
+pub use kw_trace as trace;
 
 /// The full solver registry: the paper's solvers (`kw`, `alg2`,
 /// `composite`) plus all five baselines and the `connected` combinator.

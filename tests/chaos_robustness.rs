@@ -137,6 +137,7 @@ fn chaotic_solve_reports_are_thread_count_invariant() {
                     threads: 1,
                     faults: plan.clone(),
                     check_certificates: true,
+                    ..SolveContext::default()
                 },
             )
             .unwrap();
@@ -149,6 +150,7 @@ fn chaotic_solve_reports_are_thread_count_invariant() {
                         threads,
                         faults: plan.clone(),
                         check_certificates: true,
+                        ..SolveContext::default()
                     },
                 )
                 .unwrap();
