@@ -9,8 +9,9 @@
 //! at 1/2/4/8 workers, with a [`kw_trace::Tracer`] installed, and
 //! reports the per-phase attribution: how much wall time each of
 //! plan/send/deliver/compute costs, how much goes to the synthetic
-//! *barrier* span (fork/join overhead: spawn lead + join tail around
-//! every parallel phase), and how unevenly the chunk work is spread
+//! *barrier* span (pool synchronization overhead: the epoch-publish
+//! lead plus the done-wait tail around every parallel phase on the
+//! persistent worker pool), and how unevenly the chunk work is spread
 //! (imbalance = max worker busy / mean worker busy).
 //!
 //! Outputs:
@@ -31,95 +32,13 @@
 //! the span structure hash of every thread count must be identical per
 //! protocol — ticks vary, structure must not.
 
+use kw_bench::traffic::{Flood, Ping};
 use kw_graph::generators;
 use kw_results::store::{RunStore, TraceRecord};
-use kw_sim::rng::split_mix64;
-use kw_sim::wire::{BitReader, BitWriter, WireEncode};
-use kw_sim::{Ctx, Engine, EngineConfig, Protocol, Status};
+use kw_sim::{Engine, EngineConfig};
 use kw_trace::Tracer;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-
-#[derive(Clone)]
-struct Word(u64);
-
-impl WireEncode for Word {
-    fn encode(&self, w: &mut BitWriter) {
-        w.write_gamma(self.0);
-    }
-
-    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
-        r.read_gamma().map(Word)
-    }
-
-    fn encoded_bits(&self) -> usize {
-        kw_sim::wire::gamma_len(self.0)
-    }
-}
-
-/// Broadcast-heavy: one broadcast per node per round (the shape of
-/// Algorithms 1–3). Mirrors `benches/engine.rs`.
-struct Flood {
-    acc: u64,
-    rounds_left: u32,
-}
-
-impl Protocol for Flood {
-    type Msg = Word;
-    type Output = u64;
-
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
-        for (_, m) in ctx.inbox() {
-            self.acc = self.acc.wrapping_add(m.0);
-        }
-        if self.rounds_left == 0 {
-            return Status::Halted;
-        }
-        self.rounds_left -= 1;
-        ctx.broadcast(Word(self.acc | 1));
-        Status::Running
-    }
-
-    fn finish(self) -> u64 {
-        self.acc
-    }
-}
-
-/// Unicast-heavy: four unicasts per node per round to hash-chosen
-/// ports. Mirrors `benches/engine.rs`.
-struct Ping {
-    me: u64,
-    acc: u64,
-    rounds_left: u32,
-}
-
-impl Protocol for Ping {
-    type Msg = Word;
-    type Output = u64;
-
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Status {
-        for (_, m) in ctx.inbox() {
-            self.acc = self.acc.wrapping_add(m.0);
-        }
-        if self.rounds_left == 0 {
-            return Status::Halted;
-        }
-        self.rounds_left -= 1;
-        let degree = ctx.degree();
-        if degree > 0 {
-            for i in 0..4u64 {
-                let port = (split_mix64(self.me ^ (u64::from(self.rounds_left) << 8) ^ i)
-                    % u64::from(degree)) as u32;
-                ctx.send(port, Word(self.acc | 1));
-            }
-        }
-        Status::Running
-    }
-
-    fn finish(self) -> u64 {
-        self.acc
-    }
-}
 
 fn quick() -> bool {
     std::env::var_os("KW_BENCH_QUICK").is_some_and(|v| v != "0")
@@ -136,23 +55,16 @@ fn profile(g: &kw_graph::CsrGraph, threads: usize, rounds: u32, protocol: &str) 
     kw_trace::with_active(|t| t.begin("solve"));
     let outputs: Vec<u64> = match protocol {
         "flood" => {
-            Engine::new(g, cfg, |info| Flood {
-                acc: u64::from(info.id.raw()),
-                rounds_left: rounds,
-            })
-            .run()
-            .expect("reliable run")
-            .outputs
+            Engine::new(g, cfg, |info| Flood::new(u64::from(info.id.raw()), rounds))
+                .run()
+                .expect("reliable run")
+                .outputs
         }
         "ping" => {
-            Engine::new(g, cfg, |info| Ping {
-                me: u64::from(info.id.raw()),
-                acc: u64::from(info.id.raw()),
-                rounds_left: rounds,
-            })
-            .run()
-            .expect("reliable run")
-            .outputs
+            Engine::new(g, cfg, |info| Ping::new(u64::from(info.id.raw()), rounds))
+                .run()
+                .expect("reliable run")
+                .outputs
         }
         other => unreachable!("unknown protocol {other}"),
     };
@@ -180,9 +92,10 @@ fn main() {
     let mut md = String::new();
     md.push_str(&format!(
         "# O1 — engine phase attribution\n\nflood/ping on gnp(n={n}, deg≈16), {rounds} rounds, seed 42.\n\
-         Shares are of total phase time; *barrier* is fork/join overhead\n\
-         (spawn lead + join tail around each parallel phase); imbalance is\n\
-         max/mean worker busy time.\n\n"
+         Shares are of total phase time; *barrier* is pool synchronization\n\
+         overhead (epoch-publish lead + done-wait tail around each parallel\n\
+         phase on the persistent worker pool); imbalance is max/mean worker\n\
+         busy time.\n\n"
     ));
     md.push_str(
         "| protocol | threads | total ms | plan | send | deliver | compute | barrier | imbalance |\n\

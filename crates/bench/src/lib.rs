@@ -13,4 +13,5 @@ pub mod instances;
 pub mod mix;
 pub mod stats;
 pub mod table;
+pub mod traffic;
 pub mod workloads;

@@ -25,6 +25,11 @@ pub struct MixEntry {
     /// daemon normalizes it through `ChaosPlan::parse`, so two clauses
     /// spelling the same plan share one cache cell.
     pub chaos: String,
+    /// Engine worker threads for the solve (`1` = sequential). Part of
+    /// the daemon's cache key — outcomes are bit-identical across thread
+    /// counts, but wall times are not — so two entries differing only
+    /// here are distinct cells.
+    pub threads: usize,
 }
 
 impl MixEntry {
@@ -34,12 +39,20 @@ impl MixEntry {
             workload: workload.to_string(),
             seed,
             chaos: String::new(),
+            threads: 1,
         }
     }
 
     fn chaotic(solver: &str, workload: &str, seed: u64, chaos: &str) -> Self {
         MixEntry {
             chaos: chaos.to_string(),
+            ..MixEntry::new(solver, workload, seed)
+        }
+    }
+
+    fn threaded(solver: &str, workload: &str, seed: u64, threads: usize) -> Self {
+        MixEntry {
+            threads,
             ..MixEntry::new(solver, workload, seed)
         }
     }
@@ -93,18 +106,33 @@ pub fn chaos_mix() -> Vec<MixEntry> {
     ]
 }
 
-/// Resolves a mix by name (`"smoke"`, `"small"`, or `"chaos"`).
+/// The scaling mix: one solver on one mid-size gnp workload, seed
+/// pinned, with the engine thread count as the *only* axis — the
+/// serving-layer mirror of `exp_s0_scaling`. Every entry is a distinct
+/// cache cell purely by thread count, so replaying this mix exercises
+/// threads-keyed caching end to end; on a multi-core host it also
+/// surfaces the wall-time spread across worker counts.
+pub fn scaling_mix() -> Vec<MixEntry> {
+    [1, 2, 4, 8]
+        .into_iter()
+        .map(|threads| MixEntry::threaded("kw:k=2", "gnp:n=512,p=0.02", 0, threads))
+        .collect()
+}
+
+/// Resolves a mix by name (`"smoke"`, `"small"`, `"chaos"`, or
+/// `"scaling"`).
 pub fn by_name(name: &str) -> Option<Vec<MixEntry>> {
     match name {
         "smoke" => Some(smoke_mix()),
         "small" => Some(small_mix()),
         "chaos" => Some(chaos_mix()),
+        "scaling" => Some(scaling_mix()),
         _ => None,
     }
 }
 
 /// The names [`by_name`] accepts, for usage messages.
-pub const MIX_NAMES: &[&str] = &["smoke", "small", "chaos"];
+pub const MIX_NAMES: &[&str] = &["smoke", "small", "chaos", "scaling"];
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +185,27 @@ mod tests {
         // The full-combination entry keeps byzantine corruption in play.
         let full = ChaosPlan::parse(&mix[5].chaos).unwrap();
         assert!(full.has_byzantine() && full.has_down() && !full.lossless());
+    }
+
+    #[test]
+    fn scaling_mix_varies_only_the_thread_count() {
+        let mix = scaling_mix();
+        let mut threads: Vec<usize> = mix.iter().map(|e| e.threads).collect();
+        assert!(threads.contains(&1), "a 1-thread anchor cell is required");
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), mix.len(), "each entry must be its own cell");
+        assert!(mix.iter().all(|e| (
+            e.solver.as_str(),
+            e.workload.as_str(),
+            e.seed,
+            e.chaos.as_str()
+        ) == (
+            mix[0].solver.as_str(),
+            mix[0].workload.as_str(),
+            mix[0].seed,
+            mix[0].chaos.as_str()
+        )));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Acceptance contract of the persistent worker pool: the *results* of
+//! an engine run — every node's output, the message/bit metrics, and
+//! the trace structure hash — are bit-identical at 1, 2, and 8 worker
+//! threads, on generated graphs, on a bundled DIMACS instance, and
+//! under a full chaos mix. `exp_s0_scaling` asserts the same contract
+//! on its own (much larger) cells; this test keeps it in the default
+//! `cargo test` tier with laptop-sized workloads.
+
+use kw_bench::instances;
+use kw_bench::traffic::{Flood, Ping};
+use kw_graph::{generators, CsrGraph};
+use kw_sim::{ChaosPlan, Engine, EngineConfig};
+use kw_trace::Tracer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Everything a run produces that must not depend on the thread count:
+/// full per-node outputs, the round/message/bit metrics, and the span
+/// structure hash.
+type Fingerprint = (Vec<u64>, usize, u64, u64, u64);
+
+fn run(g: &CsrGraph, chaos: &ChaosPlan, threads: usize, ping: bool) -> Fingerprint {
+    let cfg = EngineConfig {
+        threads,
+        faults: chaos.clone(),
+        max_rounds: 200,
+        ..Default::default()
+    };
+    kw_trace::install(Tracer::new());
+    kw_trace::with_active(|t| t.begin("solve"));
+    let report = if ping {
+        Engine::new(g, cfg, |info| Ping::new(u64::from(info.id.raw()), 6))
+            .run()
+            .expect("run succeeds")
+    } else {
+        Engine::new(g, cfg, |info| Flood::new(u64::from(info.id.raw()), 6))
+            .run()
+            .expect("run succeeds")
+    };
+    let mut tracer = kw_trace::take().expect("tracer installed");
+    tracer.finish();
+    (
+        report.outputs,
+        report.metrics.rounds,
+        report.metrics.messages,
+        report.metrics.bits,
+        tracer.structure_hash(),
+    )
+}
+
+fn assert_invariant(g: &CsrGraph, chaos: &ChaosPlan, what: &str) {
+    for ping in [false, true] {
+        let shape = if ping { "ping" } else { "flood" };
+        let base = run(g, chaos, 1, ping);
+        assert!(
+            base.0.iter().any(|&x| x != 0),
+            "{what}/{shape}: degenerate outputs"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                base,
+                run(g, chaos, threads, ping),
+                "{what}/{shape}: results differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn results_are_thread_invariant_on_gnp() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = generators::gnp(500, 0.03, &mut rng);
+    assert_invariant(&g, &ChaosPlan::reliable(), "gnp(500, 0.03)");
+}
+
+#[test]
+fn results_are_thread_invariant_on_bundled_dimacs() {
+    let meta = instances::find("queen5_5").expect("bundled instance");
+    let (g, _) = instances::load(meta).expect("parse bundled DIMACS");
+    assert_invariant(&g, &ChaosPlan::reliable(), "queen5_5");
+}
+
+#[test]
+fn results_are_thread_invariant_under_full_chaos_mix() {
+    // Every chaos ingredient at once on a cycle, where all scripted
+    // node/edge references exist (the same plan the engine's own
+    // thread-invariance test uses).
+    let g = generators::cycle(150);
+    let chaos = ChaosPlan::parse(
+        "drop=0.1,seed=11,burst=r1-3@0.8/0.5,crash=7@r2-4,crash=33@r1,byz=3+90,\
+         churn=r2re0-1+r3l5+r5j5",
+    )
+    .expect("valid spec");
+    assert_invariant(&g, &chaos, "cycle(150) under full chaos mix");
+}
+
+#[test]
+fn results_are_thread_invariant_under_iid_drops_on_gnp() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = generators::gnp(300, 0.05, &mut rng);
+    let chaos = ChaosPlan::parse("drop=0.2,seed=3").expect("valid spec");
+    assert_invariant(&g, &chaos, "gnp(300, 0.05) under drop=0.2");
+}

@@ -53,6 +53,11 @@ pub struct RunRecord {
     ///
     /// [`ChaosPlan`]: kw_sim::ChaosPlan
     pub chaos: String,
+    /// Engine worker threads the run executed with (`1` = sequential).
+    /// Part of the cache key: outcomes are bit-identical across thread
+    /// counts, but `wall_ms` is not, and the scaling gate compares
+    /// same-key cells across exactly this field.
+    pub threads: usize,
     /// What the run produced.
     pub outcome: RunOutcome,
 }

@@ -41,8 +41,11 @@ pub struct RunOutcome {
 }
 
 /// Cache key of one run outcome: `(solver spec, workload label, seed,
-/// canonical chaos spec)`.
-type OutcomeKey = (String, String, u64, String);
+/// canonical chaos spec, engine threads)`. Deterministic outcomes are
+/// thread-invariant, but `wall_ms` is a measurement of one thread count —
+/// keying by threads keeps a 4T sweep from reporting 1T wall times (and
+/// vice versa), which the scaling gate depends on.
+type OutcomeKey = (String, String, u64, String, usize);
 
 /// Memoization shared across [`ExperimentRunner`] sweeps (ROADMAP item
 /// (b)): generated workload graphs keyed by `(workload, seed)`, and run
@@ -56,10 +59,11 @@ type OutcomeKey = (String, String, u64, String);
 /// per matrix ([`SolveError::DuplicateWorkload`]), and sweeps sharing a
 /// cache across matrices must keep labels unique themselves (the
 /// `kw_results` sweep session additionally shape-checks labels against
-/// its store). Outcomes are additionally keyed by the
-/// context's fault plan (the only context knob besides the seed that
-/// changes results), so runners with different loss models can share one
-/// cache safely.
+/// its store). Outcomes are additionally keyed by the context's fault
+/// plan (the only context knob besides the seed that changes results)
+/// and its engine thread count (which changes only `wall_ms`, but that
+/// is exactly what scaling comparisons read), so runners with different
+/// loss models or thread counts can share one cache safely.
 ///
 /// Cloning the handle is cheap and shares the underlying cache; it is
 /// thread-safe and deterministic (a hit returns exactly what the original
@@ -85,10 +89,12 @@ type OutcomeKey = (String, String, u64, String);
 #[derive(Debug, Default)]
 pub struct ExperimentCache {
     graphs: Mutex<HashMap<(String, u64), Arc<CsrGraph>>>,
-    /// Keyed by `(solver spec, workload, seed, canonical chaos spec)` —
-    /// the chaos plan is the one piece of [`SolveContext`] besides the
-    /// seed that changes results, so runners with different loss/chaos
-    /// models can safely share one cache.
+    /// Keyed by `(solver spec, workload, seed, canonical chaos spec,
+    /// engine threads)` — the chaos plan is the one piece of
+    /// [`SolveContext`] besides the seed that changes results, and the
+    /// thread count is the one knob that changes the `wall_ms`
+    /// measurement, so runners with different loss/chaos models or
+    /// thread counts can safely share one cache.
     outcomes: Mutex<HashMap<OutcomeKey, RunOutcome>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -147,6 +153,7 @@ impl ExperimentCache {
         workload: &str,
         seed: u64,
         chaos: &str,
+        threads: usize,
         outcome: RunOutcome,
     ) {
         let key = (
@@ -154,6 +161,7 @@ impl ExperimentCache {
             workload.to_string(),
             seed,
             chaos.to_string(),
+            threads,
         );
         self.outcomes.lock().unwrap().insert(key, outcome);
     }
@@ -204,6 +212,7 @@ impl ExperimentCache {
             workload.to_string(),
             seed,
             Self::context_fingerprint(ctx),
+            ctx.threads,
         );
         let found = self.outcomes.lock().unwrap().get(&key).copied();
         match found {
@@ -231,6 +240,7 @@ impl ExperimentCache {
             workload.to_string(),
             seed,
             Self::context_fingerprint(ctx),
+            ctx.threads,
         );
         self.outcomes.lock().unwrap().insert(key, outcome);
     }
@@ -603,6 +613,7 @@ impl ExperimentRunner {
                     max_degree: graph.max_degree(),
                     seed,
                     chaos: chaos.clone(),
+                    threads: ctx.threads,
                     outcome,
                 };
                 e.emit(|worker, seq| {
@@ -1108,6 +1119,91 @@ mod tests {
         assert!(failed[0].1.contains("panicked"));
     }
 
+    /// A panic raised by a *pool worker thread* inside the engine (not
+    /// the solver's own thread) must still surface as a `CellFailed`
+    /// event naming the exact run — not a hung barrier or leaked pool.
+    #[test]
+    fn pooled_engine_panic_surfaces_as_cell_failed_with_run_id() {
+        use std::sync::mpsc::sync_channel;
+
+        struct Bomb {
+            me: usize,
+        }
+        impl kw_sim::Protocol for Bomb {
+            type Msg = u64;
+            type Output = u64;
+            fn on_round(&mut self, ctx: &mut kw_sim::Ctx<'_, u64>) -> kw_sim::Status {
+                // The highest node id lands in the last chunk, which a
+                // pool worker (not the driving thread) executes at 4T.
+                if ctx.round() == 1 && self.me == 15 {
+                    panic!("pooled phase exploded");
+                }
+                ctx.broadcast(1);
+                kw_sim::Status::Running
+            }
+            fn finish(self) -> u64 {
+                0
+            }
+        }
+
+        struct PoolBomb;
+        impl DsSolver for PoolBomb {
+            fn spec(&self) -> String {
+                "poolbomb".to_string()
+            }
+            fn solve(
+                &self,
+                g: &CsrGraph,
+                ctx: &SolveContext,
+            ) -> Result<crate::solver::SolveReport, SolveError> {
+                let report = kw_sim::Engine::new(
+                    g,
+                    kw_sim::EngineConfig {
+                        threads: ctx.threads,
+                        ..Default::default()
+                    },
+                    |info| Bomb {
+                        me: info.id.raw() as usize,
+                    },
+                )
+                .run();
+                unreachable!("the engine panics before returning: {report:?}")
+            }
+        }
+
+        let runner = ExperimentRunner::new().context(SolveContext {
+            threads: 4,
+            ..Default::default()
+        });
+        let grid = vec![("grid4".to_string(), generators::grid(4, 4))];
+        let (tx, rx) = sync_channel(64);
+        let (result, events) = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || rx.iter().collect::<Vec<RunEvent>>());
+            let result = runner.run_matrix_streaming(&[PoolBomb], &grid, 0..1, tx);
+            (result, consumer.join().unwrap())
+        });
+        match result {
+            Err(SolveError::Panicked { reason }) => {
+                assert!(reason.contains("poolbomb on grid4 (seed 0"), "{reason}");
+                assert!(reason.contains("pooled phase exploded"), "{reason}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        let failed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::CellFailed { error, .. } => Some(error.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert!(
+            failed[0].contains("poolbomb on grid4 (seed 0"),
+            "{}",
+            failed[0]
+        );
+    }
+
     #[test]
     fn insert_outcome_replays_like_a_live_run() {
         let registry = SolverRegistry::with_core_solvers();
@@ -1120,8 +1216,8 @@ mod tests {
         let replayed = ExperimentCache::new();
         {
             let outcomes = warm_cache.outcomes.lock().unwrap();
-            for ((solver, workload, seed, chaos), outcome) in outcomes.iter() {
-                replayed.insert_outcome(solver, workload, *seed, chaos, *outcome);
+            for ((solver, workload, seed, chaos, threads), outcome) in outcomes.iter() {
+                replayed.insert_outcome(solver, workload, *seed, chaos, *threads, *outcome);
             }
         }
         let resumed = ExperimentRunner::new()

@@ -187,7 +187,14 @@ impl SweepSession {
         let cache = ExperimentCache::new();
         let mut shapes = HashMap::new();
         for r in &contents.records {
-            cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
+            cache.insert_outcome(
+                &r.solver,
+                &r.workload,
+                r.seed,
+                &r.chaos,
+                r.threads,
+                r.outcome,
+            );
             shapes.insert(r.workload.clone(), (r.n, r.max_degree));
         }
         Ok(SweepSession {

@@ -49,6 +49,13 @@
 //! shape, so v1/v2 lines read exactly as before under a v3 reader; a v2
 //! reader rejects v3 lines per the newer-version rule above.
 //!
+//! v3 → v4: record lines gained a `threads` field (absent in older
+//! lines, read as `1` — every pre-v4 sweep ran its cells at the default
+//! single-thread context), trace sample rows grew from six to eight
+//! columns (worker-pool wakeup/idle deltas; six-column rows read as
+//! zero-pool), and trace lines gained `pool_wakeups`/`pool_idle` totals
+//! (absent reads as `0`).
+//!
 //! [`ChaosPlan`]: kw_sim::ChaosPlan
 //!
 //! # Single writer
@@ -76,7 +83,7 @@ use kw_sim::ChaosPlan;
 use crate::json::Json;
 
 /// Version stamped on every line this crate writes.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One sweep launch's provenance: everything needed to re-run it.
 #[derive(Clone, Debug, PartialEq)]
@@ -428,6 +435,7 @@ impl RunStore {
             ("max_degree", Json::UInt(r.max_degree as u64)),
             ("seed", Json::UInt(r.seed)),
             ("chaos", Json::Str(r.chaos.clone())),
+            ("threads", Json::UInt(r.threads as u64)),
             ("dominates", Json::Bool(r.outcome.dominates)),
             ("size", Json::num(r.outcome.size)),
             ("rounds", Json::num(r.outcome.rounds)),
@@ -451,8 +459,9 @@ impl RunStore {
 
     /// Appends one trace rollup line. Phase totals serialize as a
     /// label→µs object and the per-round counter series as fixed-shape
-    /// six-field rows, so trace lines stay one line even for
-    /// thousand-round solves.
+    /// eight-field rows (six structural counters plus the two pool
+    /// deltas), so trace lines stay one line even for thousand-round
+    /// solves.
     pub fn append_trace(&self, t: &TraceRecord) -> Result<(), StoreError> {
         let s = &t.summary;
         let phase_us = Json::Obj(
@@ -472,6 +481,8 @@ impl RunStore {
                         Json::UInt(r.active),
                         Json::UInt(r.arena_bytes),
                         Json::UInt(r.rebuilds),
+                        Json::UInt(r.pool_wakeups),
+                        Json::UInt(r.pool_idle),
                     ])
                 })
                 .collect(),
@@ -488,6 +499,8 @@ impl RunStore {
             ("total_us", Json::UInt(s.total_us)),
             ("barrier_us", Json::UInt(s.barrier_us)),
             ("imbalance", Json::num(s.imbalance)),
+            ("pool_wakeups", Json::UInt(s.pool_wakeups)),
+            ("pool_idle", Json::UInt(s.pool_idle)),
             ("structure_hash", Json::UInt(s.structure_hash)),
             ("phase_us", phase_us),
             ("samples", samples),
@@ -522,7 +535,14 @@ impl RunStore {
     pub fn replay_into(&self, cache: &ExperimentCache) -> Result<usize, StoreError> {
         let contents = self.load()?;
         for r in &contents.records {
-            cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
+            cache.insert_outcome(
+                &r.solver,
+                &r.workload,
+                r.seed,
+                &r.chaos,
+                r.threads,
+                r.outcome,
+            );
         }
         Ok(contents.records.len())
     }
@@ -662,6 +682,9 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
             max_degree: u64_field("max_degree")? as usize,
             seed: u64_field("seed")?,
             chaos: chaos_field()?,
+            // Pre-v4 records carried no thread count; every pre-v4 sweep
+            // ran its cells at the default single-thread context.
+            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize,
             outcome: RunOutcome {
                 dominates: v
                     .get("dominates")
@@ -699,6 +722,8 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
                         .as_arr()
                         .map(|cells| cells.iter().filter_map(Json::as_u64).collect())
                         .unwrap_or_default();
+                    // v3 rows carried the six structural counters; v4
+                    // appended the two pool deltas (absent reads as 0).
                     match cols[..] {
                         [round, messages, bits, active, arena_bytes, rebuilds] => {
                             Ok(kw_trace::RoundSample {
@@ -708,6 +733,20 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
                                 active,
                                 arena_bytes,
                                 rebuilds,
+                                pool_wakeups: 0,
+                                pool_idle: 0,
+                            })
+                        }
+                        [round, messages, bits, active, arena_bytes, rebuilds, pool_wakeups, pool_idle] => {
+                            Ok(kw_trace::RoundSample {
+                                round: round as u32,
+                                messages,
+                                bits,
+                                active,
+                                arena_bytes,
+                                rebuilds,
+                                pool_wakeups,
+                                pool_idle,
                             })
                         }
                         _ => Err(corrupt("malformed \"samples\" row".into())),
@@ -726,6 +765,9 @@ fn parse_line(line_no: usize, line: &str) -> Result<Line, StoreError> {
                     phase_us,
                     barrier_us: u64_field("barrier_us")?,
                     imbalance: f64_field("imbalance")?,
+                    // v4 additions; a v3 trace simply had no pool.
+                    pool_wakeups: v.get("pool_wakeups").and_then(Json::as_u64).unwrap_or(0),
+                    pool_idle: v.get("pool_idle").and_then(Json::as_u64).unwrap_or(0),
                     structure_hash: u64_field("structure_hash")?,
                     samples,
                 },
@@ -766,6 +808,7 @@ mod tests {
             max_degree: 4,
             seed,
             chaos: format!("drop=0.25,seed={}", seed ^ 0xfa),
+            threads: 1 + (seed as usize % 4),
             outcome: RunOutcome {
                 dominates: seed.is_multiple_of(2),
                 size: 4.0 + seed as f64,
@@ -829,6 +872,8 @@ mod tests {
                 ],
                 barrier_us: 40,
                 imbalance: 1.25,
+                pool_wakeups: 24,
+                pool_idle: 3,
                 structure_hash: 0xdead_beef_cafe_f00d,
                 samples: (0..2)
                     .map(|r| kw_trace::RoundSample {
@@ -838,6 +883,8 @@ mod tests {
                         active: 1_000,
                         arena_bytes: 4_096,
                         rebuilds: 0,
+                        pool_wakeups: 12,
+                        pool_idle: 1 + u64::from(r),
                     })
                     .collect(),
             },
@@ -863,6 +910,16 @@ mod tests {
             .unwrap();
         let contents = store.load().unwrap();
         assert_eq!(contents.traces, traces);
+        // RoundSample equality deliberately ignores the pool diagnostics,
+        // so check the persisted pool columns explicitly.
+        for (read, wrote) in contents.traces.iter().zip(&traces) {
+            assert_eq!(read.summary.pool_wakeups, wrote.summary.pool_wakeups);
+            assert_eq!(read.summary.pool_idle, wrote.summary.pool_idle);
+            for (a, b) in read.summary.samples.iter().zip(&wrote.summary.samples) {
+                assert_eq!(a.pool_wakeups, b.pool_wakeups);
+                assert_eq!(a.pool_idle, b.pool_idle);
+            }
+        }
         assert_eq!(contents.benches.len(), 1);
         assert_eq!(contents.records.len(), 0);
         assert_eq!(contents.unknown_kinds, 0);
@@ -870,6 +927,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// v3 lines (no `threads` on records, six-column trace samples, no
+    /// pool totals) must read as single-thread / zero-pool data.
+    #[test]
+    fn v3_lines_read_with_default_threads_and_zero_pool() {
+        let text = "{\"v\":3,\"kind\":\"record\",\"solver\":\"kw:k=2\",\"workload\":\"grid4\",\
+                    \"n\":16,\"max_degree\":4,\"seed\":0,\"chaos\":\"\",\
+                    \"dominates\":true,\"size\":4,\"rounds\":18,\"messages\":10,\"bits\":20,\
+                    \"ratio_vs_lemma1\":1.5,\"wall_ms\":0.5}\n\
+                    {\"v\":3,\"kind\":\"trace\",\"solver\":\"s\",\"workload\":\"w\",\"seed\":0,\
+                    \"chaos\":\"\",\"threads\":2,\"rounds\":1,\"total_us\":9,\"barrier_us\":1,\
+                    \"imbalance\":1.0,\"structure_hash\":7,\"phase_us\":{\"compute\":8},\
+                    \"samples\":[[0,1,2,3,4,0]]}\n";
+        let contents = parse_store(text).unwrap();
+        assert_eq!(contents.records[0].threads, 1);
+        let t = &contents.traces[0].summary;
+        assert_eq!((t.pool_wakeups, t.pool_idle), (0, 0));
+        assert_eq!(t.samples.len(), 1);
+        assert_eq!((t.samples[0].pool_wakeups, t.samples[0].pool_idle), (0, 0));
     }
 
     #[test]

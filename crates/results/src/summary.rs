@@ -443,6 +443,7 @@ mod tests {
             max_degree: 9,
             seed,
             chaos: String::new(),
+            threads: 1,
             outcome: RunOutcome {
                 dominates,
                 size,
@@ -657,6 +658,8 @@ mod tests {
                 ],
                 barrier_us: 100,
                 imbalance: 1.3,
+                pool_wakeups: 0,
+                pool_idle: 0,
                 structure_hash: 1,
                 samples: Vec::new(),
             },

@@ -1,7 +1,7 @@
 //! `kw-load` — load generator for a running `kw-serve`.
 //!
 //! ```text
-//! kw-load --addr HOST:PORT [--mix smoke|small] [--concurrency N]
+//! kw-load --addr HOST:PORT [--mix smoke|small|chaos|scaling] [--concurrency N]
 //!         [--requests N] [--timeout-ms N]
 //! ```
 //!

@@ -195,8 +195,15 @@ pub fn run_load(
                 } else {
                     format!(", \"chaos\": {}", json_string(&entry.chaos))
                 };
+                // `threads: 1` is the daemon's default — omitting it
+                // keeps 1-thread bodies byte-compatible with old mixes.
+                let threads = if entry.threads == 1 {
+                    String::new()
+                } else {
+                    format!(", \"threads\": {}", entry.threads)
+                };
                 let body = format!(
-                    "{{\"workload\": {}, \"solver\": {}, \"seed\": {}{chaos}}}",
+                    "{{\"workload\": {}, \"solver\": {}, \"seed\": {}{chaos}{threads}}}",
                     json_string(&entry.workload),
                     json_string(&entry.solver),
                     entry.seed

@@ -67,6 +67,10 @@ impl From<StoreError> for ServeError {
     }
 }
 
+/// Upper bound on the per-request `"threads"` knob: one request must not
+/// conscript an unbounded worker pool out of a shared daemon.
+pub const MAX_THREADS: usize = 64;
+
 /// The daemon's request handler: registry + cache + store + telemetry.
 pub struct SolveService {
     registry: SolverRegistry,
@@ -104,7 +108,14 @@ impl SolveService {
                 let store = RunStore::open(path)?;
                 let contents = store.load()?;
                 for r in &contents.records {
-                    cache.insert_outcome(&r.solver, &r.workload, r.seed, &r.chaos, r.outcome);
+                    cache.insert_outcome(
+                        &r.solver,
+                        &r.workload,
+                        r.seed,
+                        &r.chaos,
+                        r.threads,
+                        r.outcome,
+                    );
                     shapes.insert((r.workload.clone(), r.seed), (r.n, r.max_degree));
                 }
                 // Count *distinct* warmed answers: a store written under
@@ -183,11 +194,15 @@ impl SolveService {
     }
 
     /// `POST /solve`: body `{"workload": spec, "solver": spec, "seed"?: n,
-    /// "chaos"?: clause}`. The chaos clause uses the sweep grammar (an
-    /// optional `chaos:` prefix is accepted), e.g.
-    /// `"drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3"`; answers are cached
-    /// and persisted under the canonical spec, so a daemon and a sweep
-    /// sharing a store key chaos cells identically.
+    /// "chaos"?: clause, "threads"?: k, "trace"?: bool}`. The chaos
+    /// clause uses the sweep grammar (an optional `chaos:` prefix is
+    /// accepted), e.g. `"drop=0.1,burst=r3-5@0.9,crash=7@r2,byz=3"`;
+    /// answers are cached and persisted under the canonical spec, so a
+    /// daemon and a sweep sharing a store key chaos cells identically.
+    /// `"threads"` picks the engine worker count (default 1, capped at
+    /// [`MAX_THREADS`]); outcomes are bit-identical across thread counts
+    /// but wall times are not, so the normalized count is part of the
+    /// cache and store key exactly as in sweep cells.
     fn solve(&self, body: &[u8]) -> Response {
         let text = match std::str::from_utf8(body) {
             Ok(t) => t,
@@ -223,6 +238,21 @@ impl SolveService {
         if !faults.is_reliable() {
             self.telemetry.count_chaos_request();
         }
+        // Normalize before anything keys on it: absent and `1` are the
+        // same sequential run and must share one cache/store cell.
+        let threads = match json.get("threads") {
+            None => 1,
+            Some(v) => match v.as_u64() {
+                Some(t @ 1..) if t <= MAX_THREADS as u64 => t as usize,
+                Some(_) => {
+                    return Response::error(
+                        400,
+                        format!("\"threads\" must be in 1..={MAX_THREADS}"),
+                    )
+                }
+                None => return Response::error(400, "\"threads\" must be an unsigned integer"),
+            },
+        };
         // `"trace": true` profiles the solve with the span plane and
         // returns the rollup inline. A traced request always computes —
         // a cached outcome has no trace to attach — so it doubles as a
@@ -254,6 +284,7 @@ impl SolveService {
             check_certificates: true,
             faults,
             trace: want_trace,
+            threads,
             ..SolveContext::seeded(seed)
         };
         let chaos = ctx.faults.spec();
@@ -267,7 +298,8 @@ impl SolveService {
                     .unwrap()
                     .get(&(label.clone(), seed))
                     .copied();
-                return self.render_outcome(&spec, &label, seed, shape, outcome, true, None);
+                return self
+                    .render_outcome(&spec, &label, seed, threads, shape, outcome, true, None);
             }
         }
 
@@ -316,7 +348,7 @@ impl SolveService {
         };
         let shape = (graph.len(), graph.max_degree());
         self.cache
-            .insert_outcome(&spec, &label, seed, &chaos, outcome);
+            .insert_outcome(&spec, &label, seed, &chaos, threads, outcome);
         self.shapes
             .lock()
             .unwrap()
@@ -333,6 +365,7 @@ impl SolveService {
                     max_degree: shape.1,
                     seed,
                     chaos: chaos.clone(),
+                    threads,
                     outcome,
                 };
                 if store.lock().unwrap().append_record(&record).is_err() {
@@ -356,6 +389,7 @@ impl SolveService {
             &spec,
             &label,
             seed,
+            threads,
             Some(shape),
             outcome,
             false,
@@ -395,6 +429,7 @@ impl SolveService {
         solver: &str,
         workload: &str,
         seed: u64,
+        threads: usize,
         shape: Option<(usize, usize)>,
         outcome: RunOutcome,
         cached: bool,
@@ -405,6 +440,7 @@ impl SolveService {
             ("solver".to_string(), Json::Str(solver.to_string())),
             ("workload".to_string(), Json::Str(workload.to_string())),
             ("seed".to_string(), Json::UInt(seed)),
+            ("threads".to_string(), Json::UInt(threads as u64)),
             ("n".to_string(), Json::UInt(n as u64)),
             ("max_degree".to_string(), Json::UInt(max_degree as u64)),
             ("cached".to_string(), Json::Bool(cached)),

@@ -423,6 +423,8 @@ mod tests {
             phase_us: vec![("compute".into(), 600), ("deliver".into(), 150)],
             barrier_us: 0,
             imbalance: 1.0,
+            pool_wakeups: 0,
+            pool_idle: 0,
             structure_hash: 0,
             samples: Vec::new(),
         });
@@ -489,6 +491,8 @@ mod tests {
             phase_us: vec![("compute".into(), 400)],
             barrier_us: 0,
             imbalance: 1.0,
+            pool_wakeups: 0,
+            pool_idle: 0,
             structure_hash: 0,
             samples: Vec::new(),
         });

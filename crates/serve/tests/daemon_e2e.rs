@@ -421,6 +421,84 @@ fn chaos_clause_is_keyed_counted_persisted_and_validated() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// The `"threads"` knob: thread counts are normalized into the cache
+/// and store key (absent and `1` share one cell, `4` is its own),
+/// outcomes stay bit-identical across counts, bad values are 400s, and
+/// threaded cells replay across a restart.
+#[test]
+fn threads_knob_is_keyed_normalized_persisted_and_validated() {
+    let store = temp_store("threads");
+    let _ = std::fs::remove_file(&store);
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    let with_threads = |t: &str| {
+        format!(
+            "{{\"workload\": \"grid:side=6\", \"solver\": \"kw:k=2\", \"seed\": 2, \
+             \"threads\": {t}}}"
+        )
+    };
+
+    let four = answer(&post_solve(&server, &with_threads("4")));
+    assert_eq!(four.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(four.get("threads").and_then(Json::as_u64), Some(4));
+    let hit = answer(&post_solve(&server, &with_threads("4")));
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+
+    // An omitted count is a *different* cell from threads=4 …
+    let one = answer(&post_solve(
+        &server,
+        &solve_body("grid:side=6", "kw:k=2", 2),
+    ));
+    assert_eq!(one.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(one.get("threads").and_then(Json::as_u64), Some(1));
+    // … but normalizes to the same cell as an explicit threads=1.
+    let explicit = answer(&post_solve(&server, &with_threads("1")));
+    assert_eq!(explicit.get("cached").and_then(Json::as_bool), Some(true));
+
+    // The engine contract, observed end to end: outcomes are
+    // bit-identical across thread counts — only wall times may differ.
+    for field in ["dominates", "size", "rounds", "messages", "bits"] {
+        assert_eq!(
+            four.get(field).map(Json::render),
+            one.get(field).map(Json::render),
+            "field {field} must not depend on the thread count"
+        );
+    }
+
+    // Out-of-range or non-integer counts are the client's problem.
+    for bad in ["0", "65", "\"two\"", "-1"] {
+        let resp = post_solve(&server, &with_threads(bad));
+        assert_eq!(
+            resp.status,
+            400,
+            "threads={bad}: {}",
+            String::from_utf8_lossy(&resp.body)
+        );
+    }
+    assert_eq!(metric(&server, "kw_serve_responses_5xx_total"), 0.0);
+    server.shutdown();
+
+    // Restart on the same store: both cells (1T and 4T) warm, and the
+    // threaded answer replays without re-solving.
+    let second = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    assert_eq!(second.service().warmed(), 2);
+    let warmed = answer(&post_solve(&second, &with_threads("4")));
+    assert_eq!(warmed.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        four.get("size").map(Json::render),
+        warmed.get("size").map(Json::render)
+    );
+    second.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
 /// The `"trace": true` solve path: the response carries the span-plane
 /// rollup inline, phase time lands on `/metrics`, the store gains trace
 /// lines — and a traced re-solve of a cached cell appends its trace

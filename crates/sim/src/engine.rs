@@ -38,16 +38,40 @@
 //!    no separate per-arc prefix pass exists on the hot path.
 //!
 //! All message-proportional buffers (send arenas, inbox arenas, staging,
-//! plan, per-thread scratch) are reused and keep their capacity, so
-//! steady-state rounds perform no buffer growth — asserted by a debug
-//! counter ([`EngineStats::buffer_growths`]); multi-threaded rounds still
-//! make small `O(threads)` control-structure allocations (chunk tables,
-//! join handles). Every phase preserves the engine's determinism
+//! plan) are reused and keep their capacity, so steady-state rounds
+//! perform no buffer growth — asserted by a debug counter
+//! ([`EngineStats::buffer_growths`]); multi-threaded rounds still make
+//! small `O(threads)` control-structure allocations (chunk tables, boxed
+//! per-chunk jobs). Every phase preserves the engine's determinism
 //! guarantee: outputs, metrics, and per-node message counts are
 //! bit-identical for every thread count, including under fault plans.
-//! Worker chunk boundaries are fixed at construction, and everything
-//! downstream addresses sends through the dense per-node run table, so
-//! the chunked arena layout is invisible to results.
+//!
+//! # Parallel execution: persistent pool + degree-weighted chunks
+//!
+//! At `threads > 1` the engine partitions nodes into contiguous,
+//! **degree-weighted** chunks: cut points are chosen by binary search on
+//! the prefix weight `arcs(0..v) + NODE_COST·v`, so each chunk carries
+//! roughly equal placement work even on skewed degree distributions
+//! (uniform node-count chunks peaked at 1.6–1.7× max/mean busy time on
+//! G(n,p); see `exp_o1_profile`). Boundaries are recomputed on every
+//! churn rebuild against the new CSR plane. All three parallel phases —
+//! compute, send staging, delivery placement — are driven by one
+//! persistent [`WorkerPool`](crate::pool::WorkerPool) spawned per run:
+//! each phase hands the pool one boxed job per chunk and the pool runs
+//! them behind a lightweight epoch barrier, replacing the
+//! spawn/join-per-phase-per-round `std::thread::scope` pattern whose
+//! fork/join overhead was 26–35% of flood wall time.
+//!
+//! The **message plane is per-chunk**: each chunk owns its inbox arena
+//! (front and back), its send arena, and its staging buffer, with
+//! chunk-local receiver offsets — so delivery placement writes only
+//! chunk-owned memory and the old sequential splice-and-rebase steps are
+//! gone. The single cross-chunk interaction is the *thin exchange*
+//! during placement: a receiver's worker reads (never writes) the
+//! staging buffer of the sender's chunk, located through the dense
+//! `node_chunk` table and per-chunk staging bases. Everything downstream
+//! addresses sends through the per-node run table, so the chunked layout
+//! stays invisible to results.
 //!
 //! **Port-numbering invariant:** port `q` of node `v` is `v`'s `q`-th
 //! neighbor in ascending id order — exactly CSR arc `offsets[v] + q`. The
@@ -59,6 +83,7 @@
 //! small wire-encoded values (the paper's are `O(log Δ)` bits), so the
 //! extra copy is far cheaper than the outbox rescans it replaces.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -70,6 +95,7 @@ use kw_trace::{tick_us, RoundSample};
 use crate::chaos::ChaosPlan;
 use crate::mailbox::{Ctx, Outbound, Sink};
 use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::pool::WorkerPool;
 use crate::rng::node_seed;
 use crate::wire::{BitReader, BitWriter, WireEncode};
 use crate::{Protocol, SimError, Status};
@@ -315,12 +341,18 @@ pub struct Engine<'g, P: Protocol> {
     /// pass in [`Engine::new`]; this is what lets placement find the
     /// staging run a sender aimed at a given receiver without searching.
     rev_edge: Vec<u32>,
-    /// Front inbox arena read by the compute phase: node `v`'s inbox is
-    /// `inbox_arena[inbox_offsets[v]..inbox_offsets[v + 1]]`.
-    inbox_arena: Vec<(u32, P::Msg)>,
+    /// Front inbox arenas read by the compute phase, one per chunk: node
+    /// `v` in chunk `c` reads `inbox_arena[c][inbox_offsets[v]..end]`,
+    /// where `end` is the next node's offset (or the chunk arena's length
+    /// for the chunk's last node) — offsets are **chunk-local**, so each
+    /// chunk's delivery writes only its own arena and offset range.
+    inbox_arena: Vec<Vec<(u32, P::Msg)>>,
+    /// Per node (`n` entries): offset of `v`'s inbox within its chunk's
+    /// arena. Chunk-local values; no terminal entry (a chunk's last inbox
+    /// ends at its arena's length).
     inbox_offsets: Vec<usize>,
-    /// Back arena written by delivery, swapped with the front each round.
-    back_arena: Vec<(u32, P::Msg)>,
+    /// Back arenas written by delivery, swapped with the front each round.
+    back_arena: Vec<Vec<(u32, P::Msg)>>,
     back_offsets: Vec<usize>,
     /// The send half of the double-buffered message plane: one
     /// [`StageSink`] per worker chunk (flat arena + metric tallies),
@@ -353,19 +385,27 @@ pub struct Engine<'g, P: Protocol> {
     /// Staging-buffer base index per node (`n + 1` entries; a sender's runs
     /// are contiguous, so these are also the parallel-chunk boundaries).
     node_plan_base: Vec<usize>,
-    /// Send-run slot index of every staged delivery, in staging order.
+    /// Send-run slot index of every staged delivery, in staging order
+    /// (global indices across chunks).
     plan: Vec<u32>,
-    /// Payload clones of every staged delivery, parallel to `plan`.
-    staged: Vec<P::Msg>,
-    /// Per-thread staging buffers, spliced into `staged` in chunk order.
-    stage_scratch: Vec<Vec<P::Msg>>,
-    /// Per-thread placement buffers, spliced into the arena in chunk order.
-    scratch: Vec<Vec<(u32, P::Msg)>>,
+    /// Payload clones of every staged delivery, one buffer per sender
+    /// chunk; `plan_ranges` indices are global and rebase through
+    /// `chunk_plan_base`. Placement reads other chunks' buffers read-only
+    /// (the thin cross-chunk exchange).
+    staged: Vec<Vec<P::Msg>>,
+    /// `chunk_plan_base[c]` = global staging index where chunk `c`'s
+    /// buffer starts (`chunks + 1` entries); filled by `plan_staged`.
+    chunk_plan_base: Vec<usize>,
     node_messages: Vec<u64>,
-    /// Fixed worker chunking: `chunk` nodes per chunk, `chunks` chunks.
-    /// Identical for every phase, so a chunk's send arena is always read
-    /// by the worker that owns the chunk's nodes.
-    chunk: usize,
+    /// Degree-weighted chunk boundaries (`chunks + 1` entries, `bounds[0]
+    /// = 0`, `bounds[chunks] = n`): chunk `c` owns nodes
+    /// `bounds[c]..bounds[c + 1]`. Identical for every phase, so a
+    /// chunk's send arena is always read by the worker that owns the
+    /// chunk's nodes; recomputed on every churn rebuild.
+    bounds: Vec<usize>,
+    /// Dense node → owning-chunk table, parallel to `bounds`; lets
+    /// placement locate a cross-chunk sender's staging buffer in O(1).
+    node_chunk: Vec<u32>,
     chunks: usize,
     /// Per-chunk `(start, end)` tick pairs of the most recent parallel
     /// phase, microseconds from the tracer origin. Workers fill their
@@ -423,20 +463,24 @@ impl<'g, P: Protocol> Engine<'g, P> {
         } else {
             config.threads
         };
-        let (chunk, chunks) = if threads <= 1 || n < 2 * threads {
-            (n.max(1), 1)
+        let chunks = if threads <= 1 || n < 2 * threads {
+            1
         } else {
-            let chunk = n.div_ceil(threads);
-            (chunk, n.div_ceil(chunk))
+            threads
         };
+        let bounds = chunk_bounds(graph.offsets(), chunks);
+        let mut node_chunk = Vec::new();
+        fill_node_chunk(&mut node_chunk, &bounds);
         let mut solo = Vec::with_capacity(n);
         solo.resize_with(n, || None);
         let mut sinks = Vec::with_capacity(chunks);
         sinks.resize_with(chunks, StageSink::new);
-        let mut stage_scratch = Vec::with_capacity(chunks);
-        stage_scratch.resize_with(chunks, Vec::new);
-        let mut scratch = Vec::with_capacity(chunks);
-        scratch.resize_with(chunks, Vec::new);
+        let mut staged = Vec::with_capacity(chunks);
+        staged.resize_with(chunks, Vec::new);
+        let mut inbox_arena = Vec::with_capacity(chunks);
+        inbox_arena.resize_with(chunks, Vec::new);
+        let mut back_arena = Vec::with_capacity(chunks);
+        back_arena.resize_with(chunks, Vec::new);
         Engine {
             graph,
             churned: None,
@@ -445,10 +489,10 @@ impl<'g, P: Protocol> Engine<'g, P> {
             rngs,
             halted: vec![false; n],
             rev_edge,
-            inbox_arena: Vec::new(),
-            inbox_offsets: vec![0; n + 1],
-            back_arena: Vec::new(),
-            back_offsets: vec![0; n + 1],
+            inbox_arena,
+            inbox_offsets: vec![0; n],
+            back_arena,
+            back_offsets: vec![0; n],
             sinks,
             runs: vec![(0, 0); n],
             solo,
@@ -458,11 +502,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
             plan_ranges: vec![(0, 0); arcs],
             node_plan_base: vec![0; n + 1],
             plan: Vec::new(),
-            staged: Vec::new(),
-            stage_scratch,
-            scratch,
+            staged,
+            chunk_plan_base: vec![0; chunks + 1],
             node_messages: vec![0; n],
-            chunk,
+            bounds,
+            node_chunk,
             chunks,
             chunk_ticks: vec![(0, 0); chunks],
             buffer_growths: 0,
@@ -530,11 +574,24 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// see the span taxonomy in the `kw_trace` crate docs. Untraced runs
     /// pay exactly one thread-local read, here.
     fn drive(&mut self, observer: &mut dyn Observer<P>) -> Result<RunMetrics, SimError> {
+        // Round 0 must see empty inboxes even if this engine value was
+        // driven before (a prior drive leaves its final deliveries in the
+        // front arenas): repeated drives reuse no stale plane state.
+        for buf in &mut self.inbox_arena {
+            buf.clear();
+        }
+        self.inbox_offsets.fill(0);
         let mut metrics = RunMetrics::default();
         let has_down = self.config.faults.has_down();
         let has_churn = self.config.faults.has_churn();
         let origin = kw_trace::origin();
         let trace = origin.is_some();
+        // One persistent pool for the whole run: the driving thread is
+        // chunk 0's worker, so `chunks - 1` threads suffice. Dropped (and
+        // joined) when `drive` returns — including during an unwind, so a
+        // panicking protocol can never leak pool threads.
+        let pool = (self.chunks > 1).then(|| WorkerPool::new(self.chunks - 1));
+        let mut pool_seen = (0u64, 0u64);
         let mut round = 0usize;
         loop {
             if round >= self.config.max_rounds {
@@ -557,7 +614,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             if trace {
                 kw_trace::with_active(|t| t.begin("compute"));
             }
-            let out = self.compute_phase(round, origin);
+            let out = self.compute_phase(round, origin, pool.as_ref());
             if trace {
                 kw_trace::with_active(|t| {
                     t.end_parallel("compute", &self.chunk_ticks[..self.chunks])
@@ -579,8 +636,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
             self.uniform_solo = out.uniform_solo;
             if trace {
                 let active = self.halted.iter().filter(|h| !**h).count() as u64;
-                let arena_bytes =
-                    (self.inbox_arena.len() * std::mem::size_of::<(u32, P::Msg)>()) as u64;
+                let arena_bytes = (self.inbox_arena.iter().map(Vec::len).sum::<usize>()
+                    * std::mem::size_of::<(u32, P::Msg)>())
+                    as u64;
+                // Pool counters are cumulative; the sample carries the
+                // delta since the previous sample (this round's compute
+                // plus the previous round's delivery). Observability
+                // only: excluded from structural equality and hashing,
+                // which must stay thread-invariant.
+                let (pw, pi) = pool.as_ref().map_or((0, 0), |p| p.counters());
+                let (dw, di) = (pw - pool_seen.0, pi - pool_seen.1);
+                pool_seen = (pw, pi);
                 kw_trace::with_active(|t| {
                     t.sample(RoundSample {
                         round: round as u32,
@@ -589,6 +655,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         active,
                         arena_bytes,
                         rebuilds: self.graph_rebuilds,
+                        pool_wakeups: dw,
+                        pool_idle: di,
                     })
                 });
             }
@@ -615,7 +683,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 }
                 break;
             }
-            self.delivery_phase(round, origin);
+            self.delivery_phase(round, origin, pool.as_ref());
             if trace {
                 kw_trace::with_active(|t| t.end());
             }
@@ -648,8 +716,16 @@ impl<'g, P: Protocol> Engine<'g, P> {
         self.send_counts.resize(arcs, 0);
         self.plan_ranges.clear();
         self.plan_ranges.resize(arcs, (0, 0));
+        // Re-balance the degree-weighted partition against the new CSR
+        // plane (the chunk *count* is fixed for the run; only the cut
+        // points move). Deterministic: a pure function of the rebuilt
+        // offsets, so thread-invariance survives churn.
+        self.bounds = chunk_bounds(rebuilt.offsets(), self.chunks);
+        fill_node_chunk(&mut self.node_chunk, &self.bounds);
         // Drop in-flight messages: every inbox reads empty this round.
-        self.inbox_arena.clear();
+        for arena in &mut self.inbox_arena {
+            arena.clear();
+        }
         self.inbox_offsets.fill(0);
         self.churned = Some(rebuilt);
         self.graph_rebuilds += 1;
@@ -659,13 +735,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// the flat send arenas through [`StageSink`], which also performs the
     /// fused sender-side accounting — the per-chunk tallies come back in
     /// the returned [`ChunkOut`].
-    fn compute_phase(&mut self, round: usize, origin: Option<Instant>) -> ChunkOut {
+    fn compute_phase(
+        &mut self,
+        round: usize,
+        origin: Option<Instant>,
+        pool: Option<&WorkerPool>,
+    ) -> ChunkOut {
         let graph = self.churned.as_ref().unwrap_or(self.graph);
-        let arena = &self.inbox_arena;
         let offsets = &self.inbox_offsets;
         let faults = &self.config.faults;
         let check_wire = self.config.check_wire;
-        let (chunk, chunks) = (self.chunk, self.chunks);
+        let chunks = self.chunks;
         if chunks == 1 {
             let start = origin.map(tick_us);
             let out = Self::compute_range(
@@ -679,7 +759,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 &mut self.runs,
                 &mut self.solo,
                 &mut self.node_messages,
-                arena,
+                &self.inbox_arena[0],
                 offsets,
                 faults,
                 check_wire,
@@ -689,65 +769,66 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
             return out;
         }
-        let nodes = self.nodes.chunks_mut(chunk);
-        let rngs = self.rngs.chunks_mut(chunk);
-        let halted = self.halted.chunks_mut(chunk);
-        let runs = self.runs.chunks_mut(chunk);
-        let solos = self.solo.chunks_mut(chunk);
-        let messages = self.node_messages.chunks_mut(chunk);
+        let pool = pool.expect("multi-chunk phases run on the worker pool");
+        let bounds = &self.bounds;
+        let nodes = split_at_bounds(&mut self.nodes, bounds);
+        let rngs = split_at_bounds(&mut self.rngs, bounds);
+        let halted = split_at_bounds(&mut self.halted, bounds);
+        let runs = split_at_bounds(&mut self.runs, bounds);
+        let solos = split_at_bounds(&mut self.solo, bounds);
+        let messages = split_at_bounds(&mut self.node_messages, bounds);
         let sinks = self.sinks[..chunks].iter_mut();
+        let arenas = self.inbox_arena[..chunks].iter();
         let ticks = self.chunk_ticks[..chunks].iter_mut();
-        let outs: Vec<ChunkOut> = std::thread::scope(|s| {
-            let handles: Vec<_> = nodes
-                .zip(rngs)
-                .zip(halted)
-                .zip(runs)
-                .zip(solos)
-                .zip(messages)
-                .zip(sinks)
-                .zip(ticks)
-                .enumerate()
-                .map(|(i, (((((((nc, rc), hc), runc), sc), mc), sk), tick))| {
-                    s.spawn(move || {
-                        let start = origin.map(tick_us);
-                        let out = Self::compute_range(
-                            graph,
-                            round,
-                            i * chunk,
-                            nc,
-                            rc,
-                            hc,
-                            sk,
-                            runc,
-                            sc,
-                            mc,
-                            arena,
-                            offsets,
-                            faults,
-                            check_wire,
-                        );
-                        if let (Some(s0), Some(o)) = (start, origin) {
-                            *tick = (s0, tick_us(o));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        outs.into_iter().fold(ChunkOut::fresh(), |mut a, o| {
-            a.stats.accumulate(o.stats);
-            a.max_message_bits = a.max_message_bits.max(o.max_message_bits);
-            a.wire_ok &= o.wire_ok;
-            a.staged += o.staged;
-            a.uniform_solo &= o.uniform_solo;
-            a.byz_rejected += o.byz_rejected;
-            a
-        })
+        let outs: Vec<Mutex<Option<ChunkOut>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+        for (i, (((((((nc, rc), hc), runc), sc), mc), sk), (inb, tick))) in nodes
+            .into_iter()
+            .zip(rngs)
+            .zip(halted)
+            .zip(runs)
+            .zip(solos)
+            .zip(messages)
+            .zip(sinks)
+            .zip(arenas.zip(ticks))
+            .enumerate()
+        {
+            let lo = bounds[i];
+            let off = &offsets[lo..bounds[i + 1]];
+            let out_slot = &outs[i];
+            jobs.push(Box::new(move || {
+                let start = origin.map(tick_us);
+                let out = Self::compute_range(
+                    graph, round, lo, nc, rc, hc, sk, runc, sc, mc, inb, off, faults, check_wire,
+                );
+                if let (Some(s0), Some(o)) = (start, origin) {
+                    *tick = (s0, tick_us(o));
+                }
+                *out_slot.lock().expect("chunk out slot") = Some(out);
+            }));
+        }
+        run_jobs(pool, jobs);
+        outs.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("chunk out slot")
+                    .expect("every chunk ran")
+            })
+            .fold(ChunkOut::fresh(), |mut a, o| {
+                a.stats.accumulate(o.stats);
+                a.max_message_bits = a.max_message_bits.max(o.max_message_bits);
+                a.wire_ok &= o.wire_ok;
+                a.staged += o.staged;
+                a.uniform_solo &= o.uniform_solo;
+                a.byz_rejected += o.byz_rejected;
+                a
+            })
     }
 
     /// [`compute_phase`](Self::compute_phase) over one node chunk, staging
-    /// into that chunk's send arena.
+    /// into that chunk's send arena and reading the chunk's inbox arena
+    /// through its chunk-local offsets (`inbox_offsets` is the chunk's
+    /// slice; the last node's inbox ends at the arena's length).
     #[allow(clippy::too_many_arguments)]
     fn compute_range(
         graph: &CsrGraph,
@@ -787,11 +868,15 @@ impl<'g, P: Protocol> Engine<'g, P> {
             let degree = graph.degree(id) as u32;
             let run_start = sink.arena.len();
             let messages_before = sink.messages;
+            let inbox_end = match inbox_offsets.get(j + 1) {
+                Some(&end) => end,
+                None => inbox_arena.len(),
+            };
             let mut ctx = Ctx {
                 node: id,
                 degree,
                 round,
-                inbox: &inbox_arena[inbox_offsets[v]..inbox_offsets[v + 1]],
+                inbox: &inbox_arena[inbox_offsets[j]..inbox_end],
                 sink: &mut *sink,
                 rng: &mut rngs[j],
             };
@@ -880,7 +965,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// slice, then swaps the double buffer. The entire staging half is
     /// skipped when the round had no staged senders (the broadcast-heavy
     /// common case).
-    fn delivery_phase(&mut self, round: usize, origin: Option<Instant>) {
+    fn delivery_phase(&mut self, round: usize, origin: Option<Instant>, pool: Option<&WorkerPool>) {
         let trace = origin.is_some();
         // `plan` (sequential count + prefix), `send` (parallel staging)
         // and `deliver` (parallel placement + swap) spans are emitted
@@ -901,22 +986,24 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
         let built = plan_total > 0;
         if built {
-            self.build_staging(round, plan_total, origin);
+            self.build_staging(round, plan_total, origin, pool);
         } else {
-            self.staged.clear();
+            for buf in &mut self.staged {
+                buf.clear();
+            }
         }
         if trace {
             let ticks = &self.chunk_ticks[..if built { self.chunks } else { 0 }];
             kw_trace::with_active(|t| t.end_parallel("send", ticks));
             kw_trace::with_active(|t| t.begin("deliver"));
         }
-        self.place(round, origin);
+        self.place(round, origin, pool);
         std::mem::swap(&mut self.inbox_arena, &mut self.back_arena);
         std::mem::swap(&mut self.inbox_offsets, &mut self.back_offsets);
-        // The old message plane resets with one arena clear per side
-        // (offsets are rewritten wholesale next round; send arenas clear at
-        // the start of the next compute phase).
-        self.back_arena.clear();
+        // The consumed front arenas (now the back) are cleared by each
+        // chunk's worker at the start of the next placement; offsets are
+        // rewritten wholesale, and send arenas clear at the start of the
+        // next compute phase.
         if trace {
             kw_trace::with_active(|t| t.end_parallel("deliver", &self.chunk_ticks[..self.chunks]));
         }
@@ -940,13 +1027,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// increase means some buffer grew this round — during compute-phase
     /// staging or during delivery).
     fn plane_capacity(&self) -> usize {
-        self.inbox_arena.capacity()
-            + self.back_arena.capacity()
+        self.inbox_arena.iter().map(Vec::capacity).sum::<usize>()
+            + self.back_arena.iter().map(Vec::capacity).sum::<usize>()
             + self.plan.capacity()
-            + self.staged.capacity()
+            + self.staged.iter().map(Vec::capacity).sum::<usize>()
             + self.sinks.iter().map(|s| s.arena.capacity()).sum::<usize>()
-            + self.scratch.iter().map(Vec::capacity).sum::<usize>()
-            + self.stage_scratch.iter().map(Vec::capacity).sum::<usize>()
     }
 
     /// One sequential pass over staged senders that counts, per directed
@@ -968,7 +1053,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let runs = &self.runs;
         let solo = &self.solo;
         let sinks = &self.sinks;
-        let chunk = self.chunk;
+        let bounds = &self.bounds;
         let send_counts = &mut self.send_counts;
         let plan_ranges = &mut self.plan_ranges;
         let node_plan_base = &mut self.node_plan_base;
@@ -979,12 +1064,18 @@ impl<'g, P: Protocol> Engine<'g, P> {
         // receiver-side liveness filter looks one round ahead.
         let next = round + 1;
         let mut plan_total = 0usize;
+        // Chunk boundaries are irregular (degree-weighted), so walk the
+        // owning chunk with a cursor instead of dividing by a fixed size.
+        let mut c = 0usize;
         for (u, &(start, len)) in runs.iter().enumerate() {
             node_plan_base[u] = plan_total;
+            while u >= bounds[c + 1] {
+                c += 1;
+            }
             if len == 0 || solo[u].is_some() {
                 continue;
             }
-            let arena = &sinks[u / chunk].arena;
+            let arena = &sinks[c].arena;
             let run = &arena[start as usize..(start as usize + len as usize)];
             let arc_lo = offsets[u] as usize;
             let degree = offsets[u + 1] as usize - arc_lo;
@@ -1039,6 +1130,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
         }
         node_plan_base[n] = plan_total;
+        // Publish where each chunk's staging buffer starts in the global
+        // index space; placement rebases cross-chunk reads through this.
+        for (i, base) in self.chunk_plan_base.iter_mut().enumerate() {
+            *base = node_plan_base[bounds[i]];
+        }
         assert!(
             u32::try_from(plan_total).is_ok(),
             "more than u32::MAX staged deliveries in one round"
@@ -1047,13 +1143,19 @@ impl<'g, P: Protocol> Engine<'g, P> {
     }
 
     /// Fills `plan` (send-run slot of every staged delivery, grouped by
-    /// sender arc, slot-ascending within an arc) and `staged` (the
-    /// matching payload clones) for all staged senders, reading each
-    /// sender's run from its chunk's send arena. The fault/halted filter
-    /// re-evaluates the same `(round, sender, receiver, slot)` keys
-    /// `count_staged` used, so the cursors land exactly at each range's
-    /// end.
-    fn build_staging(&mut self, round: usize, plan_total: usize, origin: Option<Instant>) {
+    /// sender arc, slot-ascending within an arc) and the per-chunk
+    /// `staged` buffers (the matching payload clones) for all staged
+    /// senders, reading each sender's run from its chunk's send arena.
+    /// The fault/halted filter re-evaluates the same `(round, sender,
+    /// receiver, slot)` keys `plan_staged` used, so the cursors land
+    /// exactly at each range's end.
+    fn build_staging(
+        &mut self,
+        round: usize,
+        plan_total: usize,
+        origin: Option<Instant>,
+        pool: Option<&WorkerPool>,
+    ) {
         let n = self.nodes.len();
         let graph = self.churned.as_ref().unwrap_or(self.graph);
         let offsets = graph.offsets();
@@ -1066,7 +1168,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let lossless = faults.lossless();
         let has_down = faults.has_down();
         let next = round + 1;
-        let (chunk, chunks) = (self.chunk, self.chunks);
+        let chunks = self.chunks;
         self.plan.resize(plan_total, 0);
         // Writes one sender's plan entries via the per-arc cursors, then
         // immediately stages that sender's payloads (its run is hot).
@@ -1124,7 +1226,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         };
         if chunks == 1 {
             let start = origin.map(tick_us);
-            self.staged.clear();
+            self.staged[0].clear();
             fill(
                 0,
                 n,
@@ -1132,64 +1234,63 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 &self.sinks[0].arena,
                 &mut self.plan[..plan_total],
                 &mut self.plan_ranges,
-                &mut self.staged,
+                &mut self.staged[0],
             );
             if let (Some(s0), Some(o)) = (start, origin) {
                 self.chunk_ticks[0] = (s0, tick_us(o));
             }
             return;
         }
+        let pool = pool.expect("multi-chunk phases run on the worker pool");
+        let bounds = &self.bounds;
         // A sender chunk's plan entries are contiguous (staging bases are
         // monotone in node order), so the plan, the range table, the send
         // arenas, and the staging output all split at the same chunk
-        // boundaries — each worker reads the arena its compute pass wrote.
-        let ranges = split_at_arcs(&mut self.plan_ranges, offsets, chunk);
+        // boundaries — each worker reads the arena its compute pass wrote
+        // and fills its own chunk's staging buffer in place (no splice).
+        let ranges = split_at_arcs(&mut self.plan_ranges, offsets, bounds);
+        let chunk_plan_base = &self.chunk_plan_base;
         let mut plans = Vec::with_capacity(chunks);
-        let mut bases = Vec::with_capacity(chunks);
         let mut rest = &mut self.plan[..plan_total];
-        let mut consumed = 0usize;
         for i in 0..chunks {
-            let hi = node_plan_base[((i + 1) * chunk).min(n)];
-            let (head, tail) = rest.split_at_mut(hi - consumed);
-            bases.push(consumed);
+            let (head, tail) = rest.split_at_mut(chunk_plan_base[i + 1] - chunk_plan_base[i]);
             plans.push(head);
             rest = tail;
-            consumed = hi;
         }
-        std::thread::scope(|s| {
-            for (i, ((((pc, rc), sink), sk), tick)) in plans
-                .into_iter()
-                .zip(ranges)
-                .zip(self.stage_scratch[..chunks].iter_mut())
-                .zip(&self.sinks[..chunks])
-                .zip(self.chunk_ticks[..chunks].iter_mut())
-                .enumerate()
-            {
-                let base = i * chunk;
-                let len = chunk.min(n - base);
-                let plan_base = bases[i];
-                let fill = &fill;
-                s.spawn(move || {
-                    let start = origin.map(tick_us);
-                    sink.clear();
-                    fill(base, len, plan_base, &sk.arena, pc, rc, sink);
-                    if let (Some(s0), Some(o)) = (start, origin) {
-                        *tick = (s0, tick_us(o));
-                    }
-                });
-            }
-        });
-        self.staged.clear();
-        for sink in &mut self.stage_scratch[..chunks] {
-            self.staged.append(sink);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+        for (i, ((((pc, rc), sink), sk), tick)) in plans
+            .into_iter()
+            .zip(ranges)
+            .zip(self.staged[..chunks].iter_mut())
+            .zip(&self.sinks[..chunks])
+            .zip(self.chunk_ticks[..chunks].iter_mut())
+            .enumerate()
+        {
+            let base = bounds[i];
+            let len = bounds[i + 1] - base;
+            let plan_base = chunk_plan_base[i];
+            let fill = &fill;
+            jobs.push(Box::new(move || {
+                let start = origin.map(tick_us);
+                sink.clear();
+                fill(base, len, plan_base, &sk.arena, pc, rc, sink);
+                if let (Some(s0), Some(o)) = (start, origin) {
+                    *tick = (s0, tick_us(o));
+                }
+            }));
         }
+        run_jobs(pool, jobs);
     }
 
-    /// Copies every delivered message into the back arena, receivers in
-    /// ascending order, each receiver's messages in `(port, slot)` order —
-    /// the exact sequence the old receiver-driven scan produced — while
-    /// recording the per-receiver arena offsets.
-    fn place(&mut self, round: usize, origin: Option<Instant>) {
+    /// Copies every delivered message into its receiver's chunk's back
+    /// arena, receivers in ascending order, each receiver's messages in
+    /// `(port, slot)` order — the exact sequence the old receiver-driven
+    /// scan produced — while recording the per-receiver (chunk-local)
+    /// arena offsets. Staged payloads of a sender in another chunk are
+    /// read from that chunk's staging buffer through `node_chunk` +
+    /// `chunk_plan_base`: the thin cross-chunk exchange, read-only by
+    /// construction.
+    fn place(&mut self, round: usize, origin: Option<Instant>, pool: Option<&WorkerPool>) {
         let n = self.nodes.len();
         let graph = self.churned.as_ref().unwrap_or(self.graph);
         let halted = &self.halted;
@@ -1200,13 +1301,16 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let solo = &self.solo;
         let rev_edge = &self.rev_edge;
         let plan_ranges = &self.plan_ranges;
-        let staged = &self.staged[..];
+        let staged = &self.staged;
+        let node_chunk = &self.node_chunk;
+        let chunk_plan_base = &self.chunk_plan_base;
         let uniform = self.uniform_solo;
-        let (chunk, chunks) = (self.chunk, self.chunks);
-        // `offsets[v]` entries are written relative to the chunk's start;
-        // the caller rebases them once chunk sizes are known.
+        let chunks = self.chunks;
+        // `offsets_out` entries are chunk-local: each chunk's sink starts
+        // empty, so no rebase pass exists anywhere.
         let place_range =
             |lo: usize, hi: usize, offsets_out: &mut [usize], sink: &mut Vec<(u32, P::Msg)>| {
+                sink.clear();
                 let offsets = graph.offsets();
                 let targets = graph.targets();
                 if uniform {
@@ -1254,7 +1358,12 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         }
                         let j = rev_edge[arc_lo + q] as usize;
                         let (start, end) = plan_ranges[j];
-                        for m in &staged[start as usize..end as usize] {
+                        // Thin cross-chunk exchange: the sender's staged
+                        // payloads live in its own chunk's buffer;
+                        // rebase the global plan indices into it.
+                        let sc = node_chunk[u] as usize;
+                        let base = chunk_plan_base[sc];
+                        for m in &staged[sc][start as usize - base..end as usize - base] {
                             sink.push((q as u32, m.clone()));
                         }
                     }
@@ -1262,47 +1371,34 @@ impl<'g, P: Protocol> Engine<'g, P> {
             };
         if chunks == 1 {
             let start = origin.map(tick_us);
-            self.back_arena.clear();
-            place_range(0, n, &mut self.back_offsets[..n], &mut self.back_arena);
-            self.back_offsets[n] = self.back_arena.len();
+            place_range(0, n, &mut self.back_offsets[..n], &mut self.back_arena[0]);
             if let (Some(s0), Some(o)) = (start, origin) {
                 self.chunk_ticks[0] = (s0, tick_us(o));
             }
             return;
         }
-        let offset_chunks = self.back_offsets[..n].chunks_mut(chunk);
-        std::thread::scope(|s| {
-            for (i, ((sink, oc), tick)) in self.scratch[..chunks]
-                .iter_mut()
-                .zip(offset_chunks)
-                .zip(self.chunk_ticks[..chunks].iter_mut())
-                .enumerate()
-            {
-                let lo = i * chunk;
-                let hi = (lo + chunk).min(n);
-                let place_range = &place_range;
-                s.spawn(move || {
-                    let start = origin.map(tick_us);
-                    sink.clear();
-                    place_range(lo, hi, oc, sink);
-                    if let (Some(s0), Some(o)) = (start, origin) {
-                        *tick = (s0, tick_us(o));
-                    }
-                });
-            }
-        });
-        // Splice chunk outputs and rebase their local offsets.
-        self.back_arena.clear();
-        for (i, sink) in self.scratch[..chunks].iter_mut().enumerate() {
-            let base = self.back_arena.len();
-            let lo = i * chunk;
-            let hi = (lo + chunk).min(n);
-            for off in &mut self.back_offsets[lo..hi] {
-                *off += base;
-            }
-            self.back_arena.append(sink);
+        let pool = pool.expect("multi-chunk phases run on the worker pool");
+        let bounds = &self.bounds;
+        let offset_chunks = split_at_bounds(&mut self.back_offsets, bounds);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+        for (i, ((sink, oc), tick)) in self.back_arena[..chunks]
+            .iter_mut()
+            .zip(offset_chunks)
+            .zip(self.chunk_ticks[..chunks].iter_mut())
+            .enumerate()
+        {
+            let lo = bounds[i];
+            let hi = bounds[i + 1];
+            let place_range = &place_range;
+            jobs.push(Box::new(move || {
+                let start = origin.map(tick_us);
+                place_range(lo, hi, oc, sink);
+                if let (Some(s0), Some(o)) = (start, origin) {
+                    *tick = (s0, tick_us(o));
+                }
+            }));
         }
-        self.back_offsets[n] = self.back_arena.len();
+        run_jobs(pool, jobs);
     }
 }
 
@@ -1339,24 +1435,123 @@ fn build_rev_edge(graph: &CsrGraph) -> Vec<u32> {
 }
 
 /// Splits `slice` (one entry per directed arc) into per-node-chunk slices
-/// whose boundaries follow the CSR offsets, so arc-indexed state can be
-/// handed to the same worker that owns the node chunk.
-fn split_at_arcs<'a, T>(slice: &'a mut [T], offsets: &[u32], chunk: usize) -> Vec<&'a mut [T]> {
-    let n = offsets.len() - 1;
-    let mut out = Vec::with_capacity(n.div_ceil(chunk.max(1)));
+/// whose boundaries follow the CSR offsets at the chunk `bounds`, so
+/// arc-indexed state can be handed to the same worker that owns the node
+/// chunk.
+fn split_at_arcs<'a, T>(slice: &'a mut [T], offsets: &[u32], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let chunks = bounds.len() - 1;
+    let mut out = Vec::with_capacity(chunks);
     let mut rest = slice;
     let mut consumed = 0usize;
-    let mut base = 0usize;
-    while base < n {
-        let end = (base + chunk).min(n);
-        let hi = offsets[end] as usize;
+    for &b in &bounds[1..] {
+        let hi = offsets[b] as usize;
         let (head, tail) = rest.split_at_mut(hi - consumed);
         out.push(head);
         rest = tail;
         consumed = hi;
-        base = end;
     }
     out
+}
+
+/// Splits `slice` (one entry per node) into per-chunk slices at the node
+/// `bounds`. Entries past `bounds[last]` stay unsplit and unreturned.
+fn split_at_bounds<'a, T>(slice: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let chunks = bounds.len() - 1;
+    let mut out = Vec::with_capacity(chunks);
+    let mut rest = slice;
+    let mut consumed = 0usize;
+    for &b in &bounds[1..] {
+        let (head, tail) = rest.split_at_mut(b - consumed);
+        out.push(head);
+        rest = tail;
+        consumed = b;
+    }
+    out
+}
+
+/// Per-node weight constant for the degree-weighted partition: models the
+/// fixed per-node cost (RNG tick, halt check, inbox bookkeeping) relative
+/// to the per-arc cost of scanning/copying one message. Chosen from PR 8's
+/// profile, where per-node overhead on a degree-16 gnp graph was roughly a
+/// quarter of the arc work.
+const NODE_COST: usize = 4;
+
+/// Computes a degree-weighted (arc-balanced) contiguous partition of the
+/// nodes into `chunks` chunks. The cut points split cumulative
+/// `arcs(v) + NODE_COST` weight as evenly as possible, so dense nodes do
+/// not pile into one worker the way uniform node ranges let them
+/// (PR 8 measured 1.6–1.7× max/mean busy-time imbalance at 4T).
+///
+/// Returns `chunks + 1` ascending bounds with `bounds[0] == 0` and
+/// `bounds[chunks] == n`; every chunk is non-empty (requires
+/// `n >= chunks`, which [`Engine::new`] guarantees by collapsing to one
+/// chunk on small graphs). Pure function of `offsets`, so the partition —
+/// and with it every downstream buffer layout — is deterministic across
+/// runs and identical after identical churn rebuilds.
+fn chunk_bounds(offsets: &[u32], chunks: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0usize);
+    if chunks <= 1 {
+        bounds.push(n);
+        return bounds;
+    }
+    // weight(0..=v) = offsets[v] + NODE_COST * v, monotone in v.
+    let weight = |v: usize| offsets[v] as usize + NODE_COST * v;
+    let total = weight(n);
+    for i in 1..chunks {
+        let target = total * i / chunks;
+        // Smallest cut with weight(cut) >= target.
+        let mut lo = bounds[i - 1];
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if weight(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Clamp so every chunk (this one and all that follow) stays
+        // non-empty; valid because n >= 2 * chunks here.
+        let cut = lo.clamp(bounds[i - 1] + 1, n - (chunks - i));
+        bounds.push(cut);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Rebuilds the dense node→chunk table from the partition bounds.
+fn fill_node_chunk(node_chunk: &mut Vec<u32>, bounds: &[usize]) {
+    let n = bounds[bounds.len() - 1];
+    node_chunk.clear();
+    node_chunk.resize(n, 0);
+    for (c, w) in bounds.windows(2).enumerate() {
+        for slot in &mut node_chunk[w[0]..w[1]] {
+            *slot = c as u32;
+        }
+    }
+}
+
+/// A one-shot per-chunk job awaiting its worker: the `Mutex<Option<_>>`
+/// exists only to hand each boxed `FnOnce` to exactly one worker through
+/// the pool's `Fn(usize)` interface.
+type JobSlot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+
+/// Drives one phase's per-chunk jobs through the pool: job `i` runs as
+/// pool chunk `i` (job 0 inline on the caller). Each job is a one-shot
+/// `FnOnce` capturing its chunk's `&mut` state.
+fn run_jobs(pool: &WorkerPool, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    debug_assert_eq!(jobs.len(), pool.workers() + 1);
+    let slots: Vec<JobSlot<'_>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    pool.run(&|i| {
+        let job = slots[i]
+            .lock()
+            .expect("job slot poisoned")
+            .take()
+            .expect("each chunk index is dispatched exactly once per epoch");
+        job();
+    });
 }
 
 #[cfg(test)]
@@ -1862,7 +2057,7 @@ mod tests {
     fn run_table_matches_staged_traffic() {
         let g = generators::star(6);
         let mut engine = Engine::new(&g, EngineConfig::default(), |_| Mixed { rounds_left: 3 });
-        let out = engine.compute_phase(0, None);
+        let out = engine.compute_phase(0, None, None);
         // Every node stages one broadcast + one unicast → all staged.
         assert_eq!(out.staged, g.len());
         for v in 0..g.len() {
@@ -2105,5 +2300,204 @@ mod tests {
         assert_eq!(seq.outputs, par8.outputs);
         assert_eq!(seq.metrics, par8.metrics);
         assert_eq!(seq.node_messages, par8.node_messages);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_balance_and_determinism() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(9);
+        for (g, chunks) in [
+            (generators::star(101), 4), // one dense hub
+            (generators::cycle(64), 8), // perfectly uniform
+            (generators::gnp(300, 0.05, &mut rng), 4),
+            (generators::path(9), 4), // n barely above 2*chunks
+        ] {
+            let bounds = chunk_bounds(g.offsets(), chunks);
+            // Coverage: ascending bounds from 0 to n, every chunk non-empty.
+            assert_eq!(bounds.len(), chunks + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(bounds[chunks], g.len());
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+            // Determinism: a pure function of the offsets.
+            assert_eq!(bounds, chunk_bounds(g.offsets(), chunks));
+            // Balance: no chunk exceeds its fair weight share by more than
+            // the largest single node (contiguity makes one node the
+            // granularity limit — the star's hub chunk is exactly that).
+            let w = |v: usize| g.offsets()[v] as usize + NODE_COST * v;
+            let max_node = (0..g.len()).map(|v| w(v + 1) - w(v)).max().unwrap();
+            let fair = w(g.len()) / chunks;
+            for c in bounds.windows(2) {
+                assert!(
+                    w(c[1]) - w(c[0]) <= fair + max_node,
+                    "chunk {c:?} overweight on n={}",
+                    g.len()
+                );
+            }
+            let mut node_chunk = Vec::new();
+            fill_node_chunk(&mut node_chunk, &bounds);
+            assert_eq!(node_chunk.len(), g.len());
+            for (v, &c) in node_chunk.iter().enumerate() {
+                let c = c as usize;
+                assert!(bounds[c] <= v && v < bounds[c + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_rebuild_recomputes_identical_partition() {
+        use crate::chaos::ChaosPlan;
+        use kw_graph::{ChurnEvent, ChurnKind};
+        // Two engines run the same churn script at 4 threads; the
+        // partition is a pure function of the rebuilt CSR plane, so their
+        // bounds must agree at every point — and differ from the pre-churn
+        // bounds once edges moved.
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
+        let g = generators::gnp(120, 0.06, &mut rng);
+        let plan = || {
+            ChaosPlan::reliable()
+                .with_churn_event(ChurnEvent {
+                    round: 2,
+                    kind: ChurnKind::Leave(3),
+                })
+                .with_churn_event(ChurnEvent {
+                    round: 2,
+                    kind: ChurnKind::Leave(60),
+                })
+        };
+        let config = || EngineConfig {
+            threads: 4,
+            faults: plan(),
+            max_rounds: 50,
+            ..Default::default()
+        };
+        let build = || {
+            let mut e = Engine::new(&g, config(), |info| MaxFlood {
+                best: info.id.raw() as u64,
+                rounds_left: 6,
+            });
+            e.drive(&mut NullObserver).expect("flood terminates");
+            (e.bounds.clone(), e.node_chunk.clone())
+        };
+        let before = chunk_bounds(g.offsets(), 4);
+        let (bounds_a, chunk_a) = build();
+        let (bounds_b, chunk_b) = build();
+        assert_eq!(bounds_a, bounds_b);
+        assert_eq!(chunk_a, chunk_b);
+        assert_ne!(bounds_a, before, "churn moved arcs, partition must follow");
+        assert_eq!(bounds_a.len(), 5, "chunk count is fixed for the run");
+    }
+
+    /// A protocol that panics on one node mid-run, to exercise the pooled
+    /// unwind path.
+    struct PanicAt {
+        node: usize,
+        me: usize,
+        round: usize,
+    }
+
+    impl Protocol for PanicAt {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == self.round && self.me == self.node {
+                panic!("node {} failed at round {}", self.me, self.round);
+            }
+            ctx.broadcast(1);
+            if ctx.round() < 4 {
+                Status::Running
+            } else {
+                Status::Halted
+            }
+        }
+
+        fn finish(self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn pooled_phase_panic_propagates_without_hanging() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+        let g = generators::gnp(120, 0.06, &mut rng);
+        let run = |node: usize| {
+            let engine = Engine::new(
+                &g,
+                EngineConfig {
+                    threads: 4,
+                    ..Default::default()
+                },
+                move |info| PanicAt {
+                    node,
+                    me: info.id.raw() as usize,
+                    round: 2,
+                },
+            );
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run()))
+        };
+        // Panic on a caller-chunk node and on a worker-chunk node: both
+        // must unwind out of `run` (pool joined on drop, barrier not
+        // hung) with the protocol's payload intact.
+        for node in [0, g.len() - 1] {
+            let err = run(node).expect_err("protocol panicked");
+            let msg = err
+                .downcast_ref::<String>()
+                .expect("panic payload is the protocol's format string");
+            assert!(
+                msg.contains("failed at round 2"),
+                "unexpected payload {msg}"
+            );
+        }
+        // Pooled runs keep working on this thread afterwards: a fresh run
+        // over the same graph completes and matches the 1T output.
+        let ok = flood_report(
+            &g,
+            6,
+            EngineConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let seq = flood_report(&g, 6, EngineConfig::default());
+        assert_eq!(ok.outputs, seq.outputs);
+    }
+
+    #[test]
+    fn repeated_drives_reuse_no_stale_state() {
+        // Drive the same engine value twice via the internal API (public
+        // `run` consumes the engine, so stale state across `drive` calls
+        // is the actual hazard): the second drive — with node programs,
+        // RNGs, and halt flags re-armed — must reproduce the first run's
+        // metrics exactly even though arenas, staging buffers, and plan
+        // tables still hold the previous run's data.
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(13);
+        let g = generators::gnp(90, 0.08, &mut rng);
+        let config = EngineConfig {
+            threads: 4,
+            max_rounds: 50,
+            ..Default::default()
+        };
+        let fresh = |rounds: usize| {
+            Engine::new(&g, config.clone(), move |info| MaxFlood {
+                best: info.id.raw() as u64,
+                rounds_left: rounds,
+            })
+        };
+        let mut once = fresh(5);
+        let m1 = once.drive(&mut NullObserver).expect("flood terminates");
+        let mut twice = fresh(5);
+        twice.drive(&mut NullObserver).expect("flood terminates");
+        for node in 0..g.len() {
+            twice.halted[node] = false;
+            twice.nodes[node] = MaxFlood {
+                best: node as u64,
+                rounds_left: 5,
+            };
+            let seed = crate::rng::node_seed(twice.config.seed, node as u32);
+            twice.rngs[node] = SmallRng::seed_from_u64(seed);
+        }
+        let m2 = twice.drive(&mut NullObserver).expect("flood terminates");
+        assert_eq!(m1.rounds, m2.rounds);
+        assert_eq!(m1.messages, m2.messages);
+        assert_eq!(m1.bits, m2.bits);
     }
 }

@@ -35,6 +35,19 @@
 //! docs](Engine) for the full design and the [`mailbox` module
 //! docs](Ctx) for the send contract.
 //!
+//! # Parallel execution
+//!
+//! At `threads > 1` the engine partitions nodes into contiguous,
+//! **degree-weighted** chunks (cut points balance `arcs + 4·nodes` per
+//! chunk, recomputed on every churn rebuild) and drives all three
+//! parallel phases — compute, send staging, delivery placement —
+//! through one persistent epoch-barrier [`pool::WorkerPool`] spawned
+//! once per run, instead of a fresh `std::thread::scope` per phase per
+//! round. Message-plane state (inbox arenas, staging buffers) is
+//! per-chunk; the only cross-chunk traffic is read-only access to other
+//! chunks' staged sends during placement. Outputs, metrics, and trace
+//! structure stay bit-identical for every thread count.
+//!
 //! **Port numbering is an invariant of the model, not of the message
 //! plane:** port `q` of node `v` is always `v`'s `q`-th neighbor in
 //! ascending id order (CSR arc order). Protocols written against the old
@@ -85,7 +98,10 @@
 //! # Ok::<(), kw_sim::SimError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is `pool`, whose
+// lifetime-erased job pointer carries a module-local soundness argument.
+// Everything else in the crate remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
@@ -94,6 +110,7 @@ mod error;
 pub mod faults;
 mod mailbox;
 mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod wire;
 

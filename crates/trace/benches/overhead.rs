@@ -53,6 +53,8 @@ fn drive_rounds<S: SpanSink>(sink: &mut S) {
             active: 100,
             arena_bytes: 4_096,
             rebuilds: 0,
+            pool_wakeups: 0,
+            pool_idle: 0,
         });
         sink.end();
     }

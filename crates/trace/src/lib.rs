@@ -6,8 +6,8 @@
 //! as monotonic microsecond tick pairs in flat per-track buffers — no
 //! locks on the record path, no allocation per span beyond amortized
 //! `Vec` growth — plus a per-round counter series ([`RoundSample`]:
-//! messages, bits, active nodes, inbox-arena bytes, plane rebuilds)
-//! sampled at round boundaries.
+//! messages, bits, active nodes, inbox-arena bytes, plane rebuilds, and
+//! worker-pool wakeup/idle diagnostics) sampled at round boundaries.
 //!
 //! ## Activation model
 //!
@@ -53,8 +53,9 @@ use std::time::Instant;
 /// `plan` = the sequential per-arc delivery count/prefix pass, `send` =
 /// parallel sender-major staging, `deliver` = parallel placement into
 /// the inbox arena (plus the buffer swap), `compute` = the parallel
-/// `on_round` pass, `barrier` = fork/join overhead of the parallel
-/// phases (spawn lead + join tail, synthesized by [`Tracer::end_parallel`]).
+/// `on_round` pass, `barrier` = synchronization overhead of the parallel
+/// phases (epoch-publish lead + done-wait tail on the persistent worker
+/// pool, synthesized by [`Tracer::end_parallel`]).
 pub const PHASES: [&str; 5] = ["plan", "send", "deliver", "compute", "barrier"];
 
 /// One closed span: a labeled `[start, end)` microsecond interval at a
@@ -80,10 +81,15 @@ impl Span {
 }
 
 /// Counter values sampled at one round boundary (after the round's
-/// compute phase). Every field is deterministic for a given
+/// compute phase). The six *structural* fields (`round` through
+/// `rebuilds`) are deterministic for a given
 /// `(graph, protocol, seed, chaos)` and invariant across thread counts —
-/// capacities that depend on chunk layout are deliberately excluded.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// capacities that depend on chunk layout are deliberately excluded. The
+/// two *pool* fields are timing-dependent diagnostics of the persistent
+/// worker pool and are excluded from both equality and
+/// [`Tracer::structure_hash`], so the thread-invariance contract keeps
+/// holding on the full sample series.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RoundSample {
     /// Round index (0-based).
     pub round: u32,
@@ -99,7 +105,31 @@ pub struct RoundSample {
     pub arena_bytes: u64,
     /// Cumulative churn-forced message-plane rebuilds so far.
     pub rebuilds: u64,
+    /// Worker-pool condvar wakeups attributed to this sample (delta
+    /// since the previous sample; covers this round's compute plus the
+    /// previous round's delivery). 0 on the single-chunk path and with
+    /// no tracer installed.
+    pub pool_wakeups: u64,
+    /// Pool idle ticks (worker waits that found no new epoch) attributed
+    /// to this sample, same windowing as `pool_wakeups`.
+    pub pool_idle: u64,
 }
+
+/// Equality over the six structural fields only: pool counters are
+/// timing diagnostics and two samples that differ only there describe
+/// the same deterministic round.
+impl PartialEq for RoundSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.messages == other.messages
+            && self.bits == other.bits
+            && self.active == other.active
+            && self.arena_bytes == other.arena_bytes
+            && self.rebuilds == other.rebuilds
+    }
+}
+
+impl Eq for RoundSample {}
 
 /// Spans of one worker (chunk) track.
 #[derive(Clone, Debug)]
@@ -172,14 +202,16 @@ impl Tracer {
         }
     }
 
-    /// Closes the innermost open span as a fork/join phase: records one
+    /// Closes the innermost open span as a parallel phase: records one
     /// worker-track span per `(start, end)` tick pair in `ticks` (chunk
     /// index = position), then emits a synthetic sibling `barrier` span
     /// whose duration is the phase wall time minus the workers' combined
-    /// busy window — the spawn-lead + join-tail overhead that ROADMAP
-    /// item (i) needs attributed. Called with `ticks` for a single chunk
-    /// (or none, for a skipped phase) it still emits the `barrier` span,
-    /// keeping the main-track structure invariant across thread counts.
+    /// busy window — under the persistent pool this is the epoch-publish
+    /// lead plus the done-wait tail (the residual overhead ROADMAP item
+    /// (i) attacks), measured in the same units as the old spawn/join
+    /// numbers. Called with `ticks` for a single chunk (or none, for a
+    /// skipped phase) it still emits the `barrier` span, keeping the
+    /// main-track structure invariant across thread counts.
     pub fn end_parallel(&mut self, label: &'static str, ticks: &[(u64, u64)]) {
         let now = self.now_us();
         let Some(i) = self.open.pop() else { return };
@@ -311,6 +343,8 @@ impl Tracer {
             phase_us,
             barrier_us,
             imbalance,
+            pool_wakeups: self.samples.iter().map(|s| s.pool_wakeups).sum(),
+            pool_idle: self.samples.iter().map(|s| s.pool_idle).sum(),
             structure_hash: self.structure_hash(),
             samples: self.samples.clone(),
         }
@@ -385,6 +419,12 @@ pub struct TraceSummary {
     /// Max worker busy time over mean worker busy time (1.0 when there
     /// is at most one worker or no recorded work).
     pub imbalance: f64,
+    /// Total worker-pool condvar wakeups over the run (sum of the
+    /// per-round deltas; 0 on the single-chunk path).
+    pub pool_wakeups: u64,
+    /// Total pool idle ticks over the run (waits that found no new
+    /// epoch), same provenance as `pool_wakeups`.
+    pub pool_idle: u64,
     /// FNV-1a fingerprint of the main-track structure + counter series;
     /// bit-identical across thread counts for a deterministic run.
     pub structure_hash: u64,
@@ -435,6 +475,11 @@ impl TraceSummary {
             self.threads,
             self.imbalance,
             self.structure_hash
+        );
+        let _ = writeln!(
+            out,
+            "pool: {} wakeups · {} idle ticks",
+            self.pool_wakeups, self.pool_idle
         );
         out
     }
@@ -585,6 +630,8 @@ mod tests {
             active: 4,
             arena_bytes: 96,
             rebuilds: 0,
+            pool_wakeups: 3,
+            pool_idle: 1,
         });
         t.begin("plan");
         t.end();
@@ -634,6 +681,27 @@ mod tests {
         assert_eq!(a.structure_hash(), b.structure_hash());
         let c = build(11);
         assert_ne!(a.structure_hash(), c.structure_hash());
+    }
+
+    #[test]
+    fn pool_counters_are_diagnostics_not_structure() {
+        let build = |wakeups: u64| {
+            let mut t = Tracer::new();
+            record_round(&mut t, 0, &[(0, 5)]);
+            t.samples[0].pool_wakeups = wakeups;
+            t.samples[0].pool_idle = wakeups / 2;
+            t
+        };
+        let a = build(8);
+        let b = build(800);
+        // Same round, different pool timing: equal samples, equal hash —
+        // the thread-invariance contract ignores pool diagnostics...
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.structure_hash(), b.structure_hash());
+        // ...but the summary still surfaces their totals.
+        assert_eq!(a.summarize().pool_wakeups, 8);
+        assert_eq!(a.summarize().pool_idle, 4);
+        assert!(a.summarize().to_markdown().contains("pool: 8 wakeups"));
     }
 
     #[test]

@@ -224,6 +224,45 @@
 //! counter) so allocation-stability tests can assert that steady-state
 //! rounds are growth-free.
 //!
+//! # Parallel execution: the persistent worker pool
+//!
+//! The engine runs its parallel phases on a **persistent worker pool**
+//! ([`kw_sim::pool`]) instead of spawning scoped threads per phase:
+//! `Engine::run` spawns `threads − 1` workers once, and every parallel
+//! phase of every round is dispatched as an *epoch* on that pool — the
+//! caller publishes the phase's jobs, runs chunk 0 itself, and waits on
+//! the workers' done-count. The trace plane's synthetic *barrier* span
+//! measures exactly this epoch-publish lead plus done-wait tail (it
+//! used to measure thread spawn + join, which dominated small
+//! workloads); per-round pool wakeups and idle ticks ride along as
+//! diagnostics in [`RoundSample`](kw_trace::RoundSample).
+//!
+//! Work is split by **degree-weighted (arc-balanced) chunking**: node
+//! ranges are cut so every chunk carries an approximately equal share
+//! of arcs rather than an equal node count, so one hub-heavy chunk
+//! cannot stall a phase (the trace plane's `imbalance` measures the
+//! residual spread). Chunk bounds are a pure function of the CSR plane
+//! and are recomputed on every churn rebuild. Message delivery is
+//! **per-chunk**: each chunk owns its slice of the inbox plane and
+//! reads other chunks' staged traffic in place, so no serial
+//! cross-thread splice runs between phases.
+//!
+//! The contract stays what it always was: outputs, metrics, inbox
+//! ordering, trace structure, and chaos behavior are **bit-identical
+//! across 1/2/8 threads** (`crates/bench/tests/scaling_invariance.rs`
+//! pins this on generated graphs, a bundled DIMACS instance, and a
+//! full chaos mix), and a worker panic propagates as the cell's
+//! [`SolveError::Panicked`](kw_core::solver::SolveError) with no hung
+//! barrier or leaked threads. `threads` is a first-class knob at every
+//! layer: [`SolveContext::threads`](kw_core::solver::SolveContext),
+//! the run store (schema v4 keys records by it — outcomes are
+//! thread-invariant but wall times are not), `POST /solve` bodies and
+//! the `scaling` request mix, and the `exp_s0_scaling` experiment plus
+//! `regress`'s scaling gate
+//! ([`compare_scaling`](kw_results::regress::compare_scaling),
+//! `--scaling-drop`), which watches each multi-thread cell's speedup
+//! against its own 1-thread anchor.
+//!
 //! # Chaos, churn, and adversaries
 //!
 //! The paper's model is synchronous and reliable; the chaos plane
@@ -286,8 +325,9 @@
 //! * **hierarchical spans** — `solve → stage:{fractional,rounding,
 //!   composite} → round → {plan,send,deliver,compute,barrier}`
 //!   ([`kw_trace::PHASES`]), plus one chunk span per worker per
-//!   parallel phase on worker tracks, so fork/join overhead and chunk
-//!   imbalance are first-class measurements rather than inferred gaps;
+//!   parallel phase on worker tracks, so pool synchronization overhead
+//!   and chunk imbalance are first-class measurements rather than
+//!   inferred gaps;
 //! * **per-round counter series** — [`RoundSample`](kw_trace::RoundSample)
 //!   carries messages, bits, active nodes, arena bytes, and graph
 //!   rebuilds per round, a time series the scalar `RunMetrics` totals
@@ -345,10 +385,12 @@
 //! ```
 //!
 //! **Endpoints.** `POST /solve` takes `{"workload", "solver",
-//! "seed"?, "chaos"?}` — the exact same spec grammars as the sweep
-//! CLIs, chaos clause included — and answers the run outcome as JSON
-//! (`dominates`, `size`, `rounds`, `messages`, `bits`,
-//! `ratio_vs_lemma1`, `wall_ms`, plus a `cached` flag). Non-reliable
+//! "seed"?, "chaos"?, "threads"?, "trace"?}` — the exact same spec
+//! grammars as the sweep CLIs, chaos clause included; `threads` picks
+//! the engine worker count and is normalized into the cache/store key
+//! — and answers the run outcome as JSON (`dominates`, `size`,
+//! `rounds`, `messages`, `bits`, `ratio_vs_lemma1`, `wall_ms`, plus
+//! `threads` and a `cached` flag). Non-reliable
 //! chaos requests tick the `kw_serve_chaos_requests_total` counter. `GET /healthz` answers `ok`. `GET /metrics` renders
 //! Prometheus text: request/response-class/shed/panic counters, an
 //! in-flight gauge, cache hit/miss/warmed counters, and nearest-rank
