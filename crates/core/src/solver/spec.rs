@@ -132,6 +132,14 @@ impl SolverSpec {
         Ok(())
     }
 
+    /// The canonical spec string: parses back to an equal value
+    /// (`SolverSpec::parse(&s.spec()) == Ok(s)`). Keys print sorted, so
+    /// differently-ordered inputs canonicalize identically — this is
+    /// the form manifests, cache keys, and store lines use.
+    pub fn spec(&self) -> String {
+        self.to_string()
+    }
+
     /// The inner spec of a combinator.
     ///
     /// # Errors
@@ -245,7 +253,10 @@ mod tests {
             "alg2:k=5,multiplier=ln-lnln",
         ] {
             let s = SolverSpec::parse(text).unwrap();
-            assert_eq!(SolverSpec::parse(&s.to_string()).unwrap(), s);
+            assert_eq!(SolverSpec::parse(&s.spec()).unwrap(), s);
         }
+        // Canonicalization: parameter order normalizes away.
+        let a = SolverSpec::parse("kw:multiplier=ln,k=2").unwrap();
+        assert_eq!(a.spec(), "kw:k=2,multiplier=ln");
     }
 }

@@ -1,0 +1,229 @@
+//! The checked-in allowlist: `lint.allow` at the workspace root.
+//!
+//! Rules are deny-by-default; the allowlist is where intentional
+//! exceptions live, in review-able form. One entry per line:
+//!
+//! ```text
+//! rule-id | path/to/file.rs | snippet needle | justification
+//! ```
+//!
+//! An entry suppresses a diagnostic when the rule id and file match
+//! and the *needle* is a substring of the flagged source line (`*`
+//! matches any line — use sparingly). Matching on the snippet rather
+//! than the line number keeps entries stable across unrelated edits to
+//! the same file.
+//!
+//! The allowlist polices itself:
+//!
+//! * a **justification is mandatory** — an entry without one is a
+//!   diagnostic, because "trust me" does not review well a year later;
+//! * a **stale entry** (suppressing nothing this run) is a diagnostic,
+//!   so fixed violations get their exceptions deleted instead of
+//!   lingering as blanket suppressions;
+//! * a **malformed line** is a diagnostic, never silently skipped.
+
+use crate::Diagnostic;
+
+/// The allowlist file name, at the workspace root.
+pub const ALLOW_FILE: &str = "lint.allow";
+
+const RULE: &str = "allowlist";
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Rule id this entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file the violation lives in.
+    pub file: String,
+    /// Substring of the flagged source line (`*` = any).
+    pub needle: String,
+    /// Why the violation is acceptable. Mandatory.
+    pub justification: String,
+    /// 1-based line in `lint.allow`, for staleness diagnostics.
+    pub line: usize,
+}
+
+impl Entry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule
+            && self.file == d.file
+            && (self.needle == "*" || d.snippet.contains(&self.needle))
+    }
+}
+
+/// Parses allowlist text. Malformed lines and empty justifications
+/// come back as diagnostics, not errors — the lint run carries on.
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<Diagnostic>) {
+    let mut entries = Vec::new();
+    let mut diags = Vec::new();
+    let problem = |line: usize, message: String| Diagnostic {
+        rule: RULE,
+        file: ALLOW_FILE.to_string(),
+        line,
+        message,
+        snippet: String::new(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 {
+            diags.push(problem(
+                line_no,
+                format!(
+                    "malformed allowlist entry (expected `rule | file | needle | \
+                     justification`, got {} field(s))",
+                    parts.len()
+                ),
+            ));
+            continue;
+        }
+        let (rule, file, needle, justification) = (parts[0], parts[1], parts[2], parts[3]);
+        if !crate::RULES.contains(&rule) {
+            diags.push(problem(
+                line_no,
+                format!("unknown rule id `{rule}` in allowlist entry"),
+            ));
+            continue;
+        }
+        if needle.is_empty() {
+            diags.push(problem(
+                line_no,
+                "empty needle — use `*` explicitly to match any line".to_string(),
+            ));
+            continue;
+        }
+        if justification.is_empty() {
+            diags.push(problem(
+                line_no,
+                format!(
+                    "allowlist entry for `{rule}` in {file} has no justification — \
+                     every exception must say why it cannot fire"
+                ),
+            ));
+            continue;
+        }
+        entries.push(Entry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            needle: needle.to_string(),
+            justification: justification.to_string(),
+            line: line_no,
+        });
+    }
+    (entries, diags)
+}
+
+/// Applies `entries` to `diags`: returns surviving diagnostics plus a
+/// staleness diagnostic for every entry that suppressed nothing.
+pub fn apply(diags: Vec<Diagnostic>, entries: &[Entry]) -> Vec<Diagnostic> {
+    let mut used = vec![false; entries.len()];
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| {
+            let hit = entries.iter().position(|e| e.matches(d));
+            if let Some(k) = hit {
+                used[k] = true;
+            }
+            hit.is_none()
+        })
+        .collect();
+    for (k, entry) in entries.iter().enumerate() {
+        if !used[k] {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: ALLOW_FILE.to_string(),
+                line: entry.line,
+                message: format!(
+                    "stale allowlist entry: no `{}` finding in {} matches `{}` — the \
+                     violation was fixed (or the code moved); delete the entry",
+                    entry.rule, entry.file, entry.needle
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line: 10,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn matching_entry_suppresses() {
+        let (entries, problems) = parse(
+            "panic-path | crates/serve/src/server.rs | .expect(\"bind\") | startup-only; daemon may die before serving\n",
+        );
+        assert!(problems.is_empty(), "{problems:?}");
+        let d = vec![diag(
+            "panic-path",
+            "crates/serve/src/server.rs",
+            "listener.local_addr().expect(\"bind\")",
+        )];
+        assert!(apply(d, &entries).is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_diagnostics() {
+        let (entries, _) = parse("panic-path | a.rs | gone_code | was needed once\n");
+        let out = apply(Vec::new(), &entries);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("stale"));
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let (entries, problems) = parse("panic-path | a.rs | x.unwrap() | \n");
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_lines() {
+        let (entries, problems) =
+            parse("just three | fields | here\nno-such-rule | a.rs | x | because\n");
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 2);
+        assert!(problems[0].message.contains("malformed"));
+        assert!(problems[1].message.contains("unknown rule id"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let (entries, problems) = parse("# header\n\n  # indented comment\n");
+        assert!(entries.is_empty() && problems.is_empty());
+    }
+
+    #[test]
+    fn wildcard_needle_matches_any_line() {
+        let (entries, _) = parse("hot-alloc | e.rs | * | setup-phase alloc, measured cold\n");
+        let d = vec![diag("hot-alloc", "e.rs", "let v = Vec::new();")];
+        assert!(apply(d, &entries).is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_or_file_does_not_suppress() {
+        let (entries, _) = parse("panic-path | a.rs | unwrap | reason\n");
+        let d = vec![diag("hot-alloc", "a.rs", "x.unwrap()")];
+        let out = apply(d, &entries);
+        // Finding survives AND the entry reads as stale.
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! `kw-lint` — run the workspace invariant rules.
+//!
+//! ```text
+//! kw-lint [ROOT] [--bless-schema]
+//! ```
+//!
+//! * `ROOT` — workspace root to lint (default: current directory).
+//! * `--bless-schema` — recompute the store writer fingerprints and
+//!   rewrite `lint.schema`'s entry for the current `SCHEMA_VERSION`
+//!   (history lines for older versions are preserved), then lint.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` internal error (bad
+//! arguments, unreadable workspace). CI's `lint_smoke` step treats
+//! each accordingly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kw_lint::workspace::Workspace;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut bless = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--bless-schema" => bless = true,
+            "--help" | "-h" => {
+                println!("usage: kw-lint [ROOT] [--bless-schema]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("kw-lint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => root = PathBuf::from(arg),
+        }
+    }
+
+    let mut ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("kw-lint: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if bless {
+        match ws.bless_schema() {
+            Ok(contents) => {
+                let path = root.join(kw_lint::rules::schema_drift::SCHEMA_FILE);
+                if let Err(e) = std::fs::write(&path, &contents) {
+                    eprintln!("kw-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("kw-lint: blessed {}", path.display());
+                ws.schema = Some(contents);
+            }
+            Err(diags) => {
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = ws.run();
+    if findings.is_empty() {
+        println!(
+            "kw-lint: clean ({} files, {} rules)",
+            ws.files.len(),
+            kw_lint::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &findings {
+            println!("{d}");
+        }
+        println!("kw-lint: {} finding(s)", findings.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,371 @@
+//! A hand-rolled Rust lexer: just enough to analyze the workspace.
+//!
+//! Produces a flat token stream with 1-based line numbers. Comments are
+//! kept as tokens (rules read `// SAFETY:` and `// kw-lint:` markers);
+//! string/char literals are single tokens so rule pattern matching never
+//! fires on text inside them. The lexer is deliberately lossy about
+//! things no rule needs (numeric suffix grammar, float exponents split
+//! across tokens) and exact about the things rules do need: nested block
+//! comments, raw/byte strings, and the char-literal vs. lifetime
+//! ambiguity after `'`.
+
+/// What a token is, at the granularity rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Vec`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// Numeric literal (integers and floats, suffixes included).
+    Num,
+    /// String, raw-string, byte-string, or char literal, quotes included.
+    Str,
+    /// One punctuation character (`{`, `[`, `!`, `.`, …).
+    Punct,
+    /// `// …` comment, text included (doc comments too).
+    LineComment,
+    /// `/* … */` comment, text included, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment (skipped by code-pattern rules).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is exactly the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `source` into tokens. Never fails: unterminated constructs
+/// (string, block comment) consume to end-of-file, which is the useful
+/// behavior for an analyzer that must not panic on the code it reads.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                tokens.push(tok(TokKind::LineComment, &source[start..i], line));
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(tok(TokKind::BlockComment, &source[start..i], start_line));
+            }
+            b'"' => {
+                let (start, start_line) = (i, line);
+                i = scan_string(bytes, i, &mut line);
+                tokens.push(tok(TokKind::Str, &source[start..i], start_line));
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'\…'` and `'x'` are chars;
+                // `'ident` not closed by a quote is a lifetime.
+                let is_char = match bytes.get(i + 1) {
+                    Some(b'\\') => true,
+                    Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                    None => false,
+                };
+                if is_char {
+                    let (start, start_line) = (i, line);
+                    i += 1; // opening quote
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // escape lead-in: skip `\` and the next byte
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1; // `\u{…}` tails
+                        }
+                    } else if i < bytes.len() {
+                        // One char, possibly multi-byte UTF-8.
+                        i += utf8_len(bytes[i]);
+                    }
+                    i += 1; // closing quote
+                    let end = i.min(bytes.len());
+                    tokens.push(tok(TokKind::Str, &source[start..end], start_line));
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                    tokens.push(tok(TokKind::Lifetime, &source[start..i], line));
+                }
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                // Raw/byte string prefixes lex as part of the literal.
+                let start_line = line;
+                if let Some(end) = scan_raw_or_byte_string(bytes, i, &mut line) {
+                    tokens.push(tok(TokKind::Str, &source[i..end], start_line));
+                    i = end;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(tok(TokKind::Ident, &source[start..i], line));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b == b'_' || b.is_ascii_alphanumeric() {
+                        i += 1;
+                    } else if b == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && !source[start..i].contains('.')
+                    {
+                        i += 1; // the one decimal point of a float
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(tok(TokKind::Num, &source[start..i], line));
+            }
+            _ => {
+                let len = utf8_len(c);
+                tokens.push(tok(TokKind::Punct, &source[i..i + len], line));
+                i += len;
+            }
+        }
+    }
+    tokens
+}
+
+fn tok(kind: TokKind, text: &str, line: usize) -> Token {
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote (or end of file).
+fn scan_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                // Escapes are two bytes — and a line continuation
+                // (`\` before a newline) still ends a source line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If an identifier-looking position starts a raw or byte string
+/// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`), scans it and returns the end
+/// index; otherwise `None`.
+fn scan_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut usize) -> Option<usize> {
+    let mut i = start;
+    let mut raw = false;
+    match bytes[i] {
+        b'b' => {
+            i += 1;
+            if bytes.get(i) == Some(&b'r') {
+                raw = true;
+                i += 1;
+            }
+        }
+        b'r' => {
+            raw = true;
+            i += 1;
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'"') {
+            return None; // plain ident starting with r/b (`record`, …)
+        }
+        i += 1;
+        // Scan to `"` followed by `hashes` hash marks.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"'
+                && bytes
+                    .get(i + 1..i + 1 + hashes)
+                    .is_some_and(|tail| tail.iter().all(|&b| b == b'#'))
+            {
+                return Some(i + 1 + hashes);
+            } else {
+                i += 1;
+            }
+        }
+        Some(i)
+    } else {
+        // `b"…"` byte string (non-raw): same escape rules as strings.
+        if bytes.get(i) != Some(&b'"') {
+            return None;
+        }
+        Some(scan_string(bytes, i, line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let toks = kinds("fn foo(x: u32) -> bool { x[0] == 1.5 }");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5".into())));
+        assert!(toks.contains(&(TokKind::Punct, "[".into())));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"has "quotes" and .expect("x")"#; let b = b"bytes";"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "expect"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { '\\n' } // 'x'");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "'\\n'"));
+        let plain = kinds("let c = 'q'; let underscore = '_';");
+        assert!(plain.iter().any(|(k, t)| *k == TokKind::Str && t == "'q'"));
+        assert!(plain.iter().any(|(k, t)| *k == TokKind::Str && t == "'_'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let src = "a\n/* outer /* inner */ still */\nb";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert_eq!(toks[2].line, 3, "line count survives block comments");
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("// kw-lint: hot\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("kw-lint: hot"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof_without_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+        }
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        let src = "let s = \"first \\\n    second\";\nfn after() {}";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn prefixed_idents_are_not_strings() {
+        let toks = kinds("let record = 5; let b = r_value;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "record"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r_value"));
+    }
+}

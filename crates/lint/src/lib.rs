@@ -1,0 +1,77 @@
+//! # kw-lint — the workspace invariant analyzer
+//!
+//! The workspace rests on contracts that used to exist only as prose
+//! and runtime assertions: wire decoders must *decode-or-reject* without
+//! panicking, the engine's round loop must stay allocation-stable,
+//! `unsafe` is confined to the worker pool, every store-line shape
+//! change requires a [`SCHEMA_VERSION`] bump, and every spec grammar
+//! must round-trip through its canonicalizer. This crate turns each of
+//! those contracts into a deny-by-default static rule over the
+//! workspace source, checked by the `kw-lint` binary (and CI's
+//! `lint_smoke` step) with file:line diagnostics.
+//!
+//! [`SCHEMA_VERSION`]: https://docs.rs/kw-results
+//!
+//! # Rules
+//!
+//! | id | contract |
+//! |----|----------|
+//! | `panic-path`     | no `unwrap`/`expect`/`panic!`/indexing in wire-decode impls and `kw_serve` request paths |
+//! | `hot-alloc`      | no allocation idioms in `// kw-lint: hot` engine round-loop functions |
+//! | `unsafe-audit`   | `unsafe` only in `kw_sim::pool`, always under `// SAFETY:`, every crate `forbid`/`deny(unsafe_code)` |
+//! | `schema-drift`   | store line writers' field sets fingerprinted per `SCHEMA_VERSION` |
+//! | `spec-roundtrip` | every spec grammar has `parse`, `spec()`, and a round-trip test |
+//!
+//! Architecture: a hand-rolled [`lexer`] (comments kept as tokens,
+//! strings opaque) feeds a [`source`] item model (functions, impl
+//! blocks, test regions), rules pattern-match over that, and the
+//! [`allowlist`] (`lint.allow` at the workspace root) suppresses
+//! individual findings — each entry carries a mandatory justification
+//! and goes stale (its own diagnostic) when the finding it covered
+//! disappears. See `docs/LINTS.md` for the rule catalog and the
+//! allowlisting workflow.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::fmt;
+
+/// One finding: a rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`panic-path`, `hot-alloc`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What the rule objects to, and which contract it enforces.
+    pub message: String,
+    /// The trimmed source line, for allowlist matching and display.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Every rule id, in report order.
+pub const RULES: [&str; 6] = [
+    "panic-path",
+    "hot-alloc",
+    "unsafe-audit",
+    "schema-drift",
+    "spec-roundtrip",
+    "allowlist",
+];

@@ -1,0 +1,168 @@
+//! `hot-alloc`: allocation-stability of the engine round loop.
+//!
+//! The engine's steady-state guarantee (PR 3 onward) is that once the
+//! arenas are sized, a round executes with **zero heap allocation** —
+//! that is what makes per-round timings comparable across runs and
+//! keeps the worker pool's chunks cache-resident. The guarantee is
+//! opt-in per function: a `// kw-lint: hot` marker in the comment block
+//! above a function puts its body in scope, and this rule then bans the
+//! easy-to-miss allocation idioms:
+//!
+//! * `Vec::new(…)` / `vec![…]` / `.to_vec()`
+//! * `.push(…)` (growth may reallocate)
+//! * `format!` / `String` (any use — construction or conversion)
+//! * `.to_string()` / `.to_owned()` / `Box::new(…)` / `.clone()` on
+//!   obvious owners is *not* banned wholesale — only the idioms above,
+//!   which cover every regression the engine has actually had.
+//!
+//! The rule also guards its own coverage: if the engine source
+//! (`crates/sim/src/engine.rs`) is present but carries **no** hot
+//! markers at all, that is a diagnostic — deleting the annotations must
+//! not silently disable the rule.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "hot-alloc";
+
+/// The annotation that opts a function into this rule.
+pub const HOT_MARKER: &str = "kw-lint: hot";
+
+/// The engine source whose round loop must carry hot markers.
+const ENGINE_FILE: &str = "crates/sim/src/engine.rs";
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let mut hot_fns = 0usize;
+        for f in &file.fns {
+            if f.is_test || !f.leading_comments.contains(HOT_MARKER) {
+                continue;
+            }
+            hot_fns += 1;
+            scan_body(file, f, &mut out);
+        }
+        if file.rel_path == ENGINE_FILE && hot_fns == 0 {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "engine round loop carries no `// {HOT_MARKER}` annotations — the \
+                     allocation-stability rule has nothing to check; re-annotate the \
+                     round-loop functions (removing a marker needs a lint.allow entry)"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+fn scan_body(file: &SourceFile, f: &crate::source::FnItem, out: &mut Vec<Diagnostic>) {
+    let toks: Vec<(usize, &crate::lexer::Token)> = file.code_tokens(f.body.clone()).collect();
+    let diag = |line: usize, what: &str| Diagnostic {
+        rule: RULE,
+        file: file.rel_path.clone(),
+        line,
+        message: format!(
+            "{what} in hot fn `{}` — round-loop code must not allocate; reuse an arena \
+             buffer sized at setup, or drop the `// {HOT_MARKER}` marker if this \
+             function left the round loop",
+            f.name
+        ),
+        snippet: file.snippet(line),
+    };
+    for (k, (_, t)) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = k > 0 && toks[k - 1].1.is_punct('.');
+        let next_paren = toks.get(k + 1).is_some_and(|(_, n)| n.is_punct('('));
+        let next_bang = toks.get(k + 1).is_some_and(|(_, n)| n.is_punct('!'));
+        let next_colons = toks.get(k + 1).is_some_and(|(_, n)| n.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|(_, n)| n.is_punct(':'));
+        match t.text.as_str() {
+            "Vec" if next_colons => {
+                // `Vec::new`, `Vec::with_capacity`, `Vec::from` — any
+                // associated constructor allocates (or may).
+                out.push(diag(t.line, "`Vec::…` constructor"));
+            }
+            "vec" if next_bang => out.push(diag(t.line, "`vec![…]`")),
+            "format" if next_bang => out.push(diag(t.line, "`format!`")),
+            "String" => out.push(diag(t.line, "`String` use")),
+            "push" | "to_vec" | "to_string" | "to_owned" if prev_dot && next_paren => {
+                out.push(diag(t.line, &format!("`.{}(…)`", t.text)));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn ws_with(rel: &str, src: &str) -> Workspace {
+        Workspace::from_sources(vec![(rel.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn unannotated_functions_are_out_of_scope() {
+        let ws = ws_with(
+            "crates/x/src/lib.rs",
+            "fn cold() { let mut v = Vec::new(); v.push(1); }",
+        );
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn hot_function_allocations_are_flagged() {
+        let ws = ws_with(
+            "crates/x/src/lib.rs",
+            "// kw-lint: hot\nfn hot() { let mut v = Vec::new(); v.push(1); let s = format!(\"x\"); }",
+        );
+        let d = check(&ws);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "hot-alloc"));
+    }
+
+    #[test]
+    fn string_and_to_vec_are_flagged() {
+        let ws = ws_with(
+            "crates/x/src/lib.rs",
+            "// kw-lint: hot\nfn hot(b: &[u8]) { let s = String::new(); let v = b.to_vec(); drop((s, v)); }",
+        );
+        assert_eq!(check(&ws).len(), 2);
+    }
+
+    #[test]
+    fn arena_reuse_idioms_pass() {
+        let ws = ws_with(
+            "crates/x/src/lib.rs",
+            "// kw-lint: hot\nfn hot(buf: &mut [u64]) { for b in buf.iter_mut() { *b = b.wrapping_add(1); } }",
+        );
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn engine_without_markers_is_a_finding() {
+        let ws = ws_with("crates/sim/src/engine.rs", "fn round() {}");
+        let d = check(&ws);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no `// kw-lint: hot`"));
+    }
+
+    #[test]
+    fn pushdown_named_idents_without_dot_are_fine() {
+        // `push` as a field or free fn isn't the Vec method.
+        let ws = ws_with(
+            "crates/x/src/lib.rs",
+            "// kw-lint: hot\nfn hot(p: &P) -> u32 { p.push_count + push_estimate(p) }",
+        );
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+    }
+}

@@ -1,0 +1,27 @@
+//! The rule set. Each rule is a function from a parsed [`Workspace`]
+//! to diagnostics; `all` runs every rule in catalog order.
+//!
+//! Rules are *deny by default*: they report every occurrence they can
+//! see, and intentional exceptions live in the checked-in allowlist
+//! (`lint.allow`) with per-entry justifications — never as silent
+//! special cases inside the rule code.
+
+pub mod hot_alloc;
+pub mod panic_path;
+pub mod schema_drift;
+pub mod spec_roundtrip;
+pub mod unsafe_audit;
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Runs every rule over the workspace, in catalog order.
+pub fn all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(panic_path::check(ws));
+    out.extend(hot_alloc::check(ws));
+    out.extend(unsafe_audit::check(ws));
+    out.extend(schema_drift::check(ws));
+    out.extend(spec_roundtrip::check(ws));
+    out
+}

@@ -1,0 +1,208 @@
+//! `panic-path`: the never-panic-on-input contract, statically.
+//!
+//! Two code regions must never reach a panic from untrusted bytes:
+//!
+//! * **wire decoders** — every `fn decode` (and `decode_*` helper) in
+//!   non-test code. The simulator's byzantine chaos garbles payloads at
+//!   the wire, and PR 7 found a *live* daemon panic when a decoder
+//!   trusted its input; the contract since then is decode-or-reject:
+//!   return `None`, never panic.
+//! * **`kw_serve` request paths** — everything under `crates/serve/src/`
+//!   except the client-side binaries. A malformed or adversarial HTTP
+//!   request must map to a 4xx/5xx response; a panic in a worker thread
+//!   is an outage.
+//!
+//! Flagged constructs: `.unwrap()`, `.expect(…)`, the panicking macros
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`), and indexing
+//! (`x[…]` — slice and map indexing panic on out-of-range/missing).
+//! Provably-infallible sites (e.g. a mutex lock whose poisoning is
+//! recovered elsewhere, an index bounded by construction) belong in
+//! `lint.allow` with a justification saying *why* they cannot fire.
+
+use crate::lexer::TokKind;
+use crate::source::{FnItem, SourceFile};
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "panic-path";
+
+/// Whether `file` is part of the daemon's request-handling surface.
+fn is_serve_request_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/serve/src/") && !rel_path.contains("/bin/")
+}
+
+/// Whether `f` is a wire-decode function: `decode` itself or a
+/// `decode_*` helper feeding one.
+fn is_decode_fn(f: &FnItem) -> bool {
+    f.name == "decode" || f.name.starts_with("decode_")
+}
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let serve = is_serve_request_path(&file.rel_path);
+        for f in &file.fns {
+            if f.is_test || f.body.is_empty() {
+                continue;
+            }
+            let (in_scope, region) = if is_decode_fn(f) {
+                (true, "wire-decode")
+            } else if serve {
+                (true, "serve request path")
+            } else {
+                (false, "")
+            };
+            if !in_scope {
+                continue;
+            }
+            scan_body(file, f, region, &mut out);
+        }
+    }
+    out
+}
+
+fn scan_body(file: &SourceFile, f: &FnItem, region: &str, out: &mut Vec<Diagnostic>) {
+    let toks: Vec<(usize, &crate::lexer::Token)> = file.code_tokens(f.body.clone()).collect();
+    let diag = |line: usize, what: String| Diagnostic {
+        rule: RULE,
+        file: file.rel_path.clone(),
+        line,
+        message: format!(
+            "{what} in {region} fn `{}` — this path must never panic on input; \
+             return an error (decoders: `None`, serve: 4xx/5xx) or allowlist with \
+             a proof of infallibility",
+            f.name
+        ),
+        snippet: file.snippet(line),
+    };
+    for (k, (_, t)) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let next_bang = toks.get(k + 1).is_some_and(|(_, n)| n.is_punct('!'));
+                if next_bang
+                    && matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    )
+                {
+                    out.push(diag(t.line, format!("`{}!`", t.text)));
+                }
+                let prev_dot = k > 0 && toks[k - 1].1.is_punct('.');
+                let next_paren = toks.get(k + 1).is_some_and(|(_, n)| n.is_punct('('));
+                if prev_dot && next_paren && matches!(t.text.as_str(), "unwrap" | "expect") {
+                    out.push(diag(t.line, format!("`.{}(…)`", t.text)));
+                }
+            }
+            TokKind::Punct if t.is_punct('[') => {
+                // Indexing: `expr[…]` — the previous code token closes an
+                // expression. `vec![…]`, attributes, types, and array
+                // literals have a non-expression token before `[`.
+                let indexes = k > 0
+                    && match toks[k - 1].1 {
+                        p if p.is_punct(')') || p.is_punct(']') => true,
+                        // `self.0[i]`: tuple-field access then indexing.
+                        p if p.kind == TokKind::Num => true,
+                        p if p.kind == TokKind::Ident => !matches!(
+                            p.text.as_str(),
+                            // Keywords that may directly precede an array
+                            // *type, literal, or slice pattern* — those
+                            // brackets are not an indexing base.
+                            "mut"
+                                | "dyn"
+                                | "return"
+                                | "break"
+                                | "in"
+                                | "as"
+                                | "const"
+                                | "let"
+                                | "ref"
+                                | "box"
+                                | "move"
+                                | "else"
+                                | "if"
+                                | "match"
+                        ),
+                        _ => false,
+                    };
+                if indexes {
+                    out.push(diag(t.line, "indexing `…[…]`".to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn ws_with(rel: &str, src: &str) -> Workspace {
+        Workspace::from_sources(vec![(rel.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn decode_unwrap_is_flagged_anywhere() {
+        let ws = ws_with(
+            "crates/x/src/wire.rs",
+            "impl WireEncode for M { fn decode(r: &mut R) -> Option<M> { Some(r.get().unwrap()) } }",
+        );
+        let d = check(&ws);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unwrap"));
+        assert!(d[0].message.contains("wire-decode"));
+    }
+
+    #[test]
+    fn serve_code_is_in_scope_but_bins_are_not() {
+        let flagged = check(&ws_with(
+            "crates/serve/src/http.rs",
+            "fn route(b: &[u8]) { let x = b[0]; }",
+        ));
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        let bins = check(&ws_with(
+            "crates/serve/src/bin/kw_serve.rs",
+            "fn main() { run().unwrap(); }",
+        ));
+        assert!(bins.is_empty(), "client bins may panic at startup");
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let ws = ws_with(
+            "crates/serve/src/http.rs",
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }",
+        );
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn panicking_macros_are_flagged() {
+        let ws = ws_with(
+            "crates/serve/src/service.rs",
+            "fn handle() { unreachable!(\"no\"); }",
+        );
+        let d = check(&ws);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unreachable"));
+    }
+
+    #[test]
+    fn non_indexing_brackets_are_not_flagged() {
+        let ws = ws_with(
+            "crates/serve/src/http.rs",
+            "fn f() -> [u8; 2] { let v = vec![1, 2]; let a: [u8; 2] = [0u8; 2]; a }",
+        );
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let ws = ws_with(
+            "crates/serve/src/service.rs",
+            "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0).max(o.unwrap_or_default()) }",
+        );
+        assert!(check(&ws).is_empty());
+    }
+}

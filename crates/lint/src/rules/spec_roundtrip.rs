@@ -1,0 +1,179 @@
+//! `spec-roundtrip`: every spec grammar canonicalizes and round-trips.
+//!
+//! The workspace has three user-facing spec grammars — solver specs
+//! (`greedy`, `kw:k=2,rounds=auto`, …), workload specs
+//! (`random:n=1000,deg=16`, …), and chaos plans (`churn:rate=0.1`, …).
+//! Each is a `parse` function, and the contract (ROADMAP, "specs are
+//! data") is that each parsed value can print itself back to a
+//! canonical spec string that re-parses to the same value. That is what
+//! makes stored manifests replayable and cache keys stable.
+//!
+//! For every registered grammar type this rule requires, anywhere in
+//! the workspace:
+//!
+//! 1. an `impl` of the type with a `parse` function;
+//! 2. an `impl` of the type with a `spec` canonicalizer;
+//! 3. a test that exercises the round trip — its body must mention
+//!    both `<Type>::parse` and `.spec(`.
+
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "spec-roundtrip";
+
+/// The registered spec-grammar types. Adding a grammar to the
+/// workspace means adding it here (the fixture tests keep this list
+/// honest: a registered type with no parse impl anywhere would fail
+/// the workspace-clean check).
+const SPEC_TYPES: [&str; 3] = ["SolverSpec", "Workload", "ChaosPlan"];
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ty in SPEC_TYPES {
+        let mut parse_at: Option<(String, usize)> = None;
+        let mut has_spec = false;
+        let mut has_roundtrip_test = false;
+        for file in &ws.files {
+            for f in &file.fns {
+                let of_type = f.impl_index.is_some_and(|k| file.impls[k].type_name == ty);
+                if of_type && !f.is_test && f.name == "parse" {
+                    parse_at.get_or_insert((file.rel_path.clone(), f.line));
+                }
+                if of_type && !f.is_test && f.name == "spec" {
+                    has_spec = true;
+                }
+                if f.is_test && mentions_roundtrip(file, f, ty) {
+                    has_roundtrip_test = true;
+                }
+            }
+        }
+        // A type with no `parse` impl anywhere is out of scope: the
+        // rule anchors on the parser (unit-test workspaces opt in by
+        // including the grammar's file; the fixture suite checks the
+        // real workspace has all three).
+        let Some((parse_file, parse_line)) = parse_at else {
+            continue;
+        };
+        if !has_spec {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: parse_file.clone(),
+                line: parse_line,
+                message: format!(
+                    "`{ty}::parse` has no matching `{ty}::spec` canonicalizer — every \
+                     spec grammar must print back a string that re-parses to the same \
+                     value (manifests and cache keys depend on it)"
+                ),
+                snippet: String::new(),
+            });
+        }
+        if !has_roundtrip_test {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: parse_file,
+                line: parse_line,
+                message: format!(
+                    "no round-trip test found for `{ty}` — add a test whose body calls \
+                     `{ty}::parse` on the output of `.spec()`"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether test fn `f` exercises `<ty>::parse` and `.spec(`.
+fn mentions_roundtrip(
+    file: &crate::source::SourceFile,
+    f: &crate::source::FnItem,
+    ty: &str,
+) -> bool {
+    let toks: Vec<(usize, &crate::lexer::Token)> = file.code_tokens(f.body.clone()).collect();
+    let mut calls_parse = false;
+    let mut calls_spec = false;
+    for (k, (_, t)) in toks.iter().enumerate() {
+        if t.is_ident(ty)
+            && toks.get(k + 1).is_some_and(|(_, n)| n.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|(_, n)| n.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|(_, n)| n.is_ident("parse"))
+        {
+            calls_parse = true;
+        }
+        if t.kind == TokKind::Ident
+            && t.text == "spec"
+            && k > 0
+            && toks[k - 1].1.is_punct('.')
+            && toks.get(k + 1).is_some_and(|(_, n)| n.is_punct('('))
+        {
+            calls_spec = true;
+        }
+    }
+    calls_parse && calls_spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    const COMPLETE: &str = r#"
+impl ChaosPlan {
+    pub fn parse(s: &str) -> Option<ChaosPlan> { None }
+    pub fn spec(&self) -> String { String::new() }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let p = ChaosPlan::parse("churn:rate=0.1").unwrap();
+        assert_eq!(ChaosPlan::parse(&p.spec()), Some(p));
+    }
+}
+"#;
+
+    fn ws_with(src: &str) -> Workspace {
+        Workspace::from_sources(vec![(
+            "crates/sim/src/chaos.rs".to_string(),
+            src.to_string(),
+        )])
+    }
+
+    #[test]
+    fn complete_grammar_is_clean() {
+        assert!(
+            check(&ws_with(COMPLETE)).is_empty(),
+            "{:?}",
+            check(&ws_with(COMPLETE))
+        );
+    }
+
+    #[test]
+    fn missing_spec_canonicalizer_is_flagged() {
+        let src = COMPLETE.replace("pub fn spec(&self) -> String { String::new() }", "");
+        let d = check(&ws_with(&src));
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("no matching `ChaosPlan::spec`")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn missing_roundtrip_test_is_flagged() {
+        let src = COMPLETE.replace("ChaosPlan::parse(&p.spec())", "p.clone()");
+        let d = check(&ws_with(&src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("round-trip test"));
+    }
+
+    #[test]
+    fn grammars_absent_from_small_workspaces_are_skipped() {
+        let ws = Workspace::from_sources(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "fn f() {}".to_string(),
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

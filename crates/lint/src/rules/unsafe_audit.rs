@@ -1,0 +1,163 @@
+//! `unsafe-audit`: the workspace's unsafe confinement policy.
+//!
+//! The only justified `unsafe` in this workspace is the worker pool's
+//! lifetime-erasing job pointer (`crates/sim/src/pool.rs`): a scoped
+//! borrow published to persistent worker threads, made sound by the
+//! epoch barrier. Everything else is safe Rust, and stays that way by
+//! construction:
+//!
+//! * every crate root (`src/lib.rs`) must carry an inner
+//!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]` attribute;
+//! * the `unsafe` keyword may appear only in the pool file;
+//! * within the pool file, every `unsafe` token must sit under a
+//!   `// SAFETY:` comment within the few lines above it, stating the
+//!   invariant that makes the block sound.
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "unsafe-audit";
+
+/// The one file allowed to contain `unsafe`.
+const POOL_FILE: &str = "crates/sim/src/pool.rs";
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (covers a multi-line justification plus the item header).
+const SAFETY_WINDOW: usize = 8;
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let is_crate_root = file.rel_path == "src/lib.rs" || file.rel_path.ends_with("/src/lib.rs");
+        if is_crate_root && !has_unsafe_gate(file) {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line: 1,
+                message: "crate root lacks `#![forbid(unsafe_code)]` (or `deny`) — \
+                          unsafe is confined to kw_sim's worker pool by policy"
+                    .to_string(),
+                snippet: file.snippet(1),
+            });
+        }
+        for (k, t) in file.tokens.iter().enumerate() {
+            if !t.is_ident("unsafe") || file.test_mask[k] {
+                continue;
+            }
+            if file.rel_path != POOL_FILE {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: "`unsafe` outside the worker pool — the confinement policy \
+                              allows unsafe only in crates/sim/src/pool.rs"
+                        .to_string(),
+                    snippet: file.snippet(t.line),
+                });
+            } else if !has_safety_comment(file, t.line) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`unsafe` without a `// SAFETY:` comment in the {SAFETY_WINDOW} \
+                         lines above it — state the invariant that makes this sound"
+                    ),
+                    snippet: file.snippet(t.line),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the crate root carries an inner forbid/deny of unsafe code.
+fn has_unsafe_gate(file: &crate::source::SourceFile) -> bool {
+    file.tokens.iter().enumerate().any(|(k, t)| {
+        t.is_ident("unsafe_code")
+            && file.tokens[..k]
+                .iter()
+                .rev()
+                .filter(|p| !p.is_comment())
+                .take(2)
+                .any(|p| p.is_ident("forbid") || p.is_ident("deny"))
+    })
+}
+
+/// Whether a `// SAFETY:` comment appears on `line` or within the
+/// window of lines above it.
+fn has_safety_comment(file: &crate::source::SourceFile, line: usize) -> bool {
+    let lo = line.saturating_sub(SAFETY_WINDOW);
+    (lo..=line).any(|l| {
+        file.lines
+            .get(l.saturating_sub(1))
+            .is_some_and(|text| text.contains("SAFETY:"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    #[test]
+    fn unsafe_outside_pool_is_flagged() {
+        let ws = Workspace::from_sources(vec![(
+            "crates/core/src/graph.rs".to_string(),
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }".to_string(),
+        )]);
+        let d = check(&ws);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("outside the worker pool"));
+    }
+
+    #[test]
+    fn pool_unsafe_needs_safety_comment() {
+        let bare = Workspace::from_sources(vec![(
+            "crates/sim/src/pool.rs".to_string(),
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }".to_string(),
+        )]);
+        assert_eq!(check(&bare).len(), 1);
+        let justified = Workspace::from_sources(vec![(
+            "crates/sim/src/pool.rs".to_string(),
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for the epoch (barrier holds it).\n    unsafe { *p }\n}".to_string(),
+        )]);
+        assert!(check(&justified).is_empty(), "{:?}", check(&justified));
+    }
+
+    #[test]
+    fn crate_roots_must_gate_unsafe() {
+        let open = Workspace::from_sources(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "pub fn f() {}".to_string(),
+        )]);
+        let d = check(&open);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("forbid"));
+        for gate in ["#![forbid(unsafe_code)]", "#![deny(unsafe_code)]"] {
+            let gated = Workspace::from_sources(vec![(
+                "crates/x/src/lib.rs".to_string(),
+                format!("{gate}\npub fn f() {{}}"),
+            )]);
+            assert!(check(&gated).is_empty(), "{gate}");
+        }
+    }
+
+    #[test]
+    fn allow_unsafe_code_is_not_a_gate() {
+        let ws = Workspace::from_sources(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "#![allow(unsafe_code)]\npub fn f() {}".to_string(),
+        )]);
+        assert_eq!(check(&ws).len(), 1, "allow() must not satisfy the gate");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_tests_is_ignored() {
+        let ws = Workspace::from_sources(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "#![forbid(unsafe_code)]\nfn f() -> &'static str { \"unsafe\" }\n#[cfg(test)]\nmod t { fn g() { /* unsafe */ } }".to_string(),
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,497 @@
+//! A lightweight item model over the token stream.
+//!
+//! Rules do not need a real Rust AST — they need to know, for a file:
+//! which token ranges are **test-only** (`#[cfg(test)]` modules,
+//! `#[test]` functions, anything under a `tests/` directory), where each
+//! **function body** starts and ends, which **impl block** a function
+//! belongs to (trait and type names), and which **comment block**
+//! precedes an item (for `// SAFETY:` and `// kw-lint:` markers). This
+//! module derives exactly that by brace matching over the lexed tokens.
+//!
+//! The parser is intentionally forgiving: on confusing input it errs
+//! toward *including* code in scope (a rule may then flag something a
+//! human must allowlist) rather than silently skipping it.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One parsed function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_index: usize,
+    /// Token range of the body, **exclusive** of the outer braces
+    /// (`start..end` indexes into [`SourceFile::tokens`]); empty for
+    /// bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether the function is test-only (`#[test]`, inside a
+    /// `#[cfg(test)]` region, or in a `tests/` file).
+    pub is_test: bool,
+    /// Index into [`SourceFile::impls`] of the enclosing impl block.
+    pub impl_index: Option<usize>,
+    /// Text of the comment block immediately preceding the function
+    /// (doc comments, attributes-adjacent comments), newline-joined.
+    pub leading_comments: String,
+}
+
+/// One parsed `impl` block header.
+#[derive(Clone, Debug)]
+pub struct ImplItem {
+    /// `Trait` of `impl Trait for Type`, if any.
+    pub trait_name: Option<String>,
+    /// The `Type` (the first path segment after `for`, or after `impl`).
+    pub type_name: String,
+    /// Token range of the impl body (exclusive of braces).
+    pub body: std::ops::Range<usize>,
+}
+
+/// A lexed and item-parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a test-only region.
+    pub test_mask: Vec<bool>,
+    /// All functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// All impl blocks, in source order.
+    pub impls: Vec<ImplItem>,
+    /// The source split into lines (for diagnostics' snippets).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and parses `source`. `rel_path` decides whether the whole
+    /// file is test scope (any `tests/` path component).
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let tokens = lex(source);
+        let whole_file_test = Path::new(rel_path)
+            .components()
+            .any(|c| c.as_os_str() == "tests");
+        let mut test_mask = vec![whole_file_test; tokens.len()];
+        if !whole_file_test {
+            mark_test_regions(&tokens, &mut test_mask);
+        }
+        let impls = find_impls(&tokens);
+        let fns = find_fns(&tokens, &test_mask, &impls);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            test_mask,
+            fns,
+            impls,
+            lines: source.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The trimmed source text of `line` (1-based), for diagnostics.
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Non-comment tokens of `range` with their original indexes.
+    pub fn code_tokens(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens[range.clone()]
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| (range.start + i, t))
+            .filter(|(_, t)| !t.is_comment())
+    }
+
+    /// The nearest preceding non-comment token before index `i`.
+    pub fn prev_code_token(&self, i: usize) -> Option<&Token> {
+        self.tokens[..i].iter().rev().find(|t| !t.is_comment())
+    }
+}
+
+/// Marks `#[cfg(test)]` / `#[test]`-attributed items in `mask`.
+fn mark_test_regions(tokens: &[Token], mask: &mut [bool]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Cover from the attribute through the end of the item it
+            // decorates (its `{…}` body or a terminating `;`).
+            let end = item_end(tokens, i);
+            for flag in &mut mask[i..end] {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether tokens at `i` start `#[cfg(test)]`, `#[cfg(all(test, …))]`,
+/// or `#[test]` (also matching the `#[cfg(any(test, …))]` forms — any
+/// `test` inside a `cfg` attribute conservatively marks the item).
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+        return false;
+    }
+    let Some(head) = tokens.get(i + 2) else {
+        return false;
+    };
+    if head.is_ident("test") {
+        return true;
+    }
+    if !head.is_ident("cfg") {
+        return false;
+    }
+    // Scan the bracketed attribute for a bare `test` ident.
+    let mut depth = 0usize;
+    for t in &tokens[i + 1..] {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth > 0 && t.is_ident("test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Given the index of an item's first token (an attribute `#`), returns
+/// the index one past the item's end: past the matching `}` of its first
+/// top-level brace, or past the first top-level `;`.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip leading attributes (`#[…]` groups, however many).
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Find the first `{` or `;` at zero bracket depth, then close it.
+    let mut paren = 0isize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct(';') {
+            return i + 1;
+        } else if paren == 0 && t.is_punct('{') {
+            return matching_brace(tokens, i) + 1;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn find_impls(tokens: &[Token]) -> Vec<ImplItem> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") && !tokens[i].is_comment() {
+            // Header runs to the body `{` at zero bracket depth (angle
+            // brackets in generics hold no `{`, so this is safe).
+            let mut j = i + 1;
+            let mut paren = 0isize;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    paren += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    paren -= 1;
+                } else if paren == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                let header: Vec<&Token> = tokens[i + 1..j]
+                    .iter()
+                    .filter(|t| !t.is_comment())
+                    .collect();
+                let for_pos = header.iter().position(|t| t.is_ident("for"));
+                let name_of = |slice: &[&Token]| -> String {
+                    // First identifier outside generic params: skip a
+                    // leading `<…>` generics list.
+                    let mut angle = 0isize;
+                    for t in slice {
+                        if t.is_punct('<') {
+                            angle += 1;
+                        } else if t.is_punct('>') {
+                            angle -= 1;
+                        } else if angle == 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") {
+                            return t.text.clone();
+                        }
+                    }
+                    String::new()
+                };
+                let (trait_name, type_name) = match for_pos {
+                    Some(p) => {
+                        let tn = name_of(&header[..p]);
+                        (
+                            if tn.is_empty() { None } else { Some(tn) },
+                            name_of(&header[p + 1..]),
+                        )
+                    }
+                    None => (None, name_of(&header)),
+                };
+                let close = matching_brace(tokens, j);
+                impls.push(ImplItem {
+                    trait_name,
+                    type_name,
+                    body: j + 1..close,
+                });
+                i = j + 1; // descend into the body (nested fns matter)
+                continue;
+            }
+        }
+        i += 1;
+    }
+    impls
+}
+
+fn find_fns(tokens: &[Token], test_mask: &[bool], impls: &[ImplItem]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            let name = match tokens.get(i + 1) {
+                Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Body: first `{` at zero () depth after the signature, or a
+            // `;` for bodyless declarations.
+            let mut j = i + 2;
+            let mut paren = 0isize;
+            let mut body = 0..0;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    paren += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    paren -= 1;
+                } else if paren == 0 && t.is_punct(';') {
+                    break;
+                } else if paren == 0 && t.is_punct('{') {
+                    let close = matching_brace(tokens, j);
+                    body = j + 1..close;
+                    break;
+                }
+                j += 1;
+            }
+            let impl_index = impls
+                .iter()
+                .enumerate()
+                .filter(|(_, im)| im.body.contains(&i))
+                // Innermost enclosing impl: the one starting latest.
+                .max_by_key(|(_, im)| im.body.start)
+                .map(|(k, _)| k);
+            fns.push(FnItem {
+                name,
+                line: t.line,
+                fn_index: i,
+                body: body.clone(),
+                is_test: test_mask[i],
+                impl_index,
+                leading_comments: leading_comments(tokens, i),
+            });
+            // Continue scanning *inside* the body too (closures, nested
+            // fns): just advance past the name.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+/// The comment block above the item whose first token (attributes
+/// included) sits at index `i`: walk back over attributes, then collect
+/// contiguous comments.
+fn leading_comments(tokens: &[Token], i: usize) -> String {
+    let mut j = i;
+    // Walk back over modifier keywords (`pub`, `unsafe`, `const`,
+    // `async`, `extern`) and whole bracketed groups — `#[…]` attributes
+    // (contents arbitrary) and `pub(crate)` visibility parens.
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &tokens[j - 1];
+        if prev.is_punct(']') || prev.is_punct(')') {
+            let (open, close) = if prev.is_punct(']') {
+                ('[', ']')
+            } else {
+                ('(', ')')
+            };
+            let mut depth = 0usize;
+            let mut k = j - 1;
+            loop {
+                if tokens[k].is_punct(close) {
+                    depth += 1;
+                } else if tokens[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        }
+        let is_modifier = prev.kind == TokKind::Ident
+            && matches!(
+                prev.text.as_str(),
+                "pub" | "unsafe" | "const" | "async" | "extern"
+            );
+        if is_modifier || prev.is_punct('#') || prev.is_punct('!') {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    let mut comments = Vec::new();
+    while j > 0 && tokens[j - 1].is_comment() {
+        comments.push(tokens[j - 1].text.clone());
+        j -= 1;
+    }
+    comments.reverse();
+    comments.join("\n")
+}
+
+/// Reads and parses a file from disk.
+pub fn load(root: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+    let text = std::fs::read_to_string(root.join(rel_path))?;
+    Ok(SourceFile::parse(rel_path, &text))
+}
+
+/// `path` relative to `root`, with forward slashes.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn a() { b(); }\npub fn c(x: u32) -> u32 { x }\nfn decl();",
+        );
+        let names: Vec<_> = f.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "c", "decl"]);
+        assert!(f.fns[2].body.is_empty());
+        assert!(!f.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("live").is_test);
+        assert!(by_name("t").is_test);
+        assert!(!by_name("live2").is_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() {}\nfn live() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].is_test);
+        assert!(!f.fns[1].is_test);
+    }
+
+    #[test]
+    fn tests_directory_masks_whole_file() {
+        let f = SourceFile::parse("crates/x/tests/e2e.rs", "fn helper() {}");
+        assert!(f.fns[0].is_test);
+    }
+
+    #[test]
+    fn impls_carry_trait_and_type() {
+        let src = "impl WireEncode for Msg { fn decode() {} }\nimpl Plain { fn m() {} }\nimpl<T: Clone> Generic<T> { fn g() {} }";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.impls[0].trait_name.as_deref(), Some("WireEncode"));
+        assert_eq!(f.impls[0].type_name, "Msg");
+        assert_eq!(f.impls[1].trait_name, None);
+        assert_eq!(f.impls[1].type_name, "Plain");
+        assert_eq!(f.impls[2].type_name, "Generic");
+        let decode = f.fns.iter().find(|f| f.name == "decode").unwrap();
+        assert_eq!(
+            f.impls[decode.impl_index.unwrap()].trait_name.as_deref(),
+            Some("WireEncode")
+        );
+        let g = f.fns.iter().find(|f| f.name == "g").unwrap();
+        assert_eq!(f.impls[g.impl_index.unwrap()].type_name, "Generic");
+    }
+
+    #[test]
+    fn leading_comments_reach_past_attributes() {
+        let src = "// kw-lint: hot\n// more context\n#[inline]\npub fn hot_loop() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].leading_comments.contains("kw-lint: hot"));
+        assert!(f.fns[0].leading_comments.contains("more context"));
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_masked() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() {} }";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].is_test);
+    }
+}

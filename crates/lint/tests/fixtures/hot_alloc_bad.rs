@@ -1,0 +1,10 @@
+// Fixture: allocation idioms inside a marked round-loop function.
+
+// kw-lint: hot
+fn round_step(state: &mut State) {
+    let mut scratch = Vec::new(); // BAD: fresh allocation per round
+    scratch.push(state.tick); // BAD: growth may reallocate
+    state.label = format!("round {}", state.tick); // BAD: format! allocates
+    let copy = state.buf.to_vec(); // BAD: to_vec allocates
+    drop((scratch, copy));
+}

@@ -1,0 +1,19 @@
+// Fixture: the arena-reuse idiom the engine's round loop actually uses —
+// buffers sized at setup, written in place every round.
+
+// kw-lint: hot
+fn round_step(state: &mut State) {
+    for slot in state.scratch.iter_mut() {
+        *slot = 0;
+    }
+    let (head, tail) = state.buf.split_at_mut(state.mid);
+    head.copy_from_slice(tail);
+    state.tick += 1;
+}
+
+// Unmarked helpers may allocate: setup is not the round loop.
+fn setup(n: usize) -> Vec<u64> {
+    let mut arena = Vec::new();
+    arena.resize(n, 0);
+    arena
+}

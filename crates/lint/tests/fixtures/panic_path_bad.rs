@@ -1,0 +1,20 @@
+// Fixture: every construct panic-path bans, in both scoped regions.
+// Linted under the virtual path crates/serve/src/handler.rs.
+
+struct Msg;
+
+impl WireEncode for Msg {
+    fn decode(r: &mut Reader) -> Option<Msg> {
+        let tag = r.next().unwrap(); // BAD: unwrap in a decoder
+        if tag > 7 {
+            panic!("bad tag"); // BAD: panicking macro
+        }
+        Some(Msg)
+    }
+}
+
+fn route(buf: &[u8]) -> u8 {
+    let first = buf[0]; // BAD: unchecked indexing in serve code
+    let parsed = parse(buf).expect("parse"); // BAD: expect
+    first ^ parsed
+}

@@ -1,0 +1,33 @@
+// Fixture: the decode-or-reject and 4xx/5xx idioms panic-path wants.
+// Linted under the virtual path crates/serve/src/handler.rs.
+
+struct Msg;
+
+impl WireEncode for Msg {
+    fn decode(r: &mut Reader) -> Option<Msg> {
+        let tag = r.next()?; // fallible, propagated
+        if tag > 7 {
+            return None; // reject, don't panic
+        }
+        Some(Msg)
+    }
+}
+
+fn route(buf: &[u8]) -> Response {
+    let Some(&first) = buf.first() else {
+        return Response::error(400, "empty body");
+    };
+    match parse(buf) {
+        Ok(parsed) => Response::ok(first ^ parsed),
+        Err(_) => Response::error(400, "unparseable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], parse(b"x").unwrap());
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: a spec grammar with a parser but no canonicalizer and no
+// round-trip test. Linted under crates/sim/src/chaos.rs so the
+// registered ChaosPlan grammar resolves here.
+
+pub struct ChaosPlan;
+
+impl ChaosPlan {
+    pub fn parse(text: &str) -> Option<ChaosPlan> {
+        if text.is_empty() {
+            None
+        } else {
+            Some(ChaosPlan)
+        }
+    }
+}

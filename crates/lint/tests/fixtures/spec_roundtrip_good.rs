@@ -1,0 +1,29 @@
+// Fixture: a complete spec grammar — parse, spec() canonicalizer, and a
+// test that round-trips through both. Linted under crates/sim/src/chaos.rs.
+
+pub struct ChaosPlan;
+
+impl ChaosPlan {
+    pub fn parse(text: &str) -> Option<ChaosPlan> {
+        if text.is_empty() {
+            None
+        } else {
+            Some(ChaosPlan)
+        }
+    }
+
+    pub fn spec(&self) -> String {
+        String::from("reliable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ChaosPlan;
+
+    #[test]
+    fn spec_roundtrips() {
+        let plan = ChaosPlan::parse("reliable").unwrap();
+        assert!(ChaosPlan::parse(&plan.spec()).is_some());
+    }
+}

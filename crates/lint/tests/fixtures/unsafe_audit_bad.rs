@@ -1,0 +1,6 @@
+// Fixture: unsafe outside the pool, linted under the virtual path
+// crates/graph/src/csr.rs (a crate that must stay safe).
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } // BAD: unsafe outside crates/sim/src/pool.rs
+}

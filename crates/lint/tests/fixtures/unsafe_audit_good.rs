@@ -1,0 +1,8 @@
+// Fixture: the pool's sanctioned shape — unsafe in the pool file, each
+// site justified. Linted under crates/sim/src/pool.rs.
+
+fn publish(p: *const u8) -> u8 {
+    // SAFETY: `p` points into the caller's job, which outlives the
+    // epoch; the barrier keeps every worker inside that lifetime.
+    unsafe { *p }
+}

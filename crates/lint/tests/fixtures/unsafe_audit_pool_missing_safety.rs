@@ -1,0 +1,6 @@
+// Fixture: unsafe in the pool file itself, but without the mandatory
+// SAFETY justification. Linted under crates/sim/src/pool.rs.
+
+fn publish(p: *const u8) -> u8 {
+    unsafe { *p } // BAD: no SAFETY comment above
+}

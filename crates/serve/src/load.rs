@@ -12,7 +12,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use kw_bench::mix::MixEntry;
@@ -189,7 +189,11 @@ pub fn run_load(
                 if i >= requests {
                     return;
                 }
-                let entry = &mix_entries[i % mix_entries.len()];
+                // `get` + `max(1)` keeps an empty mix a no-op run
+                // instead of a modulo-by-zero panic.
+                let Some(entry) = mix_entries.get(i % mix_entries.len().max(1)) else {
+                    return;
+                };
                 let chaos = if entry.chaos.is_empty() {
                     String::new()
                 } else {
@@ -212,16 +216,24 @@ pub fn run_load(
                 let outcome = http_request(addr, "POST", "/solve", body.as_bytes(), timeout)
                     .map(|resp| (resp.status, sent.elapsed().as_secs_f64() * 1e3))
                     .map_err(|_| ());
-                results.lock().unwrap().push(outcome);
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(outcome);
             });
         }
     });
     let wall = start.elapsed();
 
-    let results = Arc::try_unwrap(results)
-        .expect("all load threads joined")
-        .into_inner()
-        .unwrap();
+    // `thread::scope` joined every worker above, so the Arc is unique;
+    // the fallback still drains the data instead of panicking.
+    let results = match Arc::try_unwrap(results) {
+        Ok(mutex) => mutex.into_inner().unwrap_or_else(PoisonError::into_inner),
+        Err(shared) => shared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .split_off(0),
+    };
     let mut latencies = Vec::new();
     let (mut ok_2xx, mut err_4xx, mut err_5xx, mut transport_errors) = (0, 0, 0, 0);
     for r in &results {

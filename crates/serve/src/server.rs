@@ -216,8 +216,13 @@ fn shed(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
 
 fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<Receiver<(TcpStream, Instant)>>>) {
     loop {
-        // Hold the mutex only while dequeuing, never while serving.
-        let next = receiver.lock().unwrap().recv();
+        // Hold the mutex only while dequeuing, never while serving. A
+        // poisoned lock (a sibling worker panicked mid-recv) still
+        // guards a consistent receiver: recover and keep serving.
+        let next = receiver
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv();
         let (stream, accepted) = match next {
             Ok(pair) => pair,
             Err(_) => return, // channel disconnected: drained, shut down

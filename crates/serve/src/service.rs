@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use kw_bench::workloads::Workload;
@@ -295,7 +295,10 @@ impl SolveService {
                 let shape = self
                     .shapes
                     .lock()
-                    .unwrap()
+                    // The map is written with plain inserts that cannot
+                    // panic mid-update, so a poisoned lock still guards
+                    // consistent data: recover instead of unwrapping.
+                    .unwrap_or_else(PoisonError::into_inner)
                     .get(&(label.clone(), seed))
                     .copied();
                 return self
@@ -336,7 +339,12 @@ impl SolveService {
         if let Some(summary) = &report.trace {
             self.telemetry.observe_trace(summary);
         }
-        let cert = report.certificate.as_ref().expect("certificates forced on");
+        let Some(cert) = report.certificate.as_ref() else {
+            // `traced_solve` forces certificates on; a report without one
+            // is a solver-contract bug, and the daemon answers 500 rather
+            // than killing the worker thread.
+            return Response::error(500, "solver returned no certificate");
+        };
         let outcome = RunOutcome {
             dominates: cert.dominates,
             size: report.size() as f64,
@@ -351,7 +359,7 @@ impl SolveService {
             .insert_outcome(&spec, &label, seed, &chaos, threads, outcome);
         self.shapes
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert((label.clone(), seed), shape);
         if let Some(store) = &self.store {
             // A traced re-solve of an already-cached cell appends only
@@ -368,7 +376,8 @@ impl SolveService {
                     threads,
                     outcome,
                 };
-                if store.lock().unwrap().append_record(&record).is_err() {
+                let store = store.lock().unwrap_or_else(PoisonError::into_inner);
+                if store.append_record(&record).is_err() {
                     self.telemetry.count_store_error();
                 }
             }
@@ -380,7 +389,8 @@ impl SolveService {
                     chaos: chaos.clone(),
                     summary: summary.clone(),
                 };
-                if store.lock().unwrap().append_trace(&trace).is_err() {
+                let store = store.lock().unwrap_or_else(PoisonError::into_inner);
+                if store.append_trace(&trace).is_err() {
                     self.telemetry.count_store_error();
                 }
             }

@@ -50,11 +50,13 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, micros: u64) {
-        let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .expect("the last bound is u64::MAX");
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // The last bound is u64::MAX, so every sample lands in a bucket.
+        for (&bound, count) in BUCKET_BOUNDS_US.iter().zip(self.counts.iter()) {
+            if micros <= bound {
+                count.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
     }
 
     /// Total samples recorded.
@@ -79,10 +81,10 @@ impl LatencyHistogram {
             return 0;
         }
         let mut cumulative = 0u64;
-        for (i, &count) in counts.iter().enumerate() {
+        for (&bound, &count) in BUCKET_BOUNDS_US.iter().zip(counts.iter()) {
             cumulative += count;
             if cumulative >= rank {
-                return BUCKET_BOUNDS_US[i].min(OVERFLOW_CAP_US);
+                return bound.min(OVERFLOW_CAP_US);
             }
         }
         OVERFLOW_CAP_US
@@ -165,8 +167,8 @@ impl Telemetry {
     /// duration counters.
     pub fn observe_trace(&self, summary: &kw_trace::TraceSummary) {
         self.traced_solves.fetch_add(1, Ordering::Relaxed);
-        for (i, &phase) in PHASES.iter().enumerate() {
-            self.phase_us[i].fetch_add(summary.phase_total(phase), Ordering::Relaxed);
+        for (&phase, bucket) in PHASES.iter().zip(self.phase_us.iter()) {
+            bucket.fetch_add(summary.phase_total(phase), Ordering::Relaxed);
         }
     }
 
@@ -305,10 +307,10 @@ impl Telemetry {
             "# HELP kw_serve_solve_phase_us_total Cumulative engine-phase time over traced solves, microseconds.\n\
              # TYPE kw_serve_solve_phase_us_total counter\n",
         );
-        for (i, &phase) in PHASES.iter().enumerate() {
+        for (&phase, bucket) in PHASES.iter().zip(self.phase_us.iter()) {
             out.push_str(&format!(
                 "kw_serve_solve_phase_us_total{{phase=\"{phase}\"}} {}\n",
-                self.phase_us[i].load(Ordering::Relaxed)
+                bucket.load(Ordering::Relaxed)
             ));
         }
         out

@@ -271,6 +271,7 @@ impl<M> StageSink<M> {
 
     /// Resets the per-round state (arena contents and tallies), keeping
     /// the arena's capacity.
+    // kw-lint: hot
     fn reset_round(&mut self, check_wire: bool) {
         self.arena.clear();
         self.check_wire = check_wire;
@@ -285,6 +286,7 @@ impl<M: WireEncode> StageSink<M> {
     /// Sender-side accounting for one staged send (faults and halted
     /// receivers never reduce what the sender is charged for).
     #[inline]
+    // kw-lint: hot
     fn charge(&mut self, msg: &M, copies: u64) {
         let bits = msg.encoded_bits();
         if self.check_wire {
@@ -830,6 +832,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// through its chunk-local offsets (`inbox_offsets` is the chunk's
     /// slice; the last node's inbox ends at the arena's length).
     #[allow(clippy::too_many_arguments)]
+    // kw-lint: hot
     fn compute_range(
         graph: &CsrGraph,
         round: usize,
@@ -929,6 +932,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// counted — never delivered, never a panic. Sender-side metrics keep
     /// the original charge: the byzantine node did transmit, the garbling
     /// happens on the wire.
+    // kw-lint: hot
     fn garble_run(
         faults: &ChaosPlan,
         sink: &mut StageSink<P::Msg>,
@@ -965,6 +969,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// slice, then swaps the double buffer. The entire staging half is
     /// skipped when the round had no staged senders (the broadcast-heavy
     /// common case).
+    // kw-lint: hot
     fn delivery_phase(&mut self, round: usize, origin: Option<Instant>, pool: Option<&WorkerPool>) {
         let trace = origin.is_some();
         // `plan` (sequential count + prefix), `send` (parallel staging)
@@ -1044,6 +1049,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// exactly once, while still L1-hot; quiet and solo senders cost one
     /// dense table read each. Returns the total number of staged
     /// deliveries.
+    // kw-lint: hot
     fn plan_staged(&mut self, round: usize) -> usize {
         let n = self.nodes.len();
         let graph = self.churned.as_ref().unwrap_or(self.graph);

@@ -420,6 +420,35 @@
 //! percentiles to `KW_BENCH_STORE` so `regress` gates serving
 //! performance like any other benchmark.
 //!
+//! # Static analysis (`kw-lint`)
+//!
+//! The workspace carries its own linter ([`kw_lint`], binary
+//! `kw-lint`) — a std-only lexer and lightweight parser over every
+//! crate's source that enforces the codebase's *semantic* invariants,
+//! the ones `rustc` and clippy cannot see:
+//!
+//! * **panic-path** — no `unwrap`/`expect`/`panic!`/unchecked indexing
+//!   in wire-decode impls or `kw-serve` request paths (a malformed
+//!   request must map to a 4xx/5xx, never a panic);
+//! * **hot-alloc** — no allocation in engine functions marked
+//!   `// kw-lint: hot` (the per-round paths reuse arenas);
+//! * **unsafe-audit** — `unsafe` only in the worker pool, each block
+//!   under a `// SAFETY:` comment, every other crate gated by
+//!   `forbid(unsafe_code)`/`deny(unsafe_code)`;
+//! * **schema-drift** — the `RunStore` writers' field sets are
+//!   fingerprinted into the checked-in `lint.schema`; changing a line
+//!   format without bumping `SCHEMA_VERSION` fails the build;
+//! * **spec-roundtrip** — every spec grammar (`SolverSpec`,
+//!   `Workload`, `ChaosPlan`) must ship a `spec()` canonicalizer and a
+//!   parse → spec → parse round-trip test.
+//!
+//! Findings are deny-by-default: `kw-lint` exits non-zero unless every
+//! diagnostic is either fixed or covered by a justified entry in the
+//! checked-in `lint.allow`. `cargo run -p kw-lint` lints the
+//! workspace; CI's `lint_smoke` step and the `workspace_is_lint_clean`
+//! test both gate on a clean run. `docs/LINTS.md` documents each rule,
+//! the allowlist format, and the `--bless-schema` workflow.
+//!
 //! The lower-level per-algorithm entry points (`Pipeline`, `run_alg2`,
 //! `run_rounding`, the invariant checkers, …) remain available from
 //! [`kw_core`] for experiments that dissect a single stage.
@@ -430,6 +459,7 @@
 pub use kw_baselines as baselines;
 pub use kw_core as core;
 pub use kw_graph as graph;
+pub use kw_lint as lint;
 pub use kw_lp as lp;
 pub use kw_results as results;
 pub use kw_serve as serve;
